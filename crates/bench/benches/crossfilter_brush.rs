@@ -1,0 +1,43 @@
+//! C8 micro-bench: brush latency — incremental crossfilter vs naive
+//! recomputation, at 100k records.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vexus_stats::Crossfilter;
+
+fn build(n: usize) -> (Crossfilter, vexus_stats::DimId) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut cf = Crossfilter::new(n);
+    let vals: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 100.0).collect();
+    let dim = cf.add_numeric(vals, &[25.0, 50.0, 75.0]);
+    let cats: Vec<u32> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+    cf.add_categorical(cats, 8);
+    (cf, dim)
+}
+
+fn bench_brush(c: &mut Criterion) {
+    let n = 100_000;
+    c.bench_function("brush_incremental_100k", |b| {
+        let (mut cf, dim) = build(n);
+        let mut i = 0u64;
+        b.iter(|| {
+            let lo = (i % 90) as f64;
+            cf.brush_range(dim, lo, lo + 10.0);
+            i += 1;
+        });
+    });
+    c.bench_function("brush_naive_100k", |b| {
+        let (mut cf, dim) = build(n);
+        let mut i = 0u64;
+        b.iter(|| {
+            let lo = (i % 90) as f64;
+            cf.brush_range(dim, lo, lo + 10.0);
+            std::hint::black_box(cf.recompute_naive());
+            i += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_brush);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! C11 micro-bench: force-layout convergence for the paper's k ≤ 7 circles
+//! (and beyond).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vexus_viz::force::{ForceConfig, ForceLayout};
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_layout_300_ticks");
+    for k in [5usize, 7, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, &k| {
+            let radii: Vec<f64> = (0..k).map(|i| 45.0 - 2.0 * i as f64).collect();
+            b.iter(|| {
+                let mut layout = ForceLayout::new(&radii, ForceConfig::default());
+                layout.run(300);
+                layout.total_overlap_area()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

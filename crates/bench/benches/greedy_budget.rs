@@ -1,0 +1,49 @@
+//! C1 micro-bench: the time-budgeted greedy selector at the paper's 100 ms
+//! setting and around it. Wall-time per call should track the budget (the
+//! optimizer is anytime), and the zero-budget seed path should be fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vexus_bench::workloads;
+use vexus_core::greedy::{self, ScoredCandidate, SelectParams};
+use vexus_core::{EngineConfig, FeedbackVector};
+use vexus_mining::GroupId;
+
+fn bench_greedy(c: &mut Criterion) {
+    let vexus = workloads::small_bookcrossing_engine(EngineConfig::paper());
+    let mut anchors: Vec<GroupId> = vexus.groups().ids().collect();
+    anchors.sort_by_key(|&g| std::cmp::Reverse(vexus.groups().get(g).size()));
+    let anchor = anchors[0];
+    let candidates: Vec<ScoredCandidate> = vexus
+        .index()
+        .neighbors(vexus.groups(), anchor, 256)
+        .into_iter()
+        .map(|(id, s)| (id, s as f64))
+        .collect();
+    let reference = vexus.groups().get(anchor).members.clone();
+    let fb = FeedbackVector::new();
+
+    let mut group = c.benchmark_group("greedy_budget");
+    group.sample_size(10);
+    for budget_ms in [0u64, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{budget_ms}ms")),
+            &budget_ms,
+            |b, &ms| {
+                let params = SelectParams {
+                    k: 5,
+                    budget: Some(Duration::from_millis(ms)),
+                    min_similarity: 0.01,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    greedy::select_k(vexus.groups(), &candidates, &reference, &fb, &params)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

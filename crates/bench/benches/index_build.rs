@@ -1,0 +1,29 @@
+//! C3 micro-bench: inverted-index construction at the paper's 10 %
+//! materialization vs full, serial vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vexus_bench::workloads;
+use vexus_core::EngineConfig;
+use vexus_index::{GroupIndex, IndexConfig};
+
+fn bench_index_build(c: &mut Criterion) {
+    let vexus = workloads::small_bookcrossing_engine(EngineConfig::paper());
+    let groups = vexus.groups();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for (label, fraction, threads) in [
+        ("10pct_serial", 0.10, 1usize),
+        ("10pct_parallel", 0.10, 0),
+        ("100pct_parallel", 1.0, 0),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                GroupIndex::build(groups, &IndexConfig { materialize_fraction: fraction, threads })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

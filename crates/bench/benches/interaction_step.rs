@@ -1,0 +1,43 @@
+//! C2 micro-bench: the O(1) interaction core — index neighbor lookup and
+//! history backtrack — plus the full (greedy-capped) click for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vexus_bench::workloads;
+use vexus_core::EngineConfig;
+
+fn bench_interactions(c: &mut Criterion) {
+    let vexus = workloads::small_bookcrossing_engine(EngineConfig::paper());
+    let session = vexus.session().expect("session opens");
+    let g = session.display()[0];
+
+    c.bench_function("index_neighbor_lookup_k16", |b| {
+        b.iter(|| std::hint::black_box(vexus.index().neighbors(vexus.groups(), g, 16)));
+    });
+
+    c.bench_function("backtrack", |b| {
+        let mut session = vexus.session().expect("session opens");
+        let g0 = session.display()[0];
+        session.click(g0).expect("click");
+        b.iter(|| {
+            session.backtrack(0).expect("backtrack");
+        });
+    });
+
+    let mut group = c.benchmark_group("full_click");
+    group.sample_size(10);
+    group.bench_function("click_100ms_budget", |b| {
+        b.iter_batched(
+            || vexus.session().expect("session opens"),
+            |mut s| {
+                let g = s.display()[0];
+                s.click(g).expect("click");
+                s
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interactions);
+criterion_main!(benches);

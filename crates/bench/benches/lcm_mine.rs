@@ -1,0 +1,36 @@
+//! C6 micro-bench: LCM closed-group mining at decreasing support (the
+//! group space grows steeply as support drops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus_data::Vocabulary;
+use vexus_mining::transactions::TransactionDb;
+use vexus_mining::LcmConfig;
+
+fn bench_lcm(c: &mut Criterion) {
+    let ds = bookcrossing(&BookCrossingConfig {
+        n_users: 2_000,
+        n_books: 1_500,
+        n_ratings: 12_000,
+        n_communities: 6,
+        seed: 7,
+    });
+    let vocab = Vocabulary::build(&ds.data);
+    let db = TransactionDb::build(&ds.data, &vocab);
+    let mut group = c.benchmark_group("lcm_mine");
+    group.sample_size(10);
+    for min_support in [50usize, 20, 10, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("support_{min_support}")),
+            &min_support,
+            |b, &s| {
+                let cfg = LcmConfig { min_support: s, ..Default::default() };
+                b.iter(|| vexus_mining::mine_closed_groups(&db, &cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lcm);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! CLI driver: `experiments [id…]` runs all experiments (or a subset) and
+//! prints the tables EXPERIMENTS.md records.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        vexus_bench::experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("VEXUS experiment harness (scale={})", vexus_bench::workloads::scale());
+    for id in ids {
+        match vexus_bench::experiments::run(id) {
+            Some(report) => print!("{report}"),
+            None => eprintln!("unknown experiment id {id:?} (known: {:?})", vexus_bench::experiments::ALL),
+        }
+    }
+}

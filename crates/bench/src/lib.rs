@@ -1,0 +1,15 @@
+//! # vexus-bench
+//!
+//! The experiment harness reproducing every figure and quantitative claim
+//! of the VEXUS paper (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! * [`workloads`] — shared engines/datasets the experiments run on,
+//! * [`experiments`] — one function per experiment id (`f1`, `f2`,
+//!   `c1`…`c12`), each printing the table/series the paper reports,
+//! * `benches/` — criterion micro-benchmarks per hot path,
+//! * `src/bin/experiments.rs` — CLI: `experiments [id…]` runs everything or
+//!   a subset.
+
+pub mod experiments;
+pub mod workloads;

@@ -1,0 +1,90 @@
+//! Shared experiment workloads.
+//!
+//! Sizes default to laptop-friendly slices of the paper's datasets; the
+//! `VEXUS_SCALE` environment variable multiplies user/action counts for
+//! full-scale runs (e.g. `VEXUS_SCALE=14` approximates the real
+//! BOOKCROSSING's 278k users).
+
+use vexus_core::{EngineConfig, Vexus};
+use vexus_data::synthetic::{
+    bookcrossing, dbauthors, grocery, BookCrossingConfig, DbAuthorsConfig, GroceryConfig,
+    SyntheticDataset,
+};
+
+/// Scale multiplier from the environment (default 1).
+pub fn scale() -> usize {
+    std::env::var("VEXUS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// The standard BookCrossing-like workload at a given scale multiplier.
+pub fn bookcrossing_at(mult: usize) -> SyntheticDataset {
+    bookcrossing(&BookCrossingConfig {
+        n_users: 5_000 * mult,
+        n_books: 4_000 * mult,
+        n_ratings: 30_000 * mult,
+        n_communities: 8,
+        seed: 42,
+    })
+}
+
+/// The standard DB-AUTHORS-like workload.
+pub fn dbauthors_at(mult: usize) -> SyntheticDataset {
+    dbauthors(&DbAuthorsConfig {
+        n_authors: 4_000 * mult,
+        n_publications: 30_000 * mult,
+        n_communities: 6,
+        seed: 42,
+    })
+}
+
+/// The grocery workload for the hypothesis-validation scenario.
+pub fn grocery_default() -> SyntheticDataset {
+    grocery(&GroceryConfig::default())
+}
+
+/// Build an engine over the standard BookCrossing workload.
+pub fn bookcrossing_engine(config: EngineConfig) -> (Vexus, Vec<u32>) {
+    let ds = bookcrossing_at(scale());
+    let latent = ds.latent.clone();
+    (Vexus::build(ds.data, config).expect("non-empty group space"), latent)
+}
+
+/// Build an engine over the standard DB-AUTHORS workload.
+pub fn dbauthors_engine(config: EngineConfig) -> (Vexus, Vec<u32>) {
+    let ds = dbauthors_at(scale());
+    let latent = ds.latent.clone();
+    (Vexus::build(ds.data, config).expect("non-empty group space"), latent)
+}
+
+/// Small engine for fast criterion benches.
+pub fn small_bookcrossing_engine(config: EngineConfig) -> Vexus {
+    let ds = bookcrossing(&BookCrossingConfig {
+        n_users: 2_000,
+        n_books: 1_500,
+        n_ratings: 12_000,
+        n_communities: 6,
+        seed: 7,
+    });
+    Vexus::build(ds.data, config).expect("non-empty group space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        // (Environment is not set in tests.)
+        assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn small_engine_builds() {
+        let vexus = small_bookcrossing_engine(EngineConfig::default());
+        assert!(vexus.build_stats().n_groups > 50);
+    }
+}

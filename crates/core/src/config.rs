@@ -1,0 +1,103 @@
+//! Engine configuration: the knobs the paper fixes and the experiments
+//! sweep.
+
+use std::time::Duration;
+
+/// Configuration of the exploration engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Groups per GroupViz step — principle P1. "It is shown in previous
+    /// research that k ≤ 7 is an ideal match for human perception
+    /// capacity."
+    pub k: usize,
+    /// Time budget for the greedy optimizer — principle P3. "We safely set
+    /// the time limit to 100 ms (i.e., continuity preserving latency)."
+    pub time_budget: Duration,
+    /// Lower bound on (unweighted) similarity between the clicked group and
+    /// any offered next group.
+    pub min_similarity: f64,
+    /// How many index neighbors feed the candidate pool per step.
+    pub candidate_pool: usize,
+    /// Objective weight of diversity in the greedy score.
+    pub diversity_weight: f64,
+    /// Objective weight of coverage in the greedy score.
+    pub coverage_weight: f64,
+    /// Strength of feedback bias in weighted similarity (`0` disables
+    /// feedback — the NoFeedback ablation baseline of C7).
+    pub feedback_weight: f64,
+    /// Fraction of each inverted index materialized offline (paper: 0.10).
+    pub materialize_fraction: f64,
+    /// Minimum group size kept after discovery.
+    pub min_group_size: usize,
+    /// Maximum description length mined.
+    pub max_description: usize,
+    /// Hard cap on the discovered group space.
+    pub max_groups: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            time_budget: Duration::from_millis(100),
+            min_similarity: 0.01,
+            candidate_pool: 256,
+            diversity_weight: 1.0,
+            coverage_weight: 1.0,
+            feedback_weight: 0.5,
+            materialize_fraction: 0.10,
+            min_group_size: 5,
+            max_description: 4,
+            max_groups: 100_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's fixed setting (k = 5 circles, 100 ms budget, 10 %
+    /// materialization).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Ablation: disable feedback learning (uniform weights).
+    pub fn without_feedback(mut self) -> Self {
+        self.feedback_weight = 0.0;
+        self
+    }
+
+    /// Builder-style: change `k`, clamped to `1..=12` (beyond the paper's
+    /// perception bound but useful for the C5 sweep).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k.clamp(1, 12);
+        self
+    }
+
+    /// Builder-style: change the greedy time budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_the_text() {
+        let c = EngineConfig::paper();
+        assert!(c.k <= 7, "P1: limited options");
+        assert_eq!(c.time_budget, Duration::from_millis(100));
+        assert!((c.materialize_fraction - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders() {
+        let c = EngineConfig::default().with_k(100).with_budget(Duration::from_millis(5));
+        assert_eq!(c.k, 12);
+        assert_eq!(c.time_budget, Duration::from_millis(5));
+        let nf = EngineConfig::default().without_feedback();
+        assert_eq!(nf.feedback_weight, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The engine facade: Fig. 1's offline pre-processing pipeline (group
+//! discovery → index generation) plus session management.
+
+use crate::config::EngineConfig;
+use crate::error::CoreError;
+use crate::session::ExplorationSession;
+use std::time::{Duration, Instant};
+use vexus_data::{UserData, Vocabulary};
+use vexus_index::{GroupIndex, IndexConfig, OverlapGraph};
+use vexus_mining::transactions::TransactionDb;
+use vexus_mining::{GroupSet, LcmConfig};
+
+/// Timings and sizes of the offline pre-processing stage.
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Wall-clock of group discovery.
+    pub mining_time: Duration,
+    /// Wall-clock of index construction.
+    pub index_time: Duration,
+    /// Discovered groups (after size filtering).
+    pub n_groups: usize,
+    /// Materialized neighbor entries.
+    pub index_entries: usize,
+    /// Approximate index heap bytes.
+    pub index_bytes: usize,
+}
+
+/// A fully pre-processed VEXUS instance: dataset + group space + index.
+pub struct Vexus {
+    data: UserData,
+    vocab: Vocabulary,
+    groups: GroupSet,
+    index: GroupIndex,
+    config: EngineConfig,
+    stats: BuildStats,
+}
+
+impl Vexus {
+    /// Run the full offline pipeline: tokenize demographics, mine closed
+    /// groups with LCM, filter by size, and build the similarity index.
+    pub fn build(data: UserData, config: EngineConfig) -> Result<Self, CoreError> {
+        let vocab = Vocabulary::build(&data);
+        let db = TransactionDb::build(&data, &vocab);
+        let t0 = Instant::now();
+        let mut groups = vexus_mining::mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: config.min_group_size,
+                max_description: config.max_description,
+                max_groups: config.max_groups,
+                emit_root: false,
+            },
+        );
+        groups.filter_by_size(config.min_group_size, usize::MAX);
+        let mining_time = t0.elapsed();
+        Self::from_groups(data, vocab, groups, config, mining_time)
+    }
+
+    /// Assemble an engine from an externally discovered group space (the
+    /// α-MOMRI / BIRCH / stream-mining plug-in path).
+    pub fn with_groups(
+        data: UserData,
+        vocab: Vocabulary,
+        groups: GroupSet,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        Self::from_groups(data, vocab, groups, config, Duration::ZERO)
+    }
+
+    fn from_groups(
+        data: UserData,
+        vocab: Vocabulary,
+        groups: GroupSet,
+        config: EngineConfig,
+        mining_time: Duration,
+    ) -> Result<Self, CoreError> {
+        if groups.is_empty() {
+            return Err(CoreError::EmptyGroupSpace);
+        }
+        let t0 = Instant::now();
+        let index = GroupIndex::build(
+            &groups,
+            &IndexConfig { materialize_fraction: config.materialize_fraction, threads: 0 },
+        );
+        let index_time = t0.elapsed();
+        let stats = BuildStats {
+            mining_time,
+            index_time,
+            n_groups: groups.len(),
+            index_entries: index.stats().materialized_entries,
+            index_bytes: index.stats().heap_bytes,
+        };
+        Ok(Self { data, vocab, groups, index, config, stats })
+    }
+
+    /// Open an exploration session.
+    pub fn session(&self) -> Result<ExplorationSession<'_>, CoreError> {
+        ExplorationSession::open(&self.data, &self.vocab, &self.groups, &self.index, self.config.clone())
+    }
+
+    /// Open a session with a different configuration (k sweeps, budget
+    /// sweeps, feedback ablations) without re-running pre-processing.
+    pub fn session_with(&self, config: EngineConfig) -> Result<ExplorationSession<'_>, CoreError> {
+        ExplorationSession::open(&self.data, &self.vocab, &self.groups, &self.index, config)
+    }
+
+    /// The dataset.
+    pub fn data(&self) -> &UserData {
+        &self.data
+    }
+
+    /// The token vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The discovered group space.
+    pub fn groups(&self) -> &GroupSet {
+        &self.groups
+    }
+
+    /// The similarity index.
+    pub fn index(&self) -> &GroupIndex {
+        &self.index
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Offline build statistics.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Build the overlap graph `G` on demand (exploration itself uses the
+    /// index; the graph supports reachability analyses).
+    pub fn overlap_graph(&self) -> OverlapGraph {
+        OverlapGraph::build(&self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexus_data::synthetic::{bookcrossing, dbauthors, BookCrossingConfig, DbAuthorsConfig};
+
+    #[test]
+    fn builds_from_bookcrossing() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
+        let stats = vexus.build_stats();
+        assert!(stats.n_groups > 10, "group space too small: {}", stats.n_groups);
+        assert!(stats.index_entries > 0);
+        assert!(stats.index_bytes > 0);
+        // Every group respects the size floor.
+        assert!(vexus.groups().iter().all(|(_, g)| g.size() >= 5));
+    }
+
+    #[test]
+    fn builds_from_dbauthors() {
+        let ds = dbauthors(&DbAuthorsConfig::tiny());
+        let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
+        assert!(vexus.build_stats().n_groups > 10);
+        let session = vexus.session().unwrap();
+        assert!(!session.display().is_empty());
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let data = vexus_data::UserDataBuilder::new(vexus_data::Schema::new()).build();
+        assert!(matches!(
+            Vexus::build(data, EngineConfig::default()),
+            Err(CoreError::EmptyGroupSpace)
+        ));
+    }
+
+    #[test]
+    fn session_with_overrides_config() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
+        let session = vexus.session_with(EngineConfig::default().with_k(3)).unwrap();
+        assert!(session.display().len() <= 3);
+    }
+
+    #[test]
+    fn with_groups_plugin_path() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let data = ds.data;
+        let vocab = Vocabulary::build(&data);
+        // BIRCH-style clusters as the group space.
+        let featurizer = crate::features::Featurizer::new(&data);
+        let mut tree = vexus_mining::birch::BirchTree::new(vexus_mining::birch::BirchConfig {
+            branching: 8,
+            threshold: 1.2,
+            dim: featurizer.dim(),
+        });
+        for u in data.users() {
+            tree.insert(u.raw(), &featurizer.features(&data, u));
+        }
+        let groups = tree.into_groups(5);
+        assert!(!groups.is_empty());
+        let vexus = Vexus::with_groups(data, vocab, groups, EngineConfig::default()).unwrap();
+        let session = vexus.session().unwrap();
+        assert!(!session.display().is_empty());
+    }
+
+    #[test]
+    fn overlap_graph_is_consistent_with_groups() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
+        let graph = vexus.overlap_graph();
+        assert_eq!(graph.n_nodes(), vexus.groups().len());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types for the exploration engine.
+
+use std::fmt;
+
+/// Errors raised by the exploration engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A group id outside the discovered group space.
+    UnknownGroup(u32),
+    /// A history step index that does not exist.
+    BadHistoryStep(usize),
+    /// The clicked group has to be currently displayed.
+    NotDisplayed(u32),
+    /// The group space is empty (discovery produced nothing).
+    EmptyGroupSpace,
+    /// A named attribute is missing from the schema.
+    UnknownAttribute(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownGroup(g) => write!(f, "unknown group g{g}"),
+            CoreError::BadHistoryStep(s) => write!(f, "no history step {s}"),
+            CoreError::NotDisplayed(g) => {
+                write!(f, "group g{g} is not currently displayed in GroupViz")
+            }
+            CoreError::EmptyGroupSpace => write!(f, "group discovery produced no groups"),
+            CoreError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_identify_the_subject() {
+        assert!(CoreError::UnknownGroup(7).to_string().contains("g7"));
+        assert!(CoreError::BadHistoryStep(3).to_string().contains('3'));
+        assert!(CoreError::UnknownAttribute("x".into()).to_string().contains("\"x\""));
+    }
+}

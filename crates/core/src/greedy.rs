@@ -1,0 +1,394 @@
+//! The time-budgeted greedy optimizer behind every GroupViz step
+//! (principle P2 under principle P3).
+//!
+//! "We use a best-effort greedy approach … to return a local diverse and
+//! covering set of k groups with a lower-bound on similarity. … the
+//! bottleneck of the framework is the greedy process. To comply with the
+//! efficiency principle P3, we set a time limit for the greedy process. The
+//! higher this limit, the more optimized the set of groups."
+//!
+//! The algorithm is **anytime**:
+//!
+//! 1. candidates below the similarity lower bound are dropped,
+//! 2. the seed selection is the top-k by *weighted similarity*
+//!    `sim · (1 + feedback_weight · affinity)` — this is where feedback
+//!    learning biases the walk,
+//! 3. while the budget lasts, steepest-ascent swap passes improve the P2
+//!    objective `w_d · diversity + w_c · coverage + w_f · affinity`;
+//!    each completed pass is a "round", and the best selection so far is
+//!    always available when the clock runs out.
+//!
+//! With an unbounded budget the passes run to a local optimum — that run is
+//! the "unlimited optimizer" baseline experiment C1 compares against.
+
+use crate::feedback::FeedbackVector;
+use crate::quality::{self, Quality};
+use std::time::{Duration, Instant};
+use vexus_mining::{GroupId, GroupSet, MemberSet};
+
+/// Parameters of one selection call.
+#[derive(Debug, Clone)]
+pub struct SelectParams {
+    /// Number of groups to return (P1).
+    pub k: usize,
+    /// Time budget (P3); `None` = run to convergence.
+    pub budget: Option<Duration>,
+    /// Lower bound on raw similarity to the clicked group.
+    pub min_similarity: f64,
+    /// Diversity weight in the objective.
+    pub diversity_weight: f64,
+    /// Coverage weight in the objective.
+    pub coverage_weight: f64,
+    /// Feedback weight (in both seeding and the objective).
+    pub feedback_weight: f64,
+}
+
+impl Default for SelectParams {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            budget: Some(Duration::from_millis(100)),
+            min_similarity: 0.0,
+            diversity_weight: 1.0,
+            coverage_weight: 1.0,
+            feedback_weight: 0.5,
+        }
+    }
+}
+
+/// A scored candidate: group id plus its raw similarity to the clicked
+/// group (from the inverted index; `1.0` for the opening step).
+pub type ScoredCandidate = (GroupId, f64);
+
+/// Result of a greedy selection.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// The k (or fewer) selected groups.
+    pub selection: Vec<GroupId>,
+    /// Quality of the selection against the reference.
+    pub quality: Quality,
+    /// Completed improvement passes.
+    pub rounds: usize,
+    /// Wall-clock spent.
+    pub elapsed: Duration,
+    /// Whether the budget cut optimization short (false = converged).
+    pub budget_exhausted: bool,
+}
+
+/// Select up to `k` groups from `candidates`, optimizing P2 within the P3
+/// budget. `reference` is the member set coverage is measured against.
+pub fn select_k(
+    groups: &GroupSet,
+    candidates: &[ScoredCandidate],
+    reference: &MemberSet,
+    feedback: &FeedbackVector,
+    params: &SelectParams,
+) -> SelectionOutcome {
+    let start = Instant::now();
+    let deadline = params.budget.map(|b| start + b);
+
+    // Filter by the similarity lower bound and pre-compute affinities.
+    struct Cand {
+        id: GroupId,
+        weighted_sim: f64,
+        affinity: f64,
+    }
+    let mut pool: Vec<Cand> = candidates
+        .iter()
+        .filter(|(_, sim)| *sim >= params.min_similarity)
+        .map(|&(id, sim)| {
+            let affinity = if params.feedback_weight > 0.0 {
+                feedback.group_affinity(groups.get(id))
+            } else {
+                0.0
+            };
+            Cand { id, weighted_sim: sim * (1.0 + params.feedback_weight * affinity), affinity }
+        })
+        .collect();
+
+    if pool.is_empty() || params.k == 0 {
+        return SelectionOutcome {
+            selection: Vec::new(),
+            quality: Quality { diversity: 0.0, coverage: 0.0 },
+            rounds: 0,
+            elapsed: start.elapsed(),
+            budget_exhausted: false,
+        };
+    }
+
+    // Seed: top-k by weighted similarity.
+    pool.sort_by(|a, b| {
+        b.weighted_sim
+            .partial_cmp(&a.weighted_sim)
+            .expect("finite weighted similarity")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let k = params.k.min(pool.len());
+    let mut selection: Vec<usize> = (0..k).collect(); // indices into pool
+
+    let objective = |sel: &[usize]| -> f64 {
+        let ids: Vec<GroupId> = sel.iter().map(|&i| pool[i].id).collect();
+        let q = quality::evaluate(groups, &ids, reference);
+        let mean_aff = if sel.is_empty() {
+            0.0
+        } else {
+            sel.iter().map(|&i| pool[i].affinity).sum::<f64>() / sel.len() as f64
+        };
+        q.score(params.diversity_weight, params.coverage_weight)
+            + params.feedback_weight * mean_aff
+    };
+
+    let mut best_score = objective(&selection);
+    let mut rounds = 0usize;
+    let mut budget_exhausted = false;
+
+    // First-improvement hill climbing: improving swaps apply immediately,
+    // so even a partially completed pass raises quality — that is what
+    // makes the optimizer *anytime* rather than all-or-nothing per pass.
+    'improve: loop {
+        let mut improved = false;
+        for pos in 0..selection.len() {
+            for ci in 0..pool.len() {
+                if selection.contains(&ci) {
+                    continue;
+                }
+                // Budget check inside the hot loop keeps latency honest.
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        budget_exhausted = true;
+                        break 'improve;
+                    }
+                }
+                let old = selection[pos];
+                selection[pos] = ci;
+                let score = objective(&selection);
+                if score > best_score + 1e-12 {
+                    best_score = score;
+                    improved = true;
+                } else {
+                    selection[pos] = old;
+                }
+            }
+        }
+        rounds += 1;
+        if !improved {
+            break;
+        }
+    }
+
+    let ids: Vec<GroupId> = selection.iter().map(|&i| pool[i].id).collect();
+    let quality = quality::evaluate(groups, &ids, reference);
+    SelectionOutcome {
+        selection: ids,
+        quality,
+        rounds,
+        elapsed: start.elapsed(),
+        budget_exhausted,
+    }
+}
+
+/// Convenience: run to convergence (the C1 upper-bound baseline).
+pub fn select_k_unbounded(
+    groups: &GroupSet,
+    candidates: &[ScoredCandidate],
+    reference: &MemberSet,
+    feedback: &FeedbackVector,
+    params: &SelectParams,
+) -> SelectionOutcome {
+    let unbounded = SelectParams { budget: None, ..params.clone() };
+    select_k(groups, candidates, reference, feedback, &unbounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexus_mining::Group;
+
+    fn gs(sets: &[&[u32]]) -> GroupSet {
+        let mut out = GroupSet::new();
+        for s in sets {
+            out.push(Group::new(vec![], MemberSet::from_unsorted(s.to_vec())));
+        }
+        out
+    }
+
+    fn all_candidates(groups: &GroupSet) -> Vec<ScoredCandidate> {
+        groups.ids().map(|id| (id, 1.0)).collect()
+    }
+
+    #[test]
+    fn selects_k_groups() {
+        let groups = gs(&[&[0, 1], &[2, 3], &[4, 5], &[6, 7]]);
+        let reference = MemberSet::universe(8);
+        let out = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &reference,
+            &FeedbackVector::new(),
+            &SelectParams { k: 3, budget: None, ..Default::default() },
+        );
+        assert_eq!(out.selection.len(), 3);
+        assert!(!out.budget_exhausted);
+        assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn prefers_diverse_covering_sets() {
+        // Three near-identical groups and two disjoint ones; with k=3 the
+        // optimizer should avoid picking all three clones.
+        let groups = gs(&[
+            &[0, 1, 2, 3],
+            &[0, 1, 2, 4],
+            &[0, 1, 2, 5],
+            &[10, 11, 12, 13],
+            &[20, 21, 22, 23],
+        ]);
+        let reference = MemberSet::from_unsorted((0..24).collect());
+        let out = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &reference,
+            &FeedbackVector::new(),
+            &SelectParams { k: 3, budget: None, ..Default::default() },
+        );
+        // The two disjoint groups must be in.
+        assert!(out.selection.contains(&GroupId::new(3)));
+        assert!(out.selection.contains(&GroupId::new(4)));
+        assert!(out.quality.diversity > 0.9);
+    }
+
+    #[test]
+    fn similarity_lower_bound_filters() {
+        let groups = gs(&[&[0, 1], &[2, 3]]);
+        let candidates = vec![(GroupId::new(0), 0.9), (GroupId::new(1), 0.05)];
+        let out = select_k(
+            &groups,
+            &candidates,
+            &MemberSet::universe(4),
+            &FeedbackVector::new(),
+            &SelectParams { k: 2, min_similarity: 0.1, budget: None, ..Default::default() },
+        );
+        assert_eq!(out.selection, vec![GroupId::new(0)]);
+    }
+
+    #[test]
+    fn feedback_biases_seeding() {
+        // Two equally-similar candidates; feedback loves group 1's members.
+        let groups = gs(&[&[0, 1], &[10, 11]]);
+        let mut fb = FeedbackVector::new();
+        fb.reward_group(groups.get(GroupId::new(1)));
+        let candidates = vec![(GroupId::new(0), 0.5), (GroupId::new(1), 0.5)];
+        let out = select_k(
+            &groups,
+            &candidates,
+            &MemberSet::empty(),
+            &fb,
+            &SelectParams { k: 1, budget: None, feedback_weight: 1.0, ..Default::default() },
+        );
+        assert_eq!(out.selection, vec![GroupId::new(1)]);
+        // Without feedback the tie breaks to the lower id.
+        let out2 = select_k(
+            &groups,
+            &candidates,
+            &MemberSet::empty(),
+            &FeedbackVector::new(),
+            &SelectParams { k: 1, budget: None, feedback_weight: 1.0, ..Default::default() },
+        );
+        assert_eq!(out2.selection, vec![GroupId::new(0)]);
+    }
+
+    #[test]
+    fn zero_budget_returns_seed_immediately() {
+        let groups = gs(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let out = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &MemberSet::universe(6),
+            &FeedbackVector::new(),
+            &SelectParams { k: 2, budget: Some(Duration::ZERO), ..Default::default() },
+        );
+        assert_eq!(out.selection.len(), 2);
+        assert!(out.budget_exhausted);
+    }
+
+    #[test]
+    fn empty_pool_and_zero_k() {
+        let groups = gs(&[&[0]]);
+        let out = select_k(
+            &groups,
+            &[],
+            &MemberSet::universe(1),
+            &FeedbackVector::new(),
+            &SelectParams::default(),
+        );
+        assert!(out.selection.is_empty());
+        let out = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &MemberSet::universe(1),
+            &FeedbackVector::new(),
+            &SelectParams { k: 0, ..Default::default() },
+        );
+        assert!(out.selection.is_empty());
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let groups = gs(&[&[0, 1], &[2, 3]]);
+        let out = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &MemberSet::universe(4),
+            &FeedbackVector::new(),
+            &SelectParams { k: 7, budget: None, ..Default::default() },
+        );
+        assert_eq!(out.selection.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_quality_dominates_bounded() {
+        // A larger pool where improvement passes matter: quality at
+        // convergence must be >= quality at a tiny budget.
+        let sets: Vec<Vec<u32>> = (0..40)
+            .map(|i| ((i * 3)..(i * 3 + 30)).map(|x| x % 90).collect())
+            .collect();
+        let slices: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
+        let groups = gs(&slices);
+        let reference = MemberSet::universe(90);
+        let params = SelectParams { k: 5, ..Default::default() };
+        let bounded = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &reference,
+            &FeedbackVector::new(),
+            &SelectParams { budget: Some(Duration::ZERO), ..params.clone() },
+        );
+        let unbounded = select_k_unbounded(
+            &groups,
+            &all_candidates(&groups),
+            &reference,
+            &FeedbackVector::new(),
+            &params,
+        );
+        let sb = bounded.quality.score(1.0, 1.0);
+        let su = unbounded.quality.score(1.0, 1.0);
+        assert!(su >= sb - 1e-9, "unbounded {su} must dominate bounded {sb}");
+        assert!(!unbounded.budget_exhausted);
+    }
+
+    #[test]
+    fn selection_has_no_duplicates() {
+        let groups = gs(&[&[0, 1], &[1, 2], &[2, 3], &[3, 4]]);
+        let out = select_k(
+            &groups,
+            &all_candidates(&groups),
+            &MemberSet::universe(5),
+            &FeedbackVector::new(),
+            &SelectParams { k: 3, budget: None, ..Default::default() },
+        );
+        let mut sel = out.selection.clone();
+        sel.sort();
+        sel.dedup();
+        assert_eq!(sel.len(), out.selection.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! # vexus-core
+//!
+//! The VEXUS exploration engine — the paper's primary contribution. It sits
+//! on top of the substrates (`vexus-data`, `vexus-mining`, `vexus-index`,
+//! `vexus-stats`, `vexus-viz`) and implements the interactive loop of Fig. 1
+//! with its three principles:
+//!
+//! * **P1 — limited options**: every step shows `k ≤ 7` groups
+//!   ([`config::EngineConfig::k`]),
+//! * **P2 — optimality**: the shown set greedily maximizes diversity and
+//!   coverage under a lower bound on similarity to the clicked group
+//!   ([`greedy`]),
+//! * **P3 — efficiency**: the greedy optimizer is an *anytime* algorithm
+//!   cut off at a continuity-preserving 100 ms budget; all other
+//!   interactions are O(1) against the pre-built index ([`session`]).
+//!
+//! Feedback learning ([`feedback`]) maintains the normalized probability
+//! vector over users and demographic values that the CONTEXT view displays,
+//! supports *unlearning*, and biases the greedy selector through weighted
+//! similarity.
+//!
+//! [`session::ExplorationSession`] is the five-view state machine
+//! (GROUPVIZ, CONTEXT, STATS, HISTORY, MEMO + the LDA Focus view);
+//! [`engine::Vexus`] is the one-call facade that runs the offline
+//! pre-processing pipeline and opens sessions; [`simulate`] provides the
+//! target-driven simulated explorers and baselines used by the experiments.
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod features;
+pub mod feedback;
+pub mod greedy;
+pub mod quality;
+pub mod session;
+pub mod simulate;
+
+pub use config::EngineConfig;
+pub use engine::Vexus;
+pub use error::CoreError;
+pub use feedback::FeedbackVector;
+pub use session::ExplorationSession;

@@ -1,0 +1,657 @@
+//! The exploration session: GROUPVIZ, CONTEXT, STATS, HISTORY, MEMO and the
+//! Focus view as one state machine.
+//!
+//! "In GROUPVIZ, an explorer examines a limited number of groups … She can
+//! then ask to navigate to other groups which are similar to what she has
+//! already liked. The explorer preference, captured in the form of
+//! feedback, is illustrated in CONTEXT. The sequence of selected groups is
+//! visualized in HISTORY. The explorer can backtrack to any previous step
+//! in HISTORY. … an exhaustive set of statistics will be shown in STATS. At
+//! any stage of the process, the explorer can bookmark a group or a user in
+//! MEMO. The analysis ends when the explorer is satisfied with her
+//! collection in MEMO, which serves as her analysis goal."
+
+use crate::config::EngineConfig;
+use crate::error::CoreError;
+use crate::features::Featurizer;
+use crate::feedback::{ContextView, FeedbackVector};
+use crate::greedy::{self, ScoredCandidate, SelectionOutcome, SelectParams};
+use vexus_data::{AttrId, UserData, UserId, Vocabulary};
+use vexus_index::GroupIndex;
+use vexus_mining::{GroupId, GroupSet, MemberSet};
+use vexus_stats::StatsView;
+use vexus_viz::color::{Color, Palette};
+use vexus_viz::force::{ForceConfig, ForceLayout};
+use vexus_viz::lda::Lda;
+use vexus_viz::pca::Pca;
+
+/// One entry of the HISTORY view.
+#[derive(Debug, Clone)]
+pub struct HistoryStep {
+    /// The group clicked to produce this step (`None` = opening step or
+    /// backtrack landing).
+    pub clicked: Option<GroupId>,
+    /// The GroupViz display after the step.
+    pub display: Vec<GroupId>,
+    /// Feedback state after the step (snapshot, restorable).
+    pub feedback: FeedbackVector,
+}
+
+/// The MEMO view: bookmarked groups and users — "her analysis goal".
+#[derive(Debug, Clone, Default)]
+pub struct Memo {
+    groups: Vec<GroupId>,
+    users: Vec<UserId>,
+}
+
+impl Memo {
+    /// Bookmarked groups, insertion order.
+    pub fn groups(&self) -> &[GroupId] {
+        &self.groups
+    }
+
+    /// Bookmarked users, insertion order.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    fn add_group(&mut self, g: GroupId) {
+        if !self.groups.contains(&g) {
+            self.groups.push(g);
+        }
+    }
+
+    fn add_user(&mut self, u: UserId) {
+        if !self.users.contains(&u) {
+            self.users.push(u);
+        }
+    }
+}
+
+/// One circle of the GroupViz rendering.
+#[derive(Debug, Clone)]
+pub struct Circle {
+    /// The group behind the circle.
+    pub group: GroupId,
+    /// Center x.
+    pub x: f64,
+    /// Center y.
+    pub y: f64,
+    /// Radius (scaled from member count).
+    pub radius: f64,
+    /// Fill color (blend of the color attribute's shares).
+    pub color: Color,
+    /// Hover label (the group description).
+    pub label: String,
+}
+
+/// An interactive exploration over a pre-processed group space.
+pub struct ExplorationSession<'a> {
+    data: &'a UserData,
+    vocab: &'a Vocabulary,
+    groups: &'a GroupSet,
+    index: &'a GroupIndex,
+    config: EngineConfig,
+    feedback: FeedbackVector,
+    display: Vec<GroupId>,
+    history: Vec<HistoryStep>,
+    memo: Memo,
+    last_outcome: Option<SelectionOutcome>,
+}
+
+impl<'a> ExplorationSession<'a> {
+    /// Open a session: runs the opening greedy step over the whole group
+    /// space (reference = the full population).
+    pub fn open(
+        data: &'a UserData,
+        vocab: &'a Vocabulary,
+        groups: &'a GroupSet,
+        index: &'a GroupIndex,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        if groups.is_empty() {
+            return Err(CoreError::EmptyGroupSpace);
+        }
+        let mut session = Self {
+            data,
+            vocab,
+            groups,
+            index,
+            config,
+            feedback: FeedbackVector::new(),
+            display: Vec::new(),
+            history: Vec::new(),
+            memo: Memo::default(),
+            last_outcome: None,
+        };
+        session.opening_step();
+        Ok(session)
+    }
+
+    /// Re-run the opening step (used by `restart` flows and the C5 sweep).
+    fn opening_step(&mut self) {
+        // Opening candidates: the biggest groups, similarity 1 (no anchor).
+        let mut by_size: Vec<GroupId> = self.groups.ids().collect();
+        by_size.sort_by_key(|&id| std::cmp::Reverse(self.groups.get(id).size()));
+        by_size.truncate(self.config.candidate_pool);
+        let candidates: Vec<ScoredCandidate> = by_size.into_iter().map(|id| (id, 1.0)).collect();
+        let reference = MemberSet::universe(self.data.n_users() as u32);
+        let outcome = greedy::select_k(
+            self.groups,
+            &candidates,
+            &reference,
+            &self.feedback,
+            &self.select_params(),
+        );
+        self.display = outcome.selection.clone();
+        self.last_outcome = Some(outcome);
+        self.history.push(HistoryStep {
+            clicked: None,
+            display: self.display.clone(),
+            feedback: self.feedback.clone(),
+        });
+    }
+
+    fn select_params(&self) -> SelectParams {
+        SelectParams {
+            k: self.config.k,
+            budget: Some(self.config.time_budget),
+            min_similarity: self.config.min_similarity,
+            diversity_weight: self.config.diversity_weight,
+            coverage_weight: self.config.coverage_weight,
+            feedback_weight: self.config.feedback_weight,
+        }
+    }
+
+    /// The current GroupViz display (P1: at most `k` groups).
+    pub fn display(&self) -> &[GroupId] {
+        &self.display
+    }
+
+    /// Click a displayed group: record positive feedback and navigate to
+    /// the next k groups (its most similar neighbors, optimized for P2
+    /// within the P3 budget).
+    pub fn click(&mut self, g: GroupId) -> Result<&[GroupId], CoreError> {
+        if !self.display.contains(&g) {
+            return Err(CoreError::NotDisplayed(g.0));
+        }
+        let group = self.groups.get(g);
+        if self.config.feedback_weight > 0.0 {
+            self.feedback.reward_group(group);
+        }
+        let candidates = self.index.neighbors(self.groups, g, self.config.candidate_pool);
+        let candidates: Vec<ScoredCandidate> =
+            candidates.into_iter().map(|(id, sim)| (id, sim as f64)).collect();
+        let reference = group.members.clone();
+        let outcome = greedy::select_k(
+            self.groups,
+            &candidates,
+            &reference,
+            &self.feedback,
+            &self.select_params(),
+        );
+        self.display = outcome.selection.clone();
+        self.last_outcome = Some(outcome);
+        self.history.push(HistoryStep {
+            clicked: Some(g),
+            display: self.display.clone(),
+            feedback: self.feedback.clone(),
+        });
+        Ok(&self.display)
+    }
+
+    /// The HISTORY view.
+    pub fn history(&self) -> &[HistoryStep] {
+        &self.history
+    }
+
+    /// Backtrack to a previous step: restores its display and feedback and
+    /// truncates the forward history (a new branch starts from there).
+    pub fn backtrack(&mut self, step: usize) -> Result<&[GroupId], CoreError> {
+        if step >= self.history.len() {
+            return Err(CoreError::BadHistoryStep(step));
+        }
+        self.history.truncate(step + 1);
+        let snapshot = &self.history[step];
+        self.display = snapshot.display.clone();
+        self.feedback = snapshot.feedback.clone();
+        Ok(&self.display)
+    }
+
+    /// The CONTEXT view: current feedback bias, top-`n` per side.
+    pub fn context(&self, n: usize) -> ContextView {
+        self.feedback.context_view(n)
+    }
+
+    /// Unlearn a demographic value (delete it from CONTEXT) — e.g. the PC
+    /// chair deleting "male" to re-balance results.
+    pub fn unlearn_token(&mut self, token: vexus_data::TokenId) {
+        self.feedback.unlearn_token(token);
+    }
+
+    /// Unlearn a user.
+    pub fn unlearn_user(&mut self, user: UserId) {
+        self.feedback.unlearn_user(user);
+    }
+
+    /// Bookmark a group in MEMO.
+    pub fn memo_group(&mut self, g: GroupId) -> Result<(), CoreError> {
+        if g.index() >= self.groups.len() {
+            return Err(CoreError::UnknownGroup(g.0));
+        }
+        self.memo.add_group(g);
+        Ok(())
+    }
+
+    /// Bookmark a user in MEMO.
+    pub fn memo_user(&mut self, u: UserId) {
+        self.memo.add_user(u);
+    }
+
+    /// The MEMO view.
+    pub fn memo(&self) -> &Memo {
+        &self.memo
+    }
+
+    /// The STATS view over a group's members (coordinated histograms +
+    /// brushable user table).
+    pub fn stats_view(&self, g: GroupId) -> Result<StatsView<'a>, CoreError> {
+        if g.index() >= self.groups.len() {
+            return Err(CoreError::UnknownGroup(g.0));
+        }
+        let members: Vec<UserId> = self
+            .groups
+            .get(g)
+            .members
+            .iter()
+            .map(UserId::new)
+            .collect();
+        Ok(StatsView::new(self.data, members))
+    }
+
+    /// The Focus view: a 2-D projection of a group's members, labeled (and
+    /// LDA-supervised) by `label_attr`. Falls back to PCA when fewer than
+    /// two label classes are present. Returns `(user, [x, y], class)`.
+    pub fn focus_view(
+        &self,
+        g: GroupId,
+        label_attr: AttrId,
+    ) -> Result<Vec<(UserId, [f64; 2], u32)>, CoreError> {
+        if g.index() >= self.groups.len() {
+            return Err(CoreError::UnknownGroup(g.0));
+        }
+        let members: Vec<UserId> =
+            self.groups.get(g).members.iter().map(UserId::new).collect();
+        if members.is_empty() {
+            return Ok(Vec::new());
+        }
+        let featurizer = Featurizer::new(self.data);
+        let points = featurizer.features_of(self.data, &members);
+        let missing_class = self.data.schema().cardinality(label_attr) as u32;
+        let labels: Vec<u32> = members
+            .iter()
+            .map(|&u| {
+                let v = self.data.value(u, label_attr);
+                if v.is_missing() {
+                    missing_class
+                } else {
+                    v.raw()
+                }
+            })
+            .collect();
+        let classes: std::collections::BTreeSet<u32> = labels.iter().copied().collect();
+        let projected: Vec<Vec<f64>> = if classes.len() >= 2 && members.len() > classes.len() {
+            let lda = Lda::fit(&points, &labels, 2);
+            lda.project_all(&points)
+        } else {
+            let k = 2.min(featurizer.dim());
+            let pca = Pca::fit(&points, k);
+            pca.project_all(&points)
+        };
+        Ok(members
+            .iter()
+            .zip(projected)
+            .zip(labels)
+            .map(|((&u, p), l)| {
+                let x = p.first().copied().unwrap_or(0.0);
+                let y = p.get(1).copied().unwrap_or(0.0);
+                (u, [x, y], l)
+            })
+            .collect())
+    }
+
+    /// Lay out the current display as GroupViz circles: force-directed
+    /// positions, sizes from member counts, colors blended by `color_attr`
+    /// shares, hover labels from descriptions.
+    pub fn groupviz(&self, color_attr: AttrId) -> Vec<Circle> {
+        if self.display.is_empty() {
+            return Vec::new();
+        }
+        let max_size = self
+            .display
+            .iter()
+            .map(|&g| self.groups.get(g).size())
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let radii: Vec<f64> = self
+            .display
+            .iter()
+            .map(|&g| 18.0 + 42.0 * (self.groups.get(g).size() as f64 / max_size).sqrt())
+            .collect();
+        let mut layout = ForceLayout::new(&radii, ForceConfig::default());
+        // Springs proportional to pairwise similarity.
+        for i in 0..self.display.len() {
+            for j in i + 1..self.display.len() {
+                let sim = GroupIndex::similarity(self.groups, self.display[i], self.display[j]);
+                if sim > 0.0 {
+                    layout.link(i, j, sim);
+                }
+            }
+        }
+        layout.run(300);
+        self.display
+            .iter()
+            .zip(&layout.nodes)
+            .map(|(&g, node)| {
+                let group = self.groups.get(g);
+                // Color: blend of the color attribute's value shares.
+                let mut shares: std::collections::HashMap<u32, f64> = Default::default();
+                for u in group.members.iter() {
+                    let v = self.data.value(UserId::new(u), color_attr);
+                    if !v.is_missing() {
+                        *shares.entry(v.raw()).or_insert(0.0) += 1.0;
+                    }
+                }
+                let share_vec: Vec<(usize, f64)> =
+                    shares.into_iter().map(|(c, w)| (c as usize, w)).collect();
+                Circle {
+                    group: g,
+                    x: node.x,
+                    y: node.y,
+                    radius: node.radius,
+                    color: Palette::blend(&share_vec),
+                    label: group.label(self.vocab, self.data.schema()),
+                }
+            })
+            .collect()
+    }
+
+    /// Member set of a group (used by simulated explorers and experiments).
+    pub fn group_members(&self, g: GroupId) -> &MemberSet {
+        &self.groups.get(g).members
+    }
+
+    /// The underlying dataset.
+    pub fn data(&self) -> &UserData {
+        self.data
+    }
+
+    /// Human-readable description of a group (the hover text).
+    pub fn describe(&self, g: GroupId) -> String {
+        format!(
+            "{} ({} users)",
+            self.groups.get(g).label(self.vocab, self.data.schema()),
+            self.groups.get(g).size()
+        )
+    }
+
+    /// P2/P3 telemetry of the most recent greedy call.
+    pub fn last_outcome(&self) -> Option<&SelectionOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// The current feedback vector (read-only).
+    pub fn feedback(&self) -> &FeedbackVector {
+        &self.feedback
+    }
+
+    /// Export MEMO as CSV — the "Save" module of Fig. 1. One row per
+    /// bookmarked group (kind=group) and per bookmarked user (kind=user).
+    pub fn export_memo_csv(&self) -> String {
+        let header: Vec<String> =
+            ["kind", "id", "label", "size_or_activity"].iter().map(|s| s.to_string()).collect();
+        let mut records = Vec::new();
+        for &g in self.memo.groups() {
+            records.push(vec![
+                "group".to_string(),
+                g.to_string(),
+                self.groups.get(g).label(self.vocab, self.data.schema()),
+                self.groups.get(g).size().to_string(),
+            ]);
+        }
+        for &u in self.memo.users() {
+            records.push(vec![
+                "user".to_string(),
+                self.data.user_name(u).to_string(),
+                self.data.describe_user(u),
+                self.data.user_activity(u).to_string(),
+            ]);
+        }
+        vexus_data::csv::write(&header, &records, vexus_data::csv::CsvOptions::default())
+    }
+
+    /// Render the whole five-view state as text (for the CLI examples and
+    /// the F2 experiment).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== GROUPVIZ ==\n");
+        for &g in &self.display {
+            out.push_str(&format!("  ({g}) {}\n", self.describe(g)));
+        }
+        out.push_str("== CONTEXT ==\n");
+        let ctx = self.context(5);
+        for (t, s) in &ctx.tokens {
+            out.push_str(&format!(
+                "  [{}] {s:.3}\n",
+                self.vocab.label(*t, self.data.schema())
+            ));
+        }
+        for (u, s) in &ctx.users {
+            out.push_str(&format!("  [{}] {s:.3}\n", self.data.user_name(*u)));
+        }
+        out.push_str("== HISTORY ==\n");
+        for (i, step) in self.history.iter().enumerate() {
+            match step.clicked {
+                None => out.push_str(&format!("  {i}: (start)\n")),
+                Some(g) => out.push_str(&format!("  {i}: clicked {g}\n")),
+            }
+        }
+        out.push_str("== MEMO ==\n");
+        for g in self.memo.groups() {
+            out.push_str(&format!("  group {g}: {}\n", self.describe(*g)));
+        }
+        for u in self.memo.users() {
+            out.push_str(&format!("  user {}\n", self.data.user_name(*u)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Vexus;
+    use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
+
+    fn engine() -> Vexus {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        Vexus::build(ds.data, EngineConfig::default()).expect("group space non-empty")
+    }
+
+    #[test]
+    fn opening_step_shows_at_most_k_groups() {
+        let vexus = engine();
+        let session = vexus.session().unwrap();
+        assert!(!session.display().is_empty());
+        assert!(session.display().len() <= 5, "P1 violated");
+        assert_eq!(session.history().len(), 1);
+        assert!(session.history()[0].clicked.is_none());
+    }
+
+    #[test]
+    fn click_navigates_and_learns() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let g = session.display()[0];
+        let next = session.click(g).unwrap().to_vec();
+        assert!(!next.is_empty());
+        assert!(next.len() <= 5);
+        assert_eq!(session.history().len(), 2);
+        assert_eq!(session.history()[1].clicked, Some(g));
+        // Feedback was recorded.
+        assert!(!session.feedback().is_empty());
+        let ctx = session.context(5);
+        assert!(!ctx.users.is_empty() || !ctx.tokens.is_empty());
+    }
+
+    #[test]
+    fn click_requires_displayed_group() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let bogus = GroupId::new(u32::MAX - 1);
+        assert!(matches!(session.click(bogus), Err(CoreError::NotDisplayed(_))));
+    }
+
+    #[test]
+    fn backtrack_restores_display_and_feedback() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let initial = session.display().to_vec();
+        let g = session.display()[0];
+        session.click(g).unwrap();
+        let g2 = session.display()[0];
+        session.click(g2).unwrap();
+        assert_eq!(session.history().len(), 3);
+        session.backtrack(0).unwrap();
+        assert_eq!(session.display(), initial.as_slice());
+        assert!(session.feedback().is_empty(), "feedback restored to opening state");
+        assert_eq!(session.history().len(), 1);
+        assert!(matches!(session.backtrack(9), Err(CoreError::BadHistoryStep(9))));
+    }
+
+    #[test]
+    fn memo_bookmarks_dedupe() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let g = session.display()[0];
+        session.memo_group(g).unwrap();
+        session.memo_group(g).unwrap();
+        session.memo_user(UserId::new(3));
+        session.memo_user(UserId::new(3));
+        assert_eq!(session.memo().groups().len(), 1);
+        assert_eq!(session.memo().users().len(), 1);
+        assert!(session.memo_group(GroupId::new(u32::MAX - 1)).is_err());
+    }
+
+    #[test]
+    fn stats_view_over_group_members() {
+        let vexus = engine();
+        let session = vexus.session().unwrap();
+        let g = session.display()[0];
+        let view = session.stats_view(g).unwrap();
+        assert_eq!(view.n_users(), vexus.groups().get(g).size());
+        let gender_like = vexus.data().schema().attr("country").unwrap();
+        let hist = view.histogram(gender_like);
+        let total: u64 = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total as usize, view.n_users());
+    }
+
+    #[test]
+    fn focus_view_projects_members_to_2d() {
+        let vexus = engine();
+        let session = vexus.session().unwrap();
+        let g = session.display()[0];
+        let attr = vexus.data().schema().attr("favorite_genre").unwrap();
+        let points = session.focus_view(g, attr).unwrap();
+        assert_eq!(points.len(), vexus.groups().get(g).size());
+        assert!(points.iter().all(|(_, p, _)| p.iter().all(|x| x.is_finite())));
+    }
+
+    #[test]
+    fn groupviz_circles_do_not_overlap() {
+        let vexus = engine();
+        let session = vexus.session().unwrap();
+        let attr = vexus.data().schema().attr("country").unwrap();
+        let circles = session.groupviz(attr);
+        assert_eq!(circles.len(), session.display().len());
+        for i in 0..circles.len() {
+            for j in i + 1..circles.len() {
+                let d = ((circles[i].x - circles[j].x).powi(2)
+                    + (circles[i].y - circles[j].y).powi(2))
+                .sqrt();
+                assert!(
+                    d + 1.0 >= circles[i].radius + circles[j].radius,
+                    "circles {i} and {j} overlap"
+                );
+            }
+        }
+        // Bigger groups get bigger circles.
+        let sizes: Vec<usize> =
+            circles.iter().map(|c| vexus.groups().get(c.group).size()).collect();
+        for i in 0..circles.len() {
+            for j in 0..circles.len() {
+                if sizes[i] > sizes[j] {
+                    assert!(circles[i].radius >= circles[j].radius);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unlearn_token_removes_bias() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let g = session.display()[0];
+        session.click(g).unwrap();
+        let ctx = session.context(10);
+        if let Some(&(t, _)) = ctx.tokens.first() {
+            session.unlearn_token(t);
+            let after = session.context(10);
+            assert!(after.tokens.iter().all(|(tok, _)| *tok != t));
+        }
+    }
+
+    #[test]
+    fn render_text_contains_all_views() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let g = session.display()[0];
+        session.click(g).unwrap();
+        session.memo_group(session.display()[0]).unwrap();
+        let text = session.render_text();
+        for view in ["GROUPVIZ", "CONTEXT", "HISTORY", "MEMO"] {
+            assert!(text.contains(view), "missing {view}");
+        }
+        assert!(text.contains("clicked"));
+    }
+
+    #[test]
+    fn memo_exports_as_csv() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let g = session.display()[0];
+        session.memo_group(g).unwrap();
+        session.memo_user(UserId::new(2));
+        let csv_text = session.export_memo_csv();
+        let table =
+            vexus_data::csv::parse(&csv_text, vexus_data::csv::CsvOptions::default()).unwrap();
+        assert_eq!(table.header[0], "kind");
+        assert_eq!(table.records.len(), 2);
+        assert_eq!(table.records[0][0], "group");
+        assert_eq!(table.records[1][0], "user");
+        assert_eq!(table.records[1][1], vexus.data().user_name(UserId::new(2)));
+    }
+
+    #[test]
+    fn last_outcome_telemetry() {
+        let vexus = engine();
+        let mut session = vexus.session().unwrap();
+        let outcome = session.last_outcome().unwrap();
+        assert!(outcome.quality.coverage >= 0.0);
+        let g = session.display()[0];
+        session.click(g).unwrap();
+        let outcome = session.last_outcome().unwrap();
+        assert!(outcome.elapsed <= std::time::Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,553 @@
+//! Columnar storage for user data and the token vocabulary.
+//!
+//! A [`UserData`] holds, per the paper's model:
+//!
+//! * one row per **user** with a [`ValueId`] per schema attribute
+//!   (demographics, column-major),
+//! * a table of **items** (books, movies, papers, …) with an optional
+//!   category,
+//! * a list of **actions** `[user, item, value]` with a CSR index for
+//!   per-user iteration.
+//!
+//! The [`Vocabulary`] flattens `(attribute, value)` pairs into dense
+//! [`TokenId`]s; each user's sorted token set is the "transaction" consumed
+//! by the frequent-itemset miners in `vexus-mining`, whose closed patterns
+//! become the user groups VEXUS explores.
+
+use crate::error::DataError;
+use crate::ids::{AttrId, ItemId, TokenId, UserId, ValueId};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One user action under the generic `[user, item, value]` schema.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Acting user.
+    pub user: UserId,
+    /// Target item.
+    pub item: ItemId,
+    /// Action value (rating score, count, …).
+    pub value: f32,
+}
+
+/// Immutable columnar user dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UserData {
+    schema: Schema,
+    user_names: Vec<String>,
+    /// `columns[attr][user]` = value of `attr` for `user`.
+    columns: Vec<Vec<ValueId>>,
+    item_names: Vec<String>,
+    /// Per item: index into `item_category_labels`, `u32::MAX` = none.
+    item_categories: Vec<u32>,
+    item_category_labels: Vec<String>,
+    actions: Vec<Action>,
+    /// CSR offsets into `actions_by_user`: actions of user `u` are
+    /// `actions_by_user[user_offsets[u] .. user_offsets[u+1]]`.
+    user_offsets: Vec<u32>,
+    actions_by_user: Vec<u32>,
+}
+
+impl UserData {
+    /// The attribute schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.user_names.len()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.item_names.len()
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// All actions, in insertion order.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Display name of a user.
+    pub fn user_name(&self, user: UserId) -> &str {
+        &self.user_names[user.index()]
+    }
+
+    /// Display name of an item.
+    pub fn item_name(&self, item: ItemId) -> &str {
+        &self.item_names[item.index()]
+    }
+
+    /// Category label of an item, if any.
+    pub fn item_category(&self, item: ItemId) -> Option<&str> {
+        let idx = self.item_categories[item.index()];
+        if idx == u32::MAX {
+            None
+        } else {
+            Some(&self.item_category_labels[idx as usize])
+        }
+    }
+
+    /// All item-category labels.
+    pub fn item_category_labels(&self) -> &[String] {
+        &self.item_category_labels
+    }
+
+    /// Value of `attr` for `user`.
+    pub fn value(&self, user: UserId, attr: AttrId) -> ValueId {
+        self.columns[attr.index()][user.index()]
+    }
+
+    /// The full column of `attr` (one entry per user).
+    pub fn column(&self, attr: AttrId) -> &[ValueId] {
+        &self.columns[attr.index()]
+    }
+
+    /// Iterate over a user's actions.
+    pub fn user_actions(&self, user: UserId) -> impl Iterator<Item = &Action> + '_ {
+        let lo = self.user_offsets[user.index()] as usize;
+        let hi = self.user_offsets[user.index() + 1] as usize;
+        self.actions_by_user[lo..hi]
+            .iter()
+            .map(move |&i| &self.actions[i as usize])
+    }
+
+    /// Number of actions by `user`.
+    pub fn user_activity(&self, user: UserId) -> usize {
+        (self.user_offsets[user.index() + 1] - self.user_offsets[user.index()]) as usize
+    }
+
+    /// Iterate over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> {
+        (0..self.user_names.len() as u32).map(UserId::new)
+    }
+
+    /// Human-readable `attr=value` description for a user's demographics.
+    pub fn describe_user(&self, user: UserId) -> String {
+        let mut parts = Vec::with_capacity(self.schema.len());
+        for (attr, def) in self.schema.iter() {
+            let v = self.value(user, attr);
+            if !v.is_missing() {
+                parts.push(format!("{}={}", def.name, self.schema.value_label(attr, v)));
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+/// Builder for [`UserData`]. Users, items and actions may be added in any
+/// interleaving; `build` finalizes the CSR action index.
+#[derive(Debug, Default)]
+pub struct UserDataBuilder {
+    schema: Schema,
+    user_names: Vec<String>,
+    user_by_name: HashMap<String, UserId>,
+    columns: Vec<Vec<ValueId>>,
+    item_names: Vec<String>,
+    item_by_name: HashMap<String, ItemId>,
+    item_categories: Vec<u32>,
+    item_category_labels: Vec<String>,
+    item_category_ids: HashMap<String, u32>,
+    actions: Vec<Action>,
+}
+
+impl UserDataBuilder {
+    /// Start building over `schema`. The schema may still grow value
+    /// dictionaries during ingestion.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.len()).map(|_| Vec::new()).collect();
+        Self { schema, columns, ..Default::default() }
+    }
+
+    /// Access the evolving schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of users added so far.
+    pub fn n_users(&self) -> usize {
+        self.user_names.len()
+    }
+
+    /// Add (or look up) a user by name. New users start with all attributes
+    /// missing.
+    pub fn user(&mut self, name: &str) -> UserId {
+        if let Some(&u) = self.user_by_name.get(name) {
+            return u;
+        }
+        let u = UserId::new(self.user_names.len() as u32);
+        self.user_by_name.insert(name.to_string(), u);
+        self.user_names.push(name.to_string());
+        for col in &mut self.columns {
+            col.push(ValueId::MISSING);
+        }
+        u
+    }
+
+    /// Look up an existing user.
+    pub fn find_user(&self, name: &str) -> Option<UserId> {
+        self.user_by_name.get(name).copied()
+    }
+
+    /// Set a demographic from a raw string (interned/binned per the schema).
+    pub fn set_demo(&mut self, user: UserId, attr: AttrId, raw: &str) -> Result<(), DataError> {
+        let v = self.schema.intern_value(attr, raw)?;
+        self.columns[attr.index()][user.index()] = v;
+        Ok(())
+    }
+
+    /// Set a demographic to an already-interned value id.
+    pub fn set_demo_id(&mut self, user: UserId, attr: AttrId, value: ValueId) {
+        self.columns[attr.index()][user.index()] = value;
+    }
+
+    /// Set a numeric demographic (binned per the schema).
+    pub fn set_demo_numeric(&mut self, user: UserId, attr: AttrId, x: f64) {
+        let v = self.schema.bin_numeric(attr, x);
+        self.columns[attr.index()][user.index()] = v;
+    }
+
+    /// Add (or look up) an item; `category` is recorded on first sight.
+    pub fn item(&mut self, name: &str, category: Option<&str>) -> ItemId {
+        if let Some(&i) = self.item_by_name.get(name) {
+            return i;
+        }
+        let i = ItemId::new(self.item_names.len() as u32);
+        self.item_by_name.insert(name.to_string(), i);
+        self.item_names.push(name.to_string());
+        let cat = match category {
+            None => u32::MAX,
+            Some(c) => match self.item_category_ids.get(c) {
+                Some(&id) => id,
+                None => {
+                    let id = self.item_category_labels.len() as u32;
+                    self.item_category_ids.insert(c.to_string(), id);
+                    self.item_category_labels.push(c.to_string());
+                    id
+                }
+            },
+        };
+        self.item_categories.push(cat);
+        i
+    }
+
+    /// Record one `[user, item, value]` action.
+    pub fn action(&mut self, user: UserId, item: ItemId, value: f32) {
+        self.actions.push(Action { user, item, value });
+    }
+
+    /// Derive a new attribute whose per-user value is computed by `f` from
+    /// the user's actions (e.g. "favorite genre", "activity level"). The
+    /// attribute must already exist in the schema; `f` returns a raw string
+    /// to intern (empty string = missing).
+    pub fn derive_attribute<F>(&mut self, attr: AttrId, mut f: F) -> Result<(), DataError>
+    where
+        F: FnMut(UserId, &[Action]) -> String,
+    {
+        // Group actions per user (transiently) so `f` sees a slice.
+        let mut per_user: Vec<Vec<Action>> = vec![Vec::new(); self.user_names.len()];
+        for a in &self.actions {
+            per_user[a.user.index()].push(*a);
+        }
+        for (u, acts) in per_user.iter().enumerate() {
+            let user = UserId::new(u as u32);
+            let raw = f(user, acts);
+            let v = self.schema.intern_value(attr, &raw)?;
+            self.columns[attr.index()][user.index()] = v;
+        }
+        Ok(())
+    }
+
+    /// Finalize into an immutable [`UserData`].
+    pub fn build(self) -> UserData {
+        let n = self.user_names.len();
+        let mut counts = vec![0u32; n + 1];
+        for a in &self.actions {
+            counts[a.user.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let user_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut actions_by_user = vec![0u32; self.actions.len()];
+        for (i, a) in self.actions.iter().enumerate() {
+            let slot = cursor[a.user.index()];
+            actions_by_user[slot as usize] = i as u32;
+            cursor[a.user.index()] += 1;
+        }
+        UserData {
+            schema: self.schema,
+            user_names: self.user_names,
+            columns: self.columns,
+            item_names: self.item_names,
+            item_categories: self.item_categories,
+            item_category_labels: self.item_category_labels,
+            actions: self.actions,
+            user_offsets,
+            actions_by_user,
+        }
+    }
+}
+
+/// Dense vocabulary of `(attribute, value)` tokens.
+///
+/// The paper's inverted-index and mining layers treat every demographic
+/// value a user carries as an "item" in a transaction; the vocabulary is the
+/// bijection between those pairs and dense token ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    token_of: HashMap<(AttrId, ValueId), TokenId>,
+    pairs: Vec<(AttrId, ValueId)>,
+}
+
+impl Vocabulary {
+    /// Build the vocabulary over every `(attr, value)` pair that actually
+    /// occurs in `data` (missing values excluded). Token ids are assigned in
+    /// `(attr, value)` order, so they are deterministic for a given dataset.
+    pub fn build(data: &UserData) -> Self {
+        let mut pairs: Vec<(AttrId, ValueId)> = Vec::new();
+        for (attr, _) in data.schema().iter() {
+            let mut seen = vec![false; data.schema().cardinality(attr)];
+            for &v in data.column(attr) {
+                if !v.is_missing() {
+                    seen[v.index()] = true;
+                }
+            }
+            for (i, s) in seen.iter().enumerate() {
+                if *s {
+                    pairs.push((attr, ValueId::new(i as u32)));
+                }
+            }
+        }
+        let token_of = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, TokenId::new(i as u32)))
+            .collect();
+        Self { token_of, pairs }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Token for an `(attr, value)` pair, if it occurs in the data.
+    pub fn token(&self, attr: AttrId, value: ValueId) -> Option<TokenId> {
+        self.token_of.get(&(attr, value)).copied()
+    }
+
+    /// The `(attr, value)` pair behind a token.
+    pub fn pair(&self, token: TokenId) -> (AttrId, ValueId) {
+        self.pairs[token.index()]
+    }
+
+    /// Human-readable `attr=value` label of a token.
+    pub fn label(&self, token: TokenId, schema: &Schema) -> String {
+        let (a, v) = self.pair(token);
+        format!("{}={}", schema.attr_name(a), schema.value_label(a, v))
+    }
+
+    /// The sorted token set ("transaction") of one user.
+    pub fn user_tokens(&self, data: &UserData, user: UserId) -> Vec<TokenId> {
+        let mut out = Vec::with_capacity(data.schema().len());
+        for (attr, _) in data.schema().iter() {
+            let v = data.value(user, attr);
+            if !v.is_missing() {
+                if let Some(t) = self.token(attr, v) {
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All users' transactions, indexable by `UserId`.
+    pub fn all_transactions(&self, data: &UserData) -> Vec<Vec<TokenId>> {
+        data.users().map(|u| self.user_tokens(data, u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> UserData {
+        let mut s = Schema::new();
+        let gender = s.add_categorical("gender");
+        let age = s.add_numeric_labeled("age", &[30.0], &["young", "old"]);
+        let mut b = UserDataBuilder::new(s);
+        let mary = b.user("mary");
+        let bob = b.user("bob");
+        b.set_demo(mary, gender, "female").unwrap();
+        b.set_demo(bob, gender, "male").unwrap();
+        b.set_demo_numeric(mary, age, 25.0);
+        b.set_demo_numeric(bob, age, 45.0);
+        let book = b.item("Mr Miracle", Some("fiction"));
+        let other = b.item("Dune", Some("scifi"));
+        b.action(mary, book, 4.0);
+        b.action(bob, book, 2.0);
+        b.action(mary, other, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_round_trips_demographics() {
+        let d = small();
+        let gender = d.schema().attr("gender").unwrap();
+        let mary = UserId::new(0);
+        assert_eq!(d.schema().value_label(gender, d.value(mary, gender)), "female");
+        assert_eq!(d.describe_user(mary), "gender=female, age=young");
+    }
+
+    #[test]
+    fn csr_action_index_is_correct() {
+        let d = small();
+        let mary = UserId::new(0);
+        let bob = UserId::new(1);
+        let mary_actions: Vec<_> = d.user_actions(mary).collect();
+        assert_eq!(mary_actions.len(), 2);
+        assert!(mary_actions.iter().all(|a| a.user == mary));
+        assert_eq!(d.user_activity(bob), 1);
+        assert_eq!(d.n_actions(), 3);
+    }
+
+    #[test]
+    fn items_and_categories() {
+        let d = small();
+        assert_eq!(d.n_items(), 2);
+        assert_eq!(d.item_name(ItemId::new(0)), "Mr Miracle");
+        assert_eq!(d.item_category(ItemId::new(0)), Some("fiction"));
+        assert_eq!(d.item_category_labels(), &["fiction", "scifi"]);
+    }
+
+    #[test]
+    fn duplicate_user_and_item_names_dedupe() {
+        let mut b = UserDataBuilder::new(Schema::new());
+        let a = b.user("x");
+        let a2 = b.user("x");
+        assert_eq!(a, a2);
+        let i = b.item("y", None);
+        let i2 = b.item("y", Some("ignored-on-second-sight"));
+        assert_eq!(i, i2);
+        let d = b.build();
+        assert_eq!(d.n_users(), 1);
+        assert_eq!(d.item_category(i), None);
+    }
+
+    #[test]
+    fn vocabulary_is_bijective_and_deterministic() {
+        let d = small();
+        let v = Vocabulary::build(&d);
+        // gender has 2 values, age has 2 used bins.
+        assert_eq!(v.len(), 4);
+        for t in 0..v.len() as u32 {
+            let tok = TokenId::new(t);
+            let (a, val) = v.pair(tok);
+            assert_eq!(v.token(a, val), Some(tok));
+        }
+        let v2 = Vocabulary::build(&d);
+        assert_eq!(v.len(), v2.len());
+        for t in 0..v.len() as u32 {
+            assert_eq!(v.pair(TokenId::new(t)), v2.pair(TokenId::new(t)));
+        }
+    }
+
+    #[test]
+    fn user_tokens_are_sorted_and_complete() {
+        let d = small();
+        let v = Vocabulary::build(&d);
+        for u in d.users() {
+            let toks = v.user_tokens(&d, u);
+            assert_eq!(toks.len(), 2); // gender + age, none missing
+            assert!(toks.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn missing_values_are_skipped_in_tokens() {
+        let mut s = Schema::new();
+        let g = s.add_categorical("gender");
+        let mut b = UserDataBuilder::new(s);
+        let u = b.user("anon");
+        let known = b.user("known");
+        b.set_demo(known, g, "female").unwrap();
+        let d = b.build();
+        let v = Vocabulary::build(&d);
+        assert!(v.user_tokens(&d, u).is_empty());
+        assert_eq!(v.user_tokens(&d, known).len(), 1);
+    }
+
+    #[test]
+    fn derive_attribute_from_actions() {
+        let mut s = Schema::new();
+        let _g = s.add_categorical("gender");
+        let act = s.add_categorical("activity");
+        let mut b = UserDataBuilder::new(s);
+        let u1 = b.user("reader");
+        let u0 = b.user("lurker");
+        let i = b.item("book", None);
+        b.action(u1, i, 5.0);
+        b.action(u1, i, 4.0);
+        b.derive_attribute(act, |_, acts| {
+            if acts.len() >= 2 { "active".into() } else { "inactive".into() }
+        })
+        .unwrap();
+        let d = b.build();
+        assert_eq!(
+            d.schema().value_label(act, d.value(u1, act)),
+            "active"
+        );
+        assert_eq!(
+            d.schema().value_label(act, d.value(u0, act)),
+            "inactive"
+        );
+    }
+
+    #[test]
+    fn describe_user_skips_missing_values() {
+        let mut s = Schema::new();
+        let g = s.add_categorical("gender");
+        let _c = s.add_categorical("city");
+        let mut b = UserDataBuilder::new(s);
+        let u = b.user("half-known");
+        b.set_demo(u, g, "female").unwrap();
+        let d = b.build();
+        assert_eq!(d.describe_user(u), "gender=female");
+    }
+
+    #[test]
+    fn user_with_no_actions_iterates_empty() {
+        let mut b = UserDataBuilder::new(Schema::new());
+        let idle = b.user("idle");
+        let busy = b.user("busy");
+        let i = b.item("x", None);
+        b.action(busy, i, 1.0);
+        let d = b.build();
+        assert_eq!(d.user_actions(idle).count(), 0);
+        assert_eq!(d.user_activity(idle), 0);
+        assert_eq!(d.user_actions(busy).count(), 1);
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let d = UserDataBuilder::new(Schema::new()).build();
+        assert_eq!(d.n_users(), 0);
+        assert_eq!(d.n_actions(), 0);
+        assert!(Vocabulary::build(&d).is_empty());
+    }
+}

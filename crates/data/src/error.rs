@@ -1,0 +1,74 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors raised while parsing, cleaning or assembling user data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A CSV record was structurally malformed.
+    Csv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A record referenced an attribute not present in the schema.
+    UnknownAttribute(String),
+    /// A record referenced a user outside the dataset.
+    UnknownUser(String),
+    /// A value could not be coerced to the attribute's kind.
+    BadValue {
+        /// Attribute whose parse failed.
+        attribute: String,
+        /// The raw offending value.
+        value: String,
+    },
+    /// The dataset under construction is internally inconsistent.
+    Inconsistent(String),
+    /// An I/O error, stringified (kept `Clone`/`Eq` for test ergonomics).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            DataError::UnknownUser(u) => write!(f, "unknown user: {u}"),
+            DataError::BadValue { attribute, value } => {
+                write!(f, "bad value {value:?} for attribute {attribute:?}")
+            }
+            DataError::Inconsistent(m) => write!(f, "inconsistent dataset: {m}"),
+            DataError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = DataError::Csv { line: 3, message: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("unterminated quote"));
+        let e = DataError::BadValue { attribute: "age".into(), value: "abc".into() };
+        assert!(e.to_string().contains("age"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers used across the VEXUS stack.
+//!
+//! All identifiers are dense indices (`u32`/`u16`) into columnar storage,
+//! kept small deliberately: the group space is exponential in the number of
+//! attribute/value combinations (the paper notes that 4 attributes with 5
+//! values each already yield on the order of 10^6 groups), so compact ids
+//! keep group member sets and inverted indexes cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[repr(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// The raw index widened to `usize` for direct slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Dense index of a user within a [`crate::dataset::UserData`].
+    UserId,
+    u32
+);
+dense_id!(
+    /// Dense index of an item (book, movie, paper, product, …).
+    ItemId,
+    u32
+);
+dense_id!(
+    /// Dense index of a demographic attribute within a [`crate::schema::Schema`].
+    AttrId,
+    u16
+);
+dense_id!(
+    /// Dense index of a categorical value *within one attribute's dictionary*.
+    ValueId,
+    u32
+);
+dense_id!(
+    /// Global token id for an `(attribute, value)` pair, assigned by the
+    /// [`crate::dataset::Vocabulary`]. Tokens are the "items" fed to the
+    /// frequent-itemset miners in `vexus-mining`.
+    TokenId,
+    u32
+);
+
+impl ValueId {
+    /// Sentinel for a missing/unknown categorical value.
+    pub const MISSING: ValueId = ValueId(u32::MAX);
+
+    /// Whether this value is the missing sentinel.
+    #[inline]
+    pub const fn is_missing(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw() {
+        assert_eq!(UserId::new(42).raw(), 42);
+        assert_eq!(AttrId::new(7).index(), 7);
+        assert_eq!(usize::from(TokenId::new(9)), 9);
+        let v: ValueId = 3u32.into();
+        assert_eq!(v, ValueId(3));
+    }
+
+    #[test]
+    fn missing_sentinel() {
+        assert!(ValueId::MISSING.is_missing());
+        assert!(!ValueId::new(0).is_missing());
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(UserId::new(1) < UserId::new(2));
+        assert!(TokenId::new(0) < TokenId::new(u32::MAX));
+    }
+
+    #[test]
+    fn display_contains_raw() {
+        assert_eq!(UserId::new(5).to_string(), "UserId(5)");
+        assert_eq!(ItemId::new(0).to_string(), "ItemId(0)");
+    }
+}

@@ -1,0 +1,38 @@
+//! # vexus-data
+//!
+//! User-data substrate for VEXUS (*Exploration of User Groups in VEXUS*,
+//! ICDE 2018). The paper models user data as a combination of
+//! **demographics** (age, gender, occupation, …) and **actions** under the
+//! generic schema `[user, item, value]` (e.g. `[Mary, "Mr Miracle", 4]`
+//! meaning Mary rated the book "Mr Miracle" with score 4).
+//!
+//! This crate provides everything the VEXUS pre-processing stage (Fig. 1 of
+//! the paper) needs before group discovery:
+//!
+//! * [`schema`] — typed attribute schema with categorical dictionaries and
+//!   numeric binning,
+//! * [`dataset`] — columnar [`dataset::UserData`] storage plus the token
+//!   vocabulary used by the mining layer,
+//! * [`csv`] — a dependency-free RFC-4180-ish CSV reader/writer,
+//! * [`etl`] — the cleaning pipeline (trimming, null normalization,
+//!   deduplication, clamping) that precedes import,
+//! * [`stream`] — bounded action streams for the stream-mining path,
+//! * [`zipf`] — seeded Zipf/power-law samplers used by the generators,
+//! * [`synthetic`] — seeded generators standing in for the paper's
+//!   BOOKCROSSING and DB-AUTHORS datasets (see DESIGN.md §1 for the
+//!   substitution rationale).
+
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod etl;
+pub mod ids;
+pub mod schema;
+pub mod stream;
+pub mod synthetic;
+pub mod zipf;
+
+pub use dataset::{Action, UserData, UserDataBuilder, Vocabulary};
+pub use error::DataError;
+pub use ids::{AttrId, ItemId, TokenId, UserId, ValueId};
+pub use schema::{AttributeDef, AttributeKind, Schema};

@@ -1,0 +1,248 @@
+//! Action streams: the second intake path of Fig. 1 ("as a data stream").
+//!
+//! A stream delivers [`Action`]s in batches. Three sources are provided:
+//!
+//! * [`ReplayStream`] — replays a finished dataset's action log (used by
+//!   the stream-mining benchmarks so batch content is reproducible),
+//! * [`ChannelStream`] — a bounded crossbeam channel for live producers
+//!   running on other threads,
+//! * [`codec`] — a length-free fixed-width binary frame codec
+//!   (`user:u32 item:u32 value:f32`, little-endian) for wire ingestion.
+
+use crate::dataset::{Action, UserData};
+use crate::ids::{ItemId, UserId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+
+/// A pull-based source of action batches.
+pub trait ActionStream {
+    /// Pull up to `max` actions into `out`. Returns the number delivered;
+    /// `0` means the stream is exhausted (for finite sources) or currently
+    /// dry (for live sources — check [`ActionStream::is_live`]).
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Action>) -> usize;
+
+    /// Whether the source may still deliver actions in the future even
+    /// after returning an empty batch.
+    fn is_live(&self) -> bool {
+        false
+    }
+}
+
+/// Replays a dataset's action log in insertion order.
+#[derive(Debug, Clone)]
+pub struct ReplayStream<'a> {
+    actions: &'a [Action],
+    pos: usize,
+}
+
+impl<'a> ReplayStream<'a> {
+    /// Stream over all actions of `data`.
+    pub fn new(data: &'a UserData) -> Self {
+        Self { actions: data.actions(), pos: 0 }
+    }
+
+    /// Remaining undelivered actions.
+    pub fn remaining(&self) -> usize {
+        self.actions.len() - self.pos
+    }
+}
+
+impl ActionStream for ReplayStream<'_> {
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Action>) -> usize {
+        let n = max.min(self.remaining());
+        out.extend_from_slice(&self.actions[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
+}
+
+/// Live stream backed by a bounded channel. Producers hold a
+/// [`StreamProducer`]; dropping every producer ends the stream.
+pub struct ChannelStream {
+    rx: Receiver<Action>,
+    closed: bool,
+}
+
+/// Sending half of a [`ChannelStream`].
+#[derive(Clone)]
+pub struct StreamProducer {
+    tx: Sender<Action>,
+}
+
+impl StreamProducer {
+    /// Send one action, blocking if the channel is full.
+    ///
+    /// Returns `false` if the consumer is gone.
+    pub fn send(&self, action: Action) -> bool {
+        self.tx.send(action).is_ok()
+    }
+}
+
+impl ChannelStream {
+    /// Create a stream with the given channel capacity.
+    pub fn with_capacity(capacity: usize) -> (StreamProducer, Self) {
+        let (tx, rx) = bounded(capacity);
+        (StreamProducer { tx }, Self { rx, closed: false })
+    }
+}
+
+impl ActionStream for ChannelStream {
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Action>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.rx.try_recv() {
+                Ok(a) => {
+                    out.push(a);
+                    n += 1;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        n
+    }
+
+    fn is_live(&self) -> bool {
+        !self.closed
+    }
+}
+
+/// Fixed-width binary frame codec for actions on the wire.
+pub mod codec {
+    use super::*;
+
+    /// Bytes per encoded action.
+    pub const FRAME_LEN: usize = 12;
+
+    /// Encode a slice of actions into a fresh buffer.
+    pub fn encode(actions: &[Action]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(actions.len() * FRAME_LEN);
+        for a in actions {
+            buf.put_u32_le(a.user.raw());
+            buf.put_u32_le(a.item.raw());
+            buf.put_f32_le(a.value);
+        }
+        buf.freeze()
+    }
+
+    /// Decode as many whole frames as `buf` contains, consuming them.
+    /// Trailing partial frames are left in the buffer for the next call.
+    pub fn decode(buf: &mut BytesMut, out: &mut Vec<Action>) -> usize {
+        let mut n = 0;
+        while buf.len() >= FRAME_LEN {
+            let user = UserId::new(buf.get_u32_le());
+            let item = ItemId::new(buf.get_u32_le());
+            let value = buf.get_f32_le();
+            out.push(Action { user, item, value });
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::UserDataBuilder;
+    use crate::schema::Schema;
+
+    fn sample_data(n_actions: usize) -> UserData {
+        let mut b = UserDataBuilder::new(Schema::new());
+        let u = b.user("u");
+        let i = b.item("i", None);
+        for k in 0..n_actions {
+            b.action(u, i, k as f32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn replay_delivers_everything_in_order() {
+        let d = sample_data(10);
+        let mut s = ReplayStream::new(&d);
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(4, &mut out), 4);
+        assert_eq!(s.next_batch(4, &mut out), 4);
+        assert_eq!(s.next_batch(4, &mut out), 2);
+        assert_eq!(s.next_batch(4, &mut out), 0);
+        assert!(!s.is_live());
+        assert_eq!(out.len(), 10);
+        for (k, a) in out.iter().enumerate() {
+            assert_eq!(a.value, k as f32);
+        }
+    }
+
+    #[test]
+    fn channel_stream_live_then_closed() {
+        let (tx, mut stream) = ChannelStream::with_capacity(8);
+        let u = UserId::new(0);
+        let i = ItemId::new(0);
+        assert!(tx.send(Action { user: u, item: i, value: 1.0 }));
+        assert!(tx.send(Action { user: u, item: i, value: 2.0 }));
+        let mut out = Vec::new();
+        assert_eq!(stream.next_batch(10, &mut out), 2);
+        assert!(stream.is_live());
+        drop(tx);
+        assert_eq!(stream.next_batch(10, &mut out), 0);
+        assert!(!stream.is_live());
+    }
+
+    #[test]
+    fn channel_stream_across_threads() {
+        let (tx, mut stream) = ChannelStream::with_capacity(4);
+        let handle = std::thread::spawn(move || {
+            for k in 0..100 {
+                tx.send(Action {
+                    user: UserId::new(k),
+                    item: ItemId::new(0),
+                    value: k as f32,
+                });
+            }
+        });
+        let mut out = Vec::new();
+        while stream.is_live() || !matches!(stream.next_batch(16, &mut out), 0) {
+            stream.next_batch(16, &mut out);
+            if out.len() >= 100 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        handle.join().unwrap();
+        stream.next_batch(usize::MAX, &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let actions = vec![
+            Action { user: UserId::new(1), item: ItemId::new(2), value: 3.5 },
+            Action { user: UserId::new(u32::MAX), item: ItemId::new(0), value: -1.0 },
+        ];
+        let encoded = codec::encode(&actions);
+        assert_eq!(encoded.len(), 2 * codec::FRAME_LEN);
+        let mut buf = BytesMut::from(&encoded[..]);
+        let mut out = Vec::new();
+        assert_eq!(codec::decode(&mut buf, &mut out), 2);
+        assert_eq!(out, actions);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn codec_keeps_partial_frames() {
+        let actions = vec![Action { user: UserId::new(7), item: ItemId::new(8), value: 9.0 }];
+        let encoded = codec::encode(&actions);
+        let mut buf = BytesMut::new();
+        let mut out = Vec::new();
+        // Feed all but the last byte: nothing decodes.
+        buf.extend_from_slice(&encoded[..codec::FRAME_LEN - 1]);
+        assert_eq!(codec::decode(&mut buf, &mut out), 0);
+        assert_eq!(buf.len(), codec::FRAME_LEN - 1);
+        // Feed the final byte: one frame decodes.
+        buf.extend_from_slice(&encoded[codec::FRAME_LEN - 1..]);
+        assert_eq!(codec::decode(&mut buf, &mut out), 1);
+        assert_eq!(out[0], actions[0]);
+    }
+}

@@ -1,0 +1,432 @@
+//! Per-group inverted neighbor index.
+//!
+//! For each group `g` the index holds the other groups ordered by
+//! decreasing Jaccard similarity of member sets. Only the top
+//! `materialize_fraction` of each list is stored (the paper uses 10 %);
+//! queries beyond the materialized prefix fall back to an exact on-demand
+//! scan, so results are correct at any fraction — the fraction trades
+//! memory and build time against fallback frequency, which is exactly what
+//! experiment C3 sweeps.
+
+use crate::graph::OverlapGraph;
+use vexus_mining::{GroupId, GroupSet};
+
+/// Index construction knobs.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Fraction of each inverted list to materialize (paper: `0.10`).
+    pub materialize_fraction: f64,
+    /// Worker threads for the build (`0` = use available parallelism).
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self { materialize_fraction: 0.10, threads: 0 }
+    }
+}
+
+/// Build-time statistics (reported by experiment C3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexStats {
+    /// Number of groups indexed.
+    pub n_groups: usize,
+    /// Total materialized neighbor entries.
+    pub materialized_entries: usize,
+    /// Total overlapping candidate pairs scored during the build.
+    pub scored_pairs: usize,
+    /// Approximate heap bytes of the materialized lists.
+    pub heap_bytes: usize,
+}
+
+/// One neighbor entry: a group and its Jaccard similarity.
+pub type Neighbor = (GroupId, f32);
+
+/// The inverted similarity index over a [`GroupSet`].
+#[derive(Debug)]
+pub struct GroupIndex {
+    /// Materialized neighbor prefix per group, descending similarity.
+    lists: Vec<Vec<Neighbor>>,
+    /// Per-group count of *all* overlapping neighbors (full list length).
+    full_lengths: Vec<usize>,
+    stats: IndexStats,
+}
+
+impl GroupIndex {
+    /// Build the index over `groups`.
+    pub fn build(groups: &GroupSet, cfg: &IndexConfig) -> Self {
+        let n = groups.len();
+        let fraction = cfg.materialize_fraction.clamp(0.0, 1.0);
+
+        // member -> groups inverted map, the candidate generator.
+        let member_groups = build_member_groups(groups);
+
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            cfg.threads
+        }
+        .max(1)
+        .min(n.max(1));
+
+        let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let mut full_lengths = vec![0usize; n];
+        let scored = std::sync::atomic::AtomicUsize::new(0);
+
+        // Shard groups across threads; each worker owns a disjoint slice of
+        // the output vectors.
+        let chunk = n.div_ceil(threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            let mut remaining_lists = lists.as_mut_slice();
+            let mut remaining_lens = full_lengths.as_mut_slice();
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            while start < n {
+                let take = chunk.min(remaining_lists.len());
+                let (lists_chunk, rest_lists) = remaining_lists.split_at_mut(take);
+                let (lens_chunk, rest_lens) = remaining_lens.split_at_mut(take);
+                remaining_lists = rest_lists;
+                remaining_lens = rest_lens;
+                let member_groups = &member_groups;
+                let scored = &scored;
+                let base = start;
+                handles.push(scope.spawn(move |_| {
+                    let mut counter: Vec<u32> = vec![0; n];
+                    let mut touched: Vec<u32> = Vec::new();
+                    for (offset, (out_list, out_len)) in
+                        lists_chunk.iter_mut().zip(lens_chunk.iter_mut()).enumerate()
+                    {
+                        let gid = GroupId::new((base + offset) as u32);
+                        let scored_here = score_group(
+                            groups,
+                            member_groups,
+                            gid,
+                            fraction,
+                            &mut counter,
+                            &mut touched,
+                            out_list,
+                            out_len,
+                        );
+                        scored.fetch_add(scored_here, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }));
+                start += take;
+            }
+            for h in handles {
+                h.join().expect("index build worker panicked");
+            }
+        })
+        .expect("index build scope");
+
+        let materialized_entries: usize = lists.iter().map(Vec::len).sum();
+        let heap_bytes: usize = lists
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<Neighbor>())
+            .sum();
+        let stats = IndexStats {
+            n_groups: n,
+            materialized_entries,
+            scored_pairs: scored.into_inner(),
+            heap_bytes,
+        };
+        Self { lists, full_lengths, stats }
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Number of indexed groups.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The materialized neighbor prefix of `g` (descending similarity).
+    pub fn materialized(&self, g: GroupId) -> &[Neighbor] {
+        &self.lists[g.index()]
+    }
+
+    /// Number of *overlapping* neighbors `g` has in total (materialized or
+    /// not).
+    pub fn full_neighbor_count(&self, g: GroupId) -> usize {
+        self.full_lengths[g.index()]
+    }
+
+    /// Top-`k` neighbors of `g`, exact. Served from the materialized prefix
+    /// in O(k) when it suffices; falls back to an on-demand exact scan of
+    /// overlapping groups otherwise.
+    pub fn neighbors(&self, groups: &GroupSet, g: GroupId, k: usize) -> Vec<Neighbor> {
+        let list = &self.lists[g.index()];
+        if k <= list.len() || list.len() == self.full_lengths[g.index()] {
+            return list[..k.min(list.len())].to_vec();
+        }
+        // Fallback: exact recomputation (the price of materializing less).
+        let mut full = compute_all_neighbors(groups, g);
+        full.truncate(k);
+        full
+    }
+
+    /// Whether serving `k` neighbors of `g` would need the exact fallback.
+    pub fn needs_fallback(&self, g: GroupId, k: usize) -> bool {
+        let list = &self.lists[g.index()];
+        k > list.len() && list.len() < self.full_lengths[g.index()]
+    }
+
+    /// Exact Jaccard similarity between two groups (computed on demand).
+    pub fn similarity(groups: &GroupSet, a: GroupId, b: GroupId) -> f64 {
+        groups.get(a).members.jaccard(&groups.get(b).members)
+    }
+}
+
+/// member -> sorted group ids containing that member.
+fn build_member_groups(groups: &GroupSet) -> Vec<Vec<u32>> {
+    let n_users = groups
+        .iter()
+        .flat_map(|(_, g)| g.members.iter().last())
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+    let mut map: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+    for (gid, g) in groups.iter() {
+        for u in g.members.iter() {
+            map[u as usize].push(gid.0);
+        }
+    }
+    map
+}
+
+/// Score every group overlapping `gid` and materialize the top fraction.
+/// Returns the number of pairs scored.
+#[allow(clippy::too_many_arguments)]
+fn score_group(
+    groups: &GroupSet,
+    member_groups: &[Vec<u32>],
+    gid: GroupId,
+    fraction: f64,
+    counter: &mut [u32],
+    touched: &mut Vec<u32>,
+    out_list: &mut Vec<Neighbor>,
+    out_len: &mut usize,
+) -> usize {
+    let g = groups.get(gid);
+    // Intersection counting via the member->groups map.
+    for u in g.members.iter() {
+        for &h in &member_groups[u as usize] {
+            if h != gid.0 {
+                if counter[h as usize] == 0 {
+                    touched.push(h);
+                }
+                counter[h as usize] += 1;
+            }
+        }
+    }
+    let scored = touched.len();
+    *out_len = scored;
+    let keep = ((fraction * scored as f64).ceil() as usize).min(scored);
+    let mut neighbors: Vec<Neighbor> = Vec::with_capacity(scored);
+    for &h in touched.iter() {
+        let inter = counter[h as usize] as usize;
+        counter[h as usize] = 0;
+        let other = groups.get(GroupId::new(h));
+        let union = g.size() + other.size() - inter;
+        let sim = inter as f32 / union as f32;
+        neighbors.push((GroupId::new(h), sim));
+    }
+    touched.clear();
+    // Partial selection: only the kept prefix needs full ordering.
+    if keep > 0 && keep < neighbors.len() {
+        neighbors.select_nth_unstable_by(keep - 1, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite similarity")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        neighbors.truncate(keep);
+    }
+    neighbors.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite similarity")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    neighbors.truncate(keep);
+    neighbors.shrink_to_fit();
+    *out_list = neighbors;
+    scored
+}
+
+/// Exact full neighbor list of `g` (descending similarity).
+pub fn compute_all_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
+    let me = groups.get(g);
+    let mut out: Vec<Neighbor> = groups
+        .iter()
+        .filter(|(h, _)| *h != g)
+        .filter_map(|(h, other)| {
+            let inter = me.members.intersection_size(&other.members);
+            if inter == 0 {
+                return None;
+            }
+            let union = me.size() + other.size() - inter;
+            Some((h, inter as f32 / union as f32))
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite similarity")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+/// Build the overlap graph from a group set (edges between any two groups
+/// sharing a member). Exposed here because it reuses the member→groups map.
+pub fn build_overlap_graph(groups: &GroupSet) -> OverlapGraph {
+    let member_groups = build_member_groups(groups);
+    OverlapGraph::from_member_groups(groups.len(), &member_groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexus_mining::{Group, MemberSet};
+
+    fn groups_fixture() -> GroupSet {
+        let mut gs = GroupSet::new();
+        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![0, 1, 2, 3])));
+        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![2, 3, 4, 5])));
+        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![3, 4, 5, 6])));
+        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![100, 101])));
+        gs
+    }
+
+    #[test]
+    fn full_materialization_matches_exact() {
+        let gs = groups_fixture();
+        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        for (gid, _) in gs.iter() {
+            let got = idx.materialized(gid).to_vec();
+            let expect = compute_all_neighbors(&gs, gid);
+            assert_eq!(got, expect, "mismatch for {gid}");
+            assert_eq!(idx.full_neighbor_count(gid), expect.len());
+        }
+    }
+
+    #[test]
+    fn disjoint_groups_have_no_neighbors() {
+        let gs = groups_fixture();
+        let idx = GroupIndex::build(&gs, &IndexConfig::default());
+        let lonely = GroupId::new(3);
+        assert!(idx.materialized(lonely).is_empty());
+        assert_eq!(idx.full_neighbor_count(lonely), 0);
+        assert!(idx.neighbors(&gs, lonely, 5).is_empty());
+    }
+
+    #[test]
+    fn similarities_are_exact_jaccard() {
+        let gs = groups_fixture();
+        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        // g0 = {0,1,2,3}, g1 = {2,3,4,5}: inter 2, union 6.
+        let n0 = idx.materialized(GroupId::new(0));
+        let to_g1 = n0.iter().find(|(h, _)| *h == GroupId::new(1)).expect("neighbor exists");
+        assert!((to_g1.1 - 2.0 / 6.0).abs() < 1e-6);
+        assert!(
+            (GroupIndex::similarity(&gs, GroupId::new(0), GroupId::new(1)) - 2.0 / 6.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn lists_are_sorted_descending() {
+        let gs = groups_fixture();
+        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        for (gid, _) in gs.iter() {
+            let l = idx.materialized(gid);
+            assert!(l.windows(2).all(|w| w[0].1 >= w[1].1), "unsorted list for {gid}");
+        }
+    }
+
+    #[test]
+    fn partial_materialization_keeps_top_fraction() {
+        let gs = groups_fixture();
+        // fraction 0.5 of 2 neighbors -> ceil(1) = 1 entry for g0.
+        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.5, threads: 1 });
+        let g0 = GroupId::new(0);
+        assert_eq!(idx.full_neighbor_count(g0), 2);
+        assert_eq!(idx.materialized(g0).len(), 1);
+        // The kept entry is the most similar one.
+        let exact = compute_all_neighbors(&gs, g0);
+        assert_eq!(idx.materialized(g0)[0], exact[0]);
+        // Queries beyond the prefix fall back to exact.
+        assert!(idx.needs_fallback(g0, 2));
+        assert_eq!(idx.neighbors(&gs, g0, 2), exact);
+    }
+
+    #[test]
+    fn zero_fraction_always_falls_back_yet_stays_exact() {
+        let gs = groups_fixture();
+        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.0, threads: 1 });
+        let g1 = GroupId::new(1);
+        // ceil(0 * n) = 0 entries materialized...
+        assert!(idx.materialized(g1).is_empty());
+        // ...but queries are still exact via fallback.
+        assert_eq!(idx.neighbors(&gs, g1, 3), compute_all_neighbors(&gs, g1));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let ds = vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let vocab = vexus_data::Vocabulary::build(&ds.data);
+        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
+        let gs = vexus_mining::mine_closed_groups(
+            &db,
+            &vexus_mining::LcmConfig { min_support: 15, ..Default::default() },
+        );
+        assert!(gs.len() > 10);
+        let serial = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.3, threads: 1 });
+        let parallel =
+            GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.3, threads: 4 });
+        for (gid, _) in gs.iter() {
+            assert_eq!(serial.materialized(gid), parallel.materialized(gid));
+        }
+        assert_eq!(serial.stats().materialized_entries, parallel.stats().materialized_entries);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let gs = groups_fixture();
+        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        let s = idx.stats();
+        assert_eq!(s.n_groups, 4);
+        // g0<->g1, g0<->g2, g1<->g2: each scored from both sides = 6.
+        assert_eq!(s.scored_pairs, 6);
+        assert_eq!(s.materialized_entries, 6);
+        assert!(s.heap_bytes >= 6 * std::mem::size_of::<Neighbor>());
+    }
+
+    #[test]
+    fn empty_group_set() {
+        let gs = GroupSet::new();
+        let idx = GroupIndex::build(&gs, &IndexConfig::default());
+        assert!(idx.is_empty());
+        assert_eq!(idx.stats().n_groups, 0);
+    }
+
+    #[test]
+    fn smaller_fraction_uses_less_memory() {
+        let ds = vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let vocab = vexus_data::Vocabulary::build(&ds.data);
+        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
+        let gs = vexus_mining::mine_closed_groups(
+            &db,
+            &vexus_mining::LcmConfig { min_support: 10, ..Default::default() },
+        );
+        let full = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 2 });
+        let tenth = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.1, threads: 2 });
+        assert!(tenth.stats().materialized_entries < full.stats().materialized_entries / 2);
+        assert!(tenth.stats().heap_bytes < full.stats().heap_bytes);
+    }
+}

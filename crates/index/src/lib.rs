@@ -1,0 +1,26 @@
+//! # vexus-index
+//!
+//! The similarity index behind VEXUS's fluid navigation. Per the paper:
+//!
+//! > "For efficient navigation in the space of groups, we build an inverted
+//! > index per group `g ∈ G` that contains all groups in `G − {g}` in
+//! > decreasing order of their similarity to `g`. We use the Jaccard
+//! > distance to compute the similarity between each pair of groups. To
+//! > reduce both time and space complexity, we only materialize 10 % of
+//! > each inverted index, which is shown in \[14\] to be adequate."
+//!
+//! * [`inverted`] — the per-group neighbor lists with configurable
+//!   materialization fraction and an exact on-demand fallback,
+//! * [`graph`] — the undirected group graph `G` (edge ⇔ groups overlap)
+//!   that exploration navigates.
+//!
+//! Index construction uses a member→groups inverted map so that only
+//! *overlapping* pairs are ever scored (non-overlapping pairs have Jaccard
+//! similarity 0 and never enter a neighbor list), and shards the work
+//! across threads with crossbeam.
+
+pub mod graph;
+pub mod inverted;
+
+pub use graph::OverlapGraph;
+pub use inverted::{GroupIndex, IndexConfig, IndexStats};

@@ -1,0 +1,429 @@
+//! Sorted member sets with fast set algebra.
+//!
+//! Group member sets are the hot data structure of the whole stack: the
+//! inverted index computes Jaccard similarities between every overlapping
+//! pair of groups, and the greedy optimizer evaluates coverage unions under
+//! a hard 100 ms budget. A sorted `Vec<u32>` with galloping intersection is
+//! compact (4 bytes/member), cache-friendly, and makes
+//! `intersection_size`/`jaccard` allocation-free.
+
+use std::fmt;
+
+/// An immutable sorted set of dense user indices.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct MemberSet {
+    sorted: Vec<u32>,
+}
+
+impl fmt::Debug for MemberSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 8 {
+            write!(f, "MemberSet{:?}", self.sorted)
+        } else {
+            write!(f, "MemberSet[{} members]", self.len())
+        }
+    }
+}
+
+impl MemberSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from an already strictly-sorted vector.
+    ///
+    /// # Panics
+    /// Debug-asserts strict ascending order.
+    pub fn from_sorted(sorted: Vec<u32>) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "must be strictly sorted");
+        Self { sorted }
+    }
+
+    /// Build from arbitrary input: sorts and dedupes.
+    pub fn from_unsorted(mut v: Vec<u32>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        Self { sorted: v }
+    }
+
+    /// The full universe `0..n`.
+    pub fn universe(n: u32) -> Self {
+        Self { sorted: (0..n).collect() }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, x: u32) -> bool {
+        self.sorted.binary_search(&x).is_ok()
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sorted.iter().copied()
+    }
+
+    /// The members as a sorted slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.sorted
+    }
+
+    /// `|self ∩ other|` without allocating.
+    ///
+    /// Uses merge-scan for similar sizes and galloping (exponential search)
+    /// when one side is much smaller — the common case when comparing a
+    /// small group against a large one.
+    pub fn intersection_size(&self, other: &MemberSet) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (&self.sorted, &other.sorted)
+        } else {
+            (&other.sorted, &self.sorted)
+        };
+        if small.is_empty() || large.is_empty() {
+            return 0;
+        }
+        // Galloping pays off when the size ratio is large.
+        if large.len() / small.len().max(1) >= 16 {
+            let mut count = 0;
+            let mut lo = 0usize;
+            for &x in small {
+                if lo >= large.len() {
+                    break;
+                }
+                // Exponential search from `lo` for a window containing x.
+                let mut bound = 1usize;
+                while lo + bound < large.len() && large[lo + bound] < x {
+                    bound *= 2;
+                }
+                let hi = (lo + bound + 1).min(large.len());
+                match large[lo..hi].binary_search(&x) {
+                    Ok(i) => {
+                        count += 1;
+                        lo += i + 1;
+                    }
+                    Err(i) => lo += i,
+                }
+            }
+            count
+        } else {
+            let mut count = 0;
+            let (mut i, mut j) = (0, 0);
+            while i < small.len() && j < large.len() {
+                match small[i].cmp(&large[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            count
+        }
+    }
+
+    /// `|self ∪ other|` without allocating.
+    #[inline]
+    pub fn union_size(&self, other: &MemberSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Jaccard **similarity** `|A∩B| / |A∪B|` (1.0 for two empty sets by
+    /// convention, matching "identical").
+    pub fn jaccard(&self, other: &MemberSet) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            return 1.0;
+        }
+        self.intersection_size(other) as f64 / union as f64
+    }
+
+    /// Jaccard **distance** `1 - jaccard` — the metric the paper uses to
+    /// rank inverted-index neighbors.
+    #[inline]
+    pub fn jaccard_distance(&self, other: &MemberSet) -> f64 {
+        1.0 - self.jaccard(other)
+    }
+
+    /// Whether the two sets share at least one member (the paper's group
+    /// graph has an edge iff groups "are not disjoint").
+    pub fn overlaps(&self, other: &MemberSet) -> bool {
+        // Early-exit merge scan; ranges test first.
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        if self.sorted[self.len() - 1] < other.sorted[0]
+            || other.sorted[other.len() - 1] < self.sorted[0]
+        {
+            return false;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < other.sorted.len() {
+            match self.sorted[i].cmp(&other.sorted[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Materialized intersection.
+    pub fn intersect(&self, other: &MemberSet) -> MemberSet {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < other.sorted.len() {
+            match self.sorted[i].cmp(&other.sorted[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.sorted[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        MemberSet { sorted: out }
+    }
+
+    /// Materialized union.
+    pub fn union(&self, other: &MemberSet) -> MemberSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < other.sorted.len() {
+            match self.sorted[i].cmp(&other.sorted[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.sorted[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.sorted[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.sorted[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.sorted[i..]);
+        out.extend_from_slice(&other.sorted[j..]);
+        MemberSet { sorted: out }
+    }
+
+    /// Materialized difference `self \ other`.
+    pub fn difference(&self, other: &MemberSet) -> MemberSet {
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() {
+            if j >= other.sorted.len() {
+                out.extend_from_slice(&self.sorted[i..]);
+                break;
+            }
+            match self.sorted[i].cmp(&other.sorted[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.sorted[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        MemberSet { sorted: out }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &MemberSet) -> bool {
+        self.intersection_size(other) == self.len()
+    }
+
+    /// Count of members also present in a boolean mask (indexed by member).
+    /// Used by coverage computations against a "covered so far" mask.
+    pub fn count_in_mask(&self, mask: &[bool]) -> usize {
+        self.sorted.iter().filter(|&&x| mask.get(x as usize).copied().unwrap_or(false)).count()
+    }
+
+    /// Set the mask bit for every member; returns how many were newly set.
+    pub fn mark_mask(&self, mask: &mut [bool]) -> usize {
+        let mut newly = 0;
+        for &x in &self.sorted {
+            let slot = &mut mask[x as usize];
+            if !*slot {
+                *slot = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Heap bytes used (for the index-materialization experiment C3).
+    pub fn heap_bytes(&self) -> usize {
+        self.sorted.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl FromIterator<u32> for MemberSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn ms(v: &[u32]) -> MemberSet {
+        MemberSet::from_unsorted(v.to_vec())
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_dedupes() {
+        let s = ms(&[3, 1, 2, 3, 1]);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn basic_algebra() {
+        let a = ms(&[1, 2, 3, 5, 8]);
+        let b = ms(&[2, 3, 4, 8, 9]);
+        assert_eq!(a.intersection_size(&b), 3);
+        assert_eq!(a.union_size(&b), 7);
+        assert_eq!(a.intersect(&b).as_slice(), &[2, 3, 8]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 2, 3, 4, 5, 8, 9]);
+        assert_eq!(a.difference(&b).as_slice(), &[1, 5]);
+        assert!(a.overlaps(&b));
+        assert!((a.jaccard(&b) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let e = MemberSet::empty();
+        let a = ms(&[1]);
+        assert_eq!(e.jaccard(&e), 1.0);
+        assert_eq!(e.jaccard(&a), 0.0);
+        assert!(!e.overlaps(&a));
+        assert!(e.is_subset_of(&a));
+        assert_eq!(e.union(&a).as_slice(), &[1]);
+    }
+
+    #[test]
+    fn galloping_path_matches_merge_path() {
+        // Small set vs huge set triggers the galloping branch.
+        let small = ms(&[5, 1000, 5000, 99999, 100001]);
+        let large = MemberSet::from_sorted((0..100_000).collect());
+        assert_eq!(small.intersection_size(&large), 4); // 100001 excluded
+        assert_eq!(large.intersection_size(&small), 4);
+    }
+
+    #[test]
+    fn disjoint_ranges_short_circuit() {
+        let a = ms(&[1, 2, 3]);
+        let b = ms(&[10, 11]);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.intersection_size(&b), 0);
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn subset_and_universe() {
+        let u = MemberSet::universe(10);
+        let s = ms(&[0, 5, 9]);
+        assert!(s.is_subset_of(&u));
+        assert!(!u.is_subset_of(&s));
+        assert_eq!(u.len(), 10);
+    }
+
+    #[test]
+    fn mask_operations() {
+        let s = ms(&[1, 3, 5]);
+        let mut mask = vec![false; 6];
+        assert_eq!(s.mark_mask(&mut mask), 3);
+        assert_eq!(s.mark_mask(&mut mask), 0);
+        assert_eq!(s.count_in_mask(&mask), 3);
+        assert_eq!(ms(&[0, 1]).count_in_mask(&mask), 1);
+    }
+
+    #[test]
+    fn debug_is_compact_for_large_sets() {
+        let s = MemberSet::universe(100);
+        assert_eq!(format!("{s:?}"), "MemberSet[100 members]");
+        assert_eq!(format!("{:?}", ms(&[1, 2])), "MemberSet[1, 2]");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_btreeset(a in proptest::collection::vec(0u32..500, 0..80),
+                                 b in proptest::collection::vec(0u32..500, 0..80)) {
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let ma = MemberSet::from_unsorted(a);
+            let mb = MemberSet::from_unsorted(b);
+            prop_assert_eq!(ma.intersection_size(&mb), sa.intersection(&sb).count());
+            prop_assert_eq!(ma.union_size(&mb), sa.union(&sb).count());
+            let expect_inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+            let expect_union: Vec<u32> = sa.union(&sb).copied().collect();
+            let expect_diff: Vec<u32> = sa.difference(&sb).copied().collect();
+            let got_inter = ma.intersect(&mb);
+            let got_union = ma.union(&mb);
+            let got_diff = ma.difference(&mb);
+            prop_assert_eq!(got_inter.as_slice(), expect_inter.as_slice());
+            prop_assert_eq!(got_union.as_slice(), expect_union.as_slice());
+            prop_assert_eq!(got_diff.as_slice(), expect_diff.as_slice());
+            prop_assert_eq!(ma.overlaps(&mb), !sa.is_disjoint(&sb));
+            prop_assert_eq!(ma.is_subset_of(&mb), sa.is_subset(&sb));
+        }
+
+        #[test]
+        fn prop_jaccard_bounds_and_symmetry(
+            a in proptest::collection::vec(0u32..200, 0..60),
+            b in proptest::collection::vec(0u32..200, 0..60)
+        ) {
+            let ma = MemberSet::from_unsorted(a);
+            let mb = MemberSet::from_unsorted(b);
+            let j = ma.jaccard(&mb);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((j - mb.jaccard(&ma)).abs() < 1e-15);
+            prop_assert!((ma.jaccard(&ma) - 1.0).abs() < 1e-15);
+            // distance is the complement
+            prop_assert!((ma.jaccard_distance(&mb) - (1.0 - j)).abs() < 1e-15);
+        }
+
+        #[test]
+        fn prop_triangle_inequality_jaccard_distance(
+            a in proptest::collection::vec(0u32..60, 1..30),
+            b in proptest::collection::vec(0u32..60, 1..30),
+            c in proptest::collection::vec(0u32..60, 1..30)
+        ) {
+            // Jaccard distance is a proper metric.
+            let (ma, mb, mc) = (
+                MemberSet::from_unsorted(a),
+                MemberSet::from_unsorted(b),
+                MemberSet::from_unsorted(c),
+            );
+            let dab = ma.jaccard_distance(&mb);
+            let dbc = mb.jaccard_distance(&mc);
+            let dac = ma.jaccard_distance(&mc);
+            prop_assert!(dac <= dab + dbc + 1e-12);
+        }
+    }
+}

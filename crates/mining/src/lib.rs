@@ -1,0 +1,37 @@
+//! # vexus-mining
+//!
+//! Group discovery for VEXUS. The paper treats discovery as a pluggable
+//! offline stage: "For user datasets, different group discovery algorithms
+//! such as LCM \[16\] and α-MOMRI \[13\] can be used. In case of user data
+//! streams, STREAMMINING \[9\] and BIRCH \[18\] can be employed. For each group,
+//! its members and their common attributes will be returned."
+//!
+//! This crate implements all four from scratch:
+//!
+//! * [`lcm`] — LCM-style closed frequent itemset mining over user
+//!   demographics-as-transactions (the default discovery path),
+//! * [`momri`] — α-MOMRI-style multi-objective group discovery,
+//! * [`birch`] — BIRCH CF-tree clustering for numeric user features,
+//! * [`stream_fim`] — lossy-counting in-core frequent itemset mining over
+//!   action streams,
+//!
+//! plus the shared substrate:
+//!
+//! * [`bitmap`] — sorted-set member bitmaps with fast intersection /
+//!   Jaccard,
+//! * [`group`] — the [`group::Group`] type (members + describing tokens)
+//!   and [`group::GroupSet`] collections,
+//! * [`transactions`] — adapters from `vexus-data` datasets to token
+//!   transactions.
+
+pub mod birch;
+pub mod bitmap;
+pub mod group;
+pub mod lcm;
+pub mod momri;
+pub mod stream_fim;
+pub mod transactions;
+
+pub use bitmap::MemberSet;
+pub use group::{Group, GroupId, GroupSet};
+pub use lcm::{mine_closed_groups, LcmConfig};

@@ -1,0 +1,34 @@
+//! # vexus-stats
+//!
+//! A from-scratch **crossfilter** engine: the coordinated-views machinery
+//! behind the paper's STATS module.
+//!
+//! > "Histograms are implemented using Crossfilter charts. Crossfilter
+//! > employs the methodology of coordinated views where a brush on one
+//! > histogram updates all other statistics instantaneously. […]
+//! > Crossfilter's efficiency is ensured by employing the concept of
+//! > incremental queries which prevents redundant query executions by
+//! > sub-setting the data under the brush, on-the-fly."
+//!
+//! The design mirrors square/crossfilter:
+//!
+//! * each record carries a **filter bitmask** with one bit per dimension;
+//!   a record is *selected* when its mask is zero,
+//! * each dimension keeps its records in **sorted order**, so a range brush
+//!   maps to an index interval and re-brushing touches only the records in
+//!   the symmetric difference of the old and new intervals,
+//! * per-dimension **histograms** count records that pass every *other*
+//!   dimension's filter (brushing a histogram never empties itself), and
+//!   are updated incrementally, record by record, as bits toggle.
+//!
+//! [`Crossfilter`] is the engine; [`views::StatsView`] adapts a
+//! `vexus-data` dataset (or one group's members) into a ready-made set of
+//! demographic histograms plus the brushed user table shown in the demo's
+//! drill-down ("62 % of this group is male … the table lists Elke A.
+//! Rundensteiner").
+
+pub mod crossfilter;
+pub mod views;
+
+pub use crossfilter::{BrushState, Crossfilter, DimId, Histogram};
+pub use views::StatsView;

@@ -1,0 +1,120 @@
+//! Categorical color coding: "Circles are color-coded by any attribute of
+//! choice (e.g., by gender) to provide immediate insights."
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// CSS hex form (`#rrggbb`).
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+/// A categorical palette (Tableau-10-like, colorblind-aware ordering).
+/// Indices beyond the base palette rotate with lightness shifts, so any
+/// category count gets a distinct color.
+#[derive(Debug, Clone, Default)]
+pub struct Palette;
+
+const BASE: [(u8, u8, u8); 10] = [
+    (31, 119, 180),
+    (255, 127, 14),
+    (44, 160, 44),
+    (214, 39, 40),
+    (148, 103, 189),
+    (140, 86, 75),
+    (227, 119, 194),
+    (127, 127, 127),
+    (188, 189, 34),
+    (23, 190, 207),
+];
+
+impl Palette {
+    /// The color of category `i`.
+    pub fn color(i: usize) -> Color {
+        let (r, g, b) = BASE[i % BASE.len()];
+        let round = (i / BASE.len()) as u32;
+        if round == 0 {
+            return Color { r, g, b };
+        }
+        // Blend toward white a bit more each round; never fully white.
+        let t = (round.min(3) as f64) * 0.22;
+        let blend = |c: u8| -> u8 { (c as f64 + (255.0 - c as f64) * t) as u8 };
+        Color { r: blend(r), g: blend(g), b: blend(b) }
+    }
+
+    /// Mix category colors weighted by share — a circle colored "by gender"
+    /// shows the blend of its members' genders.
+    pub fn blend(shares: &[(usize, f64)]) -> Color {
+        let total: f64 = shares.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return Color { r: 200, g: 200, b: 200 };
+        }
+        let mut acc = (0.0, 0.0, 0.0);
+        for &(cat, w) in shares {
+            let c = Self::color(cat);
+            acc.0 += c.r as f64 * w;
+            acc.1 += c.g as f64 * w;
+            acc.2 += c.b as f64 * w;
+        }
+        Color {
+            r: (acc.0 / total).round() as u8,
+            g: (acc.1 / total).round() as u8,
+            b: (acc.2 / total).round() as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_colors_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10 {
+            assert!(seen.insert(Palette::color(i).hex()));
+        }
+    }
+
+    #[test]
+    fn extended_rounds_stay_distinct_from_base() {
+        for i in 0..10 {
+            assert_ne!(Palette::color(i), Palette::color(i + 10));
+        }
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Color { r: 255, g: 0, b: 16 }.hex(), "#ff0010");
+    }
+
+    #[test]
+    fn blend_pure_share_is_base_color() {
+        let c = Palette::blend(&[(2, 1.0)]);
+        assert_eq!(c, Palette::color(2));
+    }
+
+    #[test]
+    fn blend_of_nothing_is_gray() {
+        assert_eq!(Palette::blend(&[]), Color { r: 200, g: 200, b: 200 });
+    }
+
+    #[test]
+    fn blend_interpolates() {
+        let a = Palette::color(0);
+        let b = Palette::color(1);
+        let mixed = Palette::blend(&[(0, 0.5), (1, 0.5)]);
+        assert!(mixed.r >= a.r.min(b.r) && mixed.r <= a.r.max(b.r));
+        assert!(mixed.g >= a.g.min(b.g) && mixed.g <= a.g.max(b.g));
+    }
+}

@@ -1,0 +1,29 @@
+//! # vexus-viz
+//!
+//! The visualization backend of VEXUS — everything the demo UI computes,
+//! minus the browser. Pure geometry and math, rendered to SVG/text by the
+//! examples:
+//!
+//! * [`force`] — the directed force layout that positions group circles
+//!   "to prevent visual clutter" (many-body repulsion + collision +
+//!   centering, velocity Verlet integration),
+//! * [`lda`] — Linear Discriminant Analysis, the dimensionality reduction
+//!   the Focus view uses so that "members whose profiles are more similar
+//!   appear closer to each other"; [`pca`] is the unsupervised baseline,
+//! * [`linalg`] — the small dense linear-algebra kit both rely on
+//!   (symmetric Jacobi eigensolver, Cholesky),
+//! * [`color`] — categorical color coding for the GroupViz circles,
+//! * [`svg`] — a minimal SVG document builder for circles, scatter plots
+//!   and bar charts.
+
+pub mod color;
+pub mod force;
+pub mod lda;
+pub mod linalg;
+pub mod pca;
+pub mod svg;
+
+pub use force::{ForceConfig, ForceLayout, Node};
+pub use lda::Lda;
+pub use linalg::Matrix;
+pub use pca::Pca;

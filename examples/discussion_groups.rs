@@ -1,0 +1,78 @@
+//! Scenario 2 from the paper (ST task): an avid reader looks for an online
+//! book club — a group she agrees with, and one she disagrees with.
+//!
+//! Run with: `cargo run --release --example discussion_groups`
+
+use vexus::core::simulate::{run_st, Policy, StAccept};
+use vexus::core::{EngineConfig, Vexus};
+use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::mining::MemberSet;
+
+fn main() {
+    let dataset = bookcrossing(&BookCrossingConfig {
+        n_users: 5_000,
+        n_books: 4_000,
+        n_ratings: 30_000,
+        n_communities: 8,
+        seed: 42,
+    });
+    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    let data = vexus.data();
+    let schema = data.schema();
+
+    // Our reader loves romance fiction (a Debbie Macomber fan).
+    let fav = schema.attr("favorite_genre").expect("favorite_genre");
+    let romance = schema.value(fav, "romance").expect("romance readers exist");
+    let agree_club: MemberSet = data
+        .users()
+        .filter(|&u| data.value(u, fav) == romance)
+        .map(|u| u.raw())
+        .collect();
+    println!("reader profile: loves romance; {} kindred users exist", agree_club.len());
+
+    // ST run 1: find the agree-club.
+    let mut session = vexus.session().expect("session opens");
+    let accept = StAccept::Precision { min_precision: 0.85, min_size: 15 };
+    let agree = run_st(&mut session, &agree_club, accept, 10, Policy::Informed).expect("st runs");
+    match agree.accepted {
+        Some(g) => println!(
+            "agree-club found in {} iterations: {} (club purity {:.2})",
+            agree.iterations,
+            session.describe(g),
+            agree.best_score
+        ),
+        None => println!(
+            "no club above threshold within 10 iterations (best purity {:.2})",
+            agree.best_score
+        ),
+    }
+
+    // ST run 2: find a disagree-club — general-fiction devotees she loves
+    // to argue with.
+    let fiction = schema.value(fav, "fiction").expect("fiction readers exist");
+    let disagree_club: MemberSet = data
+        .users()
+        .filter(|&u| data.value(u, fav) == fiction)
+        .map(|u| u.raw())
+        .collect();
+    let mut session2 = vexus.session().expect("session opens");
+    let disagree =
+        run_st(&mut session2, &disagree_club, accept, 20, Policy::Informed).expect("st runs");
+    match disagree.accepted {
+        Some(g) => println!(
+            "disagree-club (for spirited debate) found in {} iterations: {}",
+            disagree.iterations,
+            session2.describe(g)
+        ),
+        None => println!(
+            "no disagree-club above threshold (best purity {:.2})",
+            disagree.best_score
+        ),
+    }
+
+    // Inspect the agree-club members through STATS.
+    if let Some(g) = agree.accepted {
+        let stats = session.stats_view(g).expect("stats view");
+        println!("\nSTATS of the agree-club:\n{}", stats.render_text());
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's opening walkthrough: Tiffany met someone at Mike's party in
+//! Westford, MA, remembers no name — only that he is an engineer in
+//! bioinformatics working full-time on data visualization at BioView. No
+//! query can find him; group exploration can.
+//!
+//! We rebuild Mike's friend list as a small user dataset with occupation /
+//! company / employment attributes, mine its groups, and let a simulated
+//! Tiffany narrow three displays down to the person.
+//!
+//! Run with: `cargo run --release --example find_the_guest`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vexus::core::{EngineConfig, Vexus};
+use vexus::data::{Schema, UserDataBuilder};
+use vexus::mining::MemberSet;
+
+fn main() {
+    // Mike's friends: 300 people in overlapping professional circles.
+    let mut schema = Schema::new();
+    let occupation = schema.add_categorical("occupation");
+    let field = schema.add_categorical("field");
+    let company = schema.add_categorical("company");
+    let employment = schema.add_categorical("employment");
+    let city = schema.add_categorical("city");
+    let mut b = UserDataBuilder::new(schema);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let companies = ["nextworth", "bioview", "acme-labs", "freelance"];
+    let mut the_guest = None;
+    for i in 0..300 {
+        let u = b.user(&format!("guest-{i:03}"));
+        let (occ, fld, comp, emp) = match i % 5 {
+            // The circle Tiffany must find: engineers in bioinformatics /
+            // data visualization at BioView-like companies.
+            0 => (
+                "engineer",
+                if rng.gen::<f64>() < 0.3 { "data visualization" } else { "bioinformatics" },
+                companies[rng.gen_range(1..3)],
+                "full-time",
+            ),
+            1 => ("engineer", "recycling", "nextworth", "full-time"),
+            2 => ("market manager", "marketing", "freelance", "part-time"),
+            3 => ("engineer", "bioinformatics", "acme-labs", "part-time"),
+            _ => ("teacher", "marketing", "acme-labs", "full-time"),
+        };
+        b.set_demo(u, occupation, occ).expect("interns");
+        b.set_demo(u, field, fld).expect("interns");
+        b.set_demo(u, company, comp).expect("interns");
+        b.set_demo(u, employment, emp).expect("interns");
+        b.set_demo(u, city, if i % 3 == 0 { "westford" } else { "boston" }).expect("interns");
+        // The actual guest: a full-time BioView engineer who talked about
+        // data visualization.
+        if i == 40 {
+            b.set_demo(u, field, "data visualization").expect("interns");
+            b.set_demo(u, company, "bioview").expect("interns");
+            b.set_demo(u, employment, "full-time").expect("interns");
+            the_guest = Some(u);
+        }
+    }
+    let the_guest = the_guest.expect("guest placed");
+    let data = b.build();
+
+    let vexus = Vexus::build(
+        data,
+        EngineConfig { min_group_size: 3, ..EngineConfig::paper() },
+    )
+    .expect("group space non-empty");
+
+    // Tiffany's memories narrow the candidates: full-time (rules out the
+    // part-time market managers), not NextWorth (he does data
+    // visualization, not recycling), at a cell-imaging company = BioView.
+    let data = vexus.data();
+    let schema = data.schema();
+    let field_attr = schema.attr("field").unwrap();
+    let emp_attr = schema.attr("employment").unwrap();
+    let comp_attr = schema.attr("company").unwrap();
+    let ft = schema.value(emp_attr, "full-time").unwrap();
+    let bv = schema.value(comp_attr, "bioview").unwrap();
+    let nw = schema.value(comp_attr, "nextworth").unwrap();
+    // Users consistent with her memories (what she can recognize at a
+    // glance when inspecting a group).
+    let consistent: MemberSet = data
+        .users()
+        .filter(|&u| data.value(u, emp_attr) == ft && data.value(u, comp_attr) != nw)
+        .map(|u| u.raw())
+        .collect();
+    println!(
+        "Mike's friends: {} people; consistent with Tiffany's memories: {}",
+        data.n_users(),
+        consistent.len()
+    );
+
+    // Explore: each step, click the most memory-consistent displayed group,
+    // preferring BioView-described groups once they appear; stop when the
+    // group is small enough to scan its member table.
+    let mut session = vexus.session().expect("session opens");
+    let bv_token = vexus.vocab().token(comp_attr, bv);
+    for step in 0.. {
+        println!("\nstep {step} — VEXUS shows:");
+        for &g in session.display() {
+            println!("  {}", session.describe(g));
+        }
+        let (best, density) = session
+            .display()
+            .iter()
+            .map(|&g| {
+                let m = session.group_members(g);
+                let hits = m.intersection_size(&consistent);
+                let mut score = hits as f64 / m.len().max(1) as f64;
+                // She recognizes "BioView" in a description immediately.
+                if bv_token.is_some_and(|t| vexus.groups().get(g).describes(t)) {
+                    score += 1.0;
+                }
+                (g, score)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("display non-empty");
+        let members = session.group_members(best).clone();
+        if members.len() <= 25 && members.intersection_size(&consistent) > 0 {
+            // Small enough: open the member table (STATS) and brush to the
+            // data-visualization people — there he is.
+            println!("\nTiffany opens {} and scans the member table:", session.describe(best));
+            let mut stats = session.stats_view(best).expect("stats view");
+            stats.brush(field_attr, &["data visualization"]);
+            stats.brush(emp_attr, &["full-time"]);
+            let hits = stats.selected_users();
+            for &u in &hits {
+                println!("  {} — {}", data.user_name(u), data.describe_user(u));
+            }
+            assert!(
+                hits.contains(&the_guest),
+                "the guest must be in the brushed table"
+            );
+            println!("\nFound him: {}!", data.user_name(the_guest));
+            break;
+        }
+        assert!(step < 8, "exploration should converge within a few steps");
+        println!(
+            "  Tiffany clicks: {} (memory-consistency {:.0}%)",
+            session.describe(best),
+            density.min(1.0) * 100.0
+        );
+        session.click(best).expect("click");
+    }
+}

@@ -1,0 +1,80 @@
+//! Renders the VEXUS views to SVG files: the GroupViz force layout, the
+//! LDA Focus view, and a STATS histogram. Output: `vexus-svg/` in the
+//! working directory.
+//!
+//! Run with: `cargo run --release --example render_svg`
+
+use vexus::core::{EngineConfig, Vexus};
+use vexus::data::synthetic::{dbauthors, DbAuthorsConfig};
+use vexus::viz::color::Palette;
+use vexus::viz::svg::{bar_chart, SvgDoc};
+
+fn main() {
+    let dataset = dbauthors(&DbAuthorsConfig {
+        n_authors: 3_000,
+        n_publications: 20_000,
+        n_communities: 6,
+        seed: 42,
+    });
+    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    let mut session = vexus.session().expect("session opens");
+    let g = session.display()[0];
+    session.click(g).expect("click");
+
+    let out_dir = std::path::Path::new("vexus-svg");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    // GroupViz: circles sized by members, colored by gender, positioned by
+    // the force layout.
+    let gender = vexus.data().schema().attr("gender").expect("gender");
+    let circles = session.groupviz(gender);
+    let mut doc = SvgDoc::new(800.0, 600.0);
+    doc.text(10.0, 20.0, 14.0, "GROUPVIZ — circles are groups, hover for description");
+    for c in &circles {
+        doc.circle(c.x, c.y, c.radius, c.color, &c.label);
+        doc.text(c.x - c.radius / 2.0, c.y, 10.0, &format!("{}", c.group));
+    }
+    std::fs::write(out_dir.join("groupviz.svg"), doc.finish()).expect("write svg");
+
+    // Focus view: LDA projection of the first group's members, colored by
+    // topic.
+    let topic = vexus.data().schema().attr("topic").expect("topic");
+    let focus_group = session.display()[0];
+    let points = session.focus_view(focus_group, topic).expect("focus view");
+    let mut fdoc = SvgDoc::new(500.0, 500.0);
+    fdoc.text(10.0, 20.0, 14.0, "FOCUS — LDA projection of group members (color = topic)");
+    let (mut min_x, mut max_x, mut min_y, mut max_y) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for (_, p, _) in &points {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    let sx = 440.0 / (max_x - min_x).max(1e-9);
+    let sy = 440.0 / (max_y - min_y).max(1e-9);
+    for (_, p, class) in &points {
+        fdoc.point(
+            30.0 + (p[0] - min_x) * sx,
+            40.0 + (p[1] - min_y) * sy,
+            Palette::color(*class as usize),
+        );
+    }
+    std::fs::write(out_dir.join("focus.svg"), fdoc.finish()).expect("write svg");
+
+    // STATS: histograms of the focused group.
+    let stats = session.stats_view(focus_group).expect("stats view");
+    for attr_name in ["gender", "seniority", "region", "publication_rate"] {
+        let attr = vexus.data().schema().attr(attr_name).expect("attr exists");
+        let hist = stats.histogram(attr);
+        let svg = bar_chart(attr_name, &hist, 420.0);
+        std::fs::write(out_dir.join(format!("stats_{attr_name}.svg")), svg).expect("write svg");
+    }
+
+    println!(
+        "wrote groupviz.svg ({} circles), focus.svg ({} points) and 4 histograms to {}/",
+        circles.len(),
+        points.len(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,96 @@
+//! Stream intake: the second path of Fig. 1. Actions arrive as a stream;
+//! groups are discovered online with the lossy-counting stream miner and
+//! with BIRCH, then plugged into the exploration engine.
+//!
+//! Run with: `cargo run --release --example stream_exploration`
+
+use vexus::core::features::Featurizer;
+use vexus::core::{EngineConfig, Vexus};
+use vexus::data::stream::{ActionStream, ReplayStream};
+use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::data::Vocabulary;
+use vexus::mining::birch::{BirchConfig, BirchTree};
+use vexus::mining::stream_fim::{StreamFimConfig, StreamMiner};
+
+fn main() {
+    let dataset = bookcrossing(&BookCrossingConfig {
+        n_users: 4_000,
+        n_books: 3_000,
+        n_ratings: 25_000,
+        n_communities: 8,
+        seed: 42,
+    });
+    let data = dataset.data;
+    let vocab = Vocabulary::build(&data);
+
+    // --- Path A: lossy-counting frequent-itemset mining over the stream ---
+    // Users "arrive" as their first action shows up; each arrival feeds the
+    // user's demographic transaction to the miner.
+    let mut miner = StreamMiner::new(StreamFimConfig {
+        support: 0.02,
+        epsilon: 0.004,
+        max_len: 3,
+    });
+    let mut seen = vec![false; data.n_users()];
+    let mut stream = ReplayStream::new(&data);
+    let mut batch = Vec::new();
+    let mut batches = 0usize;
+    loop {
+        batch.clear();
+        if stream.next_batch(1_000, &mut batch) == 0 {
+            break;
+        }
+        batches += 1;
+        for action in &batch {
+            let u = action.user;
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                miner.observe(u.raw(), &vocab.user_tokens(&data, u));
+            }
+        }
+        if batches.is_multiple_of(10) {
+            println!(
+                "after {} batches: {} transactions seen, {} itemsets in-core",
+                batches,
+                miner.n_seen(),
+                miner.table_size()
+            );
+        }
+    }
+    let stream_groups = miner.groups();
+    println!(
+        "stream FIM discovered {} frequent groups ({} arrivals, bounded table)",
+        stream_groups.len(),
+        miner.n_seen()
+    );
+
+    // --- Path B: BIRCH clustering of numeric user features ---
+    let featurizer = Featurizer::new(&data);
+    let mut tree = BirchTree::new(BirchConfig {
+        branching: 12,
+        threshold: 1.1,
+        dim: featurizer.dim(),
+    });
+    for u in data.users() {
+        tree.insert(u.raw(), &featurizer.features(&data, u));
+    }
+    let birch_groups = tree.into_groups(10);
+    println!("BIRCH discovered {} clusters with >= 10 members", birch_groups.len());
+
+    // --- Plug either group space into the exploration engine ---
+    let mut groups = stream_groups;
+    groups.filter_by_size(10, usize::MAX);
+    let vexus = Vexus::with_groups(data, vocab, groups, EngineConfig::paper())
+        .expect("stream group space non-empty");
+    let mut session = vexus.session().expect("session opens");
+    println!("\nexploring the stream-discovered group space:");
+    for &g in session.display() {
+        println!("  {}", session.describe(g));
+    }
+    let g = session.display()[0];
+    session.click(g).expect("click");
+    println!("after clicking {}:", g);
+    for &h in session.display() {
+        println!("  {}", session.describe(h));
+    }
+}

@@ -1,0 +1,125 @@
+//! The discovery plug-in paths the paper names: α-MOMRI for datasets,
+//! BIRCH and stream FIM for streams — each feeding the same exploration
+//! engine.
+
+use vexus::core::features::Featurizer;
+use vexus::core::{EngineConfig, Vexus};
+use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::data::Vocabulary;
+use vexus::mining::birch::{BirchConfig, BirchTree};
+use vexus::mining::momri::{discover, MomriConfig};
+use vexus::mining::stream_fim::{StreamFimConfig, StreamMiner};
+use vexus::mining::transactions::TransactionDb;
+
+fn dataset() -> vexus::data::synthetic::SyntheticDataset {
+    bookcrossing(&BookCrossingConfig::tiny())
+}
+
+#[test]
+fn momri_front_plugs_into_the_engine() {
+    let ds = dataset();
+    let vocab = Vocabulary::build(&ds.data);
+    let db = TransactionDb::build(&ds.data, &vocab);
+    let result = discover(&db, &MomriConfig::default());
+    assert!(!result.front.is_empty(), "alpha-MOMRI found no solutions");
+    let best = &result.front[0];
+    assert!(best.coverage > 0.3, "best solution coverage {}", best.coverage);
+    // Feed the full candidate space into the engine.
+    let vexus = Vexus::with_groups(ds.data, vocab, result.candidates, EngineConfig::default())
+        .expect("engine builds");
+    let session = vexus.session().expect("session opens");
+    assert!(!session.display().is_empty());
+}
+
+#[test]
+fn birch_clusters_plug_into_the_engine() {
+    let ds = dataset();
+    let vocab = Vocabulary::build(&ds.data);
+    let featurizer = Featurizer::new(&ds.data);
+    // One-hot demographics live on a hypercube: users differing in d
+    // attributes sit at distance sqrt(2d), so the absorption threshold has
+    // to admit a couple of differing attributes per cluster.
+    let mut tree = BirchTree::new(BirchConfig {
+        branching: 10,
+        threshold: 1.6,
+        dim: featurizer.dim(),
+    });
+    for u in ds.data.users() {
+        tree.insert(u.raw(), &featurizer.features(&ds.data, u));
+    }
+    let groups = tree.into_groups(5);
+    assert!(!groups.is_empty(), "BIRCH produced no clusters of size >= 5");
+    let n_users_covered = groups.distinct_users_covered(ds.data.n_users());
+    assert!(
+        n_users_covered > ds.data.n_users() / 4,
+        "clusters cover too little: {n_users_covered}"
+    );
+    let vexus = Vexus::with_groups(ds.data, vocab, groups, EngineConfig::default())
+        .expect("engine builds");
+    let mut session = vexus.session().expect("session opens");
+    // Cluster groups have no token description but remain navigable.
+    let g = session.display()[0];
+    assert!(session.describe(g).contains("<cluster>"));
+    session.click(g).expect("click");
+}
+
+#[test]
+fn stream_fim_groups_plug_into_the_engine() {
+    let ds = dataset();
+    let vocab = Vocabulary::build(&ds.data);
+    let mut miner = StreamMiner::new(StreamFimConfig {
+        support: 0.05,
+        epsilon: 0.01,
+        max_len: 3,
+    });
+    for u in ds.data.users() {
+        miner.observe(u.raw(), &vocab.user_tokens(&ds.data, u));
+    }
+    let mut groups = miner.groups();
+    assert!(!groups.is_empty());
+    groups.filter_by_size(5, usize::MAX);
+    let vexus = Vexus::with_groups(ds.data, vocab, groups, EngineConfig::default())
+        .expect("engine builds");
+    let mut session = vexus.session().expect("session opens");
+    let g = session.display()[0];
+    let next = session.click(g).expect("click").to_vec();
+    assert!(!next.is_empty());
+}
+
+#[test]
+fn all_plugin_paths_agree_on_heavy_structure() {
+    // The dominant demographic pattern should surface through both LCM and
+    // the stream miner (it is frequent however you count).
+    let ds = dataset();
+    let vocab = Vocabulary::build(&ds.data);
+    let db = TransactionDb::build(&ds.data, &vocab);
+    let lcm_groups = vexus::mining::mine_closed_groups(
+        &db,
+        &vexus::mining::LcmConfig { min_support: 30, ..Default::default() },
+    );
+    let mut miner = StreamMiner::new(StreamFimConfig {
+        support: 0.1,
+        epsilon: 0.02,
+        max_len: 1,
+    });
+    for u in ds.data.users() {
+        miner.observe(u.raw(), &vocab.user_tokens(&ds.data, u));
+    }
+    let stream_singletons: std::collections::HashSet<vexus::data::TokenId> = miner
+        .frequent_itemsets()
+        .into_iter()
+        .filter(|(set, _)| set.len() == 1)
+        .map(|(set, _)| set[0])
+        .collect();
+    // Every very frequent singleton description found by LCM must also be
+    // caught by the stream miner (no false negatives).
+    let n = ds.data.n_users();
+    for (_, g) in lcm_groups.iter() {
+        if g.description.len() == 1 && g.size() >= n / 10 {
+            assert!(
+                stream_singletons.contains(&g.description[0]),
+                "stream miner missed a heavy token"
+            );
+        }
+    }
+}
