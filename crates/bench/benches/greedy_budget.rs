@@ -36,9 +36,7 @@ fn bench_greedy(c: &mut Criterion) {
                     min_similarity: 0.01,
                     ..Default::default()
                 };
-                b.iter(|| {
-                    greedy::select_k(vexus.groups(), &candidates, &reference, &fb, &params)
-                });
+                b.iter(|| greedy::select_k(vexus.groups(), &candidates, &reference, &fb, &params));
             },
         );
     }

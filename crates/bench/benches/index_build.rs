@@ -18,7 +18,13 @@ fn bench_index_build(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| {
-                GroupIndex::build(groups, &IndexConfig { materialize_fraction: fraction, threads })
+                GroupIndex::build(
+                    groups,
+                    &IndexConfig {
+                        materialize_fraction: fraction,
+                        threads,
+                    },
+                )
             });
         });
     }

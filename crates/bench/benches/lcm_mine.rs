@@ -24,7 +24,10 @@ fn bench_lcm(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("support_{min_support}")),
             &min_support,
             |b, &s| {
-                let cfg = LcmConfig { min_support: s, ..Default::default() };
+                let cfg = LcmConfig {
+                    min_support: s,
+                    ..Default::default()
+                };
                 b.iter(|| vexus_mining::mine_closed_groups(&db, &cfg));
             },
         );

@@ -29,7 +29,11 @@ fn bench_projection(c: &mut Criterion) {
         .iter()
         .map(|&u| {
             let v = vexus.data().value(u, attr);
-            if v.is_missing() { 999 } else { v.raw() }
+            if v.is_missing() {
+                999
+            } else {
+                v.raw()
+            }
         })
         .collect();
 

@@ -5,14 +5,18 @@
 use crate::workloads;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+use vexus_core::engine::VexusBuilder;
 use vexus_core::greedy::{self, ScoredCandidate, SelectParams};
 use vexus_core::simulate::{run_committee, run_st, CommitteeTask, Policy, StAccept};
-use vexus_core::{EngineConfig, FeedbackVector, Vexus};
+use vexus_core::{EngineConfig, FeedbackVector};
 use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
 use vexus_data::{UserId, Vocabulary};
 use vexus_index::{GroupIndex, IndexConfig};
 use vexus_mining::transactions::TransactionDb;
-use vexus_mining::{GroupId, LcmConfig, MemberSet};
+use vexus_mining::{
+    BirchDiscovery, GroupDiscovery, GroupId, LcmConfig, LcmDiscovery, MemberSet, MomriConfig,
+    MomriDiscovery, StreamFimConfig, StreamFimDiscovery,
+};
 use vexus_stats::Crossfilter;
 use vexus_viz::force::{ForceConfig, ForceLayout};
 use vexus_viz::lda::Lda;
@@ -20,7 +24,7 @@ use vexus_viz::pca::{silhouette, Pca};
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
+    "f1", "f2", "d1", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
 ];
 
 /// Dispatch one experiment by id.
@@ -28,6 +32,7 @@ pub fn run(id: &str) -> Option<String> {
     let out = match id {
         "f1" => f1_architecture(),
         "f2" => f2_views(),
+        "d1" => d1_discovery_backends(),
         "c1" => c1_budget_sweep(),
         "c2" => c2_interaction_latency(),
         "c3" => c3_materialization(),
@@ -58,22 +63,29 @@ fn header(id: &str, title: &str) -> String {
 pub fn f1_architecture() -> String {
     let mut out = header("f1", "architecture pipeline (Fig. 1)");
     for (name, ds) in [
-        ("bookcrossing", workloads::bookcrossing_at(workloads::scale())),
+        (
+            "bookcrossing",
+            workloads::bookcrossing_at(workloads::scale()),
+        ),
         ("dbauthors", workloads::dbauthors_at(workloads::scale())),
     ] {
         let n_users = ds.data.n_users();
         let n_actions = ds.data.n_actions();
-        let vexus = Vexus::build(ds.data, EngineConfig::paper()).expect("non-empty");
+        let vexus = VexusBuilder::new(ds.data)
+            .config(EngineConfig::paper())
+            .build()
+            .expect("non-empty");
         let s = vexus.build_stats();
         let t0 = Instant::now();
         let session = vexus.session().expect("session opens");
         let open = t0.elapsed();
         let _ = writeln!(
             out,
-            "{name:>13}: users={n_users} actions={n_actions} | discovery: {} groups in {:?} | \
+            "{name:>13}: users={n_users} actions={n_actions} | discovery[{}]: {} groups in {:?} | \
              index: {} entries / {} KiB in {:?} | session open: {:?} ({} groups shown)",
+            s.discovery.algorithm,
             s.n_groups,
-            s.mining_time,
+            s.discovery.elapsed,
             s.index_entries,
             s.index_bytes / 1024,
             s.index_time,
@@ -96,14 +108,24 @@ pub fn f2_views() -> String {
     let mut session = vexus.session().expect("session opens");
     let g = session.display()[0];
     session.click(g).expect("click works");
-    session.memo_group(session.display()[0]).expect("memo works");
-    if let Some(u) = vexus.groups().get(session.display()[0]).members.iter().next() {
+    session
+        .memo_group(session.display()[0])
+        .expect("memo works");
+    if let Some(u) = vexus
+        .groups()
+        .get(session.display()[0])
+        .members
+        .iter()
+        .next()
+    {
         session.memo_user(UserId::new(u));
     }
     out.push_str(&session.render_text());
 
     // STATS view of the clicked group.
-    let stats = session.stats_view(session.display()[0]).expect("stats view");
+    let stats = session
+        .stats_view(session.display()[0])
+        .expect("stats view");
     out.push_str("== STATS ==\n");
     out.push_str(&stats.render_text());
 
@@ -120,7 +142,9 @@ pub fn f2_views() -> String {
     let _ = std::fs::write(render_dir.join("groupviz.svg"), &groupviz_svg);
 
     let focus_attr = vexus.data().schema().attr("topic").expect("topic exists");
-    let focus = session.focus_view(session.display()[0], focus_attr).expect("focus view");
+    let focus = session
+        .focus_view(session.display()[0], focus_attr)
+        .expect("focus view");
     let mut fdoc = vexus_viz::svg::SvgDoc::new(400.0, 400.0);
     let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
     for (_, p, _) in &focus {
@@ -156,6 +180,83 @@ pub fn f2_views() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// D1: discovery backend comparison
+// ---------------------------------------------------------------------------
+
+/// The paper's pluggable discovery stage, measured: run LCM, α-MOMRI,
+/// BIRCH and stream FIM over the same dataset through the builder and
+/// compare group counts, coverage and end-to-end navigability.
+pub fn d1_discovery_backends() -> String {
+    let mut out = header(
+        "d1",
+        "pluggable discovery backends (LCM / α-MOMRI / BIRCH / stream FIM)",
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>8} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "backend", "groups", "filtered", "coverage", "discovery", "steps ok"
+    );
+    let backends: Vec<Box<dyn GroupDiscovery>> = vec![
+        Box::new(LcmDiscovery::new(LcmConfig {
+            min_support: 5,
+            ..Default::default()
+        })),
+        Box::new(MomriDiscovery::new(MomriConfig::default())),
+        Box::new(BirchDiscovery::default()),
+        Box::new(StreamFimDiscovery::new(StreamFimConfig {
+            support: 0.02,
+            epsilon: 0.004,
+            max_len: 3,
+        })),
+    ];
+    for backend in backends {
+        let ds = bookcrossing(&BookCrossingConfig {
+            n_users: 3_000,
+            n_books: 2_000,
+            n_ratings: 20_000,
+            n_communities: 8,
+            seed: 42,
+        });
+        let n_users = ds.data.n_users();
+        let name = backend.name();
+        let vexus = workloads::engine_over(ds, backend, EngineConfig::paper());
+        let s = vexus.build_stats();
+        let coverage = vexus.groups().distinct_users_covered(n_users) as f64 / n_users as f64;
+        // Navigability smoke: three clicks through the space.
+        let mut session = vexus.session().expect("session opens");
+        let mut steps_ok = 0usize;
+        for _ in 0..3 {
+            let Some(&g) = session.display().first() else {
+                break;
+            };
+            if session
+                .click(g)
+                .map(|next| !next.is_empty())
+                .unwrap_or(false)
+            {
+                steps_ok += 1;
+            } else {
+                break;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>8} | {:>9} | {:>9.1}% | {:>10?} | {:>8}/3",
+            name,
+            s.n_groups,
+            s.filtered_out,
+            coverage * 100.0,
+            s.discovery.elapsed,
+            steps_ok
+        );
+    }
+    out.push_str(
+        "(one builder, four backends: the offline discovery stage is a swappable plug-in)\n",
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
 // C1: greedy time budget vs achieved diversity/coverage
 // ---------------------------------------------------------------------------
 
@@ -177,15 +278,21 @@ pub fn c1_budget_sweep() -> String {
         .iter()
         .map(|&g| {
             let neighbors = vexus.index().neighbors(vexus.groups(), g, 256);
-            let cands: Vec<ScoredCandidate> =
-                neighbors.into_iter().map(|(id, s)| (id, s as f64)).collect();
+            let cands: Vec<ScoredCandidate> = neighbors
+                .into_iter()
+                .map(|(id, s)| (id, s as f64))
+                .collect();
             (cands, vexus.groups().get(g).members.clone())
         })
         .collect();
 
     // Unbounded upper bound per anchor.
     let fb = FeedbackVector::new();
-    let base_params = SelectParams { k: 5, min_similarity: 0.01, ..Default::default() };
+    let base_params = SelectParams {
+        k: 5,
+        min_similarity: 0.01,
+        ..Default::default()
+    };
     let unbounded: Vec<(f64, f64)> = pools
         .iter()
         .map(|(cands, reference)| {
@@ -252,7 +359,10 @@ pub fn c1_budget_sweep() -> String {
 /// Paper: "all interactions in VEXUS occur in O(1)" (the index lookup), with
 /// the greedy capped separately. Latency must stay flat as data grows.
 pub fn c2_interaction_latency() -> String {
-    let mut out = header("c2", "interaction latency vs dataset scale (claim: O(1) per step)");
+    let mut out = header(
+        "c2",
+        "interaction latency vs dataset scale (claim: O(1) per step)",
+    );
     let _ = writeln!(
         out,
         "{:>6} | {:>8} {:>8} | {:>14} | {:>14} | {:>14}",
@@ -272,7 +382,10 @@ pub fn c2_interaction_latency() -> String {
             min_group_size: (n_users / 500).max(5),
             ..EngineConfig::paper()
         };
-        let vexus = Vexus::build(ds.data, config).expect("non-empty");
+        let vexus = VexusBuilder::new(ds.data)
+            .config(config)
+            .build()
+            .expect("non-empty");
         let mut session = vexus.session().expect("session opens");
         // Index lookup latency (the O(1) interaction core).
         let g = session.display()[0];
@@ -303,7 +416,9 @@ pub fn c2_interaction_latency() -> String {
             click
         );
     }
-    out.push_str("(index lookup and backtrack stay flat; full click is dominated by the capped greedy)\n");
+    out.push_str(
+        "(index lookup and backtrack stay flat; full click is dominated by the capped greedy)\n",
+    );
     out
 }
 
@@ -314,9 +429,15 @@ pub fn c2_interaction_latency() -> String {
 /// Paper: "we only materialize 10 % of each inverted index which is shown in
 /// \[14\] to be adequate to deliver satisfying results."
 pub fn c3_materialization() -> String {
-    let mut out = header("c3", "inverted-index materialization sweep (paper fixes 10 %)");
+    let mut out = header(
+        "c3",
+        "inverted-index materialization sweep (paper fixes 10 %)",
+    );
     let ds = workloads::bookcrossing_at(workloads::scale());
-    let vexus = Vexus::build(ds.data, EngineConfig::paper()).expect("non-empty");
+    let vexus = VexusBuilder::new(ds.data)
+        .config(EngineConfig::paper())
+        .build()
+        .expect("non-empty");
     let groups = vexus.groups();
     let k = 8; // neighbors a k=5 exploration step typically needs
 
@@ -326,16 +447,34 @@ pub fn c3_materialization() -> String {
         "fraction", "entries", "KiB", "build", "recall@8", "fallback %"
     );
     // Exact top-k per probe group, from the full index.
-    let full = GroupIndex::build(groups, &IndexConfig { materialize_fraction: 1.0, threads: 0 });
+    let full = GroupIndex::build(
+        groups,
+        &IndexConfig {
+            materialize_fraction: 1.0,
+            threads: 0,
+        },
+    );
     let probes: Vec<GroupId> = groups.ids().step_by((groups.len() / 64).max(1)).collect();
     let exact: Vec<Vec<GroupId>> = probes
         .iter()
-        .map(|&g| full.materialized(g).iter().take(k).map(|&(h, _)| h).collect())
+        .map(|&g| {
+            full.materialized(g)
+                .iter()
+                .take(k)
+                .map(|&(h, _)| h)
+                .collect()
+        })
         .collect();
 
     for fraction in [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00] {
         let t0 = Instant::now();
-        let idx = GroupIndex::build(groups, &IndexConfig { materialize_fraction: fraction, threads: 0 });
+        let idx = GroupIndex::build(
+            groups,
+            &IndexConfig {
+                materialize_fraction: fraction,
+                threads: 0,
+            },
+        );
         let build = t0.elapsed();
         // Recall of the materialized prefix against the exact top-k, and
         // how often a k-request would need the exact fallback.
@@ -349,10 +488,14 @@ pub fn c3_materialization() -> String {
                 recall += 1.0;
                 continue;
             }
-            let have: std::collections::HashSet<GroupId> =
-                idx.materialized(g).iter().take(k).map(|&(h, _)| h).collect();
-            recall +=
-                exact_topk.iter().filter(|h| have.contains(h)).count() as f64 / exact_topk.len() as f64;
+            let have: std::collections::HashSet<GroupId> = idx
+                .materialized(g)
+                .iter()
+                .take(k)
+                .map(|&(h, _)| h)
+                .collect();
+            recall += exact_topk.iter().filter(|h| have.contains(h)).count() as f64
+                / exact_topk.len() as f64;
         }
         let s = idx.stats();
         let _ = writeln!(
@@ -377,9 +520,16 @@ pub fn c3_materialization() -> String {
 /// Paper: "VEXUS enables PC chairs to form committees of major conferences
 /// (SIGMOD, VLDB and CIKM) in less than 10 iterations on average."
 pub fn c4_committee_formation() -> String {
-    let mut out = header("c4", "expert-set formation (MT): iterations to fill a committee");
+    let mut out = header(
+        "c4",
+        "expert-set formation (MT): iterations to fill a committee",
+    );
     let (vexus, _) = workloads::dbauthors_engine(EngineConfig::paper());
-    let venue_attr = vexus.data().schema().attr("main_venue").expect("main_venue");
+    let venue_attr = vexus
+        .data()
+        .schema()
+        .attr("main_venue")
+        .expect("main_venue");
     let region_attr = vexus.data().schema().attr("region").expect("region");
     let data = vexus.data();
     let _ = writeln!(
@@ -390,7 +540,9 @@ pub fn c4_committee_formation() -> String {
     let mut informed_total = 0.0;
     let mut count = 0usize;
     for venue in ["sigmod", "vldb", "cikm"] {
-        let Some(v) = data.schema().value(venue_attr, venue) else { continue };
+        let Some(v) = data.schema().value(venue_attr, venue) else {
+            continue;
+        };
         let task = CommitteeTask {
             size: 12,
             brush: vec![(venue_attr, v)],
@@ -468,7 +620,14 @@ pub fn c5_k_sweep() -> String {
             let target = vexus.groups().get(tg).members.clone();
             let mut session = vexus.session_with(config.clone()).expect("session opens");
             let t0 = Instant::now();
-            let o = run_st(&mut session, &target, StAccept::Jaccard(0.7), 12, Policy::Informed).expect("st runs");
+            let o = run_st(
+                &mut session,
+                &target,
+                StAccept::Jaccard(0.7),
+                12,
+                Policy::Informed,
+            )
+            .expect("st runs");
             let elapsed = t0.elapsed();
             let n_steps = (o.iterations as u32).max(1);
             step_time += elapsed / n_steps;
@@ -500,7 +659,10 @@ pub fn c5_k_sweep() -> String {
 /// Paper: "with only four demographic attributes and five values for each,
 /// the number of user groups will be in the order of 10^6."
 pub fn c6_group_space() -> String {
-    let mut out = header("c6", "group-space growth (claim: exponential in attributes)");
+    let mut out = header(
+        "c6",
+        "group-space growth (claim: exponential in attributes)",
+    );
     let ds = bookcrossing(&BookCrossingConfig {
         n_users: 3_000,
         n_books: 2_000,
@@ -595,7 +757,14 @@ pub fn c7_feedback_ablation() -> String {
         for &tg in &targets {
             let target = vexus.groups().get(tg).members.clone();
             let mut session = vexus.session_with(config.clone()).expect("session opens");
-            let o = run_st(&mut session, &target, StAccept::Jaccard(0.7), 12, Policy::Informed).expect("st runs");
+            let o = run_st(
+                &mut session,
+                &target,
+                StAccept::Jaccard(0.7),
+                12,
+                Policy::Informed,
+            )
+            .expect("st runs");
             if o.found {
                 found += 1;
                 iters += o.iterations as f64;
@@ -612,8 +781,14 @@ pub fn c7_feedback_ablation() -> String {
         for (i, &tg) in targets.iter().enumerate() {
             let target = vexus.groups().get(tg).members.clone();
             let mut session = vexus.session().expect("session opens");
-            let o = run_st(&mut session, &target, StAccept::Jaccard(0.7), 12, Policy::Random { seed: i as u64 })
-                .expect("st runs");
+            let o = run_st(
+                &mut session,
+                &target,
+                StAccept::Jaccard(0.7),
+                12,
+                Policy::Random { seed: i as u64 },
+            )
+            .expect("st runs");
             if o.found {
                 found += 1;
                 iters += o.iterations as f64;
@@ -623,17 +798,32 @@ pub fn c7_feedback_ablation() -> String {
         }
         rows.push(("random walk", found, iters / targets.len() as f64));
     }
-    let _ = writeln!(out, "{:>13} | {:>7} | {:>10}", "policy", "found", "mean iters");
+    let _ = writeln!(
+        out,
+        "{:>13} | {:>7} | {:>10}",
+        "policy", "found", "mean iters"
+    );
     for (label, found, iters) in rows {
-        let _ = writeln!(out, "{label:>13} | {found:>4}/{:<2} | {iters:>10.1}", targets.len());
+        let _ = writeln!(
+            out,
+            "{label:>13} | {found:>4}/{:<2} | {iters:>10.1}",
+            targets.len()
+        );
     }
 
     // Part 2: unlearning "male" re-balances the selection. We isolate the
     // feedback effect: the same anchor, the same candidates, the same
     // greedy — only the feedback vector differs (biased vs male-unlearned).
     let gender_attr = vexus.data().schema().attr("gender").expect("gender");
-    let male = vexus.data().schema().value(gender_attr, "male").expect("male value");
-    let male_token = vexus.vocab().token(gender_attr, male).expect("token exists");
+    let male = vexus
+        .data()
+        .schema()
+        .value(gender_attr, "male")
+        .expect("male value");
+    let male_token = vexus
+        .vocab()
+        .token(gender_attr, male)
+        .expect("token exists");
     // Bias feedback by rewarding three male-heavy groups.
     let mut fb_biased = FeedbackVector::new();
     let mut male_groups: Vec<GroupId> = vexus
@@ -692,12 +882,18 @@ pub fn c7_feedback_ablation() -> String {
         }
         males as f64 / total.max(1) as f64
     };
-    let with_bias =
-        greedy::select_k(vexus.groups(), &candidates, &reference, &fb_biased, &params);
-    let unlearned =
-        greedy::select_k(vexus.groups(), &candidates, &reference, &fb_unlearned, &params);
+    let with_bias = greedy::select_k(vexus.groups(), &candidates, &reference, &fb_biased, &params);
+    let unlearned = greedy::select_k(
+        vexus.groups(),
+        &candidates,
+        &reference,
+        &fb_unlearned,
+        &params,
+    );
     let male_described = |sel: &[GroupId]| {
-        sel.iter().filter(|&&g| vexus.groups().get(g).describes(male_token)).count()
+        sel.iter()
+            .filter(|&&g| vexus.groups().get(g).describes(male_token))
+            .count()
     };
     let _ = writeln!(
         out,
@@ -741,7 +937,11 @@ pub fn c8_crossfilter() -> String {
             .users()
             .map(|u| {
                 let v = data.value(u, country_attr);
-                if v.is_missing() { 0 } else { v.raw() }
+                if v.is_missing() {
+                    0
+                } else {
+                    v.raw()
+                }
             })
             .collect();
         let n_cats = data.schema().cardinality(country_attr).max(1);
@@ -783,9 +983,16 @@ pub fn c8_crossfilter() -> String {
 /// with; the cited user study reports 80 % satisfaction for group-based
 /// exploration.
 pub fn c9_discussion_groups() -> String {
-    let mut out = header("c9", "discussion groups (ST) + satisfaction proxy (cited: 80 %)");
+    let mut out = header(
+        "c9",
+        "discussion groups (ST) + satisfaction proxy (cited: 80 %)",
+    );
     let (vexus, _) = workloads::bookcrossing_engine(EngineConfig::paper());
-    let fav_attr = vexus.data().schema().attr("favorite_genre").expect("favorite_genre");
+    let fav_attr = vexus
+        .data()
+        .schema()
+        .attr("favorite_genre")
+        .expect("favorite_genre");
     // Readers: one per genre value; target = the closed group of users who
     // share the reader's favorite genre (the "agree" club).
     let mut runs = 0usize;
@@ -798,7 +1005,9 @@ pub fn c9_discussion_groups() -> String {
     );
     for value_idx in 0..vexus.data().schema().cardinality(fav_attr).min(8) {
         let v = vexus_data::ValueId::new(value_idx as u32);
-        let Some(token) = vexus.vocab().token(fav_attr, v) else { continue };
+        let Some(token) = vexus.vocab().token(fav_attr, v) else {
+            continue;
+        };
         // The agree-club: the group whose description is exactly that token.
         let Some((club, _)) = vexus
             .groups()
@@ -815,7 +1024,10 @@ pub fn c9_discussion_groups() -> String {
         let o = run_st(
             &mut session,
             &target,
-            StAccept::Precision { min_precision: 0.8, min_size: 15 },
+            StAccept::Precision {
+                min_precision: 0.8,
+                min_size: 15,
+            },
             10,
             Policy::Informed,
         )
@@ -937,10 +1149,7 @@ pub fn c11_force_layout() -> String {
             ticks += 1;
         }
         let after = layout.total_overlap_area();
-        let _ = writeln!(
-            out,
-            "{k:>3} | {before:>14.1} | {after:>14.6} | {ticks:>10}"
-        );
+        let _ = writeln!(out, "{k:>3} | {before:>14.1} | {after:>14.6} | {ticks:>10}");
     }
     out
 }

@@ -3,13 +3,17 @@
 //! Sizes default to laptop-friendly slices of the paper's datasets; the
 //! `VEXUS_SCALE` environment variable multiplies user/action counts for
 //! full-scale runs (e.g. `VEXUS_SCALE=14` approximates the real
-//! BOOKCROSSING's 278k users).
+//! BOOKCROSSING's 278k users). Engines are assembled through
+//! [`VexusBuilder`], so every workload can run under any discovery
+//! backend (see [`engine_over`]).
 
+use vexus_core::engine::VexusBuilder;
 use vexus_core::{EngineConfig, Vexus};
 use vexus_data::synthetic::{
     bookcrossing, dbauthors, grocery, BookCrossingConfig, DbAuthorsConfig, GroceryConfig,
     SyntheticDataset,
 };
+use vexus_mining::GroupDiscovery;
 
 /// Scale multiplier from the environment (default 1).
 pub fn scale() -> usize {
@@ -46,18 +50,40 @@ pub fn grocery_default() -> SyntheticDataset {
     grocery(&GroceryConfig::default())
 }
 
+/// Build an engine over any dataset with any discovery backend — the
+/// plug-in seam the backend-comparison experiments use.
+pub fn engine_over(
+    ds: SyntheticDataset,
+    backend: Box<dyn GroupDiscovery>,
+    config: EngineConfig,
+) -> Vexus {
+    VexusBuilder::new(ds.data)
+        .config(config)
+        .discovery_boxed(backend)
+        .build()
+        .expect("non-empty group space")
+}
+
 /// Build an engine over the standard BookCrossing workload.
 pub fn bookcrossing_engine(config: EngineConfig) -> (Vexus, Vec<u32>) {
     let ds = bookcrossing_at(scale());
     let latent = ds.latent.clone();
-    (Vexus::build(ds.data, config).expect("non-empty group space"), latent)
+    let vexus = VexusBuilder::new(ds.data)
+        .config(config)
+        .build()
+        .expect("non-empty group space");
+    (vexus, latent)
 }
 
 /// Build an engine over the standard DB-AUTHORS workload.
 pub fn dbauthors_engine(config: EngineConfig) -> (Vexus, Vec<u32>) {
     let ds = dbauthors_at(scale());
     let latent = ds.latent.clone();
-    (Vexus::build(ds.data, config).expect("non-empty group space"), latent)
+    let vexus = VexusBuilder::new(ds.data)
+        .config(config)
+        .build()
+        .expect("non-empty group space");
+    (vexus, latent)
 }
 
 /// Small engine for fast criterion benches.
@@ -69,12 +95,16 @@ pub fn small_bookcrossing_engine(config: EngineConfig) -> Vexus {
         n_communities: 6,
         seed: 7,
     });
-    Vexus::build(ds.data, config).expect("non-empty group space")
+    VexusBuilder::new(ds.data)
+        .config(config)
+        .build()
+        .expect("non-empty group space")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vexus_mining::BirchDiscovery;
 
     #[test]
     fn scale_defaults_to_one() {
@@ -86,5 +116,16 @@ mod tests {
     fn small_engine_builds() {
         let vexus = small_bookcrossing_engine(EngineConfig::default());
         assert!(vexus.build_stats().n_groups > 50);
+    }
+
+    #[test]
+    fn engine_over_swaps_backends() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vexus = engine_over(
+            ds,
+            Box::new(BirchDiscovery::default()),
+            EngineConfig::default(),
+        );
+        assert_eq!(vexus.build_stats().discovery.algorithm, "birch");
     }
 }

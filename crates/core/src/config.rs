@@ -2,6 +2,7 @@
 //! sweep.
 
 use std::time::Duration;
+use vexus_mining::DiscoverySelection;
 
 /// Configuration of the exploration engine.
 #[derive(Debug, Clone)]
@@ -27,12 +28,12 @@ pub struct EngineConfig {
     pub feedback_weight: f64,
     /// Fraction of each inverted index materialized offline (paper: 0.10).
     pub materialize_fraction: f64,
-    /// Minimum group size kept after discovery.
+    /// Minimum group size kept after discovery (the size-filter stage,
+    /// applied to every backend's output).
     pub min_group_size: usize,
-    /// Maximum description length mined.
-    pub max_description: usize,
-    /// Hard cap on the discovered group space.
-    pub max_groups: usize,
+    /// Which discovery backend the offline pipeline runs (LCM, α-MOMRI,
+    /// BIRCH or stream FIM) and its per-algorithm knobs.
+    pub discovery: DiscoverySelection,
 }
 
 impl Default for EngineConfig {
@@ -47,8 +48,7 @@ impl Default for EngineConfig {
             feedback_weight: 0.5,
             materialize_fraction: 0.10,
             min_group_size: 5,
-            max_description: 4,
-            max_groups: 100_000,
+            discovery: DiscoverySelection::default(),
         }
     }
 }
@@ -78,6 +78,12 @@ impl EngineConfig {
         self.time_budget = budget;
         self
     }
+
+    /// Builder-style: select the discovery backend.
+    pub fn with_discovery(mut self, discovery: DiscoverySelection) -> Self {
+        self.discovery = discovery;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -94,10 +100,29 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = EngineConfig::default().with_k(100).with_budget(Duration::from_millis(5));
+        let c = EngineConfig::default()
+            .with_k(100)
+            .with_budget(Duration::from_millis(5));
         assert_eq!(c.k, 12);
         assert_eq!(c.time_budget, Duration::from_millis(5));
         let nf = EngineConfig::default().without_feedback();
         assert_eq!(nf.feedback_weight, 0.0);
+    }
+
+    #[test]
+    fn discovery_selection_is_swappable() {
+        let c = EngineConfig::default().with_discovery(vexus_mining::DiscoverySelection::Birch {
+            branching: 8,
+            threshold: 1.5,
+        });
+        assert!(matches!(
+            c.discovery,
+            vexus_mining::DiscoverySelection::Birch { branching: 8, .. }
+        ));
+        // The default remains the paper's LCM path.
+        assert!(matches!(
+            EngineConfig::default().discovery,
+            vexus_mining::DiscoverySelection::Lcm { .. }
+        ));
     }
 }

@@ -1,5 +1,13 @@
-//! The engine facade: Fig. 1's offline pre-processing pipeline (group
-//! discovery → index generation) plus session management.
+//! The engine facade: Fig. 1's offline pre-processing pipeline as an
+//! explicit staged builder (data → discovery → size-filter → index) plus
+//! session management.
+//!
+//! [`VexusBuilder`] is the pipeline. Its discovery stage accepts any
+//! [`GroupDiscovery`] backend — the paper's LCM default, α-MOMRI, BIRCH or
+//! stream FIM, or an external implementation — and every stage reports
+//! into [`BuildStats`]. [`Vexus::build`] remains the one-call facade,
+//! routing through the builder with the backend selected by
+//! [`EngineConfig::discovery`].
 
 use crate::config::EngineConfig;
 use crate::error::CoreError;
@@ -7,22 +15,162 @@ use crate::session::ExplorationSession;
 use std::time::{Duration, Instant};
 use vexus_data::{UserData, Vocabulary};
 use vexus_index::{GroupIndex, IndexConfig, OverlapGraph};
-use vexus_mining::transactions::TransactionDb;
-use vexus_mining::{GroupSet, LcmConfig};
+use vexus_mining::{DiscoveryStats, GroupDiscovery, GroupSet};
 
 /// Timings and sizes of the offline pre-processing stage.
 #[derive(Debug, Clone, Default)]
 pub struct BuildStats {
-    /// Wall-clock of group discovery.
-    pub mining_time: Duration,
+    /// Statistics reported by the discovery backend (algorithm name,
+    /// wall-clock, raw group count before size filtering).
+    pub discovery: DiscoveryStats,
     /// Wall-clock of index construction.
     pub index_time: Duration,
+    /// Groups removed by the size filter.
+    pub filtered_out: usize,
     /// Discovered groups (after size filtering).
     pub n_groups: usize,
     /// Materialized neighbor entries.
     pub index_entries: usize,
     /// Approximate index heap bytes.
     pub index_bytes: usize,
+}
+
+/// How the builder obtains the group space.
+enum DiscoveryStage {
+    /// Run the backend selected by `EngineConfig::discovery`.
+    FromConfig,
+    /// Run an explicitly supplied backend.
+    Backend(Box<dyn GroupDiscovery>),
+    /// Skip discovery: the caller already has vocabulary + groups.
+    Pregrouped(Vocabulary, GroupSet),
+}
+
+/// Staged builder for the offline pipeline:
+///
+/// 1. **data** — takes ownership of the dataset, builds the token
+///    [`Vocabulary`],
+/// 2. **discovery** — runs a pluggable [`GroupDiscovery`] backend (or
+///    accepts pre-discovered groups),
+/// 3. **size-filter** — drops groups under
+///    [`EngineConfig::min_group_size`],
+/// 4. **index** — builds the inverted similarity [`GroupIndex`].
+///
+/// ```no_run
+/// # use vexus_core::engine::VexusBuilder;
+/// # use vexus_core::EngineConfig;
+/// # use vexus_mining::BirchDiscovery;
+/// # let data = unimplemented!();
+/// let vexus = VexusBuilder::new(data)
+///     .config(EngineConfig::paper())
+///     .discovery(BirchDiscovery::default())
+///     .build()?;
+/// # Ok::<(), vexus_core::CoreError>(())
+/// ```
+pub struct VexusBuilder {
+    data: UserData,
+    config: EngineConfig,
+    stage: DiscoveryStage,
+}
+
+impl VexusBuilder {
+    /// Stage 1: start the pipeline from a dataset.
+    pub fn new(data: UserData) -> Self {
+        Self {
+            data,
+            config: EngineConfig::default(),
+            stage: DiscoveryStage::FromConfig,
+        }
+    }
+
+    /// Set the engine configuration (also selects the default backend via
+    /// [`EngineConfig::discovery`] unless one is supplied explicitly).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Stage 2 (explicit): run this discovery backend instead of the
+    /// config-selected one.
+    pub fn discovery(self, backend: impl GroupDiscovery + 'static) -> Self {
+        self.discovery_boxed(Box::new(backend))
+    }
+
+    /// Stage 2 (explicit, boxed): as [`VexusBuilder::discovery`] for
+    /// backends chosen at runtime.
+    pub fn discovery_boxed(mut self, backend: Box<dyn GroupDiscovery>) -> Self {
+        self.stage = DiscoveryStage::Backend(backend);
+        self
+    }
+
+    /// Stage 2 (bypass): use an externally discovered group space and its
+    /// vocabulary. The size filter and index stages still run.
+    pub fn groups(mut self, vocab: Vocabulary, groups: GroupSet) -> Self {
+        self.stage = DiscoveryStage::Pregrouped(vocab, groups);
+        self
+    }
+
+    /// Run the remaining stages and assemble the engine.
+    pub fn build(self) -> Result<Vexus, CoreError> {
+        let Self {
+            data,
+            config,
+            stage,
+        } = self;
+        // Stage 2: discovery.
+        let (vocab, mut groups, discovery) = match stage {
+            DiscoveryStage::FromConfig => {
+                let vocab = Vocabulary::build(&data);
+                let backend = config.discovery.backend(config.min_group_size);
+                let outcome = backend.discover(&data, &vocab);
+                (vocab, outcome.groups, outcome.stats)
+            }
+            DiscoveryStage::Backend(backend) => {
+                let vocab = Vocabulary::build(&data);
+                let outcome = backend.discover(&data, &vocab);
+                (vocab, outcome.groups, outcome.stats)
+            }
+            DiscoveryStage::Pregrouped(vocab, groups) => {
+                let stats = DiscoveryStats {
+                    algorithm: "pregrouped",
+                    elapsed: Duration::ZERO,
+                    groups_discovered: groups.len(),
+                    candidates_considered: groups.len(),
+                };
+                (vocab, groups, stats)
+            }
+        };
+        // Stage 3: size filter.
+        let filtered_out = groups.filter_by_size(config.min_group_size, usize::MAX);
+        if groups.is_empty() {
+            return Err(CoreError::EmptyGroupSpace);
+        }
+        // Stage 4: index.
+        let t0 = Instant::now();
+        let index = GroupIndex::build(
+            &groups,
+            &IndexConfig {
+                materialize_fraction: config.materialize_fraction,
+                threads: 0,
+            },
+        );
+        let index_time = t0.elapsed();
+        let stats = BuildStats {
+            discovery,
+            index_time,
+            filtered_out,
+            n_groups: groups.len(),
+            index_entries: index.stats().materialized_entries,
+            index_bytes: index.stats().heap_bytes,
+        };
+        Ok(Vexus {
+            data,
+            vocab,
+            groups,
+            index,
+            config,
+            stats,
+        })
+    }
 }
 
 /// A fully pre-processed VEXUS instance: dataset + group space + index.
@@ -36,66 +184,39 @@ pub struct Vexus {
 }
 
 impl Vexus {
-    /// Run the full offline pipeline: tokenize demographics, mine closed
-    /// groups with LCM, filter by size, and build the similarity index.
+    /// Run the full offline pipeline with the backend selected by
+    /// [`EngineConfig::discovery`] (the paper's LCM path by default).
     pub fn build(data: UserData, config: EngineConfig) -> Result<Self, CoreError> {
-        let vocab = Vocabulary::build(&data);
-        let db = TransactionDb::build(&data, &vocab);
-        let t0 = Instant::now();
-        let mut groups = vexus_mining::mine_closed_groups(
-            &db,
-            &LcmConfig {
-                min_support: config.min_group_size,
-                max_description: config.max_description,
-                max_groups: config.max_groups,
-                emit_root: false,
-            },
-        );
-        groups.filter_by_size(config.min_group_size, usize::MAX);
-        let mining_time = t0.elapsed();
-        Self::from_groups(data, vocab, groups, config, mining_time)
+        VexusBuilder::new(data).config(config).build()
     }
 
     /// Assemble an engine from an externally discovered group space (the
-    /// α-MOMRI / BIRCH / stream-mining plug-in path).
+    /// pre-discovered plug-in path; see also [`VexusBuilder::groups`]).
+    ///
+    /// Unlike the pre-builder engine, the size-filter stage still runs:
+    /// groups under `config.min_group_size` are dropped. Pass a smaller
+    /// `min_group_size` to keep curated small groups.
     pub fn with_groups(
         data: UserData,
         vocab: Vocabulary,
         groups: GroupSet,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        Self::from_groups(data, vocab, groups, config, Duration::ZERO)
-    }
-
-    fn from_groups(
-        data: UserData,
-        vocab: Vocabulary,
-        groups: GroupSet,
-        config: EngineConfig,
-        mining_time: Duration,
-    ) -> Result<Self, CoreError> {
-        if groups.is_empty() {
-            return Err(CoreError::EmptyGroupSpace);
-        }
-        let t0 = Instant::now();
-        let index = GroupIndex::build(
-            &groups,
-            &IndexConfig { materialize_fraction: config.materialize_fraction, threads: 0 },
-        );
-        let index_time = t0.elapsed();
-        let stats = BuildStats {
-            mining_time,
-            index_time,
-            n_groups: groups.len(),
-            index_entries: index.stats().materialized_entries,
-            index_bytes: index.stats().heap_bytes,
-        };
-        Ok(Self { data, vocab, groups, index, config, stats })
+        VexusBuilder::new(data)
+            .config(config)
+            .groups(vocab, groups)
+            .build()
     }
 
     /// Open an exploration session.
     pub fn session(&self) -> Result<ExplorationSession<'_>, CoreError> {
-        ExplorationSession::open(&self.data, &self.vocab, &self.groups, &self.index, self.config.clone())
+        ExplorationSession::open(
+            &self.data,
+            &self.vocab,
+            &self.groups,
+            &self.index,
+            self.config.clone(),
+        )
     }
 
     /// Open a session with a different configuration (k sweeps, budget
@@ -145,15 +266,25 @@ impl Vexus {
 mod tests {
     use super::*;
     use vexus_data::synthetic::{bookcrossing, dbauthors, BookCrossingConfig, DbAuthorsConfig};
+    use vexus_mining::{
+        BirchDiscovery, DiscoverySelection, LcmDiscovery, MomriConfig, StreamFimConfig,
+        StreamFimDiscovery,
+    };
 
     #[test]
     fn builds_from_bookcrossing() {
         let ds = bookcrossing(&BookCrossingConfig::tiny());
         let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
         let stats = vexus.build_stats();
-        assert!(stats.n_groups > 10, "group space too small: {}", stats.n_groups);
+        assert!(
+            stats.n_groups > 10,
+            "group space too small: {}",
+            stats.n_groups
+        );
         assert!(stats.index_entries > 0);
         assert!(stats.index_bytes > 0);
+        assert_eq!(stats.discovery.algorithm, "lcm");
+        assert!(stats.discovery.groups_discovered >= stats.n_groups);
         // Every group respects the size floor.
         assert!(vexus.groups().iter().all(|(_, g)| g.size() >= 5));
     }
@@ -180,8 +311,82 @@ mod tests {
     fn session_with_overrides_config() {
         let ds = bookcrossing(&BookCrossingConfig::tiny());
         let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
-        let session = vexus.session_with(EngineConfig::default().with_k(3)).unwrap();
+        let session = vexus
+            .session_with(EngineConfig::default().with_k(3))
+            .unwrap();
         assert!(session.display().len() <= 3);
+    }
+
+    #[test]
+    fn builder_accepts_any_backend() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vexus = VexusBuilder::new(ds.data)
+            .config(EngineConfig::default())
+            .discovery(BirchDiscovery::default())
+            .build()
+            .unwrap();
+        assert_eq!(vexus.build_stats().discovery.algorithm, "birch");
+        let session = vexus.session().unwrap();
+        assert!(!session.display().is_empty());
+    }
+
+    #[test]
+    fn builder_runtime_backend_selection() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let backend: Box<dyn GroupDiscovery> = if ds.data.n_users() > 100 {
+            Box::new(StreamFimDiscovery::new(StreamFimConfig {
+                support: 0.05,
+                epsilon: 0.01,
+                max_len: 3,
+            }))
+        } else {
+            Box::new(LcmDiscovery::default())
+        };
+        let vexus = VexusBuilder::new(ds.data)
+            .discovery_boxed(backend)
+            .build()
+            .unwrap();
+        assert_eq!(vexus.build_stats().discovery.algorithm, "stream-fim");
+    }
+
+    #[test]
+    fn config_selected_discovery_drives_the_facade() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let config = EngineConfig::default().with_discovery(DiscoverySelection::Momri {
+            config: MomriConfig::default(),
+            materialize: vexus_mining::MomriMaterialize::Candidates,
+        });
+        let vexus = Vexus::build(ds.data, config).unwrap();
+        assert_eq!(vexus.build_stats().discovery.algorithm, "momri");
+        assert!(!vexus.session().unwrap().display().is_empty());
+    }
+
+    #[test]
+    fn size_filter_stage_reports_removals() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        // BIRCH with a floor of 1 discovers tiny clusters; the engine's
+        // size filter (min_group_size) then prunes them and reports it.
+        let vexus = VexusBuilder::new(ds.data)
+            .config(EngineConfig {
+                min_group_size: 8,
+                ..EngineConfig::default()
+            })
+            .discovery(BirchDiscovery {
+                min_cluster_size: 1,
+                ..BirchDiscovery::default()
+            })
+            .build()
+            .unwrap();
+        let stats = vexus.build_stats();
+        assert!(
+            stats.filtered_out > 0,
+            "expected small clusters to be pruned"
+        );
+        assert_eq!(
+            stats.discovery.groups_discovered,
+            stats.n_groups + stats.filtered_out
+        );
+        assert!(vexus.groups().iter().all(|(_, g)| g.size() >= 8));
     }
 
     #[test]
@@ -202,6 +407,7 @@ mod tests {
         let groups = tree.into_groups(5);
         assert!(!groups.is_empty());
         let vexus = Vexus::with_groups(data, vocab, groups, EngineConfig::default()).unwrap();
+        assert_eq!(vexus.build_stats().discovery.algorithm, "pregrouped");
         let session = vexus.session().unwrap();
         assert!(!session.display().is_empty());
     }

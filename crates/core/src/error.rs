@@ -41,6 +41,8 @@ mod tests {
     fn messages_identify_the_subject() {
         assert!(CoreError::UnknownGroup(7).to_string().contains("g7"));
         assert!(CoreError::BadHistoryStep(3).to_string().contains('3'));
-        assert!(CoreError::UnknownAttribute("x".into()).to_string().contains("\"x\""));
+        assert!(CoreError::UnknownAttribute("x".into())
+            .to_string()
+            .contains("\"x\""));
     }
 }

@@ -1,117 +1,5 @@
-//! User featurization: demographic one-hot + normalized activity vectors
-//! for the Focus view's LDA/PCA projection and for BIRCH clustering.
+//! Featurization moved into the mining layer (`vexus_mining::features`),
+//! where the BIRCH discovery backend owns it; re-exported here so existing
+//! `vexus_core::features::Featurizer` paths keep working.
 
-use vexus_data::{AttrId, UserData, UserId};
-
-/// Builds fixed-length feature vectors for users.
-#[derive(Debug, Clone)]
-pub struct Featurizer {
-    /// `(attr, cardinality, offset)` per one-hot encoded attribute.
-    layout: Vec<(AttrId, usize, usize)>,
-    /// Total one-hot width (activity feature appended after).
-    width: usize,
-    /// Normalizer for the activity feature.
-    max_activity: f64,
-}
-
-impl Featurizer {
-    /// Build over all schema attributes of `data`.
-    pub fn new(data: &UserData) -> Self {
-        let mut layout = Vec::new();
-        let mut offset = 0usize;
-        for (attr, _) in data.schema().iter() {
-            let card = data.schema().cardinality(attr);
-            layout.push((attr, card, offset));
-            offset += card;
-        }
-        let max_activity = data
-            .users()
-            .map(|u| data.user_activity(u))
-            .max()
-            .unwrap_or(0)
-            .max(1) as f64;
-        Self { layout, width: offset, max_activity }
-    }
-
-    /// Feature dimensionality (one-hot width + 1 activity slot).
-    pub fn dim(&self) -> usize {
-        self.width + 1
-    }
-
-    /// The feature vector of one user.
-    pub fn features(&self, data: &UserData, user: UserId) -> Vec<f64> {
-        let mut out = vec![0.0; self.dim()];
-        for &(attr, card, offset) in &self.layout {
-            let v = data.value(user, attr);
-            if !v.is_missing() && v.index() < card {
-                out[offset + v.index()] = 1.0;
-            }
-        }
-        out[self.width] = data.user_activity(user) as f64 / self.max_activity;
-        out
-    }
-
-    /// Feature vectors for a set of users.
-    pub fn features_of(&self, data: &UserData, users: &[UserId]) -> Vec<Vec<f64>> {
-        users.iter().map(|&u| self.features(data, u)).collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use vexus_data::{Schema, UserDataBuilder};
-
-    fn data() -> UserData {
-        let mut s = Schema::new();
-        let g = s.add_categorical("gender");
-        let c = s.add_categorical("city");
-        let mut b = UserDataBuilder::new(s);
-        let u0 = b.user("a");
-        let u1 = b.user("b");
-        b.set_demo(u0, g, "f").unwrap();
-        b.set_demo(u1, g, "m").unwrap();
-        b.set_demo(u0, c, "paris").unwrap();
-        // u1 city missing
-        let i = b.item("x", None);
-        for _ in 0..4 {
-            b.action(u0, i, 1.0);
-        }
-        b.action(u1, i, 1.0);
-        b.build()
-    }
-
-    #[test]
-    fn one_hot_layout() {
-        let d = data();
-        let f = Featurizer::new(&d);
-        // gender has 2 values, city has 1 value -> width 3, +1 activity.
-        assert_eq!(f.dim(), 4);
-        let v0 = f.features(&d, UserId::new(0));
-        assert_eq!(v0[0], 1.0); // gender=f
-        assert_eq!(v0[1], 0.0);
-        assert_eq!(v0[2], 1.0); // city=paris
-        assert_eq!(v0[3], 1.0); // max activity normalized
-        let v1 = f.features(&d, UserId::new(1));
-        assert_eq!(v1[0], 0.0);
-        assert_eq!(v1[1], 1.0); // gender=m
-        assert_eq!(v1[2], 0.0); // city missing
-        assert!((v1[3] - 0.25).abs() < 1e-12);
-    }
-
-    #[test]
-    fn features_of_batches() {
-        let d = data();
-        let f = Featurizer::new(&d);
-        let all = f.features_of(&d, &[UserId::new(0), UserId::new(1)]);
-        assert_eq!(all.len(), 2);
-        assert!(all.iter().all(|v| v.len() == f.dim()));
-    }
-
-    #[test]
-    fn empty_dataset() {
-        let d = UserDataBuilder::new(Schema::new()).build();
-        let f = Featurizer::new(&d);
-        assert_eq!(f.dim(), 1); // just the activity slot
-    }
-}
+pub use vexus_mining::features::Featurizer;

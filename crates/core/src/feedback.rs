@@ -32,7 +32,11 @@ impl FeedbackVector {
     /// Fresh, empty vector (uniform/no bias) with the default learning
     /// rate.
     pub fn new() -> Self {
-        Self { users: HashMap::new(), tokens: HashMap::new(), learning_rate: 0.3 }
+        Self {
+            users: HashMap::new(),
+            tokens: HashMap::new(),
+            learning_rate: 0.3,
+        }
     }
 
     /// Override the learning rate (`0 < rate < 1`).
@@ -61,7 +65,11 @@ impl FeedbackVector {
         if member_count + token_count == 0 {
             return;
         }
-        let new_mass = if self.is_empty() { 1.0 } else { self.learning_rate };
+        let new_mass = if self.is_empty() {
+            1.0
+        } else {
+            self.learning_rate
+        };
         // Existing mass shrinks to (1 - new_mass).
         if !self.is_empty() {
             let keep = 1.0 - new_mass;
@@ -226,7 +234,10 @@ mod tests {
         }
         let after_u1 = fb.user_score(UserId::new(1));
         assert!(after_u1 < before_u1);
-        assert!(after_u1 < 0.02, "old feedback should tend to zero, got {after_u1}");
+        assert!(
+            after_u1 < 0.02,
+            "old feedback should tend to zero, got {after_u1}"
+        );
         assert!(fb.user_score(UserId::new(2)) > 0.2);
     }
 

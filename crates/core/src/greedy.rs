@@ -102,14 +102,21 @@ pub fn select_k(
             } else {
                 0.0
             };
-            Cand { id, weighted_sim: sim * (1.0 + params.feedback_weight * affinity), affinity }
+            Cand {
+                id,
+                weighted_sim: sim * (1.0 + params.feedback_weight * affinity),
+                affinity,
+            }
         })
         .collect();
 
     if pool.is_empty() || params.k == 0 {
         return SelectionOutcome {
             selection: Vec::new(),
-            quality: Quality { diversity: 0.0, coverage: 0.0 },
+            quality: Quality {
+                diversity: 0.0,
+                coverage: 0.0,
+            },
             rounds: 0,
             elapsed: start.elapsed(),
             budget_exhausted: false,
@@ -134,8 +141,7 @@ pub fn select_k(
         } else {
             sel.iter().map(|&i| pool[i].affinity).sum::<f64>() / sel.len() as f64
         };
-        q.score(params.diversity_weight, params.coverage_weight)
-            + params.feedback_weight * mean_aff
+        q.score(params.diversity_weight, params.coverage_weight) + params.feedback_weight * mean_aff
     };
 
     let mut best_score = objective(&selection);
@@ -195,7 +201,10 @@ pub fn select_k_unbounded(
     feedback: &FeedbackVector,
     params: &SelectParams,
 ) -> SelectionOutcome {
-    let unbounded = SelectParams { budget: None, ..params.clone() };
+    let unbounded = SelectParams {
+        budget: None,
+        ..params.clone()
+    };
     select_k(groups, candidates, reference, feedback, &unbounded)
 }
 
@@ -225,7 +234,11 @@ mod tests {
             &all_candidates(&groups),
             &reference,
             &FeedbackVector::new(),
-            &SelectParams { k: 3, budget: None, ..Default::default() },
+            &SelectParams {
+                k: 3,
+                budget: None,
+                ..Default::default()
+            },
         );
         assert_eq!(out.selection.len(), 3);
         assert!(!out.budget_exhausted);
@@ -249,7 +262,11 @@ mod tests {
             &all_candidates(&groups),
             &reference,
             &FeedbackVector::new(),
-            &SelectParams { k: 3, budget: None, ..Default::default() },
+            &SelectParams {
+                k: 3,
+                budget: None,
+                ..Default::default()
+            },
         );
         // The two disjoint groups must be in.
         assert!(out.selection.contains(&GroupId::new(3)));
@@ -266,7 +283,12 @@ mod tests {
             &candidates,
             &MemberSet::universe(4),
             &FeedbackVector::new(),
-            &SelectParams { k: 2, min_similarity: 0.1, budget: None, ..Default::default() },
+            &SelectParams {
+                k: 2,
+                min_similarity: 0.1,
+                budget: None,
+                ..Default::default()
+            },
         );
         assert_eq!(out.selection, vec![GroupId::new(0)]);
     }
@@ -283,7 +305,12 @@ mod tests {
             &candidates,
             &MemberSet::empty(),
             &fb,
-            &SelectParams { k: 1, budget: None, feedback_weight: 1.0, ..Default::default() },
+            &SelectParams {
+                k: 1,
+                budget: None,
+                feedback_weight: 1.0,
+                ..Default::default()
+            },
         );
         assert_eq!(out.selection, vec![GroupId::new(1)]);
         // Without feedback the tie breaks to the lower id.
@@ -292,7 +319,12 @@ mod tests {
             &candidates,
             &MemberSet::empty(),
             &FeedbackVector::new(),
-            &SelectParams { k: 1, budget: None, feedback_weight: 1.0, ..Default::default() },
+            &SelectParams {
+                k: 1,
+                budget: None,
+                feedback_weight: 1.0,
+                ..Default::default()
+            },
         );
         assert_eq!(out2.selection, vec![GroupId::new(0)]);
     }
@@ -305,7 +337,11 @@ mod tests {
             &all_candidates(&groups),
             &MemberSet::universe(6),
             &FeedbackVector::new(),
-            &SelectParams { k: 2, budget: Some(Duration::ZERO), ..Default::default() },
+            &SelectParams {
+                k: 2,
+                budget: Some(Duration::ZERO),
+                ..Default::default()
+            },
         );
         assert_eq!(out.selection.len(), 2);
         assert!(out.budget_exhausted);
@@ -327,7 +363,10 @@ mod tests {
             &all_candidates(&groups),
             &MemberSet::universe(1),
             &FeedbackVector::new(),
-            &SelectParams { k: 0, ..Default::default() },
+            &SelectParams {
+                k: 0,
+                ..Default::default()
+            },
         );
         assert!(out.selection.is_empty());
     }
@@ -340,7 +379,11 @@ mod tests {
             &all_candidates(&groups),
             &MemberSet::universe(4),
             &FeedbackVector::new(),
-            &SelectParams { k: 7, budget: None, ..Default::default() },
+            &SelectParams {
+                k: 7,
+                budget: None,
+                ..Default::default()
+            },
         );
         assert_eq!(out.selection.len(), 2);
     }
@@ -355,13 +398,19 @@ mod tests {
         let slices: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
         let groups = gs(&slices);
         let reference = MemberSet::universe(90);
-        let params = SelectParams { k: 5, ..Default::default() };
+        let params = SelectParams {
+            k: 5,
+            ..Default::default()
+        };
         let bounded = select_k(
             &groups,
             &all_candidates(&groups),
             &reference,
             &FeedbackVector::new(),
-            &SelectParams { budget: Some(Duration::ZERO), ..params.clone() },
+            &SelectParams {
+                budget: Some(Duration::ZERO),
+                ..params.clone()
+            },
         );
         let unbounded = select_k_unbounded(
             &groups,
@@ -384,7 +433,11 @@ mod tests {
             &all_candidates(&groups),
             &MemberSet::universe(5),
             &FeedbackVector::new(),
-            &SelectParams { k: 3, budget: None, ..Default::default() },
+            &SelectParams {
+                k: 3,
+                budget: None,
+                ..Default::default()
+            },
         );
         let mut sel = out.selection.clone();
         sel.sort();

@@ -170,7 +170,10 @@ mod tests {
 
     #[test]
     fn quality_score_combines_weights() {
-        let q = Quality { diversity: 0.5, coverage: 1.0 };
+        let q = Quality {
+            diversity: 0.5,
+            coverage: 1.0,
+        };
         assert!((q.score(2.0, 1.0) - 2.0).abs() < 1e-12);
         assert!((q.score(0.0, 1.0) - 1.0).abs() < 1e-12);
     }

@@ -15,7 +15,7 @@ use crate::config::EngineConfig;
 use crate::error::CoreError;
 use crate::features::Featurizer;
 use crate::feedback::{ContextView, FeedbackVector};
-use crate::greedy::{self, ScoredCandidate, SelectionOutcome, SelectParams};
+use crate::greedy::{self, ScoredCandidate, SelectParams, SelectionOutcome};
 use vexus_data::{AttrId, UserData, UserId, Vocabulary};
 use vexus_index::GroupIndex;
 use vexus_mining::{GroupId, GroupSet, MemberSet};
@@ -179,9 +179,13 @@ impl<'a> ExplorationSession<'a> {
         if self.config.feedback_weight > 0.0 {
             self.feedback.reward_group(group);
         }
-        let candidates = self.index.neighbors(self.groups, g, self.config.candidate_pool);
-        let candidates: Vec<ScoredCandidate> =
-            candidates.into_iter().map(|(id, sim)| (id, sim as f64)).collect();
+        let candidates = self
+            .index
+            .neighbors(self.groups, g, self.config.candidate_pool);
+        let candidates: Vec<ScoredCandidate> = candidates
+            .into_iter()
+            .map(|(id, sim)| (id, sim as f64))
+            .collect();
         let reference = group.members.clone();
         let outcome = greedy::select_k(
             self.groups,
@@ -259,13 +263,7 @@ impl<'a> ExplorationSession<'a> {
         if g.index() >= self.groups.len() {
             return Err(CoreError::UnknownGroup(g.0));
         }
-        let members: Vec<UserId> = self
-            .groups
-            .get(g)
-            .members
-            .iter()
-            .map(UserId::new)
-            .collect();
+        let members: Vec<UserId> = self.groups.get(g).members.iter().map(UserId::new).collect();
         Ok(StatsView::new(self.data, members))
     }
 
@@ -280,8 +278,7 @@ impl<'a> ExplorationSession<'a> {
         if g.index() >= self.groups.len() {
             return Err(CoreError::UnknownGroup(g.0));
         }
-        let members: Vec<UserId> =
-            self.groups.get(g).members.iter().map(UserId::new).collect();
+        let members: Vec<UserId> = self.groups.get(g).members.iter().map(UserId::new).collect();
         if members.is_empty() {
             return Ok(Vec::new());
         }
@@ -409,8 +406,10 @@ impl<'a> ExplorationSession<'a> {
     /// Export MEMO as CSV — the "Save" module of Fig. 1. One row per
     /// bookmarked group (kind=group) and per bookmarked user (kind=user).
     pub fn export_memo_csv(&self) -> String {
-        let header: Vec<String> =
-            ["kind", "id", "label", "size_or_activity"].iter().map(|s| s.to_string()).collect();
+        let header: Vec<String> = ["kind", "id", "label", "size_or_activity"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut records = Vec::new();
         for &g in self.memo.groups() {
             records.push(vec![
@@ -510,7 +509,10 @@ mod tests {
         let vexus = engine();
         let mut session = vexus.session().unwrap();
         let bogus = GroupId::new(u32::MAX - 1);
-        assert!(matches!(session.click(bogus), Err(CoreError::NotDisplayed(_))));
+        assert!(matches!(
+            session.click(bogus),
+            Err(CoreError::NotDisplayed(_))
+        ));
     }
 
     #[test]
@@ -525,9 +527,15 @@ mod tests {
         assert_eq!(session.history().len(), 3);
         session.backtrack(0).unwrap();
         assert_eq!(session.display(), initial.as_slice());
-        assert!(session.feedback().is_empty(), "feedback restored to opening state");
+        assert!(
+            session.feedback().is_empty(),
+            "feedback restored to opening state"
+        );
         assert_eq!(session.history().len(), 1);
-        assert!(matches!(session.backtrack(9), Err(CoreError::BadHistoryStep(9))));
+        assert!(matches!(
+            session.backtrack(9),
+            Err(CoreError::BadHistoryStep(9))
+        ));
     }
 
     #[test]
@@ -565,7 +573,9 @@ mod tests {
         let attr = vexus.data().schema().attr("favorite_genre").unwrap();
         let points = session.focus_view(g, attr).unwrap();
         assert_eq!(points.len(), vexus.groups().get(g).size());
-        assert!(points.iter().all(|(_, p, _)| p.iter().all(|x| x.is_finite())));
+        assert!(points
+            .iter()
+            .all(|(_, p, _)| p.iter().all(|x| x.is_finite())));
     }
 
     #[test]
@@ -587,8 +597,10 @@ mod tests {
             }
         }
         // Bigger groups get bigger circles.
-        let sizes: Vec<usize> =
-            circles.iter().map(|c| vexus.groups().get(c.group).size()).collect();
+        let sizes: Vec<usize> = circles
+            .iter()
+            .map(|c| vexus.groups().get(c.group).size())
+            .collect();
         for i in 0..circles.len() {
             for j in 0..circles.len() {
                 if sizes[i] > sizes[j] {

@@ -154,7 +154,12 @@ pub fn run_st(
             break; // dead end: no similar neighbors above the bound
         }
     }
-    Ok(StOutcome { found: false, iterations: max_iterations, best_score: best, accepted: None })
+    Ok(StOutcome {
+        found: false,
+        iterations: max_iterations,
+        best_score: best,
+        accepted: None,
+    })
 }
 
 /// Parameters of a multi-target run.
@@ -180,7 +185,13 @@ pub struct MtTask {
 impl MtTask {
     /// A task with no brushes: raw member lists up to `inspect_limit`.
     pub fn new(targets: Vec<UserId>, max_iterations: usize, inspect_limit: usize) -> Self {
-        Self { targets, max_iterations, inspect_limit, brush: Vec::new(), min_activity: 0 }
+        Self {
+            targets,
+            max_iterations,
+            inspect_limit,
+            brush: Vec::new(),
+            min_activity: 0,
+        }
     }
 
     /// Add a profile brush.
@@ -197,11 +208,7 @@ impl MtTask {
 
     /// The members of a group that survive the explorer's brushes — what
     /// she actually sees in the STATS table.
-    fn brushed_members(
-        &self,
-        session: &ExplorationSession<'_>,
-        g: GroupId,
-    ) -> Vec<UserId> {
+    fn brushed_members(&self, session: &ExplorationSession<'_>, g: GroupId) -> Vec<UserId> {
         let data = session.data();
         session
             .group_members(g)
@@ -277,9 +284,7 @@ pub fn run_mt(
                         .filter(|u| target_set.contains(u) && !collected_set.contains(u))
                         .count();
                     let density = gain as f64 / session.group_members(g).len().max(1) as f64;
-                    if best.is_none_or(|(_, bd, bg)| {
-                        density > bd || (density == bd && gain > bg)
-                    }) {
+                    if best.is_none_or(|(_, bd, bg)| density > bd || (density == bd && gain > bg)) {
                         best = Some((g, density, gain));
                     }
                 }
@@ -296,7 +301,11 @@ pub fn run_mt(
     } else {
         collected.len() as f64 / task.targets.len() as f64
     };
-    Ok(MtOutcome { collected, iterations, recall })
+    Ok(MtOutcome {
+        collected,
+        iterations,
+        recall,
+    })
 }
 
 /// The committee-formation task of Scenario 1: recruit `size` researchers
@@ -419,7 +428,11 @@ pub fn run_committee(
         }
     }
     let fill = recruited.len() as f64 / task.size.max(1) as f64;
-    Ok(CommitteeOutcome { recruited, iterations, fill })
+    Ok(CommitteeOutcome {
+        recruited,
+        iterations,
+        fill,
+    })
 }
 
 fn policy_rng(policy: Policy) -> Option<StdRng> {
@@ -451,8 +464,14 @@ mod tests {
         let mut session = vexus.session().unwrap();
         let g = session.display()[0];
         let target = vexus.groups().get(g).members.clone();
-        let out =
-            run_st(&mut session, &target, StAccept::Jaccard(0.99), 10, Policy::Informed).unwrap();
+        let out = run_st(
+            &mut session,
+            &target,
+            StAccept::Jaccard(0.99),
+            10,
+            Policy::Informed,
+        )
+        .unwrap();
         assert!(out.found);
         assert_eq!(out.iterations, 0);
         assert_eq!(out.accepted, Some(g));
@@ -471,8 +490,14 @@ mod tests {
             .expect("a hidden group exists");
         let target = vexus.groups().get(target_group).members.clone();
         let mut session = vexus.session().unwrap();
-        let out =
-            run_st(&mut session, &target, StAccept::Jaccard(0.6), 15, Policy::Informed).unwrap();
+        let out = run_st(
+            &mut session,
+            &target,
+            StAccept::Jaccard(0.6),
+            15,
+            Policy::Informed,
+        )
+        .unwrap();
         assert!(out.best_score > 0.0, "never saw anything target-like");
         if !out.found {
             assert!(out.iterations >= 1);
@@ -489,7 +514,10 @@ mod tests {
         let out = run_st(
             &mut session,
             &target,
-            StAccept::Precision { min_precision: 0.9, min_size: 5 },
+            StAccept::Precision {
+                min_precision: 0.9,
+                min_size: 5,
+            },
             5,
             Policy::Informed,
         )
@@ -500,7 +528,10 @@ mod tests {
 
     #[test]
     fn st_precision_respects_min_size() {
-        let accept = StAccept::Precision { min_precision: 0.5, min_size: 10 };
+        let accept = StAccept::Precision {
+            min_precision: 0.5,
+            min_size: 10,
+        };
         let small = MemberSet::from_unsorted(vec![1, 2, 3]);
         let target = MemberSet::from_unsorted(vec![1, 2, 3]);
         assert_eq!(accept.score(&small, &target), 0.0);
@@ -571,12 +602,22 @@ mod tests {
         let target = vexus.groups().get(GroupId::new(0)).members.clone();
         let mut s1 = vexus.session().unwrap();
         let mut s2 = vexus.session().unwrap();
-        let o1 =
-            run_st(&mut s1, &target, StAccept::Jaccard(0.95), 8, Policy::Random { seed: 5 })
-                .unwrap();
-        let o2 =
-            run_st(&mut s2, &target, StAccept::Jaccard(0.95), 8, Policy::Random { seed: 5 })
-                .unwrap();
+        let o1 = run_st(
+            &mut s1,
+            &target,
+            StAccept::Jaccard(0.95),
+            8,
+            Policy::Random { seed: 5 },
+        )
+        .unwrap();
+        let o2 = run_st(
+            &mut s2,
+            &target,
+            StAccept::Jaccard(0.95),
+            8,
+            Policy::Random { seed: 5 },
+        )
+        .unwrap();
         assert_eq!(o1.found, o2.found);
         assert_eq!(o1.iterations, o2.iterations);
         assert!((o1.best_score - o2.best_score).abs() < 1e-12);
@@ -591,20 +632,22 @@ mod tests {
             .iter()
             .filter(|(_, g)| g.size() >= 8)
             .take(6)
-            .flat_map(|(_, g)| g.members.iter().take(2).map(UserId::new).collect::<Vec<_>>())
+            .flat_map(|(_, g)| {
+                g.members
+                    .iter()
+                    .take(2)
+                    .map(UserId::new)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let mut informed_recall = 0.0;
         let mut random_recall = 0.0;
         let trials = 3;
         for seed in 0..trials {
             let mut s = vexus.session().unwrap();
-            informed_recall += run_mt(
-                &mut s,
-                &mt_task(targets.clone(), 8, 100),
-                Policy::Informed,
-            )
-            .unwrap()
-            .recall;
+            informed_recall += run_mt(&mut s, &mt_task(targets.clone(), 8, 100), Policy::Informed)
+                .unwrap()
+                .recall;
             let mut s = vexus.session().unwrap();
             random_recall += run_mt(
                 &mut s,

@@ -20,7 +20,11 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        Self { delimiter: b',', quote: b'"', has_header: true }
+        Self {
+            delimiter: b',',
+            quote: b'"',
+            has_header: true,
+        }
     }
 }
 
@@ -50,7 +54,12 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(bytes: &'a [u8], opts: CsvOptions) -> Self {
-        Self { bytes, pos: 0, line: 1, opts }
+        Self {
+            bytes,
+            pos: 0,
+            line: 1,
+            opts,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -87,10 +96,7 @@ impl<'a> Parser<'a> {
                 Some(&other) => {
                     return Err(DataError::Csv {
                         line: self.line,
-                        message: format!(
-                            "unexpected byte {:?} after quoted field",
-                            other as char
-                        ),
+                        message: format!("unexpected byte {:?} after quoted field", other as char),
                     });
                 }
             }
@@ -196,9 +202,9 @@ pub fn write(header: &[String], records: &[Vec<String>], opts: CsvOptions) -> St
             // A lone empty field must be quoted: an unquoted empty line is
             // indistinguishable from a row terminator when re-parsing.
             let needs_quote = (row.len() == 1 && field.is_empty())
-                || field.bytes().any(|b| {
-                    b == opts.delimiter || b == opts.quote || b == b'\n' || b == b'\r'
-                });
+                || field
+                    .bytes()
+                    .any(|b| b == opts.delimiter || b == opts.quote || b == b'\n' || b == b'\r');
             if needs_quote {
                 out.push(opts.quote as char);
                 for ch in field.chars() {
@@ -233,7 +239,11 @@ mod tests {
 
     #[test]
     fn parses_simple_header_and_rows() {
-        let t = parse("user,item,value\nmary,book,4\nbob,book,2\n", CsvOptions::default()).unwrap();
+        let t = parse(
+            "user,item,value\nmary,book,4\nbob,book,2\n",
+            CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(t.header, strs(&["user", "item", "value"]));
         assert_eq!(t.records.len(), 2);
         assert_eq!(t.records[0], strs(&["mary", "book", "4"]));
@@ -266,16 +276,25 @@ mod tests {
 
     #[test]
     fn semicolon_dialect_like_bookcrossing() {
-        let opts = CsvOptions { delimiter: b';', ..Default::default() };
-        let t = parse("\"User-ID\";\"ISBN\";\"Rating\"\n\"276725\";\"034545104X\";\"0\"\n", opts)
-            .unwrap();
+        let opts = CsvOptions {
+            delimiter: b';',
+            ..Default::default()
+        };
+        let t = parse(
+            "\"User-ID\";\"ISBN\";\"Rating\"\n\"276725\";\"034545104X\";\"0\"\n",
+            opts,
+        )
+        .unwrap();
         assert_eq!(t.header, strs(&["User-ID", "ISBN", "Rating"]));
         assert_eq!(t.records[0], strs(&["276725", "034545104X", "0"]));
     }
 
     #[test]
     fn no_header_mode() {
-        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..Default::default()
+        };
         let t = parse("1,2\n3,4\n", opts).unwrap();
         assert!(t.header.is_empty());
         assert_eq!(t.records.len(), 2);

@@ -163,7 +163,11 @@ impl UserDataBuilder {
     /// dictionaries during ingestion.
     pub fn new(schema: Schema) -> Self {
         let columns = (0..schema.len()).map(|_| Vec::new()).collect();
-        Self { schema, columns, ..Default::default() }
+        Self {
+            schema,
+            columns,
+            ..Default::default()
+        }
     }
 
     /// Access the evolving schema.
@@ -410,7 +414,10 @@ mod tests {
         let d = small();
         let gender = d.schema().attr("gender").unwrap();
         let mary = UserId::new(0);
-        assert_eq!(d.schema().value_label(gender, d.value(mary, gender)), "female");
+        assert_eq!(
+            d.schema().value_label(gender, d.value(mary, gender)),
+            "female"
+        );
         assert_eq!(d.describe_user(mary), "gender=female, age=young");
     }
 
@@ -504,18 +511,16 @@ mod tests {
         b.action(u1, i, 5.0);
         b.action(u1, i, 4.0);
         b.derive_attribute(act, |_, acts| {
-            if acts.len() >= 2 { "active".into() } else { "inactive".into() }
+            if acts.len() >= 2 {
+                "active".into()
+            } else {
+                "inactive".into()
+            }
         })
         .unwrap();
         let d = b.build();
-        assert_eq!(
-            d.schema().value_label(act, d.value(u1, act)),
-            "active"
-        );
-        assert_eq!(
-            d.schema().value_label(act, d.value(u0, act)),
-            "inactive"
-        );
+        assert_eq!(d.schema().value_label(act, d.value(u1, act)), "active");
+        assert_eq!(d.schema().value_label(act, d.value(u0, act)), "inactive");
     }
 
     #[test]

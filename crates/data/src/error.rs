@@ -32,7 +32,9 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
             DataError::UnknownUser(u) => write!(f, "unknown user: {u}"),
             DataError::BadValue { attribute, value } => {
@@ -58,10 +60,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_specific() {
-        let e = DataError::Csv { line: 3, message: "unterminated quote".into() };
+        let e = DataError::Csv {
+            line: 3,
+            message: "unterminated quote".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("unterminated quote"));
-        let e = DataError::BadValue { attribute: "age".into(), value: "abc".into() };
+        let e = DataError::BadValue {
+            attribute: "age".into(),
+            value: "abc".into(),
+        };
         assert!(e.to_string().contains("age"));
     }
 

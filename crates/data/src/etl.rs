@@ -64,7 +64,10 @@ pub struct EtlReport {
 
 /// Apply `ops` in order, mutating `table` and accumulating a report.
 pub fn clean(table: &mut CsvTable, ops: &[CleanOp]) -> EtlReport {
-    let mut report = EtlReport { records_in: table.records.len(), ..Default::default() };
+    let mut report = EtlReport {
+        records_in: table.records.len(),
+        ..Default::default()
+    };
     for op in ops {
         apply(table, op, &mut report);
     }
@@ -129,7 +132,9 @@ fn apply(table: &mut CsvTable, op: &CleanOp, report: &mut EtlReport) {
         CleanOp::RequireNonEmpty(col) => {
             if let Some(c) = table.column(col) {
                 let before = table.records.len();
-                table.records.retain(|r| r.get(c).is_some_and(|f| !f.is_empty()));
+                table
+                    .records
+                    .retain(|r| r.get(c).is_some_and(|f| !f.is_empty()));
                 report.dropped_missing_required += before - table.records.len();
             }
         }
@@ -202,19 +207,25 @@ pub fn import(
         .ok_or_else(|| DataError::UnknownAttribute(spec.user_column.clone()))?;
     let item_col = match &spec.item_column {
         Some(c) => Some(
-            table.column(c).ok_or_else(|| DataError::UnknownAttribute(c.clone()))?,
+            table
+                .column(c)
+                .ok_or_else(|| DataError::UnknownAttribute(c.clone()))?,
         ),
         None => None,
     };
     let value_col = match &spec.value_column {
         Some(c) => Some(
-            table.column(c).ok_or_else(|| DataError::UnknownAttribute(c.clone()))?,
+            table
+                .column(c)
+                .ok_or_else(|| DataError::UnknownAttribute(c.clone()))?,
         ),
         None => None,
     };
     let cat_col = match &spec.item_category_column {
         Some(c) => Some(
-            table.column(c).ok_or_else(|| DataError::UnknownAttribute(c.clone()))?,
+            table
+                .column(c)
+                .ok_or_else(|| DataError::UnknownAttribute(c.clone()))?,
         ),
         None => None,
     };
@@ -229,7 +240,9 @@ pub fn import(
 
     let mut stats = ImportStats::default();
     for rec in &table.records {
-        let Some(user_name) = rec.get(user_col) else { continue };
+        let Some(user_name) = rec.get(user_col) else {
+            continue;
+        };
         if user_name.is_empty() {
             stats.skipped_rows += 1;
             continue;
@@ -244,7 +257,9 @@ pub fn import(
             }
         }
         if let Some(ic) = item_col {
-            let Some(item_name) = rec.get(ic) else { continue };
+            let Some(item_name) = rec.get(ic) else {
+                continue;
+            };
             if item_name.is_empty() {
                 stats.skipped_rows += 1;
                 continue;
@@ -342,7 +357,10 @@ mod tests {
             item_column: Some("book".into()),
             value_column: Some("rating".into()),
             item_category_column: Some("genre".into()),
-            demographics: vec![("age".into(), "age".into()), ("gender".into(), "gender".into())],
+            demographics: vec![
+                ("age".into(), "age".into()),
+                ("gender".into(), "gender".into()),
+            ],
         }
     }
 
@@ -362,7 +380,11 @@ mod tests {
                 CleanOp::TrimWhitespace,
                 CleanOp::NormalizeNulls(vec!["null".into()]),
                 CleanOp::DropDuplicates,
-                CleanOp::ClampNumeric { column: "age".into(), min: 0.0, max: 120.0 },
+                CleanOp::ClampNumeric {
+                    column: "age".into(),
+                    min: 0.0,
+                    max: 120.0,
+                },
             ],
         );
         assert_eq!(report.records_in, 6);
@@ -422,7 +444,14 @@ mod tests {
     #[test]
     fn clamp_numeric_blank_on_unparseable() {
         let mut t = parse("x\n5\nhello\n-3\n", CsvOptions::default()).unwrap();
-        let r = clean(&mut t, &[CleanOp::ClampNumeric { column: "x".into(), min: 0.0, max: 4.0 }]);
+        let r = clean(
+            &mut t,
+            &[CleanOp::ClampNumeric {
+                column: "x".into(),
+                min: 0.0,
+                max: 4.0,
+            }],
+        );
         assert_eq!(r.values_clamped, 2);
         assert_eq!(r.values_unparseable, 1);
         assert_eq!(t.records[0][0], "4");
@@ -434,7 +463,10 @@ mod tests {
     fn import_errors_on_unknown_columns() {
         let table = parse("u\nx\n", CsvOptions::default()).unwrap();
         let mut b = UserDataBuilder::new(Schema::new());
-        let spec = ImportSpec { user_column: "nope".into(), ..Default::default() };
+        let spec = ImportSpec {
+            user_column: "nope".into(),
+            ..Default::default()
+        };
         assert!(matches!(
             import(&table, &spec, &mut b),
             Err(DataError::UnknownAttribute(_))

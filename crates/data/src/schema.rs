@@ -88,7 +88,10 @@ impl Schema {
         }
         self.add_attribute(AttributeDef {
             name: name.into(),
-            kind: AttributeKind::Numeric { edges: edges.to_vec(), labels },
+            kind: AttributeKind::Numeric {
+                edges: edges.to_vec(),
+                labels,
+            },
         })
     }
 
@@ -293,7 +296,9 @@ mod tests {
         let mut s = Schema::new();
         let c = s.add_attribute(AttributeDef {
             name: "city".into(),
-            kind: AttributeKind::Categorical { max_values: Some(2) },
+            kind: AttributeKind::Categorical {
+                max_values: Some(2),
+            },
         });
         s.intern_value(c, "paris").unwrap();
         s.intern_value(c, "grenoble").unwrap();

@@ -38,7 +38,10 @@ pub struct ReplayStream<'a> {
 impl<'a> ReplayStream<'a> {
     /// Stream over all actions of `data`.
     pub fn new(data: &'a UserData) -> Self {
-        Self { actions: data.actions(), pos: 0 }
+        Self {
+            actions: data.actions(),
+            pos: 0,
+        }
     }
 
     /// Remaining undelivered actions.
@@ -180,8 +183,16 @@ mod tests {
         let (tx, mut stream) = ChannelStream::with_capacity(8);
         let u = UserId::new(0);
         let i = ItemId::new(0);
-        assert!(tx.send(Action { user: u, item: i, value: 1.0 }));
-        assert!(tx.send(Action { user: u, item: i, value: 2.0 }));
+        assert!(tx.send(Action {
+            user: u,
+            item: i,
+            value: 1.0
+        }));
+        assert!(tx.send(Action {
+            user: u,
+            item: i,
+            value: 2.0
+        }));
         let mut out = Vec::new();
         assert_eq!(stream.next_batch(10, &mut out), 2);
         assert!(stream.is_live());
@@ -218,8 +229,16 @@ mod tests {
     #[test]
     fn codec_round_trips() {
         let actions = vec![
-            Action { user: UserId::new(1), item: ItemId::new(2), value: 3.5 },
-            Action { user: UserId::new(u32::MAX), item: ItemId::new(0), value: -1.0 },
+            Action {
+                user: UserId::new(1),
+                item: ItemId::new(2),
+                value: 3.5,
+            },
+            Action {
+                user: UserId::new(u32::MAX),
+                item: ItemId::new(0),
+                value: -1.0,
+            },
         ];
         let encoded = codec::encode(&actions);
         assert_eq!(encoded.len(), 2 * codec::FRAME_LEN);
@@ -232,7 +251,11 @@ mod tests {
 
     #[test]
     fn codec_keeps_partial_frames() {
-        let actions = vec![Action { user: UserId::new(7), item: ItemId::new(8), value: 9.0 }];
+        let actions = vec![Action {
+            user: UserId::new(7),
+            item: ItemId::new(8),
+            value: 9.0,
+        }];
         let encoded = codec::encode(&actions);
         let mut buf = BytesMut::new();
         let mut out = Vec::new();

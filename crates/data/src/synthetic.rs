@@ -59,31 +59,74 @@ pub struct BookCrossingConfig {
 
 impl Default for BookCrossingConfig {
     fn default() -> Self {
-        Self { n_users: 20_000, n_books: 15_000, n_ratings: 120_000, n_communities: 8, seed: 42 }
+        Self {
+            n_users: 20_000,
+            n_books: 15_000,
+            n_ratings: 120_000,
+            n_communities: 8,
+            seed: 42,
+        }
     }
 }
 
 impl BookCrossingConfig {
     /// A small configuration for unit tests and doc examples.
     pub fn tiny() -> Self {
-        Self { n_users: 300, n_books: 200, n_ratings: 2_000, n_communities: 4, seed: 7 }
+        Self {
+            n_users: 300,
+            n_books: 200,
+            n_ratings: 2_000,
+            n_communities: 4,
+            seed: 7,
+        }
     }
 }
 
 const GENRES: &[&str] = &[
-    "fiction", "romance", "thriller", "mystery", "scifi", "fantasy", "history",
-    "biography", "selfhelp", "children", "poetry", "cooking",
+    "fiction",
+    "romance",
+    "thriller",
+    "mystery",
+    "scifi",
+    "fantasy",
+    "history",
+    "biography",
+    "selfhelp",
+    "children",
+    "poetry",
+    "cooking",
 ];
 
 const COUNTRIES: &[&str] = &[
-    "usa", "canada", "uk", "germany", "france", "spain", "italy", "brazil",
-    "australia", "netherlands", "portugal", "india", "japan", "mexico",
-    "argentina", "sweden",
+    "usa",
+    "canada",
+    "uk",
+    "germany",
+    "france",
+    "spain",
+    "italy",
+    "brazil",
+    "australia",
+    "netherlands",
+    "portugal",
+    "india",
+    "japan",
+    "mexico",
+    "argentina",
+    "sweden",
 ];
 
 const OCCUPATIONS: &[&str] = &[
-    "student", "engineer", "teacher", "nurse", "manager", "artist", "retired",
-    "librarian", "lawyer", "scientist",
+    "student",
+    "engineer",
+    "teacher",
+    "nurse",
+    "manager",
+    "artist",
+    "retired",
+    "librarian",
+    "lawyer",
+    "scientist",
 ];
 
 /// Generate a BookCrossing-like rating dataset.
@@ -167,9 +210,14 @@ pub fn bookcrossing(cfg: &BookCrossingConfig) -> SyntheticDataset {
         let age_val = (comm.age_mean + comm.age_sd * normal).clamp(12.0, 90.0);
         b.set_demo_numeric(user, age, age_val);
         let ctry = weighted_choice(&mut rng, &comm.country_weights);
-        b.set_demo(user, country, COUNTRIES[ctry]).expect("country interns");
-        let occ = weighted_choice(&mut rng, &[3.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.5, 0.7, 0.8, 1.0]);
-        b.set_demo(user, occupation, OCCUPATIONS[occ]).expect("occupation interns");
+        b.set_demo(user, country, COUNTRIES[ctry])
+            .expect("country interns");
+        let occ = weighted_choice(
+            &mut rng,
+            &[3.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.5, 0.7, 0.8, 1.0],
+        );
+        b.set_demo(user, occupation, OCCUPATIONS[occ])
+            .expect("occupation interns");
     }
 
     // Ratings: rater drawn Zipf (few heavy readers), book drawn from the
@@ -232,7 +280,11 @@ pub fn bookcrossing(cfg: &BookCrossingConfig) -> SyntheticDataset {
     })
     .expect("derive activity");
 
-    SyntheticDataset { data: b.build(), latent, name: "bookcrossing" }
+    SyntheticDataset {
+        data: b.build(),
+        latent,
+        name: "bookcrossing",
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -254,21 +306,37 @@ pub struct DbAuthorsConfig {
 
 impl Default for DbAuthorsConfig {
     fn default() -> Self {
-        Self { n_authors: 8_000, n_publications: 60_000, n_communities: 6, seed: 42 }
+        Self {
+            n_authors: 8_000,
+            n_publications: 60_000,
+            n_communities: 6,
+            seed: 42,
+        }
     }
 }
 
 impl DbAuthorsConfig {
     /// A small configuration for unit tests and doc examples.
     pub fn tiny() -> Self {
-        Self { n_authors: 250, n_publications: 1_500, n_communities: 4, seed: 7 }
+        Self {
+            n_authors: 250,
+            n_publications: 1_500,
+            n_communities: 4,
+            seed: 7,
+        }
     }
 }
 
 /// Research topics in the DB-AUTHORS universe.
 pub const TOPICS: &[&str] = &[
-    "data management", "web search", "data mining", "machine learning",
-    "information retrieval", "databases theory", "visualization", "crowdsourcing",
+    "data management",
+    "web search",
+    "data mining",
+    "machine learning",
+    "information retrieval",
+    "databases theory",
+    "visualization",
+    "crowdsourcing",
 ];
 
 /// Publication venues in the DB-AUTHORS universe.
@@ -277,7 +345,12 @@ pub const VENUES: &[&str] = &[
 ];
 
 const REGIONS: &[&str] = &[
-    "north-america", "europe", "south-america", "asia", "oceania", "africa",
+    "north-america",
+    "europe",
+    "south-america",
+    "asia",
+    "oceania",
+    "africa",
 ];
 
 /// Generate a DB-AUTHORS-like researcher dataset.
@@ -321,7 +394,11 @@ pub fn dbauthors(cfg: &DbAuthorsConfig) -> SyntheticDataset {
             venue_weights[(c * 2 + 1) % VENUES.len()] = 5.0;
             let mut region_weights = vec![1.0; REGIONS.len()];
             region_weights[c % REGIONS.len()] = 6.0;
-            Community { topic_weights, venue_weights, region_weights }
+            Community {
+                topic_weights,
+                venue_weights,
+                region_weights,
+            }
         })
         .collect();
     let comm_pick = Zipf::new(n_comm, 0.4);
@@ -336,18 +413,24 @@ pub fn dbauthors(cfg: &DbAuthorsConfig) -> SyntheticDataset {
         let comm = &communities[c];
         let author = b.user(&format!("author-{a:05}"));
         // ~64% male population.
-        let g = if rng.gen::<f64>() < 0.64 { "male" } else { "female" };
+        let g = if rng.gen::<f64>() < 0.64 {
+            "male"
+        } else {
+            "female"
+        };
         b.set_demo(author, gender, g).expect("gender interns");
         // Years active: exponential-ish, most juniors.
         let years = (-12.0 * (1.0 - rng.gen::<f64>()).ln()).clamp(1.0, 45.0);
         author_years.push(years);
         b.set_demo_numeric(author, seniority, years);
         let r = weighted_choice(&mut rng, &comm.region_weights);
-        b.set_demo(author, region, REGIONS[r]).expect("region interns");
+        b.set_demo(author, region, REGIONS[r])
+            .expect("region interns");
         let t = weighted_choice(&mut rng, &comm.topic_weights);
         b.set_demo(author, topic, TOPICS[t]).expect("topic interns");
         let v = weighted_choice(&mut rng, &comm.venue_weights);
-        b.set_demo(author, main_venue, VENUES[v]).expect("venue interns");
+        b.set_demo(author, main_venue, VENUES[v])
+            .expect("venue interns");
     }
 
     // Publications: productivity grows with seniority (a "very senior
@@ -374,7 +457,9 @@ pub fn dbauthors(cfg: &DbAuthorsConfig) -> SyntheticDataset {
         let comm = &communities[author_comm[a]];
         let v = weighted_choice(&mut rng, &comm.venue_weights);
         let paper = b.item(&format!("paper-{paper_counter:06}"), Some(VENUES[v]));
-        let author = b.find_user(&format!("author-{a:05}")).expect("author exists");
+        let author = b
+            .find_user(&format!("author-{a:05}"))
+            .expect("author exists");
         b.action(author, paper, 1.0);
     }
 
@@ -390,7 +475,11 @@ pub fn dbauthors(cfg: &DbAuthorsConfig) -> SyntheticDataset {
     })
     .expect("derive publication_rate");
 
-    SyntheticDataset { data: b.build(), latent, name: "dbauthors" }
+    SyntheticDataset {
+        data: b.build(),
+        latent,
+        name: "dbauthors",
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -413,15 +502,32 @@ pub struct GroceryConfig {
 
 impl Default for GroceryConfig {
     fn default() -> Self {
-        Self { n_users: 5_000, n_purchases: 50_000, organic_affinity: 0.45, seed: 42 }
+        Self {
+            n_users: 5_000,
+            n_purchases: 50_000,
+            organic_affinity: 0.45,
+            seed: 42,
+        }
     }
 }
 
 const PRODUCTS: &[(&str, bool)] = &[
-    ("milk", false), ("organic-milk", true), ("bread", false), ("organic-bread", true),
-    ("beer", false), ("kombucha", true), ("chips", false), ("organic-kale", true),
-    ("soda", false), ("organic-quinoa", true), ("coffee", false), ("organic-coffee", true),
-    ("frozen-pizza", false), ("organic-tofu", true), ("candy", false), ("organic-granola", true),
+    ("milk", false),
+    ("organic-milk", true),
+    ("bread", false),
+    ("organic-bread", true),
+    ("beer", false),
+    ("kombucha", true),
+    ("chips", false),
+    ("organic-kale", true),
+    ("soda", false),
+    ("organic-quinoa", true),
+    ("coffee", false),
+    ("organic-coffee", true),
+    ("frozen-pizza", false),
+    ("organic-tofu", true),
+    ("candy", false),
+    ("organic-granola", true),
 ];
 
 /// Generate a grocery dataset with a planted "young professionals are more
@@ -441,7 +547,11 @@ pub fn grocery(cfg: &GroceryConfig) -> SyntheticDataset {
 
     let mut b = UserDataBuilder::new(schema);
     for (i, &(p, _)) in PRODUCTS.iter().enumerate() {
-        let cat = if PRODUCTS[i].1 { "organic" } else { "conventional" };
+        let cat = if PRODUCTS[i].1 {
+            "organic"
+        } else {
+            "conventional"
+        };
         b.item(p, Some(cat));
         let _ = p;
     }
@@ -455,7 +565,8 @@ pub fn grocery(cfg: &GroceryConfig) -> SyntheticDataset {
         let age_val = 18.0 + 60.0 * rng.gen::<f64>();
         b.set_demo_numeric(user, age, age_val);
         let occ = occupations[weighted_choice(&mut rng, &[2.5, 1.5, 1.5, 1.2, 0.5])];
-        b.set_demo(user, occupation, occ).expect("occupation interns");
+        b.set_demo(user, occupation, occ)
+            .expect("occupation interns");
         let c = cities[weighted_choice(&mut rng, &[4.0, 1.0, 2.0, 1.5, 1.0])];
         b.set_demo(user, city, c).expect("city interns");
         let young_professional = (25.0..40.0).contains(&age_val) && occ == "professional";
@@ -464,16 +575,30 @@ pub fn grocery(cfg: &GroceryConfig) -> SyntheticDataset {
     }
 
     let shopper_pick = Zipf::new(cfg.n_users.max(1), 0.6);
-    let organic_products: Vec<usize> =
-        PRODUCTS.iter().enumerate().filter(|(_, p)| p.1).map(|(i, _)| i).collect();
-    let conventional: Vec<usize> =
-        PRODUCTS.iter().enumerate().filter(|(_, p)| !p.1).map(|(i, _)| i).collect();
+    let organic_products: Vec<usize> = PRODUCTS
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.1)
+        .map(|(i, _)| i)
+        .collect();
+    let conventional: Vec<usize> = PRODUCTS
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.1)
+        .map(|(i, _)| i)
+        .collect();
     for _ in 0..cfg.n_purchases {
         let u = shopper_pick.sample(&mut rng);
         let p_org = if is_yp[u] { cfg.organic_affinity } else { 0.15 };
-        let pool = if rng.gen::<f64>() < p_org { &organic_products } else { &conventional };
+        let pool = if rng.gen::<f64>() < p_org {
+            &organic_products
+        } else {
+            &conventional
+        };
         let p = pool[rng.gen_range(0..pool.len())];
-        let user = b.find_user(&format!("shopper-{u:05}")).expect("user exists");
+        let user = b
+            .find_user(&format!("shopper-{u:05}"))
+            .expect("user exists");
         let item = b.item(PRODUCTS[p].0, None);
         b.action(user, item, 1.0);
     }
@@ -483,14 +608,27 @@ pub fn grocery(cfg: &GroceryConfig) -> SyntheticDataset {
         if acts.is_empty() {
             return String::new();
         }
-        let organic = acts.iter().filter(|a| organic_flags[a.item.index()]).count();
+        let organic = acts
+            .iter()
+            .filter(|a| organic_flags[a.item.index()])
+            .count();
         let share = organic as f64 / acts.len() as f64;
-        if share >= 0.5 { "mostly-organic" } else if share >= 0.2 { "mixed" } else { "conventional" }
-            .to_string()
+        if share >= 0.5 {
+            "mostly-organic"
+        } else if share >= 0.2 {
+            "mixed"
+        } else {
+            "conventional"
+        }
+        .to_string()
     })
     .expect("derive organic_share");
 
-    SyntheticDataset { data: b.build(), latent, name: "grocery" }
+    SyntheticDataset {
+        data: b.build(),
+        latent,
+        name: "grocery",
+    }
 }
 
 // Small helper: uniform pick from a const slice.
@@ -535,7 +673,10 @@ mod tests {
     #[test]
     fn bookcrossing_different_seeds_differ() {
         let a = bookcrossing(&BookCrossingConfig::tiny());
-        let b = bookcrossing(&BookCrossingConfig { seed: 8, ..BookCrossingConfig::tiny() });
+        let b = bookcrossing(&BookCrossingConfig {
+            seed: 8,
+            ..BookCrossingConfig::tiny()
+        });
         assert_ne!(
             a.data.actions().iter().map(|x| x.value).sum::<f32>(),
             b.data.actions().iter().map(|x| x.value).sum::<f32>()
@@ -545,8 +686,8 @@ mod tests {
     #[test]
     fn bookcrossing_ratings_skew_high() {
         let ds = bookcrossing(&BookCrossingConfig::tiny());
-        let mean: f32 = ds.data.actions().iter().map(|a| a.value).sum::<f32>()
-            / ds.data.n_actions() as f32;
+        let mean: f32 =
+            ds.data.actions().iter().map(|a| a.value).sum::<f32>() / ds.data.n_actions() as f32;
         assert!(mean > 5.5, "mean rating {mean} should skew high");
     }
 
@@ -610,12 +751,19 @@ mod tests {
             .filter(|&u| d.schema().value_label(gender, d.value(u, gender)) == "male")
             .count();
         let share = males as f64 / d.n_users() as f64;
-        assert!((0.5..0.8).contains(&share), "male share {share} should be near 0.64");
+        assert!(
+            (0.5..0.8).contains(&share),
+            "male share {share} should be near 0.64"
+        );
     }
 
     #[test]
     fn dbauthors_seniority_correlates_with_output() {
-        let ds = dbauthors(&DbAuthorsConfig { n_authors: 500, n_publications: 8_000, ..DbAuthorsConfig::tiny() });
+        let ds = dbauthors(&DbAuthorsConfig {
+            n_authors: 500,
+            n_publications: 8_000,
+            ..DbAuthorsConfig::tiny()
+        });
         let d = &ds.data;
         let sen = d.schema().attr("seniority").unwrap();
         let mut junior = (0usize, 0usize);
@@ -637,7 +785,11 @@ mod tests {
 
     #[test]
     fn grocery_plants_the_hypothesis() {
-        let ds = grocery(&GroceryConfig { n_users: 1_000, n_purchases: 20_000, ..Default::default() });
+        let ds = grocery(&GroceryConfig {
+            n_users: 1_000,
+            n_purchases: 20_000,
+            ..Default::default()
+        });
         let d = &ds.data;
         // Organic purchase rate for young professionals vs others.
         let mut yp = (0usize, 0usize);

@@ -134,10 +134,12 @@ mod tests {
     #[test]
     fn sample_is_deterministic_for_seed() {
         let z = Zipf::new(100, 0.8);
-        let a: Vec<usize> =
-            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(3))).collect();
-        let b: Vec<usize> =
-            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(3))).collect();
+        let a: Vec<usize> = (0..50)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(3)))
+            .collect();
+        let b: Vec<usize> = (0..50)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(3)))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -189,7 +189,10 @@ mod tests {
         let p = g.shortest_path(GroupId::new(0), GroupId::new(2)).unwrap();
         assert_eq!(p, vec![GroupId::new(0), GroupId::new(1), GroupId::new(2)]);
         assert!(g.shortest_path(GroupId::new(0), GroupId::new(3)).is_none());
-        assert_eq!(g.shortest_path(GroupId::new(1), GroupId::new(1)).unwrap(), vec![GroupId::new(1)]);
+        assert_eq!(
+            g.shortest_path(GroupId::new(1), GroupId::new(1)).unwrap(),
+            vec![GroupId::new(1)]
+        );
     }
 
     #[test]
@@ -205,7 +208,10 @@ mod tests {
         // Three groups all sharing user 5.
         let mut gs = GroupSet::new();
         for extra in 0..3u32 {
-            gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![5, 100 + extra])));
+            gs.push(Group::new(
+                vec![],
+                MemberSet::from_unsorted(vec![5, 100 + extra]),
+            ));
         }
         let g = OverlapGraph::build(&gs);
         assert_eq!(g.n_edges(), 3);

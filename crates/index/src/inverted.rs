@@ -22,7 +22,10 @@ pub struct IndexConfig {
 
 impl Default for IndexConfig {
     fn default() -> Self {
-        Self { materialize_fraction: 0.10, threads: 0 }
+        Self {
+            materialize_fraction: 0.10,
+            threads: 0,
+        }
     }
 }
 
@@ -62,7 +65,9 @@ impl GroupIndex {
         let member_groups = build_member_groups(groups);
 
         let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             cfg.threads
         }
@@ -93,8 +98,10 @@ impl GroupIndex {
                 handles.push(scope.spawn(move |_| {
                     let mut counter: Vec<u32> = vec![0; n];
                     let mut touched: Vec<u32> = Vec::new();
-                    for (offset, (out_list, out_len)) in
-                        lists_chunk.iter_mut().zip(lens_chunk.iter_mut()).enumerate()
+                    for (offset, (out_list, out_len)) in lists_chunk
+                        .iter_mut()
+                        .zip(lens_chunk.iter_mut())
+                        .enumerate()
                     {
                         let gid = GroupId::new((base + offset) as u32);
                         let scored_here = score_group(
@@ -129,7 +136,11 @@ impl GroupIndex {
             scored_pairs: scored.into_inner(),
             heap_bytes,
         };
-        Self { lists, full_lengths, stats }
+        Self {
+            lists,
+            full_lengths,
+            stats,
+        }
     }
 
     /// Build statistics.
@@ -296,9 +307,18 @@ mod tests {
 
     fn groups_fixture() -> GroupSet {
         let mut gs = GroupSet::new();
-        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![0, 1, 2, 3])));
-        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![2, 3, 4, 5])));
-        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![3, 4, 5, 6])));
+        gs.push(Group::new(
+            vec![],
+            MemberSet::from_unsorted(vec![0, 1, 2, 3]),
+        ));
+        gs.push(Group::new(
+            vec![],
+            MemberSet::from_unsorted(vec![2, 3, 4, 5]),
+        ));
+        gs.push(Group::new(
+            vec![],
+            MemberSet::from_unsorted(vec![3, 4, 5, 6]),
+        ));
         gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![100, 101])));
         gs
     }
@@ -306,7 +326,13 @@ mod tests {
     #[test]
     fn full_materialization_matches_exact() {
         let gs = groups_fixture();
-        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 1.0,
+                threads: 1,
+            },
+        );
         for (gid, _) in gs.iter() {
             let got = idx.materialized(gid).to_vec();
             let expect = compute_all_neighbors(&gs, gid);
@@ -328,10 +354,19 @@ mod tests {
     #[test]
     fn similarities_are_exact_jaccard() {
         let gs = groups_fixture();
-        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 1.0,
+                threads: 1,
+            },
+        );
         // g0 = {0,1,2,3}, g1 = {2,3,4,5}: inter 2, union 6.
         let n0 = idx.materialized(GroupId::new(0));
-        let to_g1 = n0.iter().find(|(h, _)| *h == GroupId::new(1)).expect("neighbor exists");
+        let to_g1 = n0
+            .iter()
+            .find(|(h, _)| *h == GroupId::new(1))
+            .expect("neighbor exists");
         assert!((to_g1.1 - 2.0 / 6.0).abs() < 1e-6);
         assert!(
             (GroupIndex::similarity(&gs, GroupId::new(0), GroupId::new(1)) - 2.0 / 6.0).abs()
@@ -342,10 +377,19 @@ mod tests {
     #[test]
     fn lists_are_sorted_descending() {
         let gs = groups_fixture();
-        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 1.0,
+                threads: 1,
+            },
+        );
         for (gid, _) in gs.iter() {
             let l = idx.materialized(gid);
-            assert!(l.windows(2).all(|w| w[0].1 >= w[1].1), "unsorted list for {gid}");
+            assert!(
+                l.windows(2).all(|w| w[0].1 >= w[1].1),
+                "unsorted list for {gid}"
+            );
         }
     }
 
@@ -353,7 +397,13 @@ mod tests {
     fn partial_materialization_keeps_top_fraction() {
         let gs = groups_fixture();
         // fraction 0.5 of 2 neighbors -> ceil(1) = 1 entry for g0.
-        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.5, threads: 1 });
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.5,
+                threads: 1,
+            },
+        );
         let g0 = GroupId::new(0);
         assert_eq!(idx.full_neighbor_count(g0), 2);
         assert_eq!(idx.materialized(g0).len(), 1);
@@ -368,7 +418,13 @@ mod tests {
     #[test]
     fn zero_fraction_always_falls_back_yet_stays_exact() {
         let gs = groups_fixture();
-        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.0, threads: 1 });
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.0,
+                threads: 1,
+            },
+        );
         let g1 = GroupId::new(1);
         // ceil(0 * n) = 0 entries materialized...
         assert!(idx.materialized(g1).is_empty());
@@ -378,27 +434,51 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_serial() {
-        let ds = vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let ds =
+            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
         let vocab = vexus_data::Vocabulary::build(&ds.data);
         let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
         let gs = vexus_mining::mine_closed_groups(
             &db,
-            &vexus_mining::LcmConfig { min_support: 15, ..Default::default() },
+            &vexus_mining::LcmConfig {
+                min_support: 15,
+                ..Default::default()
+            },
         );
         assert!(gs.len() > 10);
-        let serial = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.3, threads: 1 });
-        let parallel =
-            GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.3, threads: 4 });
+        let serial = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.3,
+                threads: 1,
+            },
+        );
+        let parallel = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.3,
+                threads: 4,
+            },
+        );
         for (gid, _) in gs.iter() {
             assert_eq!(serial.materialized(gid), parallel.materialized(gid));
         }
-        assert_eq!(serial.stats().materialized_entries, parallel.stats().materialized_entries);
+        assert_eq!(
+            serial.stats().materialized_entries,
+            parallel.stats().materialized_entries
+        );
     }
 
     #[test]
     fn stats_accounting() {
         let gs = groups_fixture();
-        let idx = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 1 });
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 1.0,
+                threads: 1,
+            },
+        );
         let s = idx.stats();
         assert_eq!(s.n_groups, 4);
         // g0<->g1, g0<->g2, g1<->g2: each scored from both sides = 6.
@@ -417,15 +497,31 @@ mod tests {
 
     #[test]
     fn smaller_fraction_uses_less_memory() {
-        let ds = vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let ds =
+            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
         let vocab = vexus_data::Vocabulary::build(&ds.data);
         let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
         let gs = vexus_mining::mine_closed_groups(
             &db,
-            &vexus_mining::LcmConfig { min_support: 10, ..Default::default() },
+            &vexus_mining::LcmConfig {
+                min_support: 10,
+                ..Default::default()
+            },
         );
-        let full = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 1.0, threads: 2 });
-        let tenth = GroupIndex::build(&gs, &IndexConfig { materialize_fraction: 0.1, threads: 2 });
+        let full = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 1.0,
+                threads: 2,
+            },
+        );
+        let tenth = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.1,
+                threads: 2,
+            },
+        );
         assert!(tenth.stats().materialized_entries < full.stats().materialized_entries / 2);
         assert!(tenth.stats().heap_bytes < full.stats().heap_bytes);
     }

@@ -38,7 +38,11 @@ impl ClusteringFeature {
 
     /// CF of zero points in `dim` dimensions.
     pub fn empty(dim: usize) -> Self {
-        Self { n: 0, ls: vec![0.0; dim], ss: 0.0 }
+        Self {
+            n: 0,
+            ls: vec![0.0; dim],
+            ss: 0.0,
+        }
     }
 
     /// CF additivity: absorb another CF.
@@ -89,14 +93,22 @@ pub struct BirchConfig {
 
 impl Default for BirchConfig {
     fn default() -> Self {
-        Self { branching: 8, threshold: 0.5, dim: 2 }
+        Self {
+            branching: 8,
+            threshold: 0.5,
+            dim: 2,
+        }
     }
 }
 
 #[derive(Debug)]
 enum Node {
-    Internal { entries: Vec<(ClusteringFeature, Box<Node>)> },
-    Leaf { entries: Vec<LeafEntry> },
+    Internal {
+        entries: Vec<(ClusteringFeature, Box<Node>)>,
+    },
+    Leaf {
+        entries: Vec<LeafEntry>,
+    },
 }
 
 #[derive(Debug)]
@@ -118,7 +130,13 @@ impl BirchTree {
     pub fn new(cfg: BirchConfig) -> Self {
         assert!(cfg.branching >= 2, "branching factor must be >= 2");
         assert!(cfg.dim >= 1, "need at least one feature dimension");
-        Self { root: Node::Leaf { entries: Vec::new() }, cfg, n_points: 0 }
+        Self {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            cfg,
+            n_points: 0,
+        }
     }
 
     /// Points inserted so far.
@@ -136,11 +154,18 @@ impl BirchTree {
         let cf = ClusteringFeature::of_point(x);
         if let Some((left, right)) = Self::insert_rec(&mut self.root, user, &cf, &self.cfg) {
             // Root split: grow the tree by one level.
-            let old = std::mem::replace(&mut self.root, Node::Leaf { entries: Vec::new() });
+            let old = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
             drop(old); // children moved into left/right already
             let le = (Self::node_cf(&left, self.cfg.dim), Box::new(left));
             let ri = (Self::node_cf(&right, self.cfg.dim), Box::new(right));
-            self.root = Node::Internal { entries: vec![le, ri] };
+            self.root = Node::Internal {
+                entries: vec![le, ri],
+            };
         }
     }
 
@@ -173,7 +198,10 @@ impl BirchTree {
                         return None;
                     }
                 }
-                entries.push(LeafEntry { cf: cf.clone(), members: vec![user] });
+                entries.push(LeafEntry {
+                    cf: cf.clone(),
+                    members: vec![user],
+                });
                 if entries.len() > cfg.branching {
                     let (l, r) = Self::split_leaf(std::mem::take(entries), cfg.dim);
                     return Some((l, r));
@@ -238,10 +266,7 @@ impl BirchTree {
         (Node::Leaf { entries: left }, Node::Leaf { entries: right })
     }
 
-    fn split_internal(
-        entries: Vec<(ClusteringFeature, Box<Node>)>,
-        dim: usize,
-    ) -> (Node, Node) {
+    fn split_internal(entries: Vec<(ClusteringFeature, Box<Node>)>, dim: usize) -> (Node, Node) {
         let (ia, ib) = Self::farthest_pair(entries.iter().map(|e| &e.0));
         let ca = entries[ia].0.centroid();
         let cb = entries[ib].0.centroid();
@@ -264,7 +289,10 @@ impl BirchTree {
             right.push(left.pop().expect("at least two entries when splitting"));
         }
         let _ = dim;
-        (Node::Internal { entries: left }, Node::Internal { entries: right })
+        (
+            Node::Internal { entries: left },
+            Node::Internal { entries: right },
+        )
     }
 
     fn farthest_pair<'a>(cfs: impl Iterator<Item = &'a ClusteringFeature>) -> (usize, usize) {
@@ -363,7 +391,11 @@ mod tests {
     #[test]
     fn separated_blobs_land_in_separate_clusters() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut tree = BirchTree::new(BirchConfig { branching: 4, threshold: 1.0, dim: 2 });
+        let mut tree = BirchTree::new(BirchConfig {
+            branching: 4,
+            threshold: 1.0,
+            dim: 2,
+        });
         let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
         let mut truth = Vec::new();
         for u in 0..300u32 {
@@ -390,7 +422,11 @@ mod tests {
 
     #[test]
     fn into_groups_filters_small_clusters() {
-        let mut tree = BirchTree::new(BirchConfig { branching: 3, threshold: 0.1, dim: 1 });
+        let mut tree = BirchTree::new(BirchConfig {
+            branching: 3,
+            threshold: 0.1,
+            dim: 1,
+        });
         for u in 0..20u32 {
             tree.insert(u, &[0.0]);
         }
@@ -403,7 +439,11 @@ mod tests {
     #[test]
     fn tree_grows_beyond_one_level() {
         // Tiny branching + tiny threshold forces depth > 1.
-        let mut tree = BirchTree::new(BirchConfig { branching: 2, threshold: 0.01, dim: 1 });
+        let mut tree = BirchTree::new(BirchConfig {
+            branching: 2,
+            threshold: 0.01,
+            dim: 1,
+        });
         for u in 0..64u32 {
             tree.insert(u, &[u as f64 * 10.0]);
         }

@@ -36,7 +36,10 @@ impl MemberSet {
     /// # Panics
     /// Debug-asserts strict ascending order.
     pub fn from_sorted(sorted: Vec<u32>) -> Self {
-        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "must be strictly sorted");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "must be strictly sorted"
+        );
         Self { sorted }
     }
 
@@ -49,7 +52,9 @@ impl MemberSet {
 
     /// The full universe `0..n`.
     pub fn universe(n: u32) -> Self {
-        Self { sorted: (0..n).collect() }
+        Self {
+            sorted: (0..n).collect(),
+        }
     }
 
     /// Number of members.
@@ -257,7 +262,10 @@ impl MemberSet {
     /// Count of members also present in a boolean mask (indexed by member).
     /// Used by coverage computations against a "covered so far" mask.
     pub fn count_in_mask(&self, mask: &[bool]) -> usize {
-        self.sorted.iter().filter(|&&x| mask.get(x as usize).copied().unwrap_or(false)).count()
+        self.sorted
+            .iter()
+            .filter(|&&x| mask.get(x as usize).copied().unwrap_or(false))
+            .count()
     }
 
     /// Set the mask bit for every member; returns how many were newly set.

@@ -1,0 +1,478 @@
+//! The pluggable group-discovery stage of the offline pipeline.
+//!
+//! The paper treats discovery as swappable: "For user datasets, different
+//! group discovery algorithms such as LCM \[16\] and α-MOMRI \[13\] can be
+//! used. In case of user data streams, STREAMMINING \[9\] and BIRCH \[18\]
+//! can be employed." This module is that seam as a first-class trait:
+//! every algorithm in the crate is exposed as a [`GroupDiscovery`] backend
+//! taking `(&UserData, &Vocabulary)` and returning a [`DiscoveryOutcome`]
+//! (a [`GroupSet`] plus [`DiscoveryStats`]), so the engine, the experiment
+//! harness and future scaling work (sharded discovery, async refresh,
+//! remote backends) all plug in behind one interface.
+//!
+//! * [`LcmDiscovery`] — closed frequent itemsets over demographics (the
+//!   default),
+//! * [`MomriDiscovery`] — α-MOMRI multi-objective discovery,
+//! * [`BirchDiscovery`] — CF-tree clustering; owns the featurization step
+//!   (one-hot demographics + activity) end to end,
+//! * [`StreamFimDiscovery`] — lossy-counting FIM over user arrivals.
+//!
+//! [`DiscoverySelection`] is the plain-data configuration mirror of the
+//! four backends, suitable for embedding in engine configs.
+
+use crate::birch::{BirchConfig, BirchTree};
+use crate::features::Featurizer;
+use crate::group::GroupSet;
+use crate::lcm::{mine_closed_groups, LcmConfig};
+use crate::momri::{discover as momri_discover, MomriConfig};
+use crate::stream_fim::{StreamFimConfig, StreamMiner};
+use crate::transactions::TransactionDb;
+use std::time::{Duration, Instant};
+use vexus_data::{UserData, Vocabulary};
+
+/// Timings and counts reported by one discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryStats {
+    /// Backend name (`"lcm"`, `"momri"`, `"birch"`, `"stream-fim"`).
+    pub algorithm: &'static str,
+    /// Wall-clock of the discovery stage.
+    pub elapsed: Duration,
+    /// Groups returned (before any engine-side size filtering).
+    pub groups_discovered: usize,
+    /// Internal candidates examined, where the algorithm counts them
+    /// (closed sets for LCM/MOMRI, tracked itemsets for stream FIM, CF
+    /// leaf entries for BIRCH).
+    pub candidates_considered: usize,
+}
+
+/// The result of one discovery run.
+#[derive(Debug)]
+pub struct DiscoveryOutcome {
+    /// The discovered group space.
+    pub groups: GroupSet,
+    /// Run statistics.
+    pub stats: DiscoveryStats,
+}
+
+/// A pluggable offline group-discovery algorithm.
+pub trait GroupDiscovery {
+    /// Stable backend name for stats and reports.
+    fn name(&self) -> &'static str;
+
+    /// Discover groups over a dataset. Implementations must be
+    /// deterministic for a given input (the engine's reproducibility tests
+    /// rely on it).
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome;
+}
+
+/// LCM-style closed frequent itemset mining (the paper's default path).
+#[derive(Debug, Clone, Default)]
+pub struct LcmDiscovery {
+    /// Miner configuration.
+    pub config: LcmConfig,
+}
+
+impl LcmDiscovery {
+    /// Backend with the given miner configuration.
+    pub fn new(config: LcmConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl GroupDiscovery for LcmDiscovery {
+    fn name(&self) -> &'static str {
+        "lcm"
+    }
+
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let db = TransactionDb::build(data, vocab);
+        let groups = mine_closed_groups(&db, &self.config);
+        let stats = DiscoveryStats {
+            algorithm: self.name(),
+            elapsed: t0.elapsed(),
+            groups_discovered: groups.len(),
+            candidates_considered: groups.len(),
+        };
+        DiscoveryOutcome { groups, stats }
+    }
+}
+
+/// Which part of the α-MOMRI result becomes the engine's group space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MomriMaterialize {
+    /// The full closed-group candidate space (richest navigation surface).
+    #[default]
+    Candidates,
+    /// Only the best front solution's groups (a curated, small space).
+    BestSolution,
+    /// The union of all front solutions' groups.
+    FrontUnion,
+}
+
+/// α-MOMRI multi-objective discovery.
+#[derive(Debug, Clone, Default)]
+pub struct MomriDiscovery {
+    /// Optimizer configuration.
+    pub config: MomriConfig,
+    /// Result materialization policy.
+    pub materialize: MomriMaterialize,
+}
+
+impl MomriDiscovery {
+    /// Backend with the given optimizer configuration.
+    pub fn new(config: MomriConfig) -> Self {
+        Self {
+            config,
+            materialize: MomriMaterialize::default(),
+        }
+    }
+}
+
+impl GroupDiscovery for MomriDiscovery {
+    fn name(&self) -> &'static str {
+        "momri"
+    }
+
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let db = TransactionDb::build(data, vocab);
+        let result = momri_discover(&db, &self.config);
+        let candidates_considered = result.candidates.len();
+        let groups = match self.materialize {
+            MomriMaterialize::Candidates => result.candidates,
+            MomriMaterialize::BestSolution => result
+                .front
+                .first()
+                .map(|best| result.solution_groups(best))
+                .unwrap_or_default(),
+            MomriMaterialize::FrontUnion => {
+                let mut out = GroupSet::new();
+                let mut seen = std::collections::BTreeSet::new();
+                for sol in &result.front {
+                    for &id in &sol.groups {
+                        if seen.insert(id) {
+                            out.push(result.candidates.get(id).clone());
+                        }
+                    }
+                }
+                out
+            }
+        };
+        let stats = DiscoveryStats {
+            algorithm: self.name(),
+            elapsed: t0.elapsed(),
+            groups_discovered: groups.len(),
+            candidates_considered,
+        };
+        DiscoveryOutcome { groups, stats }
+    }
+}
+
+/// BIRCH CF-tree clustering over numeric user features.
+///
+/// Owns the full featurization step: builds the one-hot + activity
+/// [`Featurizer`] over the dataset and streams every user through the
+/// CF-tree, so callers no longer hand-wire features at each call site.
+#[derive(Debug, Clone)]
+pub struct BirchDiscovery {
+    /// CF-tree branching factor.
+    pub branching: usize,
+    /// Absorption threshold on leaf-entry radius. One-hot demographics
+    /// live on a hypercube (users differing in `d` attributes sit at
+    /// distance `sqrt(2d)`), so thresholds around `1.5` admit a couple of
+    /// differing attributes per cluster.
+    pub threshold: f64,
+    /// Minimum cluster size kept as a group.
+    pub min_cluster_size: usize,
+}
+
+impl Default for BirchDiscovery {
+    fn default() -> Self {
+        Self {
+            branching: 10,
+            threshold: 1.6,
+            min_cluster_size: 5,
+        }
+    }
+}
+
+impl GroupDiscovery for BirchDiscovery {
+    fn name(&self) -> &'static str {
+        "birch"
+    }
+
+    fn discover(&self, data: &UserData, _vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let featurizer = Featurizer::new(data);
+        let mut tree = BirchTree::new(BirchConfig {
+            branching: self.branching,
+            threshold: self.threshold,
+            dim: featurizer.dim(),
+        });
+        for u in data.users() {
+            tree.insert(u.raw(), &featurizer.features(data, u));
+        }
+        let candidates_considered = tree.clusters().len();
+        let groups = tree.into_groups(self.min_cluster_size);
+        let stats = DiscoveryStats {
+            algorithm: self.name(),
+            elapsed: t0.elapsed(),
+            groups_discovered: groups.len(),
+            candidates_considered,
+        };
+        DiscoveryOutcome { groups, stats }
+    }
+}
+
+/// Lossy-counting frequent itemset mining over the stream of user
+/// arrivals (each user's demographic transaction observed once).
+#[derive(Debug, Clone, Default)]
+pub struct StreamFimDiscovery {
+    /// Miner configuration.
+    pub config: StreamFimConfig,
+}
+
+impl StreamFimDiscovery {
+    /// Backend with the given miner configuration.
+    pub fn new(config: StreamFimConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl GroupDiscovery for StreamFimDiscovery {
+    fn name(&self) -> &'static str {
+        "stream-fim"
+    }
+
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let mut miner = StreamMiner::new(self.config.clone());
+        for u in data.users() {
+            miner.observe(u.raw(), &vocab.user_tokens(data, u));
+        }
+        let candidates_considered = miner.table_size();
+        let groups = miner.groups();
+        let stats = DiscoveryStats {
+            algorithm: self.name(),
+            elapsed: t0.elapsed(),
+            groups_discovered: groups.len(),
+            candidates_considered,
+        };
+        DiscoveryOutcome { groups, stats }
+    }
+}
+
+/// Plain-data selection of a discovery backend, embeddable in engine
+/// configuration (the engine derives support floors from its own
+/// `min_group_size` where a variant leaves them implicit).
+#[derive(Debug, Clone)]
+pub enum DiscoverySelection {
+    /// Closed frequent itemsets (the default offline path).
+    Lcm {
+        /// Maximum description length mined.
+        max_description: usize,
+        /// Hard cap on the discovered group space.
+        max_groups: usize,
+    },
+    /// α-MOMRI multi-objective discovery.
+    Momri {
+        /// Optimizer configuration.
+        config: MomriConfig,
+        /// Result materialization policy.
+        materialize: MomriMaterialize,
+    },
+    /// BIRCH CF-tree clustering.
+    Birch {
+        /// Branching factor.
+        branching: usize,
+        /// Absorption threshold.
+        threshold: f64,
+    },
+    /// Lossy-counting stream FIM.
+    StreamFim {
+        /// Support threshold σ (fraction of the stream).
+        support: f64,
+        /// Error bound ε (< σ).
+        epsilon: f64,
+        /// Maximum itemset length.
+        max_len: usize,
+    },
+}
+
+impl Default for DiscoverySelection {
+    fn default() -> Self {
+        Self::Lcm {
+            max_description: 4,
+            max_groups: 100_000,
+        }
+    }
+}
+
+impl DiscoverySelection {
+    /// Materialize the selected backend. `min_group_size` supplies support
+    /// floors for variants that key off group size.
+    pub fn backend(&self, min_group_size: usize) -> Box<dyn GroupDiscovery> {
+        match self.clone() {
+            Self::Lcm {
+                max_description,
+                max_groups,
+            } => Box::new(LcmDiscovery::new(LcmConfig {
+                min_support: min_group_size,
+                max_description,
+                max_groups,
+                emit_root: false,
+            })),
+            Self::Momri {
+                config,
+                materialize,
+            } => Box::new(MomriDiscovery {
+                config,
+                materialize,
+            }),
+            Self::Birch {
+                branching,
+                threshold,
+            } => Box::new(BirchDiscovery {
+                branching,
+                threshold,
+                min_cluster_size: min_group_size,
+            }),
+            Self::StreamFim {
+                support,
+                epsilon,
+                max_len,
+            } => Box::new(StreamFimDiscovery::new(StreamFimConfig {
+                support,
+                epsilon,
+                max_len,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
+
+    fn fixture() -> (vexus_data::UserData, Vocabulary) {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vocab = Vocabulary::build(&ds.data);
+        (ds.data, vocab)
+    }
+
+    #[test]
+    fn lcm_backend_mines_a_rich_space() {
+        let (data, vocab) = fixture();
+        let out = LcmDiscovery::new(LcmConfig {
+            min_support: 10,
+            ..Default::default()
+        })
+        .discover(&data, &vocab);
+        assert!(out.groups.len() > 20, "got {}", out.groups.len());
+        assert_eq!(out.stats.algorithm, "lcm");
+        assert_eq!(out.stats.groups_discovered, out.groups.len());
+    }
+
+    #[test]
+    fn momri_materialization_modes_nest() {
+        let (data, vocab) = fixture();
+        let base = MomriDiscovery::default();
+        let candidates = base.discover(&data, &vocab);
+        let best = MomriDiscovery {
+            materialize: MomriMaterialize::BestSolution,
+            ..base.clone()
+        }
+        .discover(&data, &vocab);
+        let union = MomriDiscovery {
+            materialize: MomriMaterialize::FrontUnion,
+            ..base
+        }
+        .discover(&data, &vocab);
+        assert!(!best.groups.is_empty());
+        assert!(best.groups.len() <= union.groups.len());
+        assert!(union.groups.len() <= candidates.groups.len());
+        assert_eq!(
+            candidates.stats.candidates_considered,
+            candidates.groups.len()
+        );
+    }
+
+    #[test]
+    fn birch_backend_owns_featurization() {
+        let (data, vocab) = fixture();
+        let out = BirchDiscovery::default().discover(&data, &vocab);
+        assert!(!out.groups.is_empty());
+        // Cluster groups carry no token description.
+        assert!(out.groups.iter().all(|(_, g)| g.description.is_empty()));
+        // No group smaller than the floor.
+        assert!(out.groups.iter().all(|(_, g)| g.size() >= 5));
+        assert_eq!(out.stats.algorithm, "birch");
+    }
+
+    #[test]
+    fn stream_backend_observes_every_user_once() {
+        let (data, vocab) = fixture();
+        let out = StreamFimDiscovery::new(StreamFimConfig {
+            support: 0.05,
+            epsilon: 0.01,
+            max_len: 3,
+        })
+        .discover(&data, &vocab);
+        assert!(!out.groups.is_empty());
+        assert!(out.groups.iter().all(|(_, g)| !g.description.is_empty()));
+    }
+
+    #[test]
+    fn selection_builds_every_backend() {
+        let (data, vocab) = fixture();
+        let selections = [
+            DiscoverySelection::default(),
+            DiscoverySelection::Momri {
+                config: MomriConfig::default(),
+                materialize: MomriMaterialize::Candidates,
+            },
+            DiscoverySelection::Birch {
+                branching: 10,
+                threshold: 1.6,
+            },
+            DiscoverySelection::StreamFim {
+                support: 0.05,
+                epsilon: 0.01,
+                max_len: 3,
+            },
+        ];
+        for sel in selections {
+            let backend = sel.backend(5);
+            let out = backend.discover(&data, &vocab);
+            assert!(
+                !out.groups.is_empty(),
+                "backend {} produced no groups",
+                backend.name()
+            );
+            assert_eq!(out.stats.algorithm, backend.name());
+        }
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let (data, vocab) = fixture();
+        for backend in [
+            DiscoverySelection::default().backend(5),
+            DiscoverySelection::Birch {
+                branching: 10,
+                threshold: 1.6,
+            }
+            .backend(5),
+        ] {
+            let a = backend.discover(&data, &vocab);
+            let b = backend.discover(&data, &vocab);
+            assert_eq!(a.groups.len(), b.groups.len());
+            for ((_, ga), (_, gb)) in a.groups.iter().zip(b.groups.iter()) {
+                assert_eq!(ga.description, gb.description);
+                assert_eq!(ga.members.as_slice(), gb.members.as_slice());
+            }
+        }
+    }
+}

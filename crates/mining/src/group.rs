@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use vexus_data::{Schema, TokenId, Vocabulary};
 
 /// Dense index of a group within a [`GroupSet`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(transparent)]
 pub struct GroupId(pub u32);
 
@@ -51,7 +49,10 @@ impl Group {
     pub fn new(mut description: Vec<TokenId>, members: MemberSet) -> Self {
         description.sort_unstable();
         description.dedup();
-        Self { description, members }
+        Self {
+            description,
+            members,
+        }
     }
 
     /// Number of members ("the size of circles reflects the number of users

@@ -49,7 +49,11 @@ impl Default for LcmConfig {
 
 /// Mine all closed frequent groups from a transaction database.
 pub fn mine_closed_groups(db: &TransactionDb, cfg: &LcmConfig) -> GroupSet {
-    let mut miner = Miner { db, cfg, out: GroupSet::new() };
+    let mut miner = Miner {
+        db,
+        cfg,
+        out: GroupSet::new(),
+    };
     miner.run();
     miner.out
 }
@@ -69,7 +73,8 @@ impl Miner<'_> {
         let universe = crate::bitmap::MemberSet::universe(n as u32);
         let root_closure = self.db.closure(&universe);
         if self.cfg.emit_root && n >= self.cfg.min_support {
-            self.out.push(Group::new(root_closure.clone(), universe.clone()));
+            self.out
+                .push(Group::new(root_closure.clone(), universe.clone()));
         }
         // Recurse from the root with core index "before token 0".
         self.expand(&root_closure, &universe, None);
@@ -77,12 +82,7 @@ impl Miner<'_> {
 
     /// Try all ppc-extensions of closed set `p` (with tidlist `members` and
     /// core index `core`, `None` meaning "below every token").
-    fn expand(
-        &mut self,
-        p: &[TokenId],
-        members: &crate::bitmap::MemberSet,
-        core: Option<TokenId>,
-    ) {
+    fn expand(&mut self, p: &[TokenId], members: &crate::bitmap::MemberSet, core: Option<TokenId>) {
         if self.out.len() >= self.cfg.max_groups || p.len() >= self.cfg.max_description {
             return;
         }
@@ -183,7 +183,12 @@ mod tests {
     fn normalize(gs: &GroupSet) -> Vec<(Vec<TokenId>, Vec<u32>)> {
         let mut v: Vec<_> = gs
             .iter()
-            .map(|(_, g)| (g.description.clone(), g.members.iter().collect::<Vec<u32>>()))
+            .map(|(_, g)| {
+                (
+                    g.description.clone(),
+                    g.members.iter().collect::<Vec<u32>>(),
+                )
+            })
             .collect();
         v.sort();
         v
@@ -192,7 +197,11 @@ mod tests {
     #[test]
     fn matches_brute_force_on_classic_example() {
         let db = classic_db();
-        let cfg = LcmConfig { min_support: 2, max_description: 4, ..Default::default() };
+        let cfg = LcmConfig {
+            min_support: 2,
+            max_description: 4,
+            ..Default::default()
+        };
         let mined = normalize(&mine_closed_groups(&db, &cfg));
         let mut brute = brute_force_closed(&db, 2, 4);
         brute.sort();
@@ -203,7 +212,10 @@ mod tests {
     #[test]
     fn all_outputs_are_closed_and_frequent() {
         let db = classic_db();
-        let cfg = LcmConfig { min_support: 2, ..Default::default() };
+        let cfg = LcmConfig {
+            min_support: 2,
+            ..Default::default()
+        };
         let gs = mine_closed_groups(&db, &cfg);
         for (_, g) in gs.iter() {
             assert!(g.members.len() >= 2, "support violated");
@@ -220,7 +232,13 @@ mod tests {
     #[test]
     fn no_duplicate_groups() {
         let db = classic_db();
-        let gs = mine_closed_groups(&db, &LcmConfig { min_support: 1, ..Default::default() });
+        let gs = mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: 1,
+                ..Default::default()
+            },
+        );
         let mut descs: Vec<_> = gs.iter().map(|(_, g)| g.description.clone()).collect();
         let before = descs.len();
         descs.sort();
@@ -231,8 +249,20 @@ mod tests {
     #[test]
     fn min_support_prunes() {
         let db = classic_db();
-        let lo = mine_closed_groups(&db, &LcmConfig { min_support: 1, ..Default::default() });
-        let hi = mine_closed_groups(&db, &LcmConfig { min_support: 3, ..Default::default() });
+        let lo = mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: 1,
+                ..Default::default()
+            },
+        );
+        let hi = mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: 3,
+                ..Default::default()
+            },
+        );
         assert!(hi.len() < lo.len());
         assert!(hi.iter().all(|(_, g)| g.size() >= 3));
     }
@@ -242,7 +272,11 @@ mod tests {
         let db = classic_db();
         let gs = mine_closed_groups(
             &db,
-            &LcmConfig { min_support: 1, max_groups: 3, ..Default::default() },
+            &LcmConfig {
+                min_support: 1,
+                max_groups: 3,
+                ..Default::default()
+            },
         );
         assert_eq!(gs.len(), 3);
     }
@@ -252,7 +286,11 @@ mod tests {
         let db = classic_db();
         let gs = mine_closed_groups(
             &db,
-            &LcmConfig { min_support: 1, max_description: 1, ..Default::default() },
+            &LcmConfig {
+                min_support: 1,
+                max_description: 1,
+                ..Default::default()
+            },
         );
         assert!(gs.iter().all(|(_, g)| g.description.len() <= 1));
     }
@@ -267,14 +305,22 @@ mod tests {
     #[test]
     fn root_emission_toggle() {
         // All users share token 0 -> root closure non-empty.
-        let db = TransactionDb::from_transactions(
-            vec![toks(&[0, 1]), toks(&[0, 2]), toks(&[0])],
-            3,
+        let db =
+            TransactionDb::from_transactions(vec![toks(&[0, 1]), toks(&[0, 2]), toks(&[0])], 3);
+        let without = mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: 3,
+                ..Default::default()
+            },
         );
-        let without = mine_closed_groups(&db, &LcmConfig { min_support: 3, ..Default::default() });
         let with = mine_closed_groups(
             &db,
-            &LcmConfig { min_support: 3, emit_root: true, ..Default::default() },
+            &LcmConfig {
+                min_support: 3,
+                emit_root: true,
+                ..Default::default()
+            },
         );
         assert_eq!(with.len(), without.len() + 1);
         let (_, root) = with.iter().next().unwrap();
@@ -284,14 +330,28 @@ mod tests {
 
     #[test]
     fn mines_real_synthetic_data() {
-        let ds = vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let ds =
+            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
         let vocab = vexus_data::Vocabulary::build(&ds.data);
         let db = TransactionDb::build(&ds.data, &vocab);
-        let gs = mine_closed_groups(&db, &LcmConfig { min_support: 10, ..Default::default() });
-        assert!(gs.len() > 20, "expected a rich group space, got {}", gs.len());
+        let gs = mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: 10,
+                ..Default::default()
+            },
+        );
+        assert!(
+            gs.len() > 20,
+            "expected a rich group space, got {}",
+            gs.len()
+        );
         // Spot-check group semantics on the first ten groups.
         for (_, g) in gs.iter().take(10) {
-            assert_eq!(db.itemset_members(&g.description).as_slice(), g.members.as_slice());
+            assert_eq!(
+                db.itemset_members(&g.description).as_slice(),
+                g.members.as_slice()
+            );
         }
     }
 

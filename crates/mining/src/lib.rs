@@ -15,10 +15,18 @@
 //! * [`stream_fim`] — lossy-counting in-core frequent itemset mining over
 //!   action streams,
 //!
-//! plus the shared substrate:
+//! All four are exposed behind one seam: the [`discovery::GroupDiscovery`]
+//! trait, whose backends ([`LcmDiscovery`], [`MomriDiscovery`],
+//! [`BirchDiscovery`], [`StreamFimDiscovery`]) take `(&UserData,
+//! &Vocabulary)` and return a [`GroupSet`] plus discovery statistics. The
+//! exploration engine's builder accepts any backend.
+//!
+//! Shared substrate:
 //!
 //! * [`bitmap`] — sorted-set member bitmaps with fast intersection /
 //!   Jaccard,
+//! * [`features`] — one-hot + activity featurization (owned by the BIRCH
+//!   backend, reusable by the viz layer),
 //! * [`group`] — the [`group::Group`] type (members + describing tokens)
 //!   and [`group::GroupSet`] collections,
 //! * [`transactions`] — adapters from `vexus-data` datasets to token
@@ -26,6 +34,8 @@
 
 pub mod birch;
 pub mod bitmap;
+pub mod discovery;
+pub mod features;
 pub mod group;
 pub mod lcm;
 pub mod momri;
@@ -33,5 +43,12 @@ pub mod stream_fim;
 pub mod transactions;
 
 pub use bitmap::MemberSet;
+pub use discovery::{
+    BirchDiscovery, DiscoveryOutcome, DiscoverySelection, DiscoveryStats, GroupDiscovery,
+    LcmDiscovery, MomriDiscovery, MomriMaterialize, StreamFimDiscovery,
+};
+pub use features::Featurizer;
 pub use group::{Group, GroupId, GroupSet};
 pub use lcm::{mine_closed_groups, LcmConfig};
+pub use momri::MomriConfig;
+pub use stream_fim::StreamFimConfig;

@@ -47,7 +47,10 @@ impl Default for MomriConfig {
             set_size: 5,
             alpha: 0.1,
             n_seeds: 12,
-            lcm: LcmConfig { min_support: 5, ..Default::default() },
+            lcm: LcmConfig {
+                min_support: 5,
+                ..Default::default()
+            },
         }
     }
 }
@@ -110,7 +113,10 @@ fn pareto_front(candidates: &GroupSet, n_users: usize, cfg: &MomriConfig) -> Vec
     // Conciseness-first: shortest description, then size.
     let mut by_desc = ids.clone();
     by_desc.sort_by_key(|&id| {
-        (candidates.get(id).description.len(), std::cmp::Reverse(candidates.get(id).size()))
+        (
+            candidates.get(id).description.len(),
+            std::cmp::Reverse(candidates.get(id).size()),
+        )
     });
     orders.push(by_desc);
     // Rotations of the size ordering provide extra seeds deterministically.
@@ -141,7 +147,11 @@ fn pareto_front(candidates: &GroupSet, n_users: usize, cfg: &MomriConfig) -> Vec
         }
         front.push(s);
     }
-    front.sort_by(|a, b| b.coverage.partial_cmp(&a.coverage).expect("finite objectives"));
+    front.sort_by(|a, b| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .expect("finite objectives")
+    });
     front
 }
 
@@ -200,7 +210,12 @@ fn score_solution(candidates: &GroupSet, groups: Vec<GroupId>, n_users: usize) -
     } else {
         desc_total as f64 / groups.len() as f64
     };
-    MomriSolution { groups, coverage, diversity, description_cost }
+    MomriSolution {
+        groups,
+        coverage,
+        diversity,
+        description_cost,
+    }
 }
 
 fn mean_pairwise_distance(candidates: &GroupSet, groups: &[GroupId]) -> f64 {
@@ -280,7 +295,10 @@ mod tests {
     fn best_solution_covers_the_blocks() {
         let result = discover(
             &db(),
-            &MomriConfig { set_size: 3, ..Default::default() },
+            &MomriConfig {
+                set_size: 3,
+                ..Default::default()
+            },
         );
         let best = &result.front[0];
         // Three disjoint blocks of 10+8+6 users (+1 bridge) = 25 users; a
@@ -291,7 +309,13 @@ mod tests {
 
     #[test]
     fn front_is_alpha_pareto() {
-        let result = discover(&db(), &MomriConfig { alpha: 0.05, ..Default::default() });
+        let result = discover(
+            &db(),
+            &MomriConfig {
+                alpha: 0.05,
+                ..Default::default()
+            },
+        );
         for (i, a) in result.front.iter().enumerate() {
             for (j, b) in result.front.iter().enumerate() {
                 if i != j {
@@ -321,15 +345,33 @@ mod tests {
 
     #[test]
     fn zero_set_size_yields_empty_front() {
-        let result = discover(&db(), &MomriConfig { set_size: 0, ..Default::default() });
+        let result = discover(
+            &db(),
+            &MomriConfig {
+                set_size: 0,
+                ..Default::default()
+            },
+        );
         assert!(result.front.is_empty());
     }
 
     #[test]
     fn larger_alpha_never_grows_the_front() {
         let db = db();
-        let tight = discover(&db, &MomriConfig { alpha: 0.0, ..Default::default() });
-        let loose = discover(&db, &MomriConfig { alpha: 0.5, ..Default::default() });
+        let tight = discover(
+            &db,
+            &MomriConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
+        let loose = discover(
+            &db,
+            &MomriConfig {
+                alpha: 0.5,
+                ..Default::default()
+            },
+        );
         assert!(
             loose.front.len() <= tight.front.len(),
             "relaxed dominance prunes more: {} vs {}",
@@ -343,7 +385,13 @@ mod tests {
     fn set_size_bounds_every_solution() {
         let db = db();
         for set_size in [1usize, 2, 4] {
-            let result = discover(&db, &MomriConfig { set_size, ..Default::default() });
+            let result = discover(
+                &db,
+                &MomriConfig {
+                    set_size,
+                    ..Default::default()
+                },
+            );
             for sol in &result.front {
                 assert!(sol.groups.len() <= set_size);
                 // Groups within a solution are distinct.
@@ -372,7 +420,10 @@ mod tests {
         assert!(alpha_dominates(&a, &b, 0.1));
         assert!(!alpha_dominates(&b, &a, 0.1));
         // Not dominated when one objective resists.
-        let c = MomriSolution { description_cost: 0.5, ..b.clone() };
+        let c = MomriSolution {
+            description_cost: 0.5,
+            ..b.clone()
+        };
         assert!(!alpha_dominates(&a, &c, 0.1));
     }
 }

@@ -40,7 +40,11 @@ pub struct StreamFimConfig {
 
 impl Default for StreamFimConfig {
     fn default() -> Self {
-        Self { support: 0.05, epsilon: 0.01, max_len: 3 }
+        Self {
+            support: 0.05,
+            epsilon: 0.01,
+            max_len: 3,
+        }
     }
 }
 
@@ -70,7 +74,12 @@ impl StreamMiner {
         assert!(cfg.epsilon > 0.0 && cfg.epsilon <= cfg.support && cfg.support <= 1.0);
         assert!(cfg.max_len >= 1);
         let bucket_width = (1.0 / cfg.epsilon).ceil() as u64;
-        Self { cfg, table: HashMap::new(), bucket_width, n_seen: 0 }
+        Self {
+            cfg,
+            table: HashMap::new(),
+            bucket_width,
+            n_seen: 0,
+        }
     }
 
     /// Transactions processed so far.
@@ -85,7 +94,10 @@ impl StreamMiner {
 
     /// Process one transaction. `tokens` must be sorted ascending.
     pub fn observe(&mut self, user: u32, tokens: &[TokenId]) {
-        debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]), "tokens must be sorted");
+        debug_assert!(
+            tokens.windows(2).all(|w| w[0] < w[1]),
+            "tokens must be sorted"
+        );
         self.n_seen += 1;
         let bucket = self.current_bucket();
         let mut subset = Vec::with_capacity(self.cfg.max_len);
@@ -93,18 +105,20 @@ impl StreamMiner {
             tokens,
             &mut subset,
             self.cfg.max_len,
-            &mut |itemset: &Vec<TokenId>| {
-                match self.table.get_mut(itemset) {
-                    Some(e) => {
-                        e.count += 1;
-                        e.members.push(user);
-                    }
-                    None => {
-                        self.table.insert(
-                            itemset.clone(),
-                            Entry { count: 1, delta: bucket - 1, members: vec![user] },
-                        );
-                    }
+            &mut |itemset: &Vec<TokenId>| match self.table.get_mut(itemset) {
+                Some(e) => {
+                    e.count += 1;
+                    e.members.push(user);
+                }
+                None => {
+                    self.table.insert(
+                        itemset.clone(),
+                        Entry {
+                            count: 1,
+                            delta: bucket - 1,
+                            members: vec![user],
+                        },
+                    );
                 }
             },
         );
@@ -208,7 +222,12 @@ mod tests {
                     t.push(2);
                 }
                 t.push(3 + (i % 37) as u32);
-                toks(&t.into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>())
+                toks(
+                    &t.into_iter()
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .into_iter()
+                        .collect::<Vec<_>>(),
+                )
             })
             .collect()
     }
@@ -216,14 +235,21 @@ mod tests {
     #[test]
     fn no_false_negatives() {
         let stream = synthetic_stream(5_000);
-        let cfg = StreamFimConfig { support: 0.2, epsilon: 0.02, max_len: 2 };
+        let cfg = StreamFimConfig {
+            support: 0.2,
+            epsilon: 0.02,
+            max_len: 2,
+        };
         let mut miner = StreamMiner::new(cfg.clone());
         for (u, tx) in stream.iter().enumerate() {
             miner.observe(u as u32, tx);
         }
         let exact = exact_counts(&stream, 2);
-        let reported: std::collections::HashSet<Vec<TokenId>> =
-            miner.frequent_itemsets().into_iter().map(|(s, _)| s).collect();
+        let reported: std::collections::HashSet<Vec<TokenId>> = miner
+            .frequent_itemsets()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         let n = stream.len() as f64;
         for (itemset, count) in &exact {
             if *count as f64 >= cfg.support * n {
@@ -238,7 +264,11 @@ mod tests {
     #[test]
     fn counts_undercount_by_at_most_epsilon_n() {
         let stream = synthetic_stream(3_000);
-        let cfg = StreamFimConfig { support: 0.2, epsilon: 0.02, max_len: 2 };
+        let cfg = StreamFimConfig {
+            support: 0.2,
+            epsilon: 0.02,
+            max_len: 2,
+        };
         let mut miner = StreamMiner::new(cfg.clone());
         for (u, tx) in stream.iter().enumerate() {
             miner.observe(u as u32, tx);
@@ -259,8 +289,11 @@ mod tests {
     #[test]
     fn memory_stays_bounded() {
         let stream = synthetic_stream(20_000);
-        let mut miner =
-            StreamMiner::new(StreamFimConfig { support: 0.1, epsilon: 0.05, max_len: 2 });
+        let mut miner = StreamMiner::new(StreamFimConfig {
+            support: 0.1,
+            epsilon: 0.05,
+            max_len: 2,
+        });
         let mut peak = 0;
         for (u, tx) in stream.iter().enumerate() {
             miner.observe(u as u32, tx);
@@ -279,8 +312,11 @@ mod tests {
     #[test]
     fn groups_carry_members_and_descriptions() {
         let stream = synthetic_stream(1_000);
-        let mut miner =
-            StreamMiner::new(StreamFimConfig { support: 0.25, epsilon: 0.05, max_len: 2 });
+        let mut miner = StreamMiner::new(StreamFimConfig {
+            support: 0.25,
+            epsilon: 0.05,
+            max_len: 2,
+        });
         for (u, tx) in stream.iter().enumerate() {
             miner.observe(u as u32, tx);
         }
@@ -307,13 +343,20 @@ mod tests {
     #[test]
     #[should_panic]
     fn epsilon_above_support_panics() {
-        StreamMiner::new(StreamFimConfig { support: 0.01, epsilon: 0.1, max_len: 2 });
+        StreamMiner::new(StreamFimConfig {
+            support: 0.01,
+            epsilon: 0.1,
+            max_len: 2,
+        });
     }
 
     #[test]
     fn max_len_bounds_enumeration() {
-        let mut miner =
-            StreamMiner::new(StreamFimConfig { support: 0.01, epsilon: 0.01, max_len: 2 });
+        let mut miner = StreamMiner::new(StreamFimConfig {
+            support: 0.01,
+            epsilon: 0.01,
+            max_len: 2,
+        });
         miner.observe(0, &toks(&[0, 1, 2, 3]));
         // 4 singletons + 6 pairs = 10 itemsets, no triples.
         assert_eq!(miner.table_size(), 10);

@@ -35,7 +35,11 @@ impl TransactionDb {
             }
         }
         let tidlists = lists.into_iter().map(MemberSet::from_sorted).collect();
-        Self { transactions, tidlists, n_tokens }
+        Self {
+            transactions,
+            tidlists,
+            n_tokens,
+        }
     }
 
     /// Number of transactions (users).

@@ -77,7 +77,12 @@ pub struct Crossfilter {
 impl Crossfilter {
     /// New engine over `n` records with no dimensions.
     pub fn new(n: usize) -> Self {
-        Self { n, masks: vec![0; n], dims: Vec::new(), selection_count: n }
+        Self {
+            n,
+            masks: vec![0; n],
+            dims: Vec::new(),
+            selection_count: n,
+        }
     }
 
     /// Number of records.
@@ -112,7 +117,11 @@ impl Crossfilter {
             .collect();
         let counts = initial_counts(&bin_of, n_bins, self.n);
         self.dims.push(Dimension {
-            kind: DimKind::Numeric { values, sorted, brushed: None },
+            kind: DimKind::Numeric {
+                values,
+                sorted,
+                brushed: None,
+            },
             bin_of,
             n_bins,
             counts,
@@ -127,14 +136,21 @@ impl Crossfilter {
     pub fn add_categorical(&mut self, cats: Vec<u32>, n_cats: usize) -> DimId {
         assert_eq!(cats.len(), self.n, "one category per record required");
         assert!(self.dims.len() < MAX_DIMS, "dimension limit reached");
-        assert!(cats.iter().all(|&c| (c as usize) < n_cats), "category out of range");
+        assert!(
+            cats.iter().all(|&c| (c as usize) < n_cats),
+            "category out of range"
+        );
         let mut by_cat: Vec<Vec<u32>> = vec![Vec::new(); n_cats];
         for (r, &c) in cats.iter().enumerate() {
             by_cat[c as usize].push(r as u32);
         }
         let counts = initial_counts(&cats, n_cats, self.n);
         self.dims.push(Dimension {
-            kind: DimKind::Categorical { allowed: vec![true; n_cats], by_cat, active: false },
+            kind: DimKind::Categorical {
+                allowed: vec![true; n_cats],
+                by_cat,
+                active: false,
+            },
             bin_of: cats,
             n_bins: n_cats,
             counts,
@@ -166,7 +182,9 @@ impl Crossfilter {
 
     /// Ids of selected records (ascending).
     pub fn selected(&self) -> Vec<u32> {
-        (0..self.n as u32).filter(|&r| self.masks[r as usize] == 0).collect()
+        (0..self.n as u32)
+            .filter(|&r| self.masks[r as usize] == 0)
+            .collect()
     }
 
     /// Whether one record is selected.
@@ -214,7 +232,11 @@ impl Crossfilter {
     pub fn brush_range(&mut self, dim: DimId, lo: f64, hi: f64) {
         let bit = 1u32 << dim.0;
         let (old_interval, new_interval) = match &mut self.dims[dim.0].kind {
-            DimKind::Numeric { values, sorted, brushed } => {
+            DimKind::Numeric {
+                values,
+                sorted,
+                brushed,
+            } => {
                 let a = sorted.partition_point(|&r| values[r as usize] < lo);
                 let b = sorted.partition_point(|&r| values[r as usize] < hi);
                 let old = brushed.unwrap_or((0, sorted.len()));
@@ -235,7 +257,9 @@ impl Crossfilter {
         let bit = 1u32 << dim.0;
         // Compute toggles against current allowed set.
         let toggles: Vec<(u32, bool)> = match &mut self.dims[dim.0].kind {
-            DimKind::Categorical { allowed, active, .. } => {
+            DimKind::Categorical {
+                allowed, active, ..
+            } => {
                 let mut next = vec![false; allowed.len()];
                 for &c in allowed_cats {
                     next[c as usize] = true;
@@ -275,13 +299,17 @@ impl Crossfilter {
     pub fn clear_brush(&mut self, dim: DimId) {
         let bit = 1u32 << dim.0;
         match &mut self.dims[dim.0].kind {
-            DimKind::Numeric { sorted, brushed, .. } => {
+            DimKind::Numeric {
+                sorted, brushed, ..
+            } => {
                 let old = brushed.take().unwrap_or((0, sorted.len()));
                 let full = (0, sorted.len());
                 self.dims[dim.0].brush = BrushState::None;
                 self.apply_interval_change(dim, bit, old, full);
             }
-            DimKind::Categorical { allowed, active, .. } => {
+            DimKind::Categorical {
+                allowed, active, ..
+            } => {
                 if !*active {
                     return;
                 }
@@ -445,7 +473,10 @@ mod tests {
     /// 6 records: ages and genders.
     fn fixture() -> (Crossfilter, DimId, DimId) {
         let mut cf = Crossfilter::new(6);
-        let age = cf.add_numeric(vec![15.0, 22.0, 34.0, 45.0, 60.0, 70.0], &[18.0, 40.0, 65.0]);
+        let age = cf.add_numeric(
+            vec![15.0, 22.0, 34.0, 45.0, 60.0, 70.0],
+            &[18.0, 40.0, 65.0],
+        );
         // genders: 0=f, 1=m
         let gender = cf.add_categorical(vec![0, 1, 0, 1, 0, 1], 2);
         (cf, age, gender)
@@ -477,7 +508,7 @@ mod tests {
         let (mut cf, age, gender) = fixture();
         cf.brush_range(age, 18.0, 70.0); // drop record 0 (15) and keep 1..=4, drop 5? 70 excluded
         cf.brush_categories(gender, &[0]); // females only
-        // Selected: records with age in [18,70) and gender f: r2 (34), r4 (60).
+                                           // Selected: records with age in [18,70) and gender f: r2 (34), r4 (60).
         assert_eq!(cf.selection_count(), 2);
         assert_eq!(cf.selected(), vec![2, 4]);
         // Gender histogram reflects only the age brush: f = {2,4}, m = {1,3}.

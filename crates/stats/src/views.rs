@@ -50,9 +50,18 @@ impl<'a> StatsView<'a> {
             let dim = cf.add_categorical(cats, n_cats);
             dims.insert(attr, dim);
         }
-        let activity: Vec<f64> = users.iter().map(|&u| data.user_activity(u) as f64).collect();
+        let activity: Vec<f64> = users
+            .iter()
+            .map(|&u| data.user_activity(u) as f64)
+            .collect();
         let activity_dim = cf.add_numeric(activity, &[1.0, 5.0, 20.0, 100.0]);
-        Self { data, users, cf, dims, activity_dim }
+        Self {
+            data,
+            users,
+            cf,
+            dims,
+            activity_dim,
+        }
     }
 
     /// Number of users under inspection.
@@ -144,14 +153,22 @@ impl<'a> StatsView<'a> {
             .into_iter()
             .map(|r| {
                 let u = self.users[r as usize];
-                (u, self.data.user_name(u).to_string(), self.data.user_activity(u))
+                (
+                    u,
+                    self.data.user_name(u).to_string(),
+                    self.data.user_activity(u),
+                )
             })
             .collect()
     }
 
     /// Selected users (dataset ids).
     pub fn selected_users(&self) -> Vec<UserId> {
-        self.cf.selected().into_iter().map(|r| self.users[r as usize]).collect()
+        self.cf
+            .selected()
+            .into_iter()
+            .map(|r| self.users[r as usize])
+            .collect()
     }
 
     /// Render all histograms as fixed-width text (for the CLI examples and
@@ -188,7 +205,14 @@ mod tests {
         let mut b = UserDataBuilder::new(s);
         let names = ["elke", "bob", "carol", "dan", "eve", "frank"];
         let genders = ["female", "male", "female", "male", "female", "male"];
-        let levels = ["very senior", "junior", "senior", "very senior", "junior", "junior"];
+        let levels = [
+            "very senior",
+            "junior",
+            "senior",
+            "very senior",
+            "junior",
+            "junior",
+        ];
         let paper = b.item("paper", None);
         for ((name, g), l) in names.iter().zip(genders).zip(levels) {
             let u = b.user(name);
@@ -209,7 +233,10 @@ mod tests {
         let view = StatsView::new(&d, d.users().collect());
         let gender = d.schema().attr("gender").unwrap();
         let hist = view.histogram(gender);
-        assert_eq!(hist, vec![("female".to_string(), 3), ("male".to_string(), 3)]);
+        assert_eq!(
+            hist,
+            vec![("female".to_string(), 3), ("male".to_string(), 3)]
+        );
         assert_eq!(view.share(gender, "male"), Some(0.5));
     }
 
@@ -238,12 +265,20 @@ mod tests {
         view.brush(gender, &["female"]);
         // Seniority histogram now reflects only females.
         let hist = view.histogram(seniority);
-        let get = |l: &str| hist.iter().find(|(x, _)| x == l).map(|(_, c)| *c).unwrap_or(0);
+        let get = |l: &str| {
+            hist.iter()
+                .find(|(x, _)| x == l)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
         assert_eq!(get("very senior"), 1); // elke
         assert_eq!(get("junior"), 1); // eve
         assert_eq!(get("senior"), 1); // carol
-        // Gender histogram itself is unaffected by its own brush.
-        assert_eq!(view.histogram(gender), vec![("female".to_string(), 3), ("male".to_string(), 3)]);
+                                      // Gender histogram itself is unaffected by its own brush.
+        assert_eq!(
+            view.histogram(gender),
+            vec![("female".to_string(), 3), ("male".to_string(), 3)]
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl Palette {
         // Blend toward white a bit more each round; never fully white.
         let t = (round.min(3) as f64) * 0.22;
         let blend = |c: u8| -> u8 { (c as f64 + (255.0 - c as f64) * t) as u8 };
-        Color { r: blend(r), g: blend(g), b: blend(b) }
+        Color {
+            r: blend(r),
+            g: blend(g),
+            b: blend(b),
+        }
     }
 
     /// Mix category colors weighted by share — a circle colored "by gender"
@@ -57,7 +61,11 @@ impl Palette {
     pub fn blend(shares: &[(usize, f64)]) -> Color {
         let total: f64 = shares.iter().map(|(_, w)| w).sum();
         if total <= 0.0 {
-            return Color { r: 200, g: 200, b: 200 };
+            return Color {
+                r: 200,
+                g: 200,
+                b: 200,
+            };
         }
         let mut acc = (0.0, 0.0, 0.0);
         for &(cat, w) in shares {
@@ -95,7 +103,15 @@ mod tests {
 
     #[test]
     fn hex_formatting() {
-        assert_eq!(Color { r: 255, g: 0, b: 16 }.hex(), "#ff0010");
+        assert_eq!(
+            Color {
+                r: 255,
+                g: 0,
+                b: 16
+            }
+            .hex(),
+            "#ff0010"
+        );
     }
 
     #[test]
@@ -106,7 +122,14 @@ mod tests {
 
     #[test]
     fn blend_of_nothing_is_gray() {
-        assert_eq!(Palette::blend(&[]), Color { r: 200, g: 200, b: 200 });
+        assert_eq!(
+            Palette::blend(&[]),
+            Color {
+                r: 200,
+                g: 200,
+                b: 200
+            }
+        );
     }
 
     #[test]

@@ -30,7 +30,13 @@ pub struct Node {
 impl Node {
     /// A stationary node.
     pub fn new(x: f64, y: f64, radius: f64) -> Self {
-        Self { x, y, vx: 0.0, vy: 0.0, radius }
+        Self {
+            x,
+            y,
+            vx: 0.0,
+            vy: 0.0,
+            radius,
+        }
     }
 }
 
@@ -93,10 +99,18 @@ impl ForceLayout {
                 let k = i as f64;
                 let radius_step = 12.0 * (k + 1.0).sqrt();
                 let angle = k * 2.399963229728653; // golden angle
-                Node::new(cx + radius_step * angle.cos(), cy + radius_step * angle.sin(), r)
+                Node::new(
+                    cx + radius_step * angle.cos(),
+                    cy + radius_step * angle.sin(),
+                    r,
+                )
             })
             .collect();
-        Self { nodes, links: Vec::new(), cfg }
+        Self {
+            nodes,
+            links: Vec::new(),
+            cfg,
+        }
     }
 
     /// Add a spring between two nodes weighted by `strength ∈ [0,1]`
@@ -160,9 +174,8 @@ impl ForceLayout {
         for _ in 0..3 {
             for i in 0..n {
                 for j in i + 1..n {
-                    let min_d = self.nodes[i].radius
-                        + self.nodes[j].radius
-                        + self.cfg.collision_padding;
+                    let min_d =
+                        self.nodes[i].radius + self.nodes[j].radius + self.cfg.collision_padding;
                     let dx = self.nodes[j].x - self.nodes[i].x;
                     let dy = self.nodes[j].y - self.nodes[i].y;
                     let d2 = dx * dx + dy * dy;
@@ -231,8 +244,16 @@ pub fn circle_overlap(a: (f64, f64, f64), b: (f64, f64, f64)) -> f64 {
         // Fully contained.
         return std::f64::consts::PI * small * small;
     }
-    let part1 = small * small * ((d * d + small * small - large * large) / (2.0 * d * small)).clamp(-1.0, 1.0).acos();
-    let part2 = large * large * ((d * d + large * large - small * small) / (2.0 * d * large)).clamp(-1.0, 1.0).acos();
+    let part1 = small
+        * small
+        * ((d * d + small * small - large * large) / (2.0 * d * small))
+            .clamp(-1.0, 1.0)
+            .acos();
+    let part2 = large
+        * large
+        * ((d * d + large * large - small * small) / (2.0 * d * large))
+            .clamp(-1.0, 1.0)
+            .acos();
     let part3 = 0.5
         * ((-d + small + large) * (d + small - large) * (d - small + large) * (d + small + large))
             .max(0.0)
@@ -291,7 +312,11 @@ mod tests {
         let radii = [50.0; 10];
         let mut layout = ForceLayout::new(
             &radii,
-            ForceConfig { width: 400.0, height: 300.0, ..Default::default() },
+            ForceConfig {
+                width: 400.0,
+                height: 300.0,
+                ..Default::default()
+            },
         );
         layout.run(200);
         for n in &layout.nodes {
@@ -332,7 +357,10 @@ mod tests {
         let early = layout.energy();
         layout.run(400);
         let late = layout.energy();
-        assert!(late < early.max(1e-3), "energy should decay: early {early} late {late}");
+        assert!(
+            late < early.max(1e-3),
+            "energy should decay: early {early} late {late}"
+        );
     }
 
     #[test]

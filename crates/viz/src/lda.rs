@@ -152,7 +152,11 @@ impl Lda {
             }
             directions.push(w);
         }
-        Self { mean: global_mean, directions, eigenvalues: vals[..k].to_vec() }
+        Self {
+            mean: global_mean,
+            directions,
+            eigenvalues: vals[..k].to_vec(),
+        }
     }
 
     /// Number of discriminant directions.
@@ -278,7 +282,12 @@ mod tests {
 
     #[test]
     fn projection_centers_global_mean() {
-        let pts = vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![4.0, 0.0], vec![6.0, 2.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 2.0],
+            vec![4.0, 0.0],
+            vec![6.0, 2.0],
+        ];
         let labels = vec![0, 0, 1, 1];
         let lda = Lda::fit(&pts, &labels, 1);
         let p = lda.project(&[3.0, 1.0]); // global mean

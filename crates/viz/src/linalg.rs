@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -37,7 +41,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Rows.
@@ -148,7 +156,10 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 /// # Panics
 /// Panics if the matrix is not square/symmetric.
 pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> (Vec<f64>, Matrix) {
-    assert!(a.is_symmetric(1e-8), "jacobi_eigen requires a symmetric matrix");
+    assert!(
+        a.is_symmetric(1e-8),
+        "jacobi_eigen requires a symmetric matrix"
+    );
     let n = a.n_rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -272,7 +283,10 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
-        assert_eq!(a.transpose(), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.transpose(),
+            Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]])
+        );
         assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
     }
 

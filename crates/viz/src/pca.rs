@@ -59,7 +59,11 @@ impl Pca {
                 components[(d, c)] = vecs[(d, c)];
             }
         }
-        Self { mean, components, explained: vals[..k].to_vec() }
+        Self {
+            mean,
+            components,
+            explained: vals[..k].to_vec(),
+        }
     }
 
     /// Project one sample.
@@ -82,7 +86,9 @@ impl Pca {
 
     /// Loadings of component `k` (unit vector in input space).
     pub fn component(&self, k: usize) -> Vec<f64> {
-        (0..self.components.n_rows()).map(|d| self.components[(d, k)]).collect()
+        (0..self.components.n_rows())
+            .map(|d| self.components[(d, k)])
+            .collect()
     }
 
     /// The fitted per-dimension mean.
@@ -101,7 +107,11 @@ pub fn silhouette(points: &[Vec<f64>], labels: &[u32]) -> f64 {
         return 0.0;
     }
     let dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
     let classes: std::collections::BTreeSet<u32> = labels.iter().copied().collect();
     let mut total = 0.0;
@@ -152,8 +162,9 @@ mod tests {
     #[test]
     fn recovers_dominant_axis() {
         // Points along y = 2x: first component should align with (1,2)/√5.
-        let points: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![i as f64 * 0.1, i as f64 * 0.2]).collect();
+        let points: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 * 0.1, i as f64 * 0.2])
+            .collect();
         let pca = Pca::fit(&points, 1);
         let v = pca.component(0);
         let expected = [1.0 / 5.0f64.sqrt(), 2.0 / 5.0f64.sqrt()];

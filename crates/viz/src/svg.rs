@@ -13,13 +13,20 @@ pub struct SvgDoc {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 impl SvgDoc {
     /// New document of the given size.
     pub fn new(width: f64, height: f64) -> Self {
-        Self { width, height, body: String::new() }
+        Self {
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     /// Filled circle with stroke and a `<title>` tooltip (the paper's

@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo run --release --example discussion_groups`
 
+use vexus::core::engine::VexusBuilder;
 use vexus::core::simulate::{run_st, Policy, StAccept};
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::EngineConfig;
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
 use vexus::mining::MemberSet;
 
@@ -16,7 +17,10 @@ fn main() {
         n_communities: 8,
         seed: 42,
     });
-    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    let vexus = VexusBuilder::new(dataset.data)
+        .config(EngineConfig::paper())
+        .build()
+        .expect("group space non-empty");
     let data = vexus.data();
     let schema = data.schema();
 
@@ -28,11 +32,17 @@ fn main() {
         .filter(|&u| data.value(u, fav) == romance)
         .map(|u| u.raw())
         .collect();
-    println!("reader profile: loves romance; {} kindred users exist", agree_club.len());
+    println!(
+        "reader profile: loves romance; {} kindred users exist",
+        agree_club.len()
+    );
 
     // ST run 1: find the agree-club.
     let mut session = vexus.session().expect("session opens");
-    let accept = StAccept::Precision { min_precision: 0.85, min_size: 15 };
+    let accept = StAccept::Precision {
+        min_precision: 0.85,
+        min_size: 15,
+    };
     let agree = run_st(&mut session, &agree_club, accept, 10, Policy::Informed).expect("st runs");
     match agree.accepted {
         Some(g) => println!(

@@ -9,8 +9,9 @@
 //!
 //! Run with: `cargo run --release --example expert_set_formation`
 
+use vexus::core::engine::VexusBuilder;
 use vexus::core::simulate::{run_committee, CommitteeTask, Policy};
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::EngineConfig;
 use vexus::data::synthetic::{dbauthors, DbAuthorsConfig};
 
 fn main() {
@@ -20,7 +21,10 @@ fn main() {
         n_communities: 6,
         seed: 42,
     });
-    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    let vexus = VexusBuilder::new(dataset.data)
+        .config(EngineConfig::paper())
+        .build()
+        .expect("group space non-empty");
     let data = vexus.data();
     let schema = data.schema();
 
@@ -38,7 +42,10 @@ fn main() {
         balance_attr: Some(region),
         max_per_value: 3,
     };
-    println!("requirements: {} active sigmod researchers, <= 3 per region", task.size);
+    println!(
+        "requirements: {} active sigmod researchers, <= 3 per region",
+        task.size
+    );
 
     // The chair explores, brushing STATS to venue=sigmod and reading the
     // tables of focused groups; recruits land in MEMO.
@@ -60,7 +67,11 @@ fn main() {
         if schema.value_label(gender, data.value(u, gender)) == "female" {
             females += 1;
         }
-        regions.insert(schema.value_label(region, data.value(u, region)).to_string());
+        regions.insert(
+            schema
+                .value_label(region, data.value(u, region))
+                .to_string(),
+        );
     }
     println!(
         "committee balance: {} female / {} total; {} distinct regions ({:?})",

@@ -11,7 +11,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::{Schema, UserDataBuilder};
 use vexus::mining::MemberSet;
 
@@ -26,19 +27,27 @@ fn main() {
     let mut b = UserDataBuilder::new(schema);
     let mut rng = StdRng::seed_from_u64(99);
 
-    let companies = ["nextworth", "bioview", "acme-labs", "freelance"];
     let mut the_guest = None;
     for i in 0..300 {
         let u = b.user(&format!("guest-{i:03}"));
         let (occ, fld, comp, emp) = match i % 5 {
-            // The circle Tiffany must find: engineers in bioinformatics /
-            // data visualization at BioView-like companies.
-            0 => (
-                "engineer",
-                if rng.gen::<f64>() < 0.3 { "data visualization" } else { "bioinformatics" },
-                companies[rng.gen_range(1..3)],
-                "full-time",
-            ),
+            // The circle Tiffany must find: BioView's full-time engineers
+            // are bioinformatics people — except the guest planted below,
+            // who does data visualization there. Engineers elsewhere split
+            // between bioinformatics and data visualization.
+            0 => {
+                let at_bioview = (i / 5) % 3 == 0;
+                (
+                    "engineer",
+                    if !at_bioview && rng.gen::<f64>() < 0.3 {
+                        "data visualization"
+                    } else {
+                        "bioinformatics"
+                    },
+                    if at_bioview { "bioview" } else { "acme-labs" },
+                    "full-time",
+                )
+            }
             1 => ("engineer", "recycling", "nextworth", "full-time"),
             2 => ("market manager", "marketing", "freelance", "part-time"),
             3 => ("engineer", "bioinformatics", "acme-labs", "part-time"),
@@ -48,7 +57,8 @@ fn main() {
         b.set_demo(u, field, fld).expect("interns");
         b.set_demo(u, company, comp).expect("interns");
         b.set_demo(u, employment, emp).expect("interns");
-        b.set_demo(u, city, if i % 3 == 0 { "westford" } else { "boston" }).expect("interns");
+        b.set_demo(u, city, if i % 3 == 0 { "westford" } else { "boston" })
+            .expect("interns");
         // The actual guest: a full-time BioView engineer who talked about
         // data visualization.
         if i == 40 {
@@ -61,11 +71,13 @@ fn main() {
     let the_guest = the_guest.expect("guest placed");
     let data = b.build();
 
-    let vexus = Vexus::build(
-        data,
-        EngineConfig { min_group_size: 3, ..EngineConfig::paper() },
-    )
-    .expect("group space non-empty");
+    let vexus = VexusBuilder::new(data)
+        .config(EngineConfig {
+            min_group_size: 3,
+            ..EngineConfig::paper()
+        })
+        .build()
+        .expect("group space non-empty");
 
     // Tiffany's memories narrow the candidates: full-time (rules out the
     // part-time market managers), not NextWorth (he does data
@@ -96,6 +108,13 @@ fn main() {
     // group is small enough to scan its member table.
     let mut session = vexus.session().expect("session opens");
     let bv_token = vexus.vocab().token(comp_attr, bv);
+    // Field tokens that contradict what he told her ("data visualization"):
+    // reading one in a group description rules the circle out at a glance.
+    let wrong_field: Vec<_> = ["bioinformatics", "recycling", "marketing"]
+        .iter()
+        .filter_map(|label| schema.value(field_attr, label))
+        .filter_map(|v| vexus.vocab().token(field_attr, v))
+        .collect();
     for step in 0.. {
         println!("\nstep {step} — VEXUS shows:");
         for &g in session.display() {
@@ -108,8 +127,14 @@ fn main() {
                 let m = session.group_members(g);
                 let hits = m.intersection_size(&consistent);
                 let mut score = hits as f64 / m.len().max(1) as f64;
-                // She recognizes "BioView" in a description immediately.
-                if bv_token.is_some_and(|t| vexus.groups().get(g).describes(t)) {
+                if wrong_field
+                    .iter()
+                    .any(|&t| vexus.groups().get(g).describes(t))
+                {
+                    // Described by a field he does not work in: not his circle.
+                    score = -1.0;
+                } else if bv_token.is_some_and(|t| vexus.groups().get(g).describes(t)) {
+                    // She recognizes "BioView" in a description immediately.
                     score += 1.0;
                 }
                 (g, score)
@@ -117,10 +142,13 @@ fn main() {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("display non-empty");
         let members = session.group_members(best).clone();
-        if members.len() <= 25 && members.intersection_size(&consistent) > 0 {
+        if density >= 0.0 && members.len() <= 25 && members.intersection_size(&consistent) > 0 {
             // Small enough: open the member table (STATS) and brush to the
             // data-visualization people — there he is.
-            println!("\nTiffany opens {} and scans the member table:", session.describe(best));
+            println!(
+                "\nTiffany opens {} and scans the member table:",
+                session.describe(best)
+            );
             let mut stats = session.stats_view(best).expect("stats view");
             stats.brush(field_attr, &["data visualization"]);
             stats.brush(emp_attr, &["full-time"]);

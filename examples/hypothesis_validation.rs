@@ -9,14 +9,18 @@
 //!
 //! Run with: `cargo run --release --example hypothesis_validation`
 
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::synthetic::{grocery, GroceryConfig};
 use vexus::data::UserId;
 use vexus::stats::StatsView;
 
 fn main() {
     let dataset = grocery(&GroceryConfig::default());
-    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    let vexus = VexusBuilder::new(dataset.data)
+        .config(EngineConfig::paper())
+        .build()
+        .expect("group space non-empty");
     let data = vexus.data();
     let schema = data.schema();
 
@@ -24,9 +28,14 @@ fn main() {
     let age = schema.attr("age").expect("age");
     let occupation = schema.attr("occupation").expect("occupation");
     let young = schema.value(age, "young").expect("young");
-    let professional = schema.value(occupation, "professional").expect("professional");
+    let professional = schema
+        .value(occupation, "professional")
+        .expect("professional");
     let young_tok = vexus.vocab().token(age, young).expect("token");
-    let prof_tok = vexus.vocab().token(occupation, professional).expect("token");
+    let prof_tok = vexus
+        .vocab()
+        .token(occupation, professional)
+        .expect("token");
     let (gid, group) = vexus
         .groups()
         .iter()
@@ -45,7 +54,10 @@ fn main() {
     let population: Vec<UserId> = data.users().collect();
     let population_stats = StatsView::new(data, population);
 
-    println!("\n{:<16} {:>12} {:>12}", "organic share", "group", "population");
+    println!(
+        "\n{:<16} {:>12} {:>12}",
+        "organic share", "group", "population"
+    );
     for label in ["mostly-organic", "mixed", "conventional"] {
         let g = group_stats.share(organic, label).unwrap_or(0.0);
         let p = population_stats.share(organic, label).unwrap_or(0.0);
@@ -53,7 +65,9 @@ fn main() {
     }
     let g_organic = group_stats.share(organic, "mostly-organic").unwrap_or(0.0)
         + group_stats.share(organic, "mixed").unwrap_or(0.0);
-    let p_organic = population_stats.share(organic, "mostly-organic").unwrap_or(0.0)
+    let p_organic = population_stats
+        .share(organic, "mostly-organic")
+        .unwrap_or(0.0)
         + population_stats.share(organic, "mixed").unwrap_or(0.0);
     println!(
         "\nverdict: young professionals buy organic-leaning baskets {:.1}x as often as the population -> hypothesis {}",

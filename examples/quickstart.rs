@@ -6,7 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
 
 fn main() {
@@ -25,13 +26,19 @@ fn main() {
         dataset.data.n_actions()
     );
 
-    // 2. Offline pre-processing: closed-group discovery + inverted index.
-    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    // 2. Offline pre-processing, staged: data -> discovery -> size-filter
+    //    -> index. The discovery stage is pluggable; the default is the
+    //    paper's LCM closed-group miner, selected by EngineConfig.
+    let vexus = VexusBuilder::new(dataset.data)
+        .config(EngineConfig::paper())
+        .build()
+        .expect("group space non-empty");
     let stats = vexus.build_stats();
     println!(
-        "pre-processing: {} groups mined in {:?}; index {} KiB in {:?}",
+        "pre-processing[{}]: {} groups mined in {:?}; index {} KiB in {:?}",
+        stats.discovery.algorithm,
         stats.n_groups,
-        stats.mining_time,
+        stats.discovery.elapsed,
         stats.index_bytes / 1024,
         stats.index_time
     );

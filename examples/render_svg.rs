@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --release --example render_svg`
 
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::synthetic::{dbauthors, DbAuthorsConfig};
 use vexus::viz::color::Palette;
 use vexus::viz::svg::{bar_chart, SvgDoc};
@@ -16,7 +17,10 @@ fn main() {
         n_communities: 6,
         seed: 42,
     });
-    let vexus = Vexus::build(dataset.data, EngineConfig::paper()).expect("group space non-empty");
+    let vexus = VexusBuilder::new(dataset.data)
+        .config(EngineConfig::paper())
+        .build()
+        .expect("group space non-empty");
     let mut session = vexus.session().expect("session opens");
     let g = session.display()[0];
     session.click(g).expect("click");
@@ -29,7 +33,12 @@ fn main() {
     let gender = vexus.data().schema().attr("gender").expect("gender");
     let circles = session.groupviz(gender);
     let mut doc = SvgDoc::new(800.0, 600.0);
-    doc.text(10.0, 20.0, 14.0, "GROUPVIZ — circles are groups, hover for description");
+    doc.text(
+        10.0,
+        20.0,
+        14.0,
+        "GROUPVIZ — circles are groups, hover for description",
+    );
     for c in &circles {
         doc.circle(c.x, c.y, c.radius, c.color, &c.label);
         doc.text(c.x - c.radius / 2.0, c.y, 10.0, &format!("{}", c.group));
@@ -42,9 +51,18 @@ fn main() {
     let focus_group = session.display()[0];
     let points = session.focus_view(focus_group, topic).expect("focus view");
     let mut fdoc = SvgDoc::new(500.0, 500.0);
-    fdoc.text(10.0, 20.0, 14.0, "FOCUS — LDA projection of group members (color = topic)");
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    fdoc.text(
+        10.0,
+        20.0,
+        14.0,
+        "FOCUS — LDA projection of group members (color = topic)",
+    );
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for (_, p, _) in &points {
         min_x = min_x.min(p[0]);
         max_x = max_x.max(p[0]);

@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --release --example stream_exploration`
 
-use vexus::core::features::Featurizer;
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::stream::{ActionStream, ReplayStream};
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
 use vexus::data::Vocabulary;
-use vexus::mining::birch::{BirchConfig, BirchTree};
 use vexus::mining::stream_fim::{StreamFimConfig, StreamMiner};
+use vexus::mining::BirchDiscovery;
 
 fn main() {
     let dataset = bookcrossing(&BookCrossingConfig {
@@ -64,23 +64,33 @@ fn main() {
         miner.n_seen()
     );
 
-    // --- Path B: BIRCH clustering of numeric user features ---
-    let featurizer = Featurizer::new(&data);
-    let mut tree = BirchTree::new(BirchConfig {
-        branching: 12,
-        threshold: 1.1,
-        dim: featurizer.dim(),
-    });
-    for u in data.users() {
-        tree.insert(u.raw(), &featurizer.features(&data, u));
-    }
-    let birch_groups = tree.into_groups(10);
-    println!("BIRCH discovered {} clusters with >= 10 members", birch_groups.len());
+    // --- Path B: BIRCH clustering as a one-line discovery backend ---
+    // The backend owns featurization (one-hot demographics + activity) and
+    // the CF-tree pass; the builder runs it as the discovery stage.
+    let birch = VexusBuilder::new(data.clone())
+        .config(EngineConfig::paper())
+        .discovery(BirchDiscovery {
+            branching: 12,
+            threshold: 1.1,
+            min_cluster_size: 10,
+        })
+        .build()
+        .expect("BIRCH cluster space non-empty");
+    println!(
+        "BIRCH discovered {} clusters with >= 10 members in {:?}",
+        birch.build_stats().n_groups,
+        birch.build_stats().discovery.elapsed
+    );
 
-    // --- Plug either group space into the exploration engine ---
-    let mut groups = stream_groups;
-    groups.filter_by_size(10, usize::MAX);
-    let vexus = Vexus::with_groups(data, vocab, groups, EngineConfig::paper())
+    // --- Plug the incrementally mined group space into the engine ---
+    // (size filtering is the builder's job: min_group_size prunes to 10).
+    let vexus = VexusBuilder::new(data)
+        .config(EngineConfig {
+            min_group_size: 10,
+            ..EngineConfig::paper()
+        })
+        .groups(vocab, stream_groups)
+        .build()
         .expect("stream group space non-empty");
     let mut session = vexus.session().expect("session opens");
     println!("\nexploring the stream-discovered group space:");

@@ -8,11 +8,17 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
-    println!("VEXUS experiment harness (scale={})", vexus_bench::workloads::scale());
+    println!(
+        "VEXUS experiment harness (scale={})",
+        vexus_bench::workloads::scale()
+    );
     for id in ids {
         match vexus_bench::experiments::run(id) {
             Some(report) => print!("{report}"),
-            None => eprintln!("unknown experiment id {id:?} (known: {:?})", vexus_bench::experiments::ALL),
+            None => eprintln!(
+                "unknown experiment id {id:?} (known: {:?})",
+                vexus_bench::experiments::ALL
+            ),
         }
     }
 }

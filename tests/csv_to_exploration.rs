@@ -2,7 +2,8 @@
 //! derived attributes → discovery → exploration. Exercises the full offline
 //! stage of Fig. 1 from a file-shaped input.
 
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::csv::CsvOptions;
 use vexus::data::etl::{clean, import, CleanOp, ImportSpec};
 use vexus::data::{Schema, UserDataBuilder};
@@ -11,7 +12,11 @@ fn ratings_csv() -> String {
     // 60 users, two latent taste camps, with dirty rows sprinkled in.
     let mut text = String::from("user,age,gender,book,genre,rating\n");
     for i in 0..60 {
-        let (genre, gender) = if i % 2 == 0 { ("fiction", "F") } else { ("scifi", "M") };
+        let (genre, gender) = if i % 2 == 0 {
+            ("fiction", "F")
+        } else {
+            ("scifi", "M")
+        };
         let age = 20 + (i % 40);
         for b in 0..4 {
             text.push_str(&format!(
@@ -38,7 +43,11 @@ fn csv_to_exploration_end_to_end() {
             CleanOp::NormalizeNulls(vec!["null".into()]),
             CleanOp::DropRagged,
             CleanOp::DropDuplicates,
-            CleanOp::ClampNumeric { column: "age".into(), min: 10.0, max: 100.0 },
+            CleanOp::ClampNumeric {
+                column: "age".into(),
+                min: 10.0,
+                max: 100.0,
+            },
         ],
     );
     assert_eq!(report.dropped_ragged, 1);
@@ -57,7 +66,10 @@ fn csv_to_exploration_end_to_end() {
             item_column: Some("book".into()),
             value_column: Some("rating".into()),
             item_category_column: Some("genre".into()),
-            demographics: vec![("age".into(), "age".into()), ("gender".into(), "gender".into())],
+            demographics: vec![
+                ("age".into(), "age".into()),
+                ("gender".into(), "gender".into()),
+            ],
         },
         &mut builder,
     )
@@ -68,17 +80,24 @@ fn csv_to_exploration_end_to_end() {
     // Derive an action-based attribute (activity camp) before freezing.
     builder
         .derive_attribute(fav, |_, acts| {
-            if acts.is_empty() { String::new() } else { format!("camp-{}", acts.len() % 2) }
+            if acts.is_empty() {
+                String::new()
+            } else {
+                format!("camp-{}", acts.len() % 2)
+            }
         })
         .unwrap();
     let data = builder.build();
     assert_eq!(data.n_users(), 62); // 60 readers + the 2 dirty-row users
 
-    let vexus = Vexus::build(
-        data,
-        EngineConfig { min_group_size: 3, ..EngineConfig::default() },
-    )
-    .expect("group space non-empty");
+    let vexus = VexusBuilder::new(data)
+        .config(EngineConfig {
+            min_group_size: 3,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("group space non-empty");
+    assert_eq!(vexus.build_stats().discovery.algorithm, "lcm");
     assert!(vexus.groups().len() > 5);
     let mut session = vexus.session().expect("session opens");
     let g = session.display()[0];

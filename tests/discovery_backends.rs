@@ -1,0 +1,126 @@
+//! One integration test per discovery backend: LCM, α-MOMRI, BIRCH and
+//! stream FIM each drive [`VexusBuilder`] end-to-end — discovery →
+//! size-filter → index → open [`ExplorationSession`] → a click — on tiny
+//! synthetic data.
+
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
+use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::mining::{
+    BirchDiscovery, DiscoverySelection, GroupDiscovery, LcmConfig, LcmDiscovery, MomriConfig,
+    MomriDiscovery, StreamFimConfig, StreamFimDiscovery,
+};
+
+fn tiny() -> vexus::data::UserData {
+    bookcrossing(&BookCrossingConfig::tiny()).data
+}
+
+/// Shared end-to-end drive: build through the builder, open a session,
+/// click once, and sanity-check the telemetry the stages report.
+fn drive(backend: impl GroupDiscovery + 'static, expect_name: &str) {
+    let vexus = VexusBuilder::new(tiny())
+        .config(EngineConfig::default())
+        .discovery(backend)
+        .build()
+        .unwrap_or_else(|e| panic!("{expect_name} failed to build: {e}"));
+    let stats = vexus.build_stats();
+    assert_eq!(stats.discovery.algorithm, expect_name);
+    assert!(stats.n_groups > 0);
+    assert_eq!(
+        stats.discovery.groups_discovered,
+        stats.n_groups + stats.filtered_out,
+        "size-filter accounting must balance for {expect_name}"
+    );
+    // The size filter enforced the engine's floor on every backend.
+    assert!(vexus.groups().iter().all(|(_, g)| g.size() >= 5));
+    // A session opens and a click works. A next display is only owed when
+    // the clicked group overlaps anything (BIRCH partitions are disjoint,
+    // so their clusters legitimately have zero Jaccard neighbors).
+    let mut session = vexus.session().expect("session opens");
+    assert!(
+        !session.display().is_empty(),
+        "{expect_name}: empty first display"
+    );
+    let g = session.display()[0];
+    let has_neighbors = vexus.index().full_neighbor_count(g) > 0;
+    session
+        .click(g)
+        .unwrap_or_else(|e| panic!("{expect_name} click failed: {e}"));
+    if has_neighbors {
+        assert!(
+            !session.display().is_empty(),
+            "{expect_name}: empty display after click"
+        );
+    }
+}
+
+#[test]
+fn lcm_end_to_end() {
+    drive(
+        LcmDiscovery::new(LcmConfig {
+            min_support: 5,
+            ..Default::default()
+        }),
+        "lcm",
+    );
+}
+
+#[test]
+fn momri_end_to_end() {
+    drive(MomriDiscovery::new(MomriConfig::default()), "momri");
+}
+
+#[test]
+fn birch_end_to_end() {
+    drive(BirchDiscovery::default(), "birch");
+}
+
+#[test]
+fn stream_fim_end_to_end() {
+    drive(
+        StreamFimDiscovery::new(StreamFimConfig {
+            support: 0.05,
+            epsilon: 0.01,
+            max_len: 3,
+        }),
+        "stream-fim",
+    );
+}
+
+#[test]
+fn config_selection_reaches_every_backend() {
+    // The same plug-in path, driven from EngineConfig instead of an
+    // explicit backend value.
+    for (sel, name) in [
+        (DiscoverySelection::default(), "lcm"),
+        (
+            DiscoverySelection::Momri {
+                config: MomriConfig::default(),
+                materialize: vexus::mining::MomriMaterialize::Candidates,
+            },
+            "momri",
+        ),
+        (
+            DiscoverySelection::Birch {
+                branching: 10,
+                threshold: 1.6,
+            },
+            "birch",
+        ),
+        (
+            DiscoverySelection::StreamFim {
+                support: 0.05,
+                epsilon: 0.01,
+                max_len: 3,
+            },
+            "stream-fim",
+        ),
+    ] {
+        let vexus = VexusBuilder::new(tiny())
+            .config(EngineConfig::default().with_discovery(sel))
+            .build()
+            .unwrap_or_else(|e| panic!("{name} via config failed: {e}"));
+        assert_eq!(vexus.build_stats().discovery.algorithm, name);
+        assert!(!vexus.session().expect("session opens").display().is_empty());
+    }
+}

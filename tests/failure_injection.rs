@@ -27,7 +27,10 @@ fn import_with_missing_columns_fails_before_mutating() {
     let mut builder = UserDataBuilder::new(Schema::new());
     let err = import(
         &table,
-        &ImportSpec { user_column: "user".into(), ..Default::default() },
+        &ImportSpec {
+            user_column: "user".into(),
+            ..Default::default()
+        },
         &mut builder,
     )
     .unwrap_err();
@@ -70,7 +73,10 @@ fn engine_rejects_support_higher_than_population() {
     let ds = bookcrossing(&BookCrossingConfig::tiny());
     match Vexus::build(
         ds.data,
-        EngineConfig { min_group_size: 1_000_000, ..EngineConfig::default() },
+        EngineConfig {
+            min_group_size: 1_000_000,
+            ..EngineConfig::default()
+        },
     ) {
         Err(err) => assert_eq!(err, CoreError::EmptyGroupSpace),
         Ok(_) => panic!("expected EmptyGroupSpace"),
@@ -83,12 +89,27 @@ fn session_rejects_foreign_group_ids() {
     let vexus = Vexus::build(ds.data, EngineConfig::default()).unwrap();
     let mut session = vexus.session().unwrap();
     let bogus = GroupId::new(u32::MAX - 1);
-    assert!(matches!(session.click(bogus), Err(CoreError::NotDisplayed(_))));
-    assert!(matches!(session.memo_group(bogus), Err(CoreError::UnknownGroup(_))));
-    assert!(matches!(session.stats_view(bogus), Err(CoreError::UnknownGroup(_))));
+    assert!(matches!(
+        session.click(bogus),
+        Err(CoreError::NotDisplayed(_))
+    ));
+    assert!(matches!(
+        session.memo_group(bogus),
+        Err(CoreError::UnknownGroup(_))
+    ));
+    assert!(matches!(
+        session.stats_view(bogus),
+        Err(CoreError::UnknownGroup(_))
+    ));
     let attr = vexus.data().schema().attr("country").unwrap();
-    assert!(matches!(session.focus_view(bogus, attr), Err(CoreError::UnknownGroup(_))));
-    assert!(matches!(session.backtrack(99), Err(CoreError::BadHistoryStep(99))));
+    assert!(matches!(
+        session.focus_view(bogus, attr),
+        Err(CoreError::UnknownGroup(_))
+    ));
+    assert!(matches!(
+        session.backtrack(99),
+        Err(CoreError::BadHistoryStep(99))
+    ));
     // After all those rejections the session still works.
     let g = session.display()[0];
     assert!(session.click(g).is_ok());
@@ -103,7 +124,10 @@ fn zero_budget_sessions_still_function() {
         ..EngineConfig::default()
     };
     let mut session = vexus.session_with(config).unwrap();
-    assert!(!session.display().is_empty(), "seed selection works without budget");
+    assert!(
+        !session.display().is_empty(),
+        "seed selection works without budget"
+    );
     let g = session.display()[0];
     session.click(g).unwrap();
     assert!(session.last_outcome().unwrap().budget_exhausted);
@@ -143,7 +167,10 @@ fn degenerate_groups_do_not_break_the_index() {
     gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![1, 2, 3])));
     let idx = vexus::index::GroupIndex::build(
         &gs,
-        &vexus::index::IndexConfig { materialize_fraction: 1.0, threads: 1 },
+        &vexus::index::IndexConfig {
+            materialize_fraction: 1.0,
+            threads: 1,
+        },
     );
     // The identical twins are mutual neighbors at similarity 1.
     let n = idx.neighbors(&gs, GroupId::new(0), 5);
@@ -172,8 +199,14 @@ fn nan_free_projections_on_constant_members() {
         b.set_demo(u, g, "other").unwrap();
     }
     let data = b.build();
-    let vexus = Vexus::build(data, EngineConfig { min_group_size: 2, ..Default::default() })
-        .unwrap();
+    let vexus = Vexus::build(
+        data,
+        EngineConfig {
+            min_group_size: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let session = vexus.session().unwrap();
     let gid = session.display()[0];
     let attr = vexus.data().schema().attr("g").unwrap();

@@ -17,7 +17,10 @@ fn discovered_groups_are_closed_and_frequent() {
     let vocab = Vocabulary::build(vexus.data());
     let db = TransactionDb::build(vexus.data(), &vocab);
     for (_, g) in vexus.groups().iter() {
-        assert!(g.size() >= vexus.config().min_group_size, "support floor violated");
+        assert!(
+            g.size() >= vexus.config().min_group_size,
+            "support floor violated"
+        );
         // Description is exactly the closure of the member set.
         assert_eq!(db.closure(&g.members), g.description, "group not closed");
         // Members are exactly the users carrying the description.
@@ -110,7 +113,11 @@ fn backtracking_replays_history_exactly() {
     }
     for (step, expected) in displays.iter().enumerate().rev() {
         session.backtrack(step).expect("backtrack");
-        assert_eq!(session.display(), expected.as_slice(), "display mismatch at step {step}");
+        assert_eq!(
+            session.display(),
+            expected.as_slice(),
+            "display mismatch at step {step}"
+        );
     }
 }
 

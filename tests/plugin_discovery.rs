@@ -1,15 +1,15 @@
 //! The discovery plug-in paths the paper names: α-MOMRI for datasets,
-//! BIRCH and stream FIM for streams — each feeding the same exploration
-//! engine.
+//! BIRCH and stream FIM for streams — each a [`GroupDiscovery`] backend
+//! feeding the same exploration engine through [`VexusBuilder`].
 
-use vexus::core::features::Featurizer;
-use vexus::core::{EngineConfig, Vexus};
+use vexus::core::engine::VexusBuilder;
+use vexus::core::EngineConfig;
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
 use vexus::data::Vocabulary;
-use vexus::mining::birch::{BirchConfig, BirchTree};
 use vexus::mining::momri::{discover, MomriConfig};
 use vexus::mining::stream_fim::{StreamFimConfig, StreamMiner};
 use vexus::mining::transactions::TransactionDb;
+use vexus::mining::{BirchDiscovery, GroupDiscovery, MomriDiscovery, StreamFimDiscovery};
 
 fn dataset() -> vexus::data::synthetic::SyntheticDataset {
     bookcrossing(&BookCrossingConfig::tiny())
@@ -18,15 +18,24 @@ fn dataset() -> vexus::data::synthetic::SyntheticDataset {
 #[test]
 fn momri_front_plugs_into_the_engine() {
     let ds = dataset();
+    // Low-level: the optimizer still exposes its α-Pareto front.
     let vocab = Vocabulary::build(&ds.data);
     let db = TransactionDb::build(&ds.data, &vocab);
     let result = discover(&db, &MomriConfig::default());
     assert!(!result.front.is_empty(), "alpha-MOMRI found no solutions");
     let best = &result.front[0];
-    assert!(best.coverage > 0.3, "best solution coverage {}", best.coverage);
-    // Feed the full candidate space into the engine.
-    let vexus = Vexus::with_groups(ds.data, vocab, result.candidates, EngineConfig::default())
+    assert!(
+        best.coverage > 0.3,
+        "best solution coverage {}",
+        best.coverage
+    );
+    // High-level: the same algorithm as a builder backend.
+    let vexus = VexusBuilder::new(ds.data)
+        .config(EngineConfig::default())
+        .discovery(MomriDiscovery::default())
+        .build()
         .expect("engine builds");
+    assert_eq!(vexus.build_stats().discovery.algorithm, "momri");
     let session = vexus.session().expect("session opens");
     assert!(!session.display().is_empty());
 }
@@ -34,28 +43,26 @@ fn momri_front_plugs_into_the_engine() {
 #[test]
 fn birch_clusters_plug_into_the_engine() {
     let ds = dataset();
-    let vocab = Vocabulary::build(&ds.data);
-    let featurizer = Featurizer::new(&ds.data);
+    let n_users = ds.data.n_users();
     // One-hot demographics live on a hypercube: users differing in d
     // attributes sit at distance sqrt(2d), so the absorption threshold has
-    // to admit a couple of differing attributes per cluster.
-    let mut tree = BirchTree::new(BirchConfig {
-        branching: 10,
-        threshold: 1.6,
-        dim: featurizer.dim(),
-    });
-    for u in ds.data.users() {
-        tree.insert(u.raw(), &featurizer.features(&ds.data, u));
-    }
-    let groups = tree.into_groups(5);
-    assert!(!groups.is_empty(), "BIRCH produced no clusters of size >= 5");
-    let n_users_covered = groups.distinct_users_covered(ds.data.n_users());
+    // to admit a couple of differing attributes per cluster. The backend
+    // owns featurization end to end.
+    let vexus = VexusBuilder::new(ds.data)
+        .config(EngineConfig::default())
+        .discovery(BirchDiscovery {
+            branching: 10,
+            threshold: 1.6,
+            min_cluster_size: 5,
+        })
+        .build()
+        .expect("engine builds");
+    assert_eq!(vexus.build_stats().discovery.algorithm, "birch");
+    let n_users_covered = vexus.groups().distinct_users_covered(n_users);
     assert!(
-        n_users_covered > ds.data.n_users() / 4,
+        n_users_covered > n_users / 4,
         "clusters cover too little: {n_users_covered}"
     );
-    let vexus = Vexus::with_groups(ds.data, vocab, groups, EngineConfig::default())
-        .expect("engine builds");
     let mut session = vexus.session().expect("session opens");
     // Cluster groups have no token description but remain navigable.
     let g = session.display()[0];
@@ -66,20 +73,18 @@ fn birch_clusters_plug_into_the_engine() {
 #[test]
 fn stream_fim_groups_plug_into_the_engine() {
     let ds = dataset();
-    let vocab = Vocabulary::build(&ds.data);
-    let mut miner = StreamMiner::new(StreamFimConfig {
-        support: 0.05,
-        epsilon: 0.01,
-        max_len: 3,
-    });
-    for u in ds.data.users() {
-        miner.observe(u.raw(), &vocab.user_tokens(&ds.data, u));
-    }
-    let mut groups = miner.groups();
-    assert!(!groups.is_empty());
-    groups.filter_by_size(5, usize::MAX);
-    let vexus = Vexus::with_groups(ds.data, vocab, groups, EngineConfig::default())
+    let vexus = VexusBuilder::new(ds.data)
+        .config(EngineConfig::default())
+        .discovery(StreamFimDiscovery::new(StreamFimConfig {
+            support: 0.05,
+            epsilon: 0.01,
+            max_len: 3,
+        }))
+        .build()
         .expect("engine builds");
+    assert_eq!(vexus.build_stats().discovery.algorithm, "stream-fim");
+    // The builder's size filter replaced the hand-rolled filter_by_size.
+    assert!(vexus.groups().iter().all(|(_, g)| g.size() >= 5));
     let mut session = vexus.session().expect("session opens");
     let g = session.display()[0];
     let next = session.click(g).expect("click").to_vec();
@@ -95,7 +100,10 @@ fn all_plugin_paths_agree_on_heavy_structure() {
     let db = TransactionDb::build(&ds.data, &vocab);
     let lcm_groups = vexus::mining::mine_closed_groups(
         &db,
-        &vexus::mining::LcmConfig { min_support: 30, ..Default::default() },
+        &vexus::mining::LcmConfig {
+            min_support: 30,
+            ..Default::default()
+        },
     );
     let mut miner = StreamMiner::new(StreamFimConfig {
         support: 0.1,
@@ -121,5 +129,24 @@ fn all_plugin_paths_agree_on_heavy_structure() {
                 "stream miner missed a heavy token"
             );
         }
+    }
+}
+
+#[test]
+fn backend_trait_objects_are_interchangeable() {
+    // The same builder call site drives any backend picked at runtime.
+    let backends: Vec<Box<dyn GroupDiscovery>> = vec![
+        Box::new(MomriDiscovery::default()),
+        Box::new(BirchDiscovery::default()),
+    ];
+    for backend in backends {
+        let name = backend.name();
+        let ds = dataset();
+        let vexus = VexusBuilder::new(ds.data)
+            .discovery_boxed(backend)
+            .build()
+            .expect("engine builds");
+        assert_eq!(vexus.build_stats().discovery.algorithm, name);
+        assert!(!vexus.session().expect("session opens").display().is_empty());
     }
 }

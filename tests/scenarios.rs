@@ -40,7 +40,10 @@ fn scenario1_committee_formation_collects_experts() {
         .filter(|&u| data.value(u, venue) == sigmod && data.user_activity(u) >= 2)
         .take(10)
         .collect();
-    assert!(committee.len() >= 5, "not enough sigmod researchers generated");
+    assert!(
+        committee.len() >= 5,
+        "not enough sigmod researchers generated"
+    );
     let mut session = vexus.session().expect("session opens");
     let out = run_mt(
         &mut session,
@@ -48,7 +51,11 @@ fn scenario1_committee_formation_collects_experts() {
         Policy::Informed,
     )
     .expect("mt runs");
-    assert!(out.recall >= 0.5, "informed chair collected only {:.0}%", out.recall * 100.0);
+    assert!(
+        out.recall >= 0.5,
+        "informed chair collected only {:.0}%",
+        out.recall * 100.0
+    );
     // Everything collected is actually a target and in MEMO.
     for u in &out.collected {
         assert!(committee.contains(u));
@@ -79,7 +86,10 @@ fn scenario2_reader_finds_her_club() {
     let out = run_st(
         &mut session,
         &club,
-        StAccept::Precision { min_precision: 0.8, min_size: 10 },
+        StAccept::Precision {
+            min_precision: 0.8,
+            min_size: 10,
+        },
         25,
         Policy::Informed,
     )
@@ -165,7 +175,11 @@ fn unlearning_gender_rebalances_candidates() {
     }
     session.unlearn_token(male_token);
     assert!(
-        session.context(50).tokens.iter().all(|&(t, _)| t != male_token),
+        session
+            .context(50)
+            .tokens
+            .iter()
+            .all(|&(t, _)| t != male_token),
         "male token must vanish from CONTEXT"
     );
     // Feedback stays a probability vector after unlearning.

@@ -43,14 +43,19 @@ fn stats_histograms_match_manual_counts() {
 fn stats_share_sums_to_one() {
     let vexus = engine();
     let session = vexus.session().expect("session opens");
-    let view = session.stats_view(session.display()[0]).expect("stats view");
+    let view = session
+        .stats_view(session.display()[0])
+        .expect("stats view");
     for (attr, _) in vexus.data().schema().iter() {
         let hist = view.histogram(attr);
         let total: f64 = hist
             .iter()
             .map(|(l, _)| view.share(attr, l).expect("label known"))
             .sum();
-        assert!((total - 1.0).abs() < 1e-9, "shares must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "shares must sum to 1, got {total}"
+        );
     }
 }
 
@@ -85,15 +90,17 @@ fn groupviz_geometry_is_sane() {
         // Label matches the group description.
         assert_eq!(
             c.label,
-            vexus.groups().get(c.group).label(vexus.vocab(), vexus.data().schema())
+            vexus
+                .groups()
+                .get(c.group)
+                .label(vexus.vocab(), vexus.data().schema())
         );
     }
     // No pair overlaps (the clutter guarantee).
     for i in 0..circles.len() {
         for j in i + 1..circles.len() {
-            let d = ((circles[i].x - circles[j].x).powi(2)
-                + (circles[i].y - circles[j].y).powi(2))
-            .sqrt();
+            let d = ((circles[i].x - circles[j].x).powi(2) + (circles[i].y - circles[j].y).powi(2))
+                .sqrt();
             assert!(d + 1.0 >= circles[i].radius + circles[j].radius);
         }
     }
@@ -144,7 +151,11 @@ fn stats_view_brush_matches_crossfilter_semantics() {
     let gender_before = view.histogram(gender);
     let region_before: u64 = view.histogram(region).iter().map(|(_, c)| c).sum();
     view.brush(gender, &["female"]);
-    assert_eq!(view.histogram(gender), gender_before, "own histogram must not react");
+    assert_eq!(
+        view.histogram(gender),
+        gender_before,
+        "own histogram must not react"
+    );
     let region_after: u64 = view.histogram(region).iter().map(|(_, c)| c).sum();
     assert!(region_after <= region_before);
     assert_eq!(
@@ -162,5 +173,8 @@ fn stats_view_over_full_population() {
     assert_eq!(view.n_users(), vexus.data().n_users());
     let gender = vexus.data().schema().attr("gender").unwrap();
     let male = view.share(gender, "male").expect("share");
-    assert!((0.5..0.8).contains(&male), "male share {male} should be ~0.64");
+    assert!(
+        (0.5..0.8).contains(&male),
+        "male share {male} should be ~0.64"
+    );
 }

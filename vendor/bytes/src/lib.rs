@@ -1,0 +1,190 @@
+//! Vendored, offline subset of the `bytes` crate API.
+//!
+//! Implements [`Bytes`], [`BytesMut`] and the little-endian [`Buf`] /
+//! [`BufMut`] accessors the VEXUS stream codec uses. [`BytesMut`] is a
+//! `Vec<u8>` with a consuming read cursor; `get_*` reads advance the
+//! cursor and the backing storage is compacted opportunistically.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// A growable byte buffer with a consuming read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Unread bytes remaining.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes at the write end.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Freeze the unread remainder into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        Bytes {
+            data: self.data.split_off(self.start),
+        }
+    }
+
+    /// The unread remainder as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let out = &self.data[self.start..self.start + n];
+        self.start += n;
+        out
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(bytes: &[u8]) -> Self {
+        Self {
+            data: bytes.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Little-endian read accessors over a consuming buffer.
+pub trait Buf {
+    /// Read the next 4 bytes as a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read the next 4 bytes as a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl Buf for BytesMut {
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.consume(4).try_into().expect("4 bytes"));
+        self.maybe_compact();
+        v
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let v = f32::from_le_bytes(self.consume(4).try_into().expect("4 bytes"));
+        self.maybe_compact();
+        v
+    }
+}
+
+/// Little-endian write accessors.
+pub trait BufMut {
+    /// Append a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Append an `f32` in little-endian order.
+    fn put_f32_le(&mut self, v: f32);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(7);
+        buf.put_f32_le(-1.5);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 8);
+        let mut rd = BytesMut::from(&frozen[..]);
+        assert_eq!(rd.get_u32_le(), 7);
+        assert_eq!(rd.get_f32_le(), -1.5);
+        assert!(rd.is_empty());
+    }
+
+    #[test]
+    fn partial_reads_keep_the_tail() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&42u32.to_le_bytes());
+        buf.extend_from_slice(&[0xAA]);
+        assert_eq!(buf.get_u32_le(), 42);
+        assert_eq!(buf.len(), 1);
+        buf.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(buf.get_u32_le(), 0xAA);
+        assert!(buf.is_empty());
+    }
+}

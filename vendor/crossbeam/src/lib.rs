@@ -1,0 +1,101 @@
+//! Vendored, offline subset of the `crossbeam` API, implemented over std.
+//!
+//! Provides the two facilities VEXUS uses: bounded MPSC channels
+//! ([`channel`]) and scoped threads ([`thread`]). Backed by
+//! `std::sync::mpsc::sync_channel` and `std::thread::scope`, so semantics
+//! match the real crate for the single-consumer, join-all patterns in this
+//! codebase.
+
+pub mod channel {
+    //! Bounded channels (std `sync_channel` under the hood).
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, SyncSender as Sender, TryRecvError};
+
+    /// A channel holding at most `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(capacity)
+    }
+}
+
+pub mod thread {
+    //! Scoped threads (std `thread::scope` under the hood).
+    //!
+    //! The real crossbeam passes `&Scope` to spawned closures so they can
+    //! spawn siblings; VEXUS never nests spawns, so the closure argument is
+    //! a unit placeholder (`|_| …` works unchanged).
+
+    /// Handle to a scope accepted by [`scope`]'s closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the worker and return its result (Err on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker bound to the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned workers are joined before this
+    /// returns. Unlike crossbeam, worker panics propagate as panics (std
+    /// semantics) rather than surfacing in the returned `Result`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounded_channel_round_trip() {
+        let (tx, rx) = super::channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Empty)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let data = [1u32, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! String generation from a small regex subset.
+//!
+//! Supports the shapes the VEXUS tests use: a sequence of atoms, where an
+//! atom is a character class `[...]` (literal chars, ranges `a-z`, escapes
+//! `\n` `\t` `\r` `\\`) or a literal/escaped character, each optionally
+//! followed by `{m}`, `{m,n}`, `?`, `*` or `+` (star/plus capped at 8
+//! repeats). Anything fancier panics loudly rather than silently
+//! mis-generating.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = if atom.max > atom.min {
+            atom.min + rng.below(atom.max - atom.min + 1)
+        } else {
+            atom.min
+        };
+        for _ in 0..n {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![unescape(chars[i - 1])]
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c if "(){}*+?|^$".contains(c) => {
+                panic!("unsupported regex construct {c:?} in strategy pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    assert!(chars.get(i) != Some(&'^'), "negated classes unsupported");
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // Range `lo-hi` (a trailing '-' is a literal).
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = if chars[i + 1] == '\\' {
+                i += 3;
+                unescape(chars[i - 1])
+            } else {
+                i += 2;
+                chars[i - 1]
+            };
+            set.extend(lo..=hi);
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    assert!(!set.is_empty(), "empty character class");
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let exact = body.trim().parse().expect("quantifier count");
+                    (exact, exact)
+                }
+            };
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_range_and_escape() {
+        let mut rng = TestRng::from_name("t");
+        for _ in 0..500 {
+            let s = generate_matching("[ -~\n]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_name("t2");
+        let s = generate_matching("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,14 @@
+//! Vendored, offline subset of the `serde` facade.
+//!
+//! VEXUS derives `Serialize`/`Deserialize` on its data model as a forward
+//! seam for wire formats; nothing in-tree serializes yet, so the traits are
+//! markers and the derives are no-ops. Replace with crates.io `serde` once
+//! the build environment has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! VEXUS derives `Serialize`/`Deserialize` on its data model for future
+//! wire formats but never serializes in-tree, so the offline stand-in can
+//! expand to nothing. `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
