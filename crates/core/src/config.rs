@@ -110,6 +110,30 @@ mod tests {
     }
 
     #[test]
+    fn sharded_and_ensemble_selections_embed_in_config() {
+        use vexus_mining::{DiscoverySelection, MergeSelection};
+        let c = EngineConfig::default().with_discovery(DiscoverySelection::default().sharded(8));
+        assert!(matches!(
+            c.discovery,
+            DiscoverySelection::Sharded { shards: 8, .. }
+        ));
+        let e = EngineConfig::default().with_discovery(DiscoverySelection::ensemble(
+            vec![
+                DiscoverySelection::default(),
+                DiscoverySelection::Birch {
+                    branching: 10,
+                    threshold: 1.6,
+                },
+            ],
+            MergeSelection::Union,
+        ));
+        assert!(matches!(
+            e.discovery,
+            DiscoverySelection::Ensemble { ref members, .. } if members.len() == 2
+        ));
+    }
+
+    #[test]
     fn discovery_selection_is_swappable() {
         let c = EngineConfig::default().with_discovery(vexus_mining::DiscoverySelection::Birch {
             branching: 8,

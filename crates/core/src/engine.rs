@@ -15,7 +15,9 @@ use crate::session::ExplorationSession;
 use std::time::{Duration, Instant};
 use vexus_data::{UserData, Vocabulary};
 use vexus_index::{GroupIndex, IndexConfig, OverlapGraph};
-use vexus_mining::{DiscoveryStats, GroupDiscovery, GroupSet};
+use vexus_mining::{
+    DiscoveryStats, GroupDiscovery, GroupSet, MergeStrategy, ShardScaled, ShardedDiscovery,
+};
 
 /// Timings and sizes of the offline pre-processing stage.
 #[derive(Debug, Clone, Default)]
@@ -102,6 +104,17 @@ impl VexusBuilder {
         self
     }
 
+    /// Stage 2 (sharded): run `backend` per member-disjoint hash shard on
+    /// worker threads and fold the per-shard spaces through `merge` (see
+    /// [`vexus_mining::ShardedDiscovery`] for strategy details). Per-shard
+    /// timings land in [`BuildStats::discovery`]'s `shards`.
+    pub fn discovery_sharded<B>(self, backend: B, shards: usize, merge: MergeStrategy) -> Self
+    where
+        B: GroupDiscovery + ShardScaled + Sync + 'static,
+    {
+        self.discovery(ShardedDiscovery::new(backend, shards).with_merge(merge))
+    }
+
     /// Stage 2 (bypass): use an externally discovered group space and its
     /// vocabulary. The size filter and index stages still run.
     pub fn groups(mut self, vocab: Vocabulary, groups: GroupSet) -> Self {
@@ -135,6 +148,7 @@ impl VexusBuilder {
                     elapsed: Duration::ZERO,
                     groups_discovered: groups.len(),
                     candidates_considered: groups.len(),
+                    ..Default::default()
                 };
                 (vocab, groups, stats)
             }
@@ -193,9 +207,13 @@ impl Vexus {
     /// Assemble an engine from an externally discovered group space (the
     /// pre-discovered plug-in path; see also [`VexusBuilder::groups`]).
     ///
-    /// Unlike the pre-builder engine, the size-filter stage still runs:
-    /// groups under `config.min_group_size` are dropped. Pass a smaller
-    /// `min_group_size` to keep curated small groups.
+    /// **The size-filter stage still runs**: every supplied group with
+    /// fewer than `config.min_group_size` members is silently dropped, the
+    /// same as for any discovery backend. The removal count is reported in
+    /// [`BuildStats::filtered_out`] (and a regression test pins it), so a
+    /// curated space shrinking here is visible, not mysterious. Pass a
+    /// smaller `min_group_size` — `1` disables the filter — to keep
+    /// curated small groups.
     pub fn with_groups(
         data: UserData,
         vocab: Vocabulary,
@@ -410,6 +428,84 @@ mod tests {
         assert_eq!(vexus.build_stats().discovery.algorithm, "pregrouped");
         let session = vexus.session().unwrap();
         assert!(!session.display().is_empty());
+    }
+
+    #[test]
+    fn with_groups_applies_min_group_size_and_reports_it() {
+        // Regression pin (noted in PR 1): `with_groups` is NOT a verbatim
+        // passthrough — the size-filter stage runs on supplied groups too.
+        use vexus_mining::{Group, MemberSet};
+        let mut b = vexus_data::UserDataBuilder::new(vexus_data::Schema::new());
+        for i in 0..10 {
+            b.user(&format!("u{i}"));
+        }
+        let data = b.build();
+        let vocab = Vocabulary::build(&data);
+        let mut groups = GroupSet::new();
+        groups.push(Group::new(vec![], MemberSet::from_unsorted(vec![0, 1]))); // size 2
+        groups.push(Group::new(
+            vec![],
+            MemberSet::from_unsorted(vec![0, 1, 2, 3]),
+        )); // size 4
+        groups.push(Group::new(
+            vec![],
+            MemberSet::from_unsorted(vec![0, 1, 2, 3, 4, 5]),
+        )); // size 6
+        let config = EngineConfig {
+            min_group_size: 5,
+            ..EngineConfig::default()
+        };
+        let vexus =
+            Vexus::with_groups(data.clone(), vocab.clone(), groups.clone(), config).unwrap();
+        let stats = vexus.build_stats();
+        // Exactly the two groups under the floor were dropped, and the
+        // accounting says so.
+        assert_eq!(stats.filtered_out, 2);
+        assert_eq!(stats.n_groups, 1);
+        assert_eq!(stats.discovery.groups_discovered, 3);
+        assert_eq!(vexus.groups().get(vexus_mining::GroupId::new(0)).size(), 6);
+        // min_group_size = 1 keeps every curated group.
+        let keep_all = EngineConfig {
+            min_group_size: 1,
+            ..EngineConfig::default()
+        };
+        let vexus = Vexus::with_groups(data, vocab, groups, keep_all).unwrap();
+        assert_eq!(vexus.build_stats().filtered_out, 0);
+        assert_eq!(vexus.build_stats().n_groups, 3);
+    }
+
+    #[test]
+    fn builder_sharded_discovery_reports_per_shard_stats() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vexus = VexusBuilder::new(ds.data)
+            .config(EngineConfig::default())
+            .discovery_sharded(
+                LcmDiscovery::new(vexus_mining::LcmConfig {
+                    min_support: 5,
+                    ..Default::default()
+                }),
+                4,
+                vexus_mining::MergeStrategy::SupportRecount { min_support: 5 },
+            )
+            .build()
+            .unwrap();
+        let stats = vexus.build_stats();
+        assert_eq!(stats.discovery.algorithm, "sharded");
+        assert_eq!(stats.discovery.shards.len(), 4);
+        assert!(stats.discovery.shards.iter().all(|s| s.algorithm == "lcm"));
+        assert!(stats.n_groups > 10);
+        assert!(!vexus.session().unwrap().display().is_empty());
+    }
+
+    #[test]
+    fn config_selected_sharded_discovery_drives_the_facade() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let config =
+            EngineConfig::default().with_discovery(DiscoverySelection::default().sharded(4));
+        let vexus = Vexus::build(ds.data, config).unwrap();
+        assert_eq!(vexus.build_stats().discovery.algorithm, "sharded");
+        assert_eq!(vexus.build_stats().discovery.shards.len(), 4);
+        assert!(!vexus.session().unwrap().display().is_empty());
     }
 
     #[test]

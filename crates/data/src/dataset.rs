@@ -129,6 +129,59 @@ impl UserData {
         (0..self.user_names.len() as u32).map(UserId::new)
     }
 
+    /// Project the dataset onto a subset of users — e.g. one shard of a
+    /// [`crate::shard::ShardPlan`]. `members` must be strictly ascending
+    /// global user ids; they become the projection's dense local ids
+    /// `0..members.len()` in the same order. The schema, items and category
+    /// tables are carried over unchanged (so `ValueId`s — and hence any
+    /// global `Vocabulary` — stay valid); actions are filtered to the kept
+    /// users and the CSR index is rebuilt.
+    ///
+    /// Note: "unchanged" still means *cloned* — `UserData` owns its tables,
+    /// so N concurrent shard projections hold N copies of the item tables.
+    /// Fine for the current workloads; for huge item catalogs the tables
+    /// want shared ownership (tracked in ROADMAP.md under index scaling).
+    pub fn project_users(&self, members: &[u32]) -> UserData {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be strictly ascending"
+        );
+        let mut local = vec![u32::MAX; self.n_users()];
+        for (i, &g) in members.iter().enumerate() {
+            local[g as usize] = i as u32;
+        }
+        let user_names = members
+            .iter()
+            .map(|&g| self.user_names[g as usize].clone())
+            .collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| members.iter().map(|&g| col[g as usize]).collect())
+            .collect();
+        let actions: Vec<Action> = self
+            .actions
+            .iter()
+            .filter(|a| local[a.user.index()] != u32::MAX)
+            .map(|a| Action {
+                user: UserId::new(local[a.user.index()]),
+                ..*a
+            })
+            .collect();
+        let (user_offsets, actions_by_user) = csr_index(members.len(), &actions);
+        UserData {
+            schema: self.schema.clone(),
+            user_names,
+            columns,
+            item_names: self.item_names.clone(),
+            item_categories: self.item_categories.clone(),
+            item_category_labels: self.item_category_labels.clone(),
+            actions,
+            user_offsets,
+            actions_by_user,
+        }
+    }
+
     /// Human-readable `attr=value` description for a user's demographics.
     pub fn describe_user(&self, user: UserId) -> String {
         let mut parts = Vec::with_capacity(self.schema.len());
@@ -140,6 +193,27 @@ impl UserData {
         }
         parts.join(", ")
     }
+}
+
+/// Build the CSR per-user action index: offsets plus action indices grouped
+/// by user (insertion order preserved within a user).
+fn csr_index(n_users: usize, actions: &[Action]) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; n_users + 1];
+    for a in actions {
+        counts[a.user.index() + 1] += 1;
+    }
+    for i in 1..=n_users {
+        counts[i] += counts[i - 1];
+    }
+    let user_offsets = counts.clone();
+    let mut cursor = counts;
+    let mut actions_by_user = vec![0u32; actions.len()];
+    for (i, a) in actions.iter().enumerate() {
+        let slot = cursor[a.user.index()];
+        actions_by_user[slot as usize] = i as u32;
+        cursor[a.user.index()] += 1;
+    }
+    (user_offsets, actions_by_user)
 }
 
 /// Builder for [`UserData`]. Users, items and actions may be added in any
@@ -271,22 +345,7 @@ impl UserDataBuilder {
 
     /// Finalize into an immutable [`UserData`].
     pub fn build(self) -> UserData {
-        let n = self.user_names.len();
-        let mut counts = vec![0u32; n + 1];
-        for a in &self.actions {
-            counts[a.user.index() + 1] += 1;
-        }
-        for i in 1..=n {
-            counts[i] += counts[i - 1];
-        }
-        let user_offsets = counts.clone();
-        let mut cursor = counts;
-        let mut actions_by_user = vec![0u32; self.actions.len()];
-        for (i, a) in self.actions.iter().enumerate() {
-            let slot = cursor[a.user.index()];
-            actions_by_user[slot as usize] = i as u32;
-            cursor[a.user.index()] += 1;
-        }
+        let (user_offsets, actions_by_user) = csr_index(self.user_names.len(), &self.actions);
         UserData {
             schema: self.schema,
             user_names: self.user_names,
@@ -546,6 +605,40 @@ mod tests {
         assert_eq!(d.user_actions(idle).count(), 0);
         assert_eq!(d.user_activity(idle), 0);
         assert_eq!(d.user_actions(busy).count(), 1);
+    }
+
+    #[test]
+    fn project_users_keeps_demographics_actions_and_vocab() {
+        let d = small();
+        // Keep only mary (global id 0).
+        let p = d.project_users(&[0]);
+        assert_eq!(p.n_users(), 1);
+        assert_eq!(p.user_name(UserId::new(0)), "mary");
+        assert_eq!(
+            p.describe_user(UserId::new(0)),
+            d.describe_user(UserId::new(0))
+        );
+        // Items are shared; only mary's two actions survive, re-indexed.
+        assert_eq!(p.n_items(), d.n_items());
+        assert_eq!(p.n_actions(), 2);
+        assert!(p
+            .user_actions(UserId::new(0))
+            .all(|a| a.user == UserId::new(0)));
+        // The *global* vocabulary still tokenizes projected users: value
+        // ids are shared because the schema is shared.
+        let vocab = Vocabulary::build(&d);
+        assert_eq!(
+            vocab.user_tokens(&p, UserId::new(0)),
+            vocab.user_tokens(&d, UserId::new(0))
+        );
+        // Projecting everything is an identity on the visible surface.
+        let all = d.project_users(&[0, 1]);
+        assert_eq!(all.n_users(), d.n_users());
+        assert_eq!(all.n_actions(), d.n_actions());
+        // Empty projection is valid.
+        let none = d.project_users(&[]);
+        assert_eq!(none.n_users(), 0);
+        assert_eq!(none.n_actions(), 0);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`csv`] — a dependency-free RFC-4180-ish CSV reader/writer,
 //! * [`etl`] — the cleaning pipeline (trimming, null normalization,
 //!   deduplication, clamping) that precedes import,
+//! * [`shard`] — member-disjoint [`shard::ShardPlan`]s (hash / contiguous)
+//!   that let the discovery stage run one worker per slice of the user
+//!   space,
 //! * [`stream`] — bounded action streams for the stream-mining path,
 //! * [`zipf`] — seeded Zipf/power-law samplers used by the generators,
 //! * [`synthetic`] — seeded generators standing in for the paper's
@@ -28,6 +31,7 @@ pub mod error;
 pub mod etl;
 pub mod ids;
 pub mod schema;
+pub mod shard;
 pub mod stream;
 pub mod synthetic;
 pub mod zipf;
@@ -36,3 +40,4 @@ pub use dataset::{Action, UserData, UserDataBuilder, Vocabulary};
 pub use error::DataError;
 pub use ids::{AttrId, ItemId, TokenId, UserId, ValueId};
 pub use schema::{AttributeDef, AttributeKind, Schema};
+pub use shard::{ShardPlan, ShardStrategy};

@@ -25,15 +25,33 @@ use crate::features::Featurizer;
 use crate::group::GroupSet;
 use crate::lcm::{mine_closed_groups, LcmConfig};
 use crate::momri::{discover as momri_discover, MomriConfig};
+use crate::sharded::{EnsembleDiscovery, MergeStrategy, ShardedDiscovery};
 use crate::stream_fim::{StreamFimConfig, StreamMiner};
 use crate::transactions::TransactionDb;
 use std::time::{Duration, Instant};
-use vexus_data::{UserData, Vocabulary};
+use vexus_data::{ShardStrategy, UserData, Vocabulary};
+
+/// One shard's (or one ensemble member's) contribution to a composite
+/// discovery run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index within the plan (or member index within the ensemble).
+    pub shard: usize,
+    /// Backend that ran on this shard.
+    pub algorithm: &'static str,
+    /// Members (transactions) the shard covered.
+    pub members: usize,
+    /// Wall-clock of this shard's discovery run.
+    pub elapsed: Duration,
+    /// Groups the shard contributed before merging.
+    pub groups_discovered: usize,
+}
 
 /// Timings and counts reported by one discovery run.
 #[derive(Debug, Clone, Default)]
 pub struct DiscoveryStats {
-    /// Backend name (`"lcm"`, `"momri"`, `"birch"`, `"stream-fim"`).
+    /// Backend name (`"lcm"`, `"momri"`, `"birch"`, `"stream-fim"`,
+    /// `"sharded"`, `"ensemble"`).
     pub algorithm: &'static str,
     /// Wall-clock of the discovery stage.
     pub elapsed: Duration,
@@ -41,8 +59,14 @@ pub struct DiscoveryStats {
     pub groups_discovered: usize,
     /// Internal candidates examined, where the algorithm counts them
     /// (closed sets for LCM/MOMRI, tracked itemsets for stream FIM, CF
-    /// leaf entries for BIRCH).
+    /// leaf entries for BIRCH; pre-merge groups for sharded/ensemble runs).
     pub candidates_considered: usize,
+    /// Per-shard (or per-ensemble-member) breakdown; empty for plain
+    /// single-pass runs.
+    pub shards: Vec<ShardStats>,
+    /// Wall-clock of the merge stage folding shard outcomes into one group
+    /// space (zero for plain runs).
+    pub merge_elapsed: Duration,
 }
 
 /// The result of one discovery run.
@@ -93,6 +117,7 @@ impl GroupDiscovery for LcmDiscovery {
             elapsed: t0.elapsed(),
             groups_discovered: groups.len(),
             candidates_considered: groups.len(),
+            ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -164,6 +189,7 @@ impl GroupDiscovery for MomriDiscovery {
             elapsed: t0.elapsed(),
             groups_discovered: groups.len(),
             candidates_considered,
+            ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -220,6 +246,7 @@ impl GroupDiscovery for BirchDiscovery {
             elapsed: t0.elapsed(),
             groups_discovered: groups.len(),
             candidates_considered,
+            ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -258,8 +285,35 @@ impl GroupDiscovery for StreamFimDiscovery {
             elapsed: t0.elapsed(),
             groups_discovered: groups.len(),
             candidates_considered,
+            ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
+    }
+}
+
+/// Plain-data selection of a merge layer, embeddable in engine
+/// configuration. The engine supplies the support floor (its
+/// `min_group_size`) where a strategy needs one; see
+/// [`crate::sharded::MergeStrategy`] for the semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeSelection {
+    /// Concatenate every part's groups unchanged.
+    Union,
+    /// Merge groups sharing a description by unioning their members.
+    DedupByDescription,
+    /// Re-evaluate each description globally (members, closure, support).
+    #[default]
+    SupportRecount,
+}
+
+impl MergeSelection {
+    /// Materialize the strategy, supplying `min_support` where needed.
+    pub fn strategy(self, min_support: usize) -> MergeStrategy {
+        match self {
+            Self::Union => MergeStrategy::Union,
+            Self::DedupByDescription => MergeStrategy::DedupByDescription,
+            Self::SupportRecount => MergeStrategy::SupportRecount { min_support },
+        }
     }
 }
 
@@ -298,6 +352,28 @@ pub enum DiscoverySelection {
         /// Maximum itemset length.
         max_len: usize,
     },
+    /// Run a base backend per member-disjoint shard on worker threads and
+    /// fold the per-shard group spaces through a merge layer. `inner` must
+    /// be one of the four base variants — shard an ensemble by sharding its
+    /// members instead.
+    Sharded {
+        /// The base backend to run on every shard.
+        inner: Box<DiscoverySelection>,
+        /// Number of shards (workers).
+        shards: usize,
+        /// How members are assigned to shards.
+        strategy: ShardStrategy,
+        /// How per-shard group spaces fold into one.
+        merge: MergeSelection,
+    },
+    /// Union several backends' group spaces behind one merge layer
+    /// (e.g. LCM ∪ BIRCH: described and clustered groups side by side).
+    Ensemble {
+        /// The member backends, each itself any selection.
+        members: Vec<DiscoverySelection>,
+        /// How the member group spaces fold into one.
+        merge: MergeSelection,
+    },
 }
 
 impl Default for DiscoverySelection {
@@ -310,14 +386,43 @@ impl Default for DiscoverySelection {
 }
 
 impl DiscoverySelection {
-    /// Materialize the selected backend. `min_group_size` supplies support
-    /// floors for variants that key off group size.
-    pub fn backend(&self, min_group_size: usize) -> Box<dyn GroupDiscovery> {
-        match self.clone() {
+    /// Wrap this selection in a sharded driver with the default strategy
+    /// (hash sharding, support-recount merge).
+    pub fn sharded(self, shards: usize) -> Self {
+        self.sharded_with(shards, ShardStrategy::Hash, MergeSelection::SupportRecount)
+    }
+
+    /// Wrap this selection in a sharded driver with explicit strategy and
+    /// merge choices.
+    pub fn sharded_with(
+        self,
+        shards: usize,
+        strategy: ShardStrategy,
+        merge: MergeSelection,
+    ) -> Self {
+        Self::Sharded {
+            inner: Box::new(self),
+            shards,
+            strategy,
+            merge,
+        }
+    }
+
+    /// Combine several selections into an ensemble behind `merge`.
+    pub fn ensemble(members: Vec<DiscoverySelection>, merge: MergeSelection) -> Self {
+        Self::Ensemble { members, merge }
+    }
+
+    /// Materialize a base (non-composite) variant's concrete backend —
+    /// the single place each variant's configuration becomes a backend
+    /// value, shared by the plain and sharded paths of
+    /// [`DiscoverySelection::backend`]. `None` for composite variants.
+    fn base_backend(&self, min_group_size: usize) -> Option<BaseBackend> {
+        Some(match self.clone() {
             Self::Lcm {
                 max_description,
                 max_groups,
-            } => Box::new(LcmDiscovery::new(LcmConfig {
+            } => BaseBackend::Lcm(LcmDiscovery::new(LcmConfig {
                 min_support: min_group_size,
                 max_description,
                 max_groups,
@@ -326,14 +431,14 @@ impl DiscoverySelection {
             Self::Momri {
                 config,
                 materialize,
-            } => Box::new(MomriDiscovery {
+            } => BaseBackend::Momri(MomriDiscovery {
                 config,
                 materialize,
             }),
             Self::Birch {
                 branching,
                 threshold,
-            } => Box::new(BirchDiscovery {
+            } => BaseBackend::Birch(BirchDiscovery {
                 branching,
                 threshold,
                 min_cluster_size: min_group_size,
@@ -342,13 +447,82 @@ impl DiscoverySelection {
                 support,
                 epsilon,
                 max_len,
-            } => Box::new(StreamFimDiscovery::new(StreamFimConfig {
+            } => BaseBackend::StreamFim(StreamFimDiscovery::new(StreamFimConfig {
                 support,
                 epsilon,
                 max_len,
             })),
+            Self::Sharded { .. } | Self::Ensemble { .. } => return None,
+        })
+    }
+
+    /// Materialize the selected backend. `min_group_size` supplies support
+    /// floors for variants that key off group size.
+    ///
+    /// # Panics
+    /// If a [`DiscoverySelection::Sharded`] wraps anything but the four
+    /// base variants (nest the other way round: ensemble of sharded).
+    pub fn backend(&self, min_group_size: usize) -> Box<dyn GroupDiscovery> {
+        match self {
+            Self::Sharded {
+                inner,
+                shards,
+                strategy,
+                merge,
+            } => {
+                let merge = merge.strategy(min_group_size);
+                // `ShardedDiscovery` is generic over a concrete, clonable
+                // backend (each shard runs an adapted copy), so the base
+                // variants are wrapped per concrete type.
+                let base = inner.base_backend(min_group_size).unwrap_or_else(|| {
+                    panic!(
+                        "DiscoverySelection::Sharded composes over a base backend; \
+                         to shard an ensemble, shard its members instead"
+                    )
+                });
+                fn wrap<B: GroupDiscovery + crate::sharded::ShardScaled + Sync + 'static>(
+                    backend: B,
+                    shards: usize,
+                    strategy: ShardStrategy,
+                    merge: MergeStrategy,
+                ) -> Box<dyn GroupDiscovery> {
+                    Box::new(
+                        ShardedDiscovery::new(backend, shards)
+                            .with_strategy(strategy)
+                            .with_merge(merge),
+                    )
+                }
+                match base {
+                    BaseBackend::Lcm(b) => wrap(b, *shards, *strategy, merge),
+                    BaseBackend::Momri(b) => wrap(b, *shards, *strategy, merge),
+                    BaseBackend::Birch(b) => wrap(b, *shards, *strategy, merge),
+                    BaseBackend::StreamFim(b) => wrap(b, *shards, *strategy, merge),
+                }
+            }
+            Self::Ensemble { members, merge } => {
+                let mut ensemble = EnsembleDiscovery::new(merge.strategy(min_group_size));
+                for member in members {
+                    ensemble.push(member.backend(min_group_size));
+                }
+                Box::new(ensemble)
+            }
+            base => match base.base_backend(min_group_size).expect("base variant") {
+                BaseBackend::Lcm(b) => Box::new(b),
+                BaseBackend::Momri(b) => Box::new(b),
+                BaseBackend::Birch(b) => Box::new(b),
+                BaseBackend::StreamFim(b) => Box::new(b),
+            },
         }
     }
+}
+
+/// A materialized base-variant backend (see
+/// [`DiscoverySelection::base_backend`]).
+enum BaseBackend {
+    Lcm(LcmDiscovery),
+    Momri(MomriDiscovery),
+    Birch(BirchDiscovery),
+    StreamFim(StreamFimDiscovery),
 }
 
 #[cfg(test)]

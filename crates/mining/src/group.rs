@@ -98,6 +98,12 @@ impl GroupSet {
         Self { groups }
     }
 
+    /// Consume the collection into its groups, in id order (used by the
+    /// shard/merge layer to remap and fold group spaces).
+    pub fn into_vec(self) -> Vec<Group> {
+        self.groups
+    }
+
     /// Add a group, returning its id.
     pub fn push(&mut self, group: Group) -> GroupId {
         let id = GroupId::new(self.groups.len() as u32);

@@ -21,6 +21,12 @@
 //! &Vocabulary)` and return a [`GroupSet`] plus discovery statistics. The
 //! exploration engine's builder accepts any backend.
 //!
+//! On top of that seam, [`sharded`] scales discovery out:
+//! [`ShardedDiscovery`] runs any backend per member-disjoint shard on
+//! worker threads and folds the per-shard group spaces through a
+//! [`MergeStrategy`]; [`EnsembleDiscovery`] unions several backends
+//! (e.g. LCM ∪ BIRCH) through the same merge layer.
+//!
 //! Shared substrate:
 //!
 //! * [`bitmap`] — sorted-set member bitmaps with fast intersection /
@@ -39,16 +45,18 @@ pub mod features;
 pub mod group;
 pub mod lcm;
 pub mod momri;
+pub mod sharded;
 pub mod stream_fim;
 pub mod transactions;
 
 pub use bitmap::MemberSet;
 pub use discovery::{
     BirchDiscovery, DiscoveryOutcome, DiscoverySelection, DiscoveryStats, GroupDiscovery,
-    LcmDiscovery, MomriDiscovery, MomriMaterialize, StreamFimDiscovery,
+    LcmDiscovery, MergeSelection, MomriDiscovery, MomriMaterialize, ShardStats, StreamFimDiscovery,
 };
 pub use features::Featurizer;
 pub use group::{Group, GroupId, GroupSet};
 pub use lcm::{mine_closed_groups, LcmConfig};
 pub use momri::MomriConfig;
+pub use sharded::{EnsembleDiscovery, MergeStrategy, ShardScaled, ShardedDiscovery};
 pub use stream_fim::StreamFimConfig;

@@ -1,0 +1,767 @@
+//! Sharded parallel discovery and multi-backend ensembles.
+//!
+//! [`ShardedDiscovery`] is the scaling layer over the [`GroupDiscovery`]
+//! seam: it partitions the user space with a
+//! [`vexus_data::shard::ShardPlan`], runs an adapted copy of any backend
+//! per shard on crossbeam scoped threads, and folds the per-shard group
+//! spaces through a [`MergeStrategy`]. The same merge layer powers
+//! [`EnsembleDiscovery`], which unions several backends' group spaces
+//! (e.g. LCM ∪ BIRCH: described and clustered groups side by side).
+//!
+//! The partition-mining correctness argument is SON-style: a group that is
+//! frequent over the whole population is, by pigeonhole, frequent in at
+//! least one shard at a proportionally scaled support floor. Backends
+//! therefore implement [`ShardScaled`] so the driver can scale their
+//! absolute-count thresholds down to each shard's fraction of the data;
+//! [`MergeStrategy::SupportRecount`] then re-evaluates every candidate
+//! description against the *global* transaction database (members, closure
+//! and support), so merged groups are exact global closed groups and
+//! per-shard noise below the global floor is dropped.
+//!
+//! One subtlety: a globally closed set `X` may never appear per shard —
+//! inside a small shard `X`'s closure can *grow* (all shard-local members
+//! happen to share extra tokens), and differently in every shard. Since
+//! `X` equals the intersection of its per-shard closures, the recount
+//! first closes the candidate set under pairwise description intersection
+//! (bounded by [`CANDIDATE_REFINEMENT_CAP`]) before re-evaluating, which
+//! recovers such hidden sets without ever admitting a false positive: any
+//! recounted group is a closure of a global tidlist, hence exactly a
+//! global closed group.
+
+use crate::bitmap::MemberSet;
+use crate::discovery::{BirchDiscovery, LcmDiscovery, MomriDiscovery, StreamFimDiscovery};
+use crate::discovery::{DiscoveryOutcome, DiscoveryStats, GroupDiscovery, ShardStats};
+use crate::group::{Group, GroupSet};
+use crate::transactions::TransactionDb;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use vexus_data::shard::{ShardPlan, ShardStrategy};
+use vexus_data::{TokenId, UserData, Vocabulary};
+
+/// Scale a minimum-count threshold to a shard covering `fraction` of the
+/// members. `ceil` keeps the SON guarantee: any itemset with global count
+/// ≥ `floor` has, in some shard, count ≥ `ceil(floor · fraction)`.
+fn scale_floor(floor: usize, fraction: f64) -> usize {
+    ((floor as f64 * fraction).ceil() as usize).max(1)
+}
+
+/// Adapt a backend's configuration to one shard of the data.
+///
+/// The driver hands each worker `backend.for_shard(fraction)` where
+/// `fraction` is the shard's share of all members. Backends whose
+/// thresholds are absolute counts (LCM's `min_support`, BIRCH's
+/// `min_cluster_size`) scale them down proportionally so globally frequent
+/// structure stays visible inside every shard; backends with purely
+/// relative thresholds (stream FIM's σ/ε) return an unchanged copy.
+pub trait ShardScaled: Clone {
+    /// A copy of this backend configured for a shard holding `fraction`
+    /// (in `(0, 1]`) of the members. Default: unchanged clone.
+    fn for_shard(&self, _fraction: f64) -> Self {
+        self.clone()
+    }
+}
+
+impl ShardScaled for LcmDiscovery {
+    /// Scales `min_support` only. `max_description` and `max_groups` are
+    /// deliberately left at their global values: raising the description
+    /// cap per shard would blow up the per-shard search, but it means a
+    /// shard-local closure that grows past `max_description` prunes its
+    /// whole branch (see `lcm.rs`), and a scaled-down floor can hit the
+    /// `max_groups` safety valve sooner — both add to the same recall
+    /// tail the support-recount merge already documents. Keep
+    /// `max_description` at or above the schema's attribute count (the
+    /// natural ceiling on closure length) when exactness matters.
+    fn for_shard(&self, fraction: f64) -> Self {
+        let mut scaled = self.clone();
+        scaled.config.min_support = scale_floor(self.config.min_support, fraction);
+        scaled
+    }
+}
+
+impl ShardScaled for MomriDiscovery {
+    fn for_shard(&self, fraction: f64) -> Self {
+        let mut scaled = self.clone();
+        scaled.config.lcm.min_support = scale_floor(self.config.lcm.min_support, fraction);
+        scaled
+    }
+}
+
+impl ShardScaled for BirchDiscovery {
+    fn for_shard(&self, fraction: f64) -> Self {
+        let mut scaled = self.clone();
+        scaled.min_cluster_size = scale_floor(self.min_cluster_size, fraction);
+        scaled
+    }
+}
+
+impl ShardScaled for StreamFimDiscovery {}
+
+/// Above this many distinct candidate descriptions,
+/// [`MergeStrategy::SupportRecount`] skips the quadratic
+/// intersection-refinement pass and recounts the raw candidates only. The
+/// recount stays sound either way; the refinement exists for the regime
+/// where closure-hiding actually bites — small shards with few candidates
+/// — while on rich spaces (thousands of candidates) it costs hundreds of
+/// milliseconds to recover a fraction of a percent of groups (measured by
+/// the `d2` experiment's `vs 1-shard` column, which reports the recall
+/// honestly at any cap).
+pub const CANDIDATE_REFINEMENT_CAP: usize = 1024;
+
+/// Intersection of two sorted token descriptions (merge scan).
+fn intersect_sorted(a: &[TokenId], b: &[TokenId]) -> Vec<TokenId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Close a candidate family under pairwise intersection, up to `cap`
+/// members. A globally closed set equals the intersection of its per-shard
+/// closures, so this worklist recovers sets hidden by shard-local closure
+/// growth. Deterministic: the result is sorted, and the worklist explores
+/// candidates in sorted order.
+fn close_under_intersection(seed: Vec<Vec<TokenId>>, cap: usize) -> Vec<Vec<TokenId>> {
+    let mut known: std::collections::HashSet<Vec<TokenId>> = seed.iter().cloned().collect();
+    if known.len() > cap {
+        return seed;
+    }
+    let mut frontier = seed;
+    frontier.sort_unstable();
+    frontier.dedup();
+    let mut snapshot = frontier.clone();
+    'refine: while !frontier.is_empty() {
+        let mut fresh = Vec::new();
+        for a in &frontier {
+            for b in &snapshot {
+                let inter = intersect_sorted(a, b);
+                if !inter.is_empty() && !known.contains(&inter) {
+                    known.insert(inter.clone());
+                    fresh.push(inter);
+                    if known.len() > cap {
+                        break 'refine;
+                    }
+                }
+            }
+        }
+        fresh.sort_unstable();
+        snapshot.extend(fresh.iter().cloned());
+        snapshot.sort_unstable();
+        frontier = fresh;
+    }
+    let mut out: Vec<Vec<TokenId>> = known.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// How per-shard (or per-backend) group spaces fold into one.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum MergeStrategy {
+    /// Concatenate every part's groups unchanged. Right for partition-style
+    /// clustering (BIRCH per shard) where parts describe disjoint members.
+    Union,
+    /// Merge groups sharing a token description by unioning their member
+    /// sets; description-less cluster groups pass through unchanged.
+    #[default]
+    DedupByDescription,
+    /// Re-evaluate each distinct description against the global
+    /// [`TransactionDb`]: recompute members, take the closure, dedup by the
+    /// closed description, and keep only groups with at least
+    /// `min_support` members. Merged groups are then exact global closed
+    /// groups (see the module docs for the SON argument).
+    SupportRecount {
+        /// Global support floor after recounting.
+        min_support: usize,
+    },
+}
+
+impl MergeStrategy {
+    /// Fold per-part group spaces (members already in *global* user ids)
+    /// into one. `data`/`vocab` back the global recount where needed.
+    pub fn merge(&self, parts: Vec<GroupSet>, data: &UserData, vocab: &Vocabulary) -> GroupSet {
+        match self {
+            Self::Union => {
+                let mut out = GroupSet::new();
+                for part in parts {
+                    for group in part.into_vec() {
+                        out.push(group);
+                    }
+                }
+                out
+            }
+            Self::DedupByDescription => {
+                let mut described: BTreeMap<Vec<TokenId>, MemberSet> = BTreeMap::new();
+                let mut clusters: Vec<Group> = Vec::new();
+                for part in parts {
+                    for group in part.into_vec() {
+                        if group.description.is_empty() {
+                            clusters.push(group);
+                        } else {
+                            described
+                                .entry(group.description)
+                                .and_modify(|m| *m = m.union(&group.members))
+                                .or_insert(group.members);
+                        }
+                    }
+                }
+                let mut out = GroupSet::new();
+                for (description, members) in described {
+                    out.push(Group::new(description, members));
+                }
+                for cluster in clusters {
+                    out.push(cluster);
+                }
+                out
+            }
+            Self::SupportRecount { min_support } => {
+                let db = TransactionDb::build(data, vocab);
+                let mut candidates: Vec<Vec<TokenId>> = Vec::new();
+                let mut seen_candidates = std::collections::BTreeSet::new();
+                let mut clusters: Vec<Group> = Vec::new();
+                let mut contributing_parts = 0usize;
+                for part in parts {
+                    let mut contributed = false;
+                    for group in part.into_vec() {
+                        if group.description.is_empty() {
+                            // Cluster groups have no description to recount;
+                            // apply the global floor and pass them through.
+                            if group.size() >= *min_support {
+                                clusters.push(group);
+                            }
+                        } else {
+                            contributed = true;
+                            if seen_candidates.insert(group.description.clone()) {
+                                candidates.push(group.description);
+                            }
+                        }
+                    }
+                    contributing_parts += usize::from(contributed);
+                }
+                // Closure-hidden sets only arise when descriptions come
+                // from *different* shards; a single part's closed family
+                // is already closed under intersection.
+                let candidates = if contributing_parts > 1 {
+                    close_under_intersection(candidates, CANDIDATE_REFINEMENT_CAP)
+                } else {
+                    candidates
+                };
+                let mut out = GroupSet::new();
+                let mut seen_closed = std::collections::BTreeSet::new();
+                for description in candidates {
+                    let members = db.itemset_members(&description);
+                    if members.len() < *min_support {
+                        continue;
+                    }
+                    let closed = db.closure(&members);
+                    if seen_closed.insert(closed.clone()) {
+                        out.push(Group::new(closed, members));
+                    }
+                }
+                for cluster in clusters {
+                    out.push(cluster);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Run any [`GroupDiscovery`] backend per shard on scoped threads and
+/// merge the per-shard group spaces.
+///
+/// The backend must be [`ShardScaled`] (so the driver can scale its
+/// absolute thresholds per shard) and `Sync` (workers share it by
+/// reference). Member ids in the merged outcome are global; per-shard
+/// timings land in [`DiscoveryStats::shards`].
+#[derive(Debug, Clone)]
+pub struct ShardedDiscovery<B> {
+    /// The prototype backend; each shard runs `backend.for_shard(f)`.
+    pub backend: B,
+    /// Number of shards (clamped to at least 1 at run time).
+    pub shards: usize,
+    /// How members are assigned to shards.
+    pub strategy: ShardStrategy,
+    /// How per-shard group spaces fold into one.
+    pub merge: MergeStrategy,
+}
+
+impl<B> ShardedDiscovery<B> {
+    /// Shard `backend` over `shards` hash shards with the default
+    /// dedup-by-description merge.
+    pub fn new(backend: B, shards: usize) -> Self {
+        Self {
+            backend,
+            shards,
+            strategy: ShardStrategy::Hash,
+            merge: MergeStrategy::default(),
+        }
+    }
+
+    /// Builder-style: change the shard-assignment strategy.
+    pub fn with_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style: change the merge layer.
+    pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Builder-style: merge by global support recount at `min_support`.
+    pub fn support_recount(self, min_support: usize) -> Self {
+        self.with_merge(MergeStrategy::SupportRecount { min_support })
+    }
+}
+
+/// Remap a shard's local member ids back to global ids.
+fn remap_to_global(groups: GroupSet, members: &[u32]) -> GroupSet {
+    let remapped = groups
+        .into_vec()
+        .into_iter()
+        .map(|g| {
+            // Local ids are ascending and the shard member list is sorted,
+            // so the mapping preserves order.
+            let global = g.members.iter().map(|l| members[l as usize]).collect();
+            Group {
+                description: g.description,
+                members: global,
+            }
+        })
+        .collect();
+    GroupSet::from_groups(remapped)
+}
+
+impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery<B> {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let n = data.n_users();
+        let plan = ShardPlan::build(n, self.shards, self.strategy);
+        let n_shards = plan.n_shards();
+        // Bounded worker pool: shard count is a *merge granularity* knob
+        // reachable from plain config, so it must not translate 1:1 into
+        // OS threads. Workers claim shards off an atomic cursor.
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n_shards)
+            .max(1);
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut per_shard: Vec<(usize, DiscoveryOutcome, usize)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let plan = &plan;
+                        let backend = &self.backend;
+                        let cursor = &cursor;
+                        scope.spawn(move |_| {
+                            let mut mined = Vec::new();
+                            loop {
+                                let s = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if s >= n_shards {
+                                    break;
+                                }
+                                let members = plan.members(s);
+                                let shard_data = data.project_users(members);
+                                let worker = backend.for_shard(plan.fraction(s).max(f64::EPSILON));
+                                let mut outcome = worker.discover(&shard_data, vocab);
+                                outcome.groups = remap_to_global(outcome.groups, members);
+                                mined.push((s, outcome, members.len()));
+                            }
+                            mined
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("shard scope");
+        // Claim order is racy; shard order (and hence merge input order)
+        // must not be.
+        per_shard.sort_by_key(|&(s, _, _)| s);
+
+        let mut shard_stats = Vec::with_capacity(per_shard.len());
+        let mut parts = Vec::with_capacity(per_shard.len());
+        let mut pre_merge = 0usize;
+        for (shard, outcome, members) in per_shard {
+            pre_merge += outcome.groups.len();
+            shard_stats.push(ShardStats {
+                shard,
+                algorithm: outcome.stats.algorithm,
+                members,
+                elapsed: outcome.stats.elapsed,
+                groups_discovered: outcome.stats.groups_discovered,
+            });
+            parts.push(outcome.groups);
+        }
+        let t_merge = Instant::now();
+        let groups = self.merge.merge(parts, data, vocab);
+        let merge_elapsed = t_merge.elapsed();
+        let stats = DiscoveryStats {
+            algorithm: self.name(),
+            elapsed: t0.elapsed(),
+            groups_discovered: groups.len(),
+            candidates_considered: pre_merge,
+            shards: shard_stats,
+            merge_elapsed,
+        };
+        DiscoveryOutcome { groups, stats }
+    }
+}
+
+/// Union several backends' group spaces behind one merge layer.
+///
+/// Members run sequentially (each may itself be a parallel
+/// [`ShardedDiscovery`]); their outcomes fold through the same
+/// [`MergeStrategy`] the sharded driver uses, and each member's run is
+/// reported as one entry of [`DiscoveryStats::shards`].
+#[derive(Default)]
+pub struct EnsembleDiscovery {
+    backends: Vec<Box<dyn GroupDiscovery>>,
+    /// How member group spaces fold into one.
+    pub merge: MergeStrategy,
+}
+
+impl EnsembleDiscovery {
+    /// Empty ensemble folding through `merge`.
+    pub fn new(merge: MergeStrategy) -> Self {
+        Self {
+            backends: Vec::new(),
+            merge,
+        }
+    }
+
+    /// Add a boxed member backend.
+    pub fn push(&mut self, backend: Box<dyn GroupDiscovery>) {
+        self.backends.push(backend);
+    }
+
+    /// Builder-style: add a member backend.
+    pub fn with(mut self, backend: impl GroupDiscovery + 'static) -> Self {
+        self.push(Box::new(backend));
+        self
+    }
+
+    /// Number of member backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+}
+
+impl GroupDiscovery for EnsembleDiscovery {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let mut shard_stats = Vec::with_capacity(self.backends.len());
+        let mut parts = Vec::with_capacity(self.backends.len());
+        let mut pre_merge = 0usize;
+        for (i, backend) in self.backends.iter().enumerate() {
+            let outcome = backend.discover(data, vocab);
+            pre_merge += outcome.groups.len();
+            shard_stats.push(ShardStats {
+                shard: i,
+                algorithm: outcome.stats.algorithm,
+                members: data.n_users(),
+                elapsed: outcome.stats.elapsed,
+                groups_discovered: outcome.stats.groups_discovered,
+            });
+            parts.push(outcome.groups);
+        }
+        let t_merge = Instant::now();
+        let groups = self.merge.merge(parts, data, vocab);
+        let merge_elapsed = t_merge.elapsed();
+        let stats = DiscoveryStats {
+            algorithm: self.name(),
+            elapsed: t0.elapsed(),
+            groups_discovered: groups.len(),
+            candidates_considered: pre_merge,
+            shards: shard_stats,
+            merge_elapsed,
+        };
+        DiscoveryOutcome { groups, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::DiscoverySelection;
+    use crate::lcm::LcmConfig;
+    use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
+
+    fn fixture() -> (UserData, Vocabulary) {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let vocab = Vocabulary::build(&ds.data);
+        (ds.data, vocab)
+    }
+
+    fn normalize(gs: &GroupSet) -> Vec<(Vec<TokenId>, Vec<u32>)> {
+        let mut v: Vec<_> = gs
+            .iter()
+            .map(|(_, g)| {
+                (
+                    g.description.clone(),
+                    g.members.iter().collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn lcm(min_support: usize) -> LcmDiscovery {
+        LcmDiscovery::new(LcmConfig {
+            min_support,
+            max_description: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn intersection_closure_recovers_hidden_sets() {
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        // [1] is hidden behind two differing closures; [1, 2] behind the
+        // second-round intersection of first-round results.
+        let closed = close_under_intersection(vec![d(&[1, 2, 3]), d(&[1, 2, 4]), d(&[1, 5])], 64);
+        assert!(closed.contains(&d(&[1, 2])));
+        assert!(closed.contains(&d(&[1])));
+        // Deterministic and sorted.
+        let again = close_under_intersection(vec![d(&[1, 5]), d(&[1, 2, 4]), d(&[1, 2, 3])], 64);
+        assert_eq!(closed, again);
+        assert!(closed.windows(2).all(|w| w[0] < w[1]));
+        // Over the cap the seed passes through unrefined.
+        let capped = close_under_intersection(vec![d(&[1, 2]), d(&[1, 3]), d(&[2, 3])], 2);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn shard_scaling_preserves_son_guarantee() {
+        let scaled = lcm(20).for_shard(0.25);
+        assert_eq!(scaled.config.min_support, 5);
+        // Never scales to zero.
+        assert_eq!(lcm(1).for_shard(0.01).config.min_support, 1);
+        // BIRCH scales its cluster floor, stream FIM is unchanged.
+        let birch = BirchDiscovery {
+            min_cluster_size: 8,
+            ..Default::default()
+        };
+        assert_eq!(birch.for_shard(0.5).min_cluster_size, 4);
+        let sf = StreamFimDiscovery::default();
+        assert_eq!(sf.for_shard(0.25).config.support, sf.config.support);
+    }
+
+    #[test]
+    fn sharded_lcm_recount_matches_single_shard() {
+        let (data, vocab) = fixture();
+        let single = lcm(10).discover(&data, &vocab);
+        for shards in [2usize, 4] {
+            let sharded = ShardedDiscovery::new(lcm(10), shards)
+                .support_recount(10)
+                .discover(&data, &vocab);
+            assert_eq!(
+                normalize(&single.groups),
+                normalize(&sharded.groups),
+                "{shards}-shard recount diverged from the global mine"
+            );
+            assert_eq!(sharded.stats.algorithm, "sharded");
+            assert_eq!(sharded.stats.shards.len(), shards);
+            assert!(sharded.stats.shards.iter().all(|s| s.algorithm == "lcm"));
+            let covered: usize = sharded.stats.shards.iter().map(|s| s.members).sum();
+            assert_eq!(covered, data.n_users());
+        }
+    }
+
+    #[test]
+    fn oversharded_recount_is_sound_with_high_recall() {
+        // 8 shards over 300 users is deliberately degenerate (scaled
+        // support floors bottom out near 1, so shard-local closures of
+        // 2-member tidlists explode). The recount must stay *sound* —
+        // every merged group is an exact global closed frequent group —
+        // and recall may only fray at the margin.
+        let (data, vocab) = fixture();
+        let single: std::collections::BTreeSet<_> =
+            normalize(&lcm(10).discover(&data, &vocab).groups)
+                .into_iter()
+                .collect();
+        let sharded: std::collections::BTreeSet<_> = normalize(
+            &ShardedDiscovery::new(lcm(10), 8)
+                .support_recount(10)
+                .discover(&data, &vocab)
+                .groups,
+        )
+        .into_iter()
+        .collect();
+        assert!(
+            sharded.is_subset(&single),
+            "recount emitted a group the global mine does not contain"
+        );
+        let recall = sharded.len() as f64 / single.len() as f64;
+        assert!(recall >= 0.95, "recall degraded too far: {recall:.3}");
+    }
+
+    #[test]
+    fn contiguous_strategy_also_recounts_exactly() {
+        let (data, vocab) = fixture();
+        let single = lcm(12).discover(&data, &vocab);
+        let sharded = ShardedDiscovery::new(lcm(12), 4)
+            .with_strategy(ShardStrategy::Contiguous)
+            .support_recount(12)
+            .discover(&data, &vocab);
+        assert_eq!(normalize(&single.groups), normalize(&sharded.groups));
+    }
+
+    #[test]
+    fn union_merge_keeps_per_shard_clusters() {
+        let (data, vocab) = fixture();
+        let sharded = ShardedDiscovery::new(BirchDiscovery::default(), 3)
+            .with_merge(MergeStrategy::Union)
+            .discover(&data, &vocab);
+        // Per-shard clustering covers every shard's members (clusters are
+        // description-less, so union keeps them all).
+        assert!(!sharded.groups.is_empty());
+        assert!(sharded.groups.iter().all(|(_, g)| g.description.is_empty()));
+        // Global member ids, not local ones: ids must reach past shard 0.
+        let max_member = sharded
+            .groups
+            .iter()
+            .flat_map(|(_, g)| g.members.iter())
+            .max()
+            .unwrap();
+        assert!(max_member as usize >= data.n_users() / 2);
+    }
+
+    #[test]
+    fn dedup_by_description_unions_members() {
+        let (data, vocab) = fixture();
+        let gs = |desc: &[u32], members: &[u32]| {
+            Group::new(
+                desc.iter().map(|&t| TokenId::new(t)).collect(),
+                MemberSet::from_unsorted(members.to_vec()),
+            )
+        };
+        let a = GroupSet::from_groups(vec![gs(&[1], &[0, 1]), gs(&[], &[5, 6])]);
+        let b = GroupSet::from_groups(vec![gs(&[1], &[2, 3]), gs(&[2], &[9])]);
+        let merged = MergeStrategy::DedupByDescription.merge(vec![a, b], &data, &vocab);
+        let norm = normalize(&merged);
+        assert!(norm.contains(&(vec![TokenId::new(1)], vec![0, 1, 2, 3])));
+        assert!(norm.contains(&(vec![TokenId::new(2)], vec![9])));
+        // The cluster group passed through untouched.
+        assert!(norm.contains(&(vec![], vec![5, 6])));
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn sharded_discovery_is_deterministic() {
+        let (data, vocab) = fixture();
+        let driver = ShardedDiscovery::new(lcm(10), 4).support_recount(10);
+        let a = driver.discover(&data, &vocab);
+        let b = driver.discover(&data, &vocab);
+        assert_eq!(normalize(&a.groups), normalize(&b.groups));
+    }
+
+    #[test]
+    fn ensemble_unions_described_and_clustered_groups() {
+        let (data, vocab) = fixture();
+        let ensemble = EnsembleDiscovery::new(MergeStrategy::Union)
+            .with(lcm(10))
+            .with(BirchDiscovery::default());
+        assert_eq!(ensemble.len(), 2);
+        let out = ensemble.discover(&data, &vocab);
+        assert_eq!(out.stats.algorithm, "ensemble");
+        assert_eq!(out.stats.shards.len(), 2);
+        assert_eq!(out.stats.shards[0].algorithm, "lcm");
+        assert_eq!(out.stats.shards[1].algorithm, "birch");
+        let described = out
+            .groups
+            .iter()
+            .filter(|(_, g)| !g.description.is_empty())
+            .count();
+        let clustered = out.groups.len() - described;
+        assert!(described > 0, "ensemble lost LCM's described groups");
+        assert!(clustered > 0, "ensemble lost BIRCH's clusters");
+    }
+
+    #[test]
+    fn selection_wires_sharded_and_ensemble_backends() {
+        let (data, vocab) = fixture();
+        let sharded = DiscoverySelection::default().sharded(4).backend(10);
+        let out = sharded.discover(&data, &vocab);
+        assert_eq!(out.stats.algorithm, "sharded");
+        assert_eq!(out.stats.shards.len(), 4);
+        assert!(!out.groups.is_empty());
+
+        let ensemble = DiscoverySelection::ensemble(
+            vec![
+                DiscoverySelection::default(),
+                DiscoverySelection::Birch {
+                    branching: 10,
+                    threshold: 1.6,
+                },
+            ],
+            crate::discovery::MergeSelection::Union,
+        )
+        .backend(5);
+        let out = ensemble.discover(&data, &vocab);
+        assert_eq!(out.stats.algorithm, "ensemble");
+        assert_eq!(out.stats.shards.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "composes over a base backend")]
+    fn sharded_selection_rejects_nested_composites() {
+        let _ = DiscoverySelection::default()
+            .sharded(2)
+            .sharded(2)
+            .backend(5);
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_the_plain_backend() {
+        let (data, vocab) = fixture();
+        let single = lcm(10).discover(&data, &vocab);
+        let one = ShardedDiscovery::new(lcm(10), 1)
+            .support_recount(10)
+            .discover(&data, &vocab);
+        assert_eq!(normalize(&single.groups), normalize(&one.groups));
+    }
+
+    #[test]
+    fn more_shards_than_users_still_works() {
+        let (data, vocab) = fixture();
+        let small = data.project_users(&[0, 1, 2, 3, 4]);
+        let out = ShardedDiscovery::new(lcm(1), 8)
+            .support_recount(1)
+            .discover(&small, &vocab);
+        assert_eq!(out.stats.shards.len(), 8);
+        // No panic on empty shards; any mined group has global ids < 5.
+        assert!(out
+            .groups
+            .iter()
+            .flat_map(|(_, g)| g.members.iter())
+            .all(|m| m < 5));
+    }
+}

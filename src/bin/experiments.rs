@@ -1,24 +1,89 @@
-//! CLI driver: `experiments [id…]` runs all experiments (or a subset) and
-//! prints the tables EXPERIMENTS.md records.
+//! CLI driver: `experiments [id…] [--json <path>]` runs all experiments
+//! (or a subset) and prints the tables EXPERIMENTS.md records. With
+//! `--json`, the reports are additionally written to `path` as a JSON
+//! document (`{"scale": N, "experiments": [{"id", "report"}, …]}`) so CI
+//! can upload them as a build artifact.
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() {
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+    let ids: Vec<&str> = if ids.is_empty() {
         vexus_bench::experiments::ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
-    println!(
-        "VEXUS experiment harness (scale={})",
-        vexus_bench::workloads::scale()
-    );
+    let scale = vexus_bench::workloads::scale();
+    println!("VEXUS experiment harness (scale={scale})");
+    let mut reports: Vec<(&str, String)> = Vec::new();
+    let mut unknown = false;
     for id in ids {
         match vexus_bench::experiments::run(id) {
-            Some(report) => print!("{report}"),
-            None => eprintln!(
-                "unknown experiment id {id:?} (known: {:?})",
-                vexus_bench::experiments::ALL
-            ),
+            Some(report) => {
+                print!("{report}");
+                reports.push((id, report));
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment id {id:?} (known: {:?})",
+                    vexus_bench::experiments::ALL
+                );
+                unknown = true;
+            }
         }
+    }
+    if let Some(path) = json_path {
+        let mut doc = format!("{{\"scale\":{scale},\"experiments\":[");
+        for (i, (id, report)) in reports.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "{{\"id\":\"{}\",\"report\":\"{}\"}}",
+                json_escape(id),
+                json_escape(report)
+            ));
+        }
+        doc.push_str("]}\n");
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
+    // A typo'd or removed id must fail loudly (CI uploads the JSON as an
+    // artifact; a silently missing experiment would look like coverage).
+    if unknown {
+        std::process::exit(2);
     }
 }

@@ -6,9 +6,11 @@
 use vexus::core::engine::VexusBuilder;
 use vexus::core::EngineConfig;
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::data::Vocabulary;
 use vexus::mining::{
-    BirchDiscovery, DiscoverySelection, GroupDiscovery, LcmConfig, LcmDiscovery, MomriConfig,
-    MomriDiscovery, StreamFimConfig, StreamFimDiscovery,
+    BirchDiscovery, DiscoverySelection, EnsembleDiscovery, GroupDiscovery, LcmConfig, LcmDiscovery,
+    MergeStrategy, MomriConfig, MomriDiscovery, ShardedDiscovery, StreamFimConfig,
+    StreamFimDiscovery,
 };
 
 fn tiny() -> vexus::data::UserData {
@@ -85,6 +87,97 @@ fn stream_fim_end_to_end() {
         }),
         "stream-fim",
     );
+}
+
+/// Acceptance: `ShardedDiscovery` over LCM with `shards = 4` produces a
+/// group space equal — under support-recount merge — to unsharded LCM.
+#[test]
+fn sharded_lcm_recount_equals_unsharded_lcm() {
+    let data = tiny();
+    let vocab = Vocabulary::build(&data);
+    let backend = LcmDiscovery::new(LcmConfig {
+        min_support: 10,
+        max_description: 8,
+        ..Default::default()
+    });
+    let normalize = |groups: &vexus::mining::GroupSet| {
+        let mut v: Vec<_> = groups
+            .iter()
+            .map(|(_, g)| {
+                (
+                    g.description.clone(),
+                    g.members.iter().collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let single = backend.discover(&data, &vocab);
+    let sharded = ShardedDiscovery::new(backend, 4)
+        .support_recount(10)
+        .discover(&data, &vocab);
+    assert!(!single.groups.is_empty());
+    assert_eq!(
+        normalize(&single.groups),
+        normalize(&sharded.groups),
+        "4-shard support-recount must reproduce the unsharded group space"
+    );
+}
+
+/// Acceptance: `EnsembleDiscovery(LCM, BIRCH)` drives an exploration
+/// session end-to-end — described and clustered groups in one space.
+#[test]
+fn ensemble_lcm_birch_drives_exploration_end_to_end() {
+    let ensemble = EnsembleDiscovery::new(MergeStrategy::Union)
+        .with(LcmDiscovery::new(LcmConfig {
+            min_support: 5,
+            ..Default::default()
+        }))
+        .with(BirchDiscovery::default());
+    let vexus = VexusBuilder::new(tiny())
+        .config(EngineConfig::default())
+        .discovery(ensemble)
+        .build()
+        .expect("ensemble engine builds");
+    let stats = vexus.build_stats();
+    assert_eq!(stats.discovery.algorithm, "ensemble");
+    assert_eq!(stats.discovery.shards.len(), 2, "one entry per member");
+    assert_eq!(stats.discovery.shards[0].algorithm, "lcm");
+    assert_eq!(stats.discovery.shards[1].algorithm, "birch");
+    // Both kinds of groups survive the size filter into the engine.
+    let described = vexus
+        .groups()
+        .iter()
+        .filter(|(_, g)| !g.description.is_empty())
+        .count();
+    assert!(described > 0, "LCM's described groups missing");
+    assert!(
+        described < vexus.groups().len(),
+        "BIRCH's cluster groups missing"
+    );
+    // And the session explores over the merged space.
+    let mut session = vexus.session().expect("session opens");
+    assert!(!session.display().is_empty());
+    let g = session.display()[0];
+    session.click(g).expect("click works");
+}
+
+/// The sharded driver also runs from pure configuration, end to end.
+#[test]
+fn sharded_selection_drives_a_session() {
+    let vexus = VexusBuilder::new(tiny())
+        .config(EngineConfig::default().with_discovery(DiscoverySelection::default().sharded(4)))
+        .build()
+        .expect("sharded engine builds");
+    let stats = vexus.build_stats();
+    assert_eq!(stats.discovery.algorithm, "sharded");
+    assert_eq!(stats.discovery.shards.len(), 4);
+    let covered: usize = stats.discovery.shards.iter().map(|s| s.members).sum();
+    assert_eq!(covered, vexus.data().n_users());
+    let mut session = vexus.session().expect("session opens");
+    let g = session.display()[0];
+    session.click(g).expect("click works");
 }
 
 #[test]
