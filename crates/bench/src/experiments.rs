@@ -15,7 +15,7 @@ use vexus_index::{GroupIndex, IndexConfig};
 use vexus_mining::transactions::TransactionDb;
 use vexus_mining::{
     mine_closed_groups, BirchDiscovery, EnsembleDiscovery, GroupDiscovery, GroupId, GroupSet,
-    LcmConfig, LcmDiscovery, MemberSet, MergeStrategy, MomriConfig, MomriDiscovery,
+    LcmConfig, LcmDiscovery, MemberSet, MergeContext, MergeStrategy, MomriConfig, MomriDiscovery,
     ShardedDiscovery, StreamFimConfig, StreamFimDiscovery,
 };
 use vexus_stats::Crossfilter;
@@ -25,29 +25,50 @@ use vexus_viz::pca::{silhouette, Pca};
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "d1", "d2", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11",
-    "c12",
+    "f1", "f2", "d1", "d2", "d3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10",
+    "c11", "c12",
 ];
 
+/// One experiment's output: the human-readable table plus structured
+/// per-stage wall-clock metrics. Metrics land in the `--json` document as
+/// `(name, milliseconds)` pairs, the machine-readable perf trajectory CI
+/// tracks across commits; most experiments report none.
+pub struct Report {
+    /// The printed table/series.
+    pub text: String,
+    /// Structured `(stage, wall-clock ms)` measurements.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl From<String> for Report {
+    fn from(text: String) -> Self {
+        Self {
+            text,
+            metrics: Vec::new(),
+        }
+    }
+}
+
 /// Dispatch one experiment by id.
-pub fn run(id: &str) -> Option<String> {
+pub fn run(id: &str) -> Option<Report> {
     let out = match id {
-        "f1" => f1_architecture(),
-        "f2" => f2_views(),
-        "d1" => d1_discovery_backends(),
-        "d2" => d2_sharded_discovery(),
-        "c1" => c1_budget_sweep(),
-        "c2" => c2_interaction_latency(),
-        "c3" => c3_materialization(),
-        "c4" => c4_committee_formation(),
-        "c5" => c5_k_sweep(),
-        "c6" => c6_group_space(),
-        "c7" => c7_feedback_ablation(),
-        "c8" => c8_crossfilter(),
-        "c9" => c9_discussion_groups(),
-        "c10" => c10_lda_vs_pca(),
-        "c11" => c11_force_layout(),
-        "c12" => c12_stats_drilldown(),
+        "f1" => f1_architecture().into(),
+        "f2" => f2_views().into(),
+        "d1" => d1_discovery_backends().into(),
+        "d2" => d2_sharded_discovery().into(),
+        "d3" => d3_parallel_hot_paths(),
+        "c1" => c1_budget_sweep().into(),
+        "c2" => c2_interaction_latency().into(),
+        "c3" => c3_materialization().into(),
+        "c4" => c4_committee_formation().into(),
+        "c5" => c5_k_sweep().into(),
+        "c6" => c6_group_space().into(),
+        "c7" => c7_feedback_ablation().into(),
+        "c8" => c8_crossfilter().into(),
+        "c9" => c9_discussion_groups().into(),
+        "c10" => c10_lda_vs_pca().into(),
+        "c11" => c11_force_layout().into(),
+        "c12" => c12_stats_drilldown().into(),
         _ => return None,
     };
     Some(out)
@@ -452,6 +473,134 @@ pub fn d2_sharded_discovery() -> String {
     }
     out.push_str("(index cost grows superlinearly with group count — the all-pairs-by-member candidate scan — which is what motivates sharded index builds next)\n");
     out
+}
+
+// ---------------------------------------------------------------------------
+// D3: parallel merge/index hot paths — the measured perf baseline
+// ---------------------------------------------------------------------------
+
+/// The post-discovery hot paths, measured: the support-recount merge
+/// (reusing one pre-built global `TransactionDb`) and `GroupIndex::build`,
+/// each swept over 1/2/4/8 worker threads on the d2 workload. The parallel
+/// merge must stay byte-identical to the sequential path (also pinned by
+/// `tests/sharded_discovery.rs`). Structured per-stage wall-clock metrics
+/// go into the `--json` report (`BENCH_d3.json` in CI) — the repo's perf
+/// trajectory.
+pub fn d3_parallel_hot_paths() -> Report {
+    let mut out = header(
+        "d3",
+        "parallel recount merge + index build, 1/2/4/8-thread sweep (perf baseline)",
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let ds = bookcrossing(&BookCrossingConfig {
+        n_users: 3_000,
+        n_books: 2_000,
+        n_ratings: 20_000,
+        n_communities: 8,
+        seed: 42,
+    });
+    let data = &ds.data;
+    let min_support = 8usize;
+
+    let t0 = Instant::now();
+    let vocab = Vocabulary::build(data);
+    let db = TransactionDb::build(data, &vocab);
+    let db_build = t0.elapsed();
+    metrics.push(("db_build_ms".into(), ms(db_build)));
+
+    // Mine the per-shard parts once; every merge below folds the exact
+    // same inputs, so the sweep isolates the recount.
+    let driver = ShardedDiscovery::new(
+        LcmDiscovery::new(LcmConfig {
+            min_support,
+            ..Default::default()
+        }),
+        4,
+    )
+    .support_recount(min_support);
+    let t1 = Instant::now();
+    let (parts, _) = driver.mine_parts(data, &vocab);
+    let mine_parts = t1.elapsed();
+    metrics.push(("mine_parts_ms".into(), ms(mine_parts)));
+    let candidates: usize = parts.iter().map(GroupSet::len).sum();
+    let _ = writeln!(
+        out,
+        "workload: {} users, {} candidate groups over 4 shards | db build {db_build:?} | shard mining {mine_parts:?}",
+        data.n_users(),
+        candidates,
+    );
+
+    let _ = writeln!(
+        out,
+        "{:>22} | {:>7} | {:>12} | {:>8} | {:>10}",
+        "stage", "threads", "best-of-3", "speedup", "identical"
+    );
+    let strategy = MergeStrategy::SupportRecount { min_support };
+    let mut baseline: Option<(GroupSet, Duration)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = MergeContext::new(data, &vocab)
+            .with_db(&db)
+            .with_threads(threads);
+        let mut best = Duration::MAX;
+        let mut merged = GroupSet::new();
+        for _ in 0..3 {
+            let input = parts.clone();
+            let t = Instant::now();
+            merged = strategy.merge_in(input, &ctx);
+            best = best.min(t.elapsed());
+        }
+        metrics.push((format!("merge_recount_t{threads}_ms"), ms(best)));
+        let (identical, speedup) = match &baseline {
+            None => {
+                baseline = Some((merged.clone(), best));
+                (true, 1.0)
+            }
+            Some((reference, t1)) => (
+                *reference == merged,
+                t1.as_secs_f64() / best.as_secs_f64().max(1e-12),
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{:>22} | {:>7} | {:>12?} | {:>7.2}x | {:>10}",
+            "merge recount", threads, best, speedup, identical
+        );
+        assert!(identical, "parallel merge diverged from sequential output");
+    }
+    let merged = baseline.expect("swept at least one thread count").0;
+
+    let mut entries = 0usize;
+    for threads in [1usize, 2, 4, 8] {
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let idx = GroupIndex::build(
+                &merged,
+                &IndexConfig {
+                    materialize_fraction: 0.10,
+                    threads,
+                },
+            );
+            best = best.min(t.elapsed());
+            entries = idx.stats().materialized_entries;
+        }
+        metrics.push((format!("index_build_t{threads}_ms"), ms(best)));
+        let _ = writeln!(
+            out,
+            "{:>22} | {:>7} | {:>12?} | {:>8} | {:>10}",
+            "index build", threads, best, "-", "-"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "({} merged groups, {entries} materialized index entries; merge reuses one pre-built \
+         TransactionDb and fans the recount over scoped threads in deterministic chunks — output \
+         is byte-identical at every thread count. Speedups reflect this machine's core count; CI \
+         archives the metrics as BENCH_d3.json)",
+        merged.len()
+    );
+    Report { text: out, metrics }
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,11 @@ pub struct EngineConfig {
     /// Which discovery backend the offline pipeline runs (LCM, α-MOMRI,
     /// BIRCH or stream FIM) and its per-algorithm knobs.
     pub discovery: DiscoverySelection,
+    /// Worker threads for the merge layer's support recount when
+    /// `discovery` is a sharded or ensemble composite (`0` = available
+    /// parallelism). Purely a performance knob: the merged group space is
+    /// byte-identical at any count.
+    pub merge_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +54,7 @@ impl Default for EngineConfig {
             materialize_fraction: 0.10,
             min_group_size: 5,
             discovery: DiscoverySelection::default(),
+            merge_threads: 0,
         }
     }
 }
@@ -84,6 +90,12 @@ impl EngineConfig {
         self.discovery = discovery;
         self
     }
+
+    /// Builder-style: set the merge recount worker count (`0` = auto).
+    pub fn with_merge_threads(mut self, merge_threads: usize) -> Self {
+        self.merge_threads = merge_threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +119,12 @@ mod tests {
         assert_eq!(c.time_budget, Duration::from_millis(5));
         let nf = EngineConfig::default().without_feedback();
         assert_eq!(nf.feedback_weight, 0.0);
+        // Merge parallelism defaults to auto (0) and is a plain knob.
+        assert_eq!(EngineConfig::default().merge_threads, 0);
+        assert_eq!(
+            EngineConfig::default().with_merge_threads(4).merge_threads,
+            4
+        );
     }
 
     #[test]

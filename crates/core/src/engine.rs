@@ -91,6 +91,15 @@ impl VexusBuilder {
         self
     }
 
+    /// Set the merge recount worker count for config-selected composite
+    /// discovery (`0` = available parallelism). Shorthand for mutating
+    /// [`EngineConfig::merge_threads`]; the group space is byte-identical
+    /// at any count.
+    pub fn merge_threads(mut self, merge_threads: usize) -> Self {
+        self.config.merge_threads = merge_threads;
+        self
+    }
+
     /// Stage 2 (explicit): run this discovery backend instead of the
     /// config-selected one.
     pub fn discovery(self, backend: impl GroupDiscovery + 'static) -> Self {
@@ -133,7 +142,9 @@ impl VexusBuilder {
         let (vocab, mut groups, discovery) = match stage {
             DiscoveryStage::FromConfig => {
                 let vocab = Vocabulary::build(&data);
-                let backend = config.discovery.backend(config.min_group_size);
+                let backend = config
+                    .discovery
+                    .backend_with(config.min_group_size, config.merge_threads);
                 let outcome = backend.discover(&data, &vocab);
                 (vocab, outcome.groups, outcome.stats)
             }
@@ -506,6 +517,24 @@ mod tests {
         assert_eq!(vexus.build_stats().discovery.algorithm, "sharded");
         assert_eq!(vexus.build_stats().discovery.shards.len(), 4);
         assert!(!vexus.session().unwrap().display().is_empty());
+    }
+
+    #[test]
+    fn merge_threads_knob_does_not_change_the_group_space() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let config =
+            EngineConfig::default().with_discovery(DiscoverySelection::default().sharded(4));
+        let sequential = VexusBuilder::new(ds.data.clone())
+            .config(config.clone())
+            .merge_threads(1)
+            .build()
+            .unwrap();
+        let parallel = VexusBuilder::new(ds.data)
+            .config(config)
+            .merge_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(sequential.groups(), parallel.groups());
     }
 
     #[test]

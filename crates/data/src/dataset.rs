@@ -19,6 +19,7 @@ use crate::ids::{AttrId, ItemId, TokenId, UserId, ValueId};
 use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One user action under the generic `[user, item, value]` schema.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,6 +32,50 @@ pub struct Action {
     pub value: f32,
 }
 
+/// The immutable item side of a dataset: names, categories and category
+/// labels. Split out of [`UserData`] and shared behind an [`Arc`] so the
+/// N per-shard projections of [`UserData::project_users`] reference one
+/// catalog instead of holding N copies of it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ItemCatalog {
+    item_names: Vec<String>,
+    /// Per item: index into `category_labels`, `u32::MAX` = none.
+    item_categories: Vec<u32>,
+    category_labels: Vec<String>,
+}
+
+impl ItemCatalog {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.item_names.len()
+    }
+
+    /// Whether the catalog has no items.
+    pub fn is_empty(&self) -> bool {
+        self.item_names.is_empty()
+    }
+
+    /// Display name of an item.
+    pub fn name(&self, item: ItemId) -> &str {
+        &self.item_names[item.index()]
+    }
+
+    /// Category label of an item, if any.
+    pub fn category(&self, item: ItemId) -> Option<&str> {
+        let idx = self.item_categories[item.index()];
+        if idx == u32::MAX {
+            None
+        } else {
+            Some(&self.category_labels[idx as usize])
+        }
+    }
+
+    /// All category labels.
+    pub fn category_labels(&self) -> &[String] {
+        &self.category_labels
+    }
+}
+
 /// Immutable columnar user dataset.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct UserData {
@@ -38,10 +83,8 @@ pub struct UserData {
     user_names: Vec<String>,
     /// `columns[attr][user]` = value of `attr` for `user`.
     columns: Vec<Vec<ValueId>>,
-    item_names: Vec<String>,
-    /// Per item: index into `item_category_labels`, `u32::MAX` = none.
-    item_categories: Vec<u32>,
-    item_category_labels: Vec<String>,
+    /// Shared item tables; projections hold the same `Arc`.
+    items: Arc<ItemCatalog>,
     actions: Vec<Action>,
     /// CSR offsets into `actions_by_user`: actions of user `u` are
     /// `actions_by_user[user_offsets[u] .. user_offsets[u+1]]`.
@@ -62,7 +105,7 @@ impl UserData {
 
     /// Number of items.
     pub fn n_items(&self) -> usize {
-        self.item_names.len()
+        self.items.len()
     }
 
     /// Number of actions.
@@ -82,22 +125,24 @@ impl UserData {
 
     /// Display name of an item.
     pub fn item_name(&self, item: ItemId) -> &str {
-        &self.item_names[item.index()]
+        self.items.name(item)
     }
 
     /// Category label of an item, if any.
     pub fn item_category(&self, item: ItemId) -> Option<&str> {
-        let idx = self.item_categories[item.index()];
-        if idx == u32::MAX {
-            None
-        } else {
-            Some(&self.item_category_labels[idx as usize])
-        }
+        self.items.category(item)
     }
 
     /// All item-category labels.
     pub fn item_category_labels(&self) -> &[String] {
-        &self.item_category_labels
+        self.items.category_labels()
+    }
+
+    /// The shared item catalog. Projections of this dataset return the
+    /// same `Arc` (pointer-equal), so holding many projections costs one
+    /// catalog.
+    pub fn item_catalog(&self) -> &Arc<ItemCatalog> {
+        &self.items
     }
 
     /// Value of `attr` for `user`.
@@ -137,10 +182,9 @@ impl UserData {
     /// global `Vocabulary` — stay valid); actions are filtered to the kept
     /// users and the CSR index is rebuilt.
     ///
-    /// Note: "unchanged" still means *cloned* — `UserData` owns its tables,
-    /// so N concurrent shard projections hold N copies of the item tables.
-    /// Fine for the current workloads; for huge item catalogs the tables
-    /// want shared ownership (tracked in ROADMAP.md under index scaling).
+    /// The item catalog is *shared*, not cloned: the projection holds the
+    /// same [`Arc<ItemCatalog>`], so N concurrent shard projections of a
+    /// huge catalog cost one copy of the item tables.
     pub fn project_users(&self, members: &[u32]) -> UserData {
         debug_assert!(
             members.windows(2).all(|w| w[0] < w[1]),
@@ -173,9 +217,7 @@ impl UserData {
             schema: self.schema.clone(),
             user_names,
             columns,
-            item_names: self.item_names.clone(),
-            item_categories: self.item_categories.clone(),
-            item_category_labels: self.item_category_labels.clone(),
+            items: Arc::clone(&self.items),
             actions,
             user_offsets,
             actions_by_user,
@@ -350,9 +392,11 @@ impl UserDataBuilder {
             schema: self.schema,
             user_names: self.user_names,
             columns: self.columns,
-            item_names: self.item_names,
-            item_categories: self.item_categories,
-            item_category_labels: self.item_category_labels,
+            items: Arc::new(ItemCatalog {
+                item_names: self.item_names,
+                item_categories: self.item_categories,
+                category_labels: self.item_category_labels,
+            }),
             actions: self.actions,
             user_offsets,
             actions_by_user,
@@ -639,6 +683,23 @@ mod tests {
         let none = d.project_users(&[]);
         assert_eq!(none.n_users(), 0);
         assert_eq!(none.n_actions(), 0);
+    }
+
+    #[test]
+    fn projections_share_one_item_catalog() {
+        let d = small();
+        let a = d.project_users(&[0]);
+        let b = d.project_users(&[1]);
+        // One catalog, three owners — no per-projection clones.
+        assert!(Arc::ptr_eq(d.item_catalog(), a.item_catalog()));
+        assert!(Arc::ptr_eq(a.item_catalog(), b.item_catalog()));
+        // Nested projections still share it.
+        let aa = a.project_users(&[0]);
+        assert!(Arc::ptr_eq(d.item_catalog(), aa.item_catalog()));
+        // The shared catalog serves the same answers as the delegating API.
+        assert_eq!(a.item_catalog().len(), a.n_items());
+        assert_eq!(a.item_catalog().name(ItemId::new(0)), "Mr Miracle");
+        assert_eq!(a.item_catalog().category(ItemId::new(1)), Some("scifi"));
     }
 
     #[test]

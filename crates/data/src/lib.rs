@@ -36,7 +36,7 @@ pub mod stream;
 pub mod synthetic;
 pub mod zipf;
 
-pub use dataset::{Action, UserData, UserDataBuilder, Vocabulary};
+pub use dataset::{Action, ItemCatalog, UserData, UserDataBuilder, Vocabulary};
 pub use error::DataError;
 pub use ids::{AttrId, ItemId, TokenId, UserId, ValueId};
 pub use schema::{AttributeDef, AttributeKind, Schema};

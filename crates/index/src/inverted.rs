@@ -178,8 +178,14 @@ impl GroupIndex {
             return list[..k.min(list.len())].to_vec();
         }
         // Fallback: exact recomputation (the price of materializing less).
-        let mut full = compute_all_neighbors(groups, g);
-        full.truncate(k);
+        // Only the returned `k` need ordering, so select before sorting —
+        // the same partial selection the build path uses.
+        let mut full = collect_overlapping_neighbors(groups, g);
+        if k < full.len() {
+            full.select_nth_unstable_by(k - 1, neighbor_order);
+            full.truncate(k);
+        }
+        full.sort_by(neighbor_order);
         full
     }
 
@@ -197,11 +203,13 @@ impl GroupIndex {
 
 /// member -> sorted group ids containing that member.
 fn build_member_groups(groups: &GroupSet) -> Vec<Vec<u32>> {
+    // Member sets are sorted, so the universe bound is each group's last
+    // slice element: O(groups), not a walk over every membership.
     let n_users = groups
         .iter()
-        .flat_map(|(_, g)| g.members.iter().last())
+        .filter_map(|(_, g)| g.members.as_slice().last())
         .max()
-        .map(|m| m as usize + 1)
+        .map(|&m| m as usize + 1)
         .unwrap_or(0);
     let mut map: Vec<Vec<u32>> = vec![Vec::new(); n_users];
     for (gid, g) in groups.iter() {
@@ -252,28 +260,27 @@ fn score_group(
     touched.clear();
     // Partial selection: only the kept prefix needs full ordering.
     if keep > 0 && keep < neighbors.len() {
-        neighbors.select_nth_unstable_by(keep - 1, |a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite similarity")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        neighbors.select_nth_unstable_by(keep - 1, neighbor_order);
         neighbors.truncate(keep);
     }
-    neighbors.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite similarity")
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    neighbors.sort_by(neighbor_order);
     neighbors.truncate(keep);
     neighbors.shrink_to_fit();
     *out_list = neighbors;
     scored
 }
 
-/// Exact full neighbor list of `g` (descending similarity).
-pub fn compute_all_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
+/// Descending-similarity neighbor order with ids as the tie-break.
+fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .expect("finite similarity")
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// Every group overlapping `g`, scored but unordered.
+fn collect_overlapping_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
     let me = groups.get(g);
-    let mut out: Vec<Neighbor> = groups
+    groups
         .iter()
         .filter(|(h, _)| *h != g)
         .filter_map(|(h, other)| {
@@ -284,12 +291,13 @@ pub fn compute_all_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
             let union = me.size() + other.size() - inter;
             Some((h, inter as f32 / union as f32))
         })
-        .collect();
-    out.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite similarity")
-            .then_with(|| a.0.cmp(&b.0))
-    });
+        .collect()
+}
+
+/// Exact full neighbor list of `g` (descending similarity).
+pub fn compute_all_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
+    let mut out = collect_overlapping_neighbors(groups, g);
+    out.sort_by(neighbor_order);
     out
 }
 
@@ -413,6 +421,40 @@ mod tests {
         // Queries beyond the prefix fall back to exact.
         assert!(idx.needs_fallback(g0, 2));
         assert_eq!(idx.neighbors(&gs, g0, 2), exact);
+    }
+
+    #[test]
+    fn fallback_partial_selection_matches_full_sort() {
+        // Real workload so fallback lists are long enough to make the
+        // select-then-sort path meaningful at several k.
+        let ds =
+            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let vocab = vexus_data::Vocabulary::build(&ds.data);
+        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
+        let gs = vexus_mining::mine_closed_groups(
+            &db,
+            &vexus_mining::LcmConfig {
+                min_support: 10,
+                ..Default::default()
+            },
+        );
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.05,
+                threads: 1,
+            },
+        );
+        for (gid, _) in gs.iter() {
+            let exact = compute_all_neighbors(&gs, gid);
+            for k in [1usize, 3, 7, exact.len().max(1)] {
+                assert_eq!(
+                    idx.neighbors(&gs, gid, k),
+                    exact[..k.min(exact.len())].to_vec(),
+                    "k={k} mismatch for {gid}"
+                );
+            }
+        }
     }
 
     #[test]

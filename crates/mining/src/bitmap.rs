@@ -256,7 +256,41 @@ impl MemberSet {
 
     /// Whether `self ⊆ other`.
     pub fn is_subset_of(&self, other: &MemberSet) -> bool {
-        self.intersection_size(other) == self.len()
+        other.contains_all(self)
+    }
+
+    /// Whether `other ⊆ self`, with early exit on the first member of
+    /// `other` that `self` does not contain. Galloping (exponential search)
+    /// advances through `self`, so verifying a small set against a large
+    /// one is sublinear in `self` — the hot check of the token-major
+    /// [`crate::transactions::TransactionDb::closure`].
+    pub fn contains_all(&self, other: &MemberSet) -> bool {
+        if other.len() > self.len() {
+            return false;
+        }
+        let Some(&last) = other.sorted.last() else {
+            return true;
+        };
+        if last > self.sorted[self.len() - 1] || other.sorted[0] < self.sorted[0] {
+            return false;
+        }
+        let mut lo = 0usize;
+        for &x in &other.sorted {
+            if lo >= self.sorted.len() {
+                return false;
+            }
+            // Exponential search from `lo` for a window containing x.
+            let mut bound = 1usize;
+            while lo + bound < self.sorted.len() && self.sorted[lo + bound] < x {
+                bound *= 2;
+            }
+            let hi = (lo + bound + 1).min(self.sorted.len());
+            match self.sorted[lo..hi].binary_search(&x) {
+                Ok(i) => lo += i + 1,
+                Err(_) => return false,
+            }
+        }
+        true
     }
 
     /// Count of members also present in a boolean mask (indexed by member).
@@ -353,6 +387,22 @@ mod tests {
     }
 
     #[test]
+    fn contains_all_matches_subset_semantics() {
+        let big = ms(&[1, 2, 3, 5, 8, 13, 21, 34]);
+        assert!(big.contains_all(&ms(&[2, 8, 34])));
+        assert!(big.contains_all(&MemberSet::empty()));
+        assert!(big.contains_all(&big.clone()));
+        assert!(!big.contains_all(&ms(&[2, 4])));
+        assert!(!big.contains_all(&ms(&[0, 1])));
+        assert!(!big.contains_all(&ms(&[34, 35])));
+        assert!(!MemberSet::empty().contains_all(&ms(&[1])));
+        // Galloping regime: tiny set verified against a huge one.
+        let huge = MemberSet::from_sorted((0..100_000).map(|x| x * 2).collect());
+        assert!(huge.contains_all(&ms(&[0, 50_000, 199_998])));
+        assert!(!huge.contains_all(&ms(&[0, 50_001])));
+    }
+
+    #[test]
     fn subset_and_universe() {
         let u = MemberSet::universe(10);
         let s = ms(&[0, 5, 9]);
@@ -399,6 +449,8 @@ mod tests {
             prop_assert_eq!(got_diff.as_slice(), expect_diff.as_slice());
             prop_assert_eq!(ma.overlaps(&mb), !sa.is_disjoint(&sb));
             prop_assert_eq!(ma.is_subset_of(&mb), sa.is_subset(&sb));
+            prop_assert_eq!(ma.contains_all(&mb), sb.is_subset(&sa));
+            prop_assert_eq!(mb.contains_all(&ma), sa.is_subset(&sb));
         }
 
         #[test]

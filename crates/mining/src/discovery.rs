@@ -457,12 +457,29 @@ impl DiscoverySelection {
     }
 
     /// Materialize the selected backend. `min_group_size` supplies support
-    /// floors for variants that key off group size.
+    /// floors for variants that key off group size. Composite variants
+    /// merge with auto-sized recount parallelism; see
+    /// [`DiscoverySelection::backend_with`] for an explicit worker count.
     ///
     /// # Panics
     /// If a [`DiscoverySelection::Sharded`] wraps anything but the four
     /// base variants (nest the other way round: ensemble of sharded).
     pub fn backend(&self, min_group_size: usize) -> Box<dyn GroupDiscovery> {
+        self.backend_with(min_group_size, 0)
+    }
+
+    /// As [`DiscoverySelection::backend`], with an explicit worker count
+    /// for the composite variants' merge recount (`0` = available
+    /// parallelism). The merged group space is byte-identical at any
+    /// count, so this is purely a performance knob.
+    ///
+    /// # Panics
+    /// As [`DiscoverySelection::backend`].
+    pub fn backend_with(
+        &self,
+        min_group_size: usize,
+        merge_threads: usize,
+    ) -> Box<dyn GroupDiscovery> {
         match self {
             Self::Sharded {
                 inner,
@@ -485,24 +502,27 @@ impl DiscoverySelection {
                     shards: usize,
                     strategy: ShardStrategy,
                     merge: MergeStrategy,
+                    merge_threads: usize,
                 ) -> Box<dyn GroupDiscovery> {
                     Box::new(
                         ShardedDiscovery::new(backend, shards)
                             .with_strategy(strategy)
-                            .with_merge(merge),
+                            .with_merge(merge)
+                            .with_merge_threads(merge_threads),
                     )
                 }
                 match base {
-                    BaseBackend::Lcm(b) => wrap(b, *shards, *strategy, merge),
-                    BaseBackend::Momri(b) => wrap(b, *shards, *strategy, merge),
-                    BaseBackend::Birch(b) => wrap(b, *shards, *strategy, merge),
-                    BaseBackend::StreamFim(b) => wrap(b, *shards, *strategy, merge),
+                    BaseBackend::Lcm(b) => wrap(b, *shards, *strategy, merge, merge_threads),
+                    BaseBackend::Momri(b) => wrap(b, *shards, *strategy, merge, merge_threads),
+                    BaseBackend::Birch(b) => wrap(b, *shards, *strategy, merge, merge_threads),
+                    BaseBackend::StreamFim(b) => wrap(b, *shards, *strategy, merge, merge_threads),
                 }
             }
             Self::Ensemble { members, merge } => {
-                let mut ensemble = EnsembleDiscovery::new(merge.strategy(min_group_size));
+                let mut ensemble = EnsembleDiscovery::new(merge.strategy(min_group_size))
+                    .with_merge_threads(merge_threads);
                 for member in members {
-                    ensemble.push(member.backend(min_group_size));
+                    ensemble.push(member.backend_with(min_group_size, merge_threads));
                 }
                 Box::new(ensemble)
             }

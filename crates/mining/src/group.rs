@@ -81,8 +81,9 @@ impl Group {
 }
 
 /// An indexed collection of groups (the node set of the paper's group graph
-/// `G`).
-#[derive(Debug, Clone, Default)]
+/// `G`). Equality is order-sensitive (same groups, same ids), which is what
+/// the parallel-merge determinism tests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupSet {
     groups: Vec<Group>,
 }

@@ -163,6 +163,114 @@ fn close_under_intersection(seed: Vec<Vec<TokenId>>, cap: usize) -> Vec<Vec<Toke
     out
 }
 
+/// Worker count resolution: `0` means use the machine's available
+/// parallelism.
+fn resolve_workers(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Shared inputs of a merge: the global dataset and vocabulary, an
+/// optional pre-built [`TransactionDb`] (reused instead of rebuilt when a
+/// strategy needs one — the recount's dominant fixed cost), and the worker
+/// count for the recount fan-out.
+#[derive(Clone, Copy)]
+pub struct MergeContext<'a> {
+    /// The global dataset.
+    pub data: &'a UserData,
+    /// The global token vocabulary.
+    pub vocab: &'a Vocabulary,
+    /// A transaction database over `data`/`vocab`, if the caller already
+    /// built one. `None` makes [`MergeStrategy::SupportRecount`] build its
+    /// own, as the pre-d3 merge contract did.
+    pub db: Option<&'a TransactionDb>,
+    /// Worker threads for the candidate recount (`0` = available
+    /// parallelism). Output is byte-identical at any thread count.
+    pub threads: usize,
+}
+
+impl<'a> MergeContext<'a> {
+    /// Context without a pre-built database, merging on one thread.
+    pub fn new(data: &'a UserData, vocab: &'a Vocabulary) -> Self {
+        Self {
+            data,
+            vocab,
+            db: None,
+            threads: 1,
+        }
+    }
+
+    /// Builder-style: reuse a pre-built transaction database.
+    pub fn with_db(mut self, db: &'a TransactionDb) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// Builder-style: set the recount worker count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Recount one candidate description against the global database: exact
+/// members, then the closure. `None` when support is under the floor.
+fn recount_one(
+    db: &TransactionDb,
+    description: &[TokenId],
+    min_support: usize,
+) -> Option<(Vec<TokenId>, MemberSet)> {
+    let members = db.itemset_members(description);
+    if members.len() < min_support {
+        return None;
+    }
+    let closed = db.closure(&members);
+    Some((closed, members))
+}
+
+/// Recount every candidate, fanning out over scoped worker threads in
+/// contiguous chunks. Chunks are re-concatenated in order, so the result
+/// sequence — and hence the merged group order downstream — is
+/// byte-identical to the sequential path at any worker count.
+fn recount_candidates(
+    db: &TransactionDb,
+    candidates: &[Vec<TokenId>],
+    min_support: usize,
+    threads: usize,
+) -> Vec<(Vec<TokenId>, MemberSet)> {
+    let workers = resolve_workers(threads).min(candidates.len()).max(1);
+    if workers <= 1 {
+        return candidates
+            .iter()
+            .filter_map(|d| recount_one(db, d, min_support))
+            .collect();
+    }
+    let chunk = candidates.len().div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .filter_map(|d| recount_one(db, d, min_support))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("recount worker panicked"))
+            .collect()
+    })
+    .expect("recount scope")
+}
+
 /// How per-shard (or per-backend) group spaces fold into one.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum MergeStrategy {
@@ -187,7 +295,20 @@ pub enum MergeStrategy {
 impl MergeStrategy {
     /// Fold per-part group spaces (members already in *global* user ids)
     /// into one. `data`/`vocab` back the global recount where needed.
+    /// Sequential, building its own transaction database — the pre-d3
+    /// contract; see [`MergeStrategy::merge_in`] for database reuse and
+    /// the parallel recount.
     pub fn merge(&self, parts: Vec<GroupSet>, data: &UserData, vocab: &Vocabulary) -> GroupSet {
+        self.merge_in(parts, &MergeContext::new(data, vocab))
+    }
+
+    /// Fold per-part group spaces into one under an explicit
+    /// [`MergeContext`]: reuses `ctx.db` when provided instead of
+    /// rebuilding the global database, and fans the support recount out
+    /// over `ctx.threads` workers. The merged output is byte-identical
+    /// for every thread count (chunked, deterministically
+    /// re-concatenated).
+    pub fn merge_in(&self, parts: Vec<GroupSet>, ctx: &MergeContext<'_>) -> GroupSet {
         match self {
             Self::Union => {
                 let mut out = GroupSet::new();
@@ -223,7 +344,14 @@ impl MergeStrategy {
                 out
             }
             Self::SupportRecount { min_support } => {
-                let db = TransactionDb::build(data, vocab);
+                let built;
+                let db = match ctx.db {
+                    Some(db) => db,
+                    None => {
+                        built = TransactionDb::build(ctx.data, ctx.vocab);
+                        &built
+                    }
+                };
                 let mut candidates: Vec<Vec<TokenId>> = Vec::new();
                 let mut seen_candidates = std::collections::BTreeSet::new();
                 let mut clusters: Vec<Group> = Vec::new();
@@ -254,14 +382,10 @@ impl MergeStrategy {
                 } else {
                     candidates
                 };
+                let recounted = recount_candidates(db, &candidates, *min_support, ctx.threads);
                 let mut out = GroupSet::new();
                 let mut seen_closed = std::collections::BTreeSet::new();
-                for description in candidates {
-                    let members = db.itemset_members(&description);
-                    if members.len() < *min_support {
-                        continue;
-                    }
-                    let closed = db.closure(&members);
+                for (closed, members) in recounted {
                     if seen_closed.insert(closed.clone()) {
                         out.push(Group::new(closed, members));
                     }
@@ -292,6 +416,9 @@ pub struct ShardedDiscovery<B> {
     pub strategy: ShardStrategy,
     /// How per-shard group spaces fold into one.
     pub merge: MergeStrategy,
+    /// Worker threads for the merge's candidate recount (`0` = available
+    /// parallelism). The merged output is byte-identical at any count.
+    pub merge_threads: usize,
 }
 
 impl<B> ShardedDiscovery<B> {
@@ -303,6 +430,7 @@ impl<B> ShardedDiscovery<B> {
             shards,
             strategy: ShardStrategy::Hash,
             merge: MergeStrategy::default(),
+            merge_threads: 0,
         }
     }
 
@@ -315,6 +443,12 @@ impl<B> ShardedDiscovery<B> {
     /// Builder-style: change the merge layer.
     pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
         self.merge = merge;
+        self
+    }
+
+    /// Builder-style: set the merge recount worker count (`0` = auto).
+    pub fn with_merge_threads(mut self, merge_threads: usize) -> Self {
+        self.merge_threads = merge_threads;
         self
     }
 
@@ -342,13 +476,19 @@ fn remap_to_global(groups: GroupSet, members: &[u32]) -> GroupSet {
     GroupSet::from_groups(remapped)
 }
 
-impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery<B> {
-    fn name(&self) -> &'static str {
-        "sharded"
-    }
-
-    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
-        let t0 = Instant::now();
+impl<B: GroupDiscovery + ShardScaled + Sync> ShardedDiscovery<B> {
+    /// Run the per-shard mining stage only: partition the users, run the
+    /// scaled backend per shard on worker threads, and return the
+    /// per-shard group spaces (members remapped to global ids, in shard
+    /// order) plus per-shard telemetry. [`ShardedDiscovery::discover`] is
+    /// `mine_parts` followed by the merge; exposing the split lets perf
+    /// harnesses (the `d3` experiment) re-merge identical parts under
+    /// different merge configurations without re-mining.
+    pub fn mine_parts(
+        &self,
+        data: &UserData,
+        vocab: &Vocabulary,
+    ) -> (Vec<GroupSet>, Vec<ShardStats>) {
         let n = data.n_users();
         let plan = ShardPlan::build(n, self.shards, self.strategy);
         let n_shards = plan.n_shards();
@@ -398,9 +538,7 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
 
         let mut shard_stats = Vec::with_capacity(per_shard.len());
         let mut parts = Vec::with_capacity(per_shard.len());
-        let mut pre_merge = 0usize;
         for (shard, outcome, members) in per_shard {
-            pre_merge += outcome.groups.len();
             shard_stats.push(ShardStats {
                 shard,
                 algorithm: outcome.stats.algorithm,
@@ -410,8 +548,30 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
             });
             parts.push(outcome.groups);
         }
+        (parts, shard_stats)
+    }
+}
+
+impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery<B> {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn discover(&self, data: &UserData, vocab: &Vocabulary) -> DiscoveryOutcome {
+        let t0 = Instant::now();
+        let (parts, shard_stats) = self.mine_parts(data, vocab);
+        let pre_merge = parts.iter().map(GroupSet::len).sum();
         let t_merge = Instant::now();
-        let groups = self.merge.merge(parts, data, vocab);
+        // Build the global database once, outside the strategy, so the
+        // merge layer never rebuilds it (and callers re-merging through
+        // `merge_in` can share one too).
+        let db = matches!(self.merge, MergeStrategy::SupportRecount { .. })
+            .then(|| TransactionDb::build(data, vocab));
+        let mut ctx = MergeContext::new(data, vocab).with_threads(self.merge_threads);
+        if let Some(db) = db.as_ref() {
+            ctx = ctx.with_db(db);
+        }
+        let groups = self.merge.merge_in(parts, &ctx);
         let merge_elapsed = t_merge.elapsed();
         let stats = DiscoveryStats {
             algorithm: self.name(),
@@ -436,6 +596,8 @@ pub struct EnsembleDiscovery {
     backends: Vec<Box<dyn GroupDiscovery>>,
     /// How member group spaces fold into one.
     pub merge: MergeStrategy,
+    /// Worker threads for the merge's candidate recount (`0` = auto).
+    pub merge_threads: usize,
 }
 
 impl EnsembleDiscovery {
@@ -444,7 +606,14 @@ impl EnsembleDiscovery {
         Self {
             backends: Vec::new(),
             merge,
+            merge_threads: 0,
         }
+    }
+
+    /// Builder-style: set the merge recount worker count (`0` = auto).
+    pub fn with_merge_threads(mut self, merge_threads: usize) -> Self {
+        self.merge_threads = merge_threads;
+        self
     }
 
     /// Add a boxed member backend.
@@ -492,7 +661,13 @@ impl GroupDiscovery for EnsembleDiscovery {
             parts.push(outcome.groups);
         }
         let t_merge = Instant::now();
-        let groups = self.merge.merge(parts, data, vocab);
+        let db = matches!(self.merge, MergeStrategy::SupportRecount { .. })
+            .then(|| TransactionDb::build(data, vocab));
+        let mut ctx = MergeContext::new(data, vocab).with_threads(self.merge_threads);
+        if let Some(db) = db.as_ref() {
+            ctx = ctx.with_db(db);
+        }
+        let groups = self.merge.merge_in(parts, &ctx);
         let merge_elapsed = t_merge.elapsed();
         let stats = DiscoveryStats {
             algorithm: self.name(),

@@ -1,8 +1,10 @@
 //! CLI driver: `experiments [id…] [--json <path>]` runs all experiments
 //! (or a subset) and prints the tables EXPERIMENTS.md records. With
 //! `--json`, the reports are additionally written to `path` as a JSON
-//! document (`{"scale": N, "experiments": [{"id", "report"}, …]}`) so CI
-//! can upload them as a build artifact.
+//! document (`{"scale": N, "experiments": [{"id", "report", "metrics"},
+//! …]}`) so CI can upload them as a build artifact; `metrics` is the
+//! experiment's structured per-stage wall-clock map (milliseconds, empty
+//! for most experiments — the perf experiments like `d3` fill it).
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 8);
@@ -45,12 +47,12 @@ fn main() {
     };
     let scale = vexus_bench::workloads::scale();
     println!("VEXUS experiment harness (scale={scale})");
-    let mut reports: Vec<(&str, String)> = Vec::new();
+    let mut reports: Vec<(&str, vexus_bench::experiments::Report)> = Vec::new();
     let mut unknown = false;
     for id in ids {
         match vexus_bench::experiments::run(id) {
             Some(report) => {
-                print!("{report}");
+                print!("{}", report.text);
                 reports.push((id, report));
             }
             None => {
@@ -68,10 +70,17 @@ fn main() {
             if i > 0 {
                 doc.push(',');
             }
+            let mut metrics = String::new();
+            for (j, (name, value)) in report.metrics.iter().enumerate() {
+                if j > 0 {
+                    metrics.push(',');
+                }
+                metrics.push_str(&format!("\"{}\":{:.3}", json_escape(name), value));
+            }
             doc.push_str(&format!(
-                "{{\"id\":\"{}\",\"report\":\"{}\"}}",
+                "{{\"id\":\"{}\",\"report\":\"{}\",\"metrics\":{{{metrics}}}}}",
                 json_escape(id),
-                json_escape(report)
+                json_escape(&report.text)
             ));
         }
         doc.push_str("]}\n");

@@ -8,7 +8,8 @@ use vexus::data::synthetic::{bookcrossing, dbauthors, BookCrossingConfig, DbAuth
 use vexus::data::{ShardStrategy, UserData, Vocabulary};
 use vexus::mining::transactions::TransactionDb;
 use vexus::mining::{
-    GroupDiscovery, GroupSet, LcmConfig, LcmDiscovery, MergeStrategy, ShardedDiscovery,
+    GroupDiscovery, GroupSet, LcmConfig, LcmDiscovery, MergeContext, MergeStrategy,
+    ShardedDiscovery,
 };
 
 fn normalize(groups: &GroupSet) -> Vec<(Vec<vexus::data::TokenId>, Vec<u32>)> {
@@ -118,6 +119,89 @@ fn merged_groups_satisfy_global_closure_invariants() {
             );
         }
     }
+}
+
+/// The parallel recount must be *byte-identical* to the sequential path —
+/// same groups, same order, same member sets — for every worker count and
+/// both shard strategies, whether driven through the full sharded
+/// discovery or by re-merging pre-mined parts under an explicit context.
+#[test]
+fn parallel_recount_is_byte_identical_to_sequential() {
+    let ds = bookcrossing(&BookCrossingConfig {
+        n_users: 600,
+        n_books: 400,
+        n_ratings: 4_000,
+        n_communities: 4,
+        seed: 97,
+    });
+    let vocab = Vocabulary::build(&ds.data);
+    let db = TransactionDb::build(&ds.data, &vocab);
+    for strategy in [ShardStrategy::Hash, ShardStrategy::Contiguous] {
+        let driver = ShardedDiscovery::new(lcm(12), 4)
+            .with_strategy(strategy)
+            .support_recount(12);
+        // End-to-end: the discovery outcome (order included) must not
+        // depend on merge_threads.
+        let sequential = driver
+            .clone()
+            .with_merge_threads(1)
+            .discover(&ds.data, &vocab);
+        assert!(!sequential.groups.is_empty(), "degenerate fixture");
+        for threads in [2usize, 4, 8] {
+            let parallel = driver
+                .clone()
+                .with_merge_threads(threads)
+                .discover(&ds.data, &vocab);
+            assert_eq!(
+                sequential.groups, parallel.groups,
+                "threads={threads} strategy={strategy:?} diverged from sequential merge"
+            );
+        }
+        // Merge layer in isolation: identical parts re-merged under an
+        // explicit context (pre-built db reused) stay byte-identical too,
+        // including the 0 = auto worker count.
+        let (parts, _) = driver.mine_parts(&ds.data, &vocab);
+        let merge = MergeStrategy::SupportRecount { min_support: 12 };
+        let baseline = merge.merge_in(
+            parts.clone(),
+            &MergeContext::new(&ds.data, &vocab)
+                .with_db(&db)
+                .with_threads(1),
+        );
+        assert_eq!(
+            baseline, sequential.groups,
+            "re-merging the mined parts must reproduce the discovery outcome"
+        );
+        for threads in [0usize, 2, 4, 8] {
+            let merged = merge.merge_in(
+                parts.clone(),
+                &MergeContext::new(&ds.data, &vocab)
+                    .with_db(&db)
+                    .with_threads(threads),
+            );
+            assert_eq!(baseline, merged, "merge_in threads={threads} diverged");
+        }
+    }
+}
+
+/// Reusing a caller-provided database must answer exactly like the
+/// build-your-own path of the legacy `merge` entry point.
+#[test]
+fn merge_reuses_caller_db_without_changing_output() {
+    let ds = bookcrossing(&BookCrossingConfig::tiny());
+    let vocab = Vocabulary::build(&ds.data);
+    let db = TransactionDb::build(&ds.data, &vocab);
+    let driver = ShardedDiscovery::new(lcm(10), 3).support_recount(10);
+    let (parts, _) = driver.mine_parts(&ds.data, &vocab);
+    let merge = MergeStrategy::SupportRecount { min_support: 10 };
+    let own_db = merge.merge(parts.clone(), &ds.data, &vocab);
+    let reused = merge.merge_in(
+        parts,
+        &MergeContext::new(&ds.data, &vocab)
+            .with_db(&db)
+            .with_threads(4),
+    );
+    assert_eq!(own_db, reused);
 }
 
 /// The per-shard telemetry must account for every user exactly once and
