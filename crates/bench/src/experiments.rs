@@ -55,7 +55,7 @@ pub fn run(id: &str) -> Option<Report> {
         "f1" => f1_architecture().into(),
         "f2" => f2_views().into(),
         "d1" => d1_discovery_backends().into(),
-        "d2" => d2_sharded_discovery().into(),
+        "d2" => d2_sharded_discovery(),
         "d3" => d3_parallel_hot_paths(),
         "c1" => c1_budget_sweep().into(),
         "c2" => c2_interaction_latency().into(),
@@ -286,14 +286,19 @@ pub fn d1_discovery_backends() -> String {
 
 /// The shard/merge/ensemble layers, measured: run LCM and BIRCH over
 /// 1/2/4/8 member-disjoint shards, report per-shard wall-clock and the
-/// merge cost, exercise the LCM ∪ BIRCH ensemble, and sweep the
-/// `GroupIndex` build over group *count* (C3 sweeps only the
-/// materialization fraction).
-pub fn d2_sharded_discovery() -> String {
+/// merge cost, sweep recall against the cross-shard closure exchange
+/// round count in the oversharded regime, exercise the LCM ∪ BIRCH
+/// ensemble, and sweep the `GroupIndex` build over group *count* (C3
+/// sweeps only the materialization fraction). The recall of every
+/// recount-merge row lands in the metrics map (`recount_recall_min` is
+/// the gated minimum: CI fails the build if it drops below 1.0).
+pub fn d2_sharded_discovery() -> Report {
     let mut out = header(
         "d2",
-        "sharded discovery (1/2/4/8 shards), merge layer, ensemble, index group-count sweep",
+        "sharded discovery (1/2/4/8 shards), merge layer, exchange sweep, ensemble, index group-count sweep",
     );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let dataset = || {
         bookcrossing(&BookCrossingConfig {
             n_users: 3_000,
@@ -328,6 +333,7 @@ pub fn d2_sharded_discovery() -> String {
         .iter()
         .map(|(_, g)| g.description.clone())
         .collect();
+    let mut recount_recall_min = f64::INFINITY;
     for shards in [1usize, 2, 4, 8] {
         let outcome = ShardedDiscovery::new(lcm_proto(), shards)
             .support_recount(min_support)
@@ -344,6 +350,9 @@ pub fn d2_sharded_discovery() -> String {
             .iter()
             .filter(|(_, g)| lcm_baseline.contains(&g.description))
             .count();
+        let recall = recovered as f64 / lcm_baseline.len().max(1) as f64;
+        recount_recall_min = recount_recall_min.min(recall);
+        metrics.push((format!("lcm_recount_s{shards}_recall"), recall));
         let _ = writeln!(
             out,
             "{:>8} | {:>6} | {:>8} | {:>12?} | {:>13?} | {:>12?} | {:>6}/{:<3}",
@@ -357,6 +366,7 @@ pub fn d2_sharded_discovery() -> String {
             lcm_baseline.len()
         );
     }
+    metrics.push(("recount_recall_min".into(), recount_recall_min));
     for shards in [1usize, 2, 4, 8] {
         let outcome = ShardedDiscovery::new(BirchDiscovery::default(), shards)
             .with_merge(MergeStrategy::Union)
@@ -382,8 +392,58 @@ pub fn d2_sharded_discovery() -> String {
     }
     out.push_str(
         "(support-recount re-evaluates every candidate globally, so every sharded-LCM group is an \
-         exact global closed group; the recall column shows the tail lost to shard-local closure \
-         growth as shards shrink. union keeps per-shard BIRCH partitions side by side)\n",
+         exact global closed group, and the default closure exchange round keeps recall at 1.0 at \
+         any shard count — the CI gate enforces it. union keeps per-shard BIRCH partitions side \
+         by side)\n",
+    );
+
+    // Part 1b: recall vs exchange rounds in the oversharded regime. With
+    // the exchange off (rounds = 0) shard-local closure growth hides a
+    // recall tail that deepens with the shard count; one round closes it
+    // exactly and a second round is a fixpoint no-op. The exchange
+    // telemetry shows what the guarantee costs.
+    let _ = writeln!(
+        out,
+        "{:>8} | {:>6} | {:>8} | {:>10} | {:>10} | {:>12} | {:>12}",
+        "exchange", "shards", "rounds", "recall", "added", "exch time", "merge time"
+    );
+    for shards in [8usize, 16] {
+        for rounds in [0usize, 1, 2] {
+            let outcome = ShardedDiscovery::new(lcm_proto(), shards)
+                .support_recount(min_support)
+                .with_exchange_rounds(rounds)
+                .discover(data, &vocab);
+            let recovered = outcome
+                .groups
+                .iter()
+                .filter(|(_, g)| lcm_baseline.contains(&g.description))
+                .count();
+            let recall = recovered as f64 / lcm_baseline.len().max(1) as f64;
+            metrics.push((format!("exchange_s{shards}_r{rounds}_recall"), recall));
+            metrics.push((
+                format!("exchange_s{shards}_r{rounds}_ms"),
+                ms(outcome.stats.exchange_elapsed),
+            ));
+            metrics.push((
+                format!("exchange_s{shards}_r{rounds}_added"),
+                outcome.stats.exchange_candidates as f64,
+            ));
+            let _ = writeln!(
+                out,
+                "{:>8} | {:>6} | {:>8} | {:>10.4} | {:>10} | {:>12?} | {:>12?}",
+                "lcm",
+                shards,
+                rounds,
+                recall,
+                outcome.stats.exchange_candidates,
+                outcome.stats.exchange_elapsed,
+                outcome.stats.merge_elapsed
+            );
+        }
+    }
+    out.push_str(
+        "(the `added` column counts candidate descriptions the exchange fed to the recount \
+         worklist; rounds beyond the first stop early once a round adds nothing new)\n",
     );
 
     // Part 2: the LCM ∪ BIRCH ensemble through the engine builder.
@@ -472,7 +532,7 @@ pub fn d2_sharded_discovery() -> String {
         );
     }
     out.push_str("(index cost grows superlinearly with group count — the all-pairs-by-member candidate scan — which is what motivates sharded index builds next)\n");
-    out
+    Report { text: out, metrics }
 }
 
 // ---------------------------------------------------------------------------
@@ -537,38 +597,50 @@ pub fn d3_parallel_hot_paths() -> Report {
         "stage", "threads", "best-of-3", "speedup", "identical"
     );
     let strategy = MergeStrategy::SupportRecount { min_support };
-    let mut baseline: Option<(GroupSet, Duration)> = None;
-    for threads in [1usize, 2, 4, 8] {
-        let ctx = MergeContext::new(data, &vocab)
-            .with_db(&db)
-            .with_threads(threads);
-        let mut best = Duration::MAX;
-        let mut merged = GroupSet::new();
-        for _ in 0..3 {
-            let input = parts.clone();
-            let t = Instant::now();
-            merged = strategy.merge_in(input, &ctx);
-            best = best.min(t.elapsed());
-        }
-        metrics.push((format!("merge_recount_t{threads}_ms"), ms(best)));
-        let (identical, speedup) = match &baseline {
-            None => {
-                baseline = Some((merged.clone(), best));
-                (true, 1.0)
+    // Two merge sweeps: the pure recount (exchange off — comparable with
+    // the pre-exchange perf trajectory) and the default exact merge (one
+    // closure exchange round). Both must stay byte-identical across
+    // thread counts.
+    let mut merged_exact = GroupSet::new();
+    for (label, metric, exchange_rounds) in [
+        ("merge recount", "merge_recount", 0usize),
+        ("merge recount+exch", "merge_exchange", 1),
+    ] {
+        let mut baseline: Option<(GroupSet, Duration)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let ctx = MergeContext::new(data, &vocab)
+                .with_db(&db)
+                .with_threads(threads)
+                .with_exchange_rounds(exchange_rounds);
+            let mut best = Duration::MAX;
+            let mut merged = GroupSet::new();
+            for _ in 0..3 {
+                let input = parts.clone();
+                let t = Instant::now();
+                merged = strategy.merge_in(input, &ctx);
+                best = best.min(t.elapsed());
             }
-            Some((reference, t1)) => (
-                *reference == merged,
-                t1.as_secs_f64() / best.as_secs_f64().max(1e-12),
-            ),
-        };
-        let _ = writeln!(
-            out,
-            "{:>22} | {:>7} | {:>12?} | {:>7.2}x | {:>10}",
-            "merge recount", threads, best, speedup, identical
-        );
-        assert!(identical, "parallel merge diverged from sequential output");
+            metrics.push((format!("{metric}_t{threads}_ms"), ms(best)));
+            let (identical, speedup) = match &baseline {
+                None => {
+                    baseline = Some((merged.clone(), best));
+                    (true, 1.0)
+                }
+                Some((reference, t1)) => (
+                    *reference == merged,
+                    t1.as_secs_f64() / best.as_secs_f64().max(1e-12),
+                ),
+            };
+            let _ = writeln!(
+                out,
+                "{:>22} | {:>7} | {:>12?} | {:>7.2}x | {:>10}",
+                label, threads, best, speedup, identical
+            );
+            assert!(identical, "parallel merge diverged from sequential output");
+        }
+        merged_exact = baseline.expect("swept at least one thread count").0;
     }
-    let merged = baseline.expect("swept at least one thread count").0;
+    let merged = merged_exact;
 
     let mut entries = 0usize;
     for threads in [1usize, 2, 4, 8] {

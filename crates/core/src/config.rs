@@ -39,6 +39,12 @@ pub struct EngineConfig {
     /// parallelism). Purely a performance knob: the merged group space is
     /// byte-identical at any count.
     pub merge_threads: usize,
+    /// Cross-shard closure exchange rounds for composite discovery's
+    /// support-recount merge. The default `1` makes sharded LCM reproduce
+    /// the unsharded closed-group space exactly at any shard count; `0`
+    /// disables the exchange (sound, but oversharded runs may lose a
+    /// sub-percent recall tail to shard-local closure growth).
+    pub exchange_rounds: usize,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +61,7 @@ impl Default for EngineConfig {
             min_group_size: 5,
             discovery: DiscoverySelection::default(),
             merge_threads: 0,
+            exchange_rounds: 1,
         }
     }
 }
@@ -96,6 +103,12 @@ impl EngineConfig {
         self.merge_threads = merge_threads;
         self
     }
+
+    /// Builder-style: set the closure exchange round count (`0` = off).
+    pub fn with_exchange_rounds(mut self, exchange_rounds: usize) -> Self {
+        self.exchange_rounds = exchange_rounds;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +137,15 @@ mod tests {
         assert_eq!(
             EngineConfig::default().with_merge_threads(4).merge_threads,
             4
+        );
+        // The closure exchange defaults to one round (the exactness
+        // guarantee) and can be disabled.
+        assert_eq!(EngineConfig::default().exchange_rounds, 1);
+        assert_eq!(
+            EngineConfig::default()
+                .with_exchange_rounds(0)
+                .exchange_rounds,
+            0
         );
     }
 

@@ -100,6 +100,16 @@ impl VexusBuilder {
         self
     }
 
+    /// Set the cross-shard closure exchange round count for
+    /// config-selected composite discovery (`0` = off). Shorthand for
+    /// mutating [`EngineConfig::exchange_rounds`]; the default of one
+    /// round makes sharded support-recount discovery reproduce the
+    /// unsharded closed-group space exactly at any shard count.
+    pub fn exchange_rounds(mut self, exchange_rounds: usize) -> Self {
+        self.config.exchange_rounds = exchange_rounds;
+        self
+    }
+
     /// Stage 2 (explicit): run this discovery backend instead of the
     /// config-selected one.
     pub fn discovery(self, backend: impl GroupDiscovery + 'static) -> Self {
@@ -142,9 +152,11 @@ impl VexusBuilder {
         let (vocab, mut groups, discovery) = match stage {
             DiscoveryStage::FromConfig => {
                 let vocab = Vocabulary::build(&data);
-                let backend = config
-                    .discovery
-                    .backend_with(config.min_group_size, config.merge_threads);
+                let backend = config.discovery.backend_with(
+                    config.min_group_size,
+                    config.merge_threads,
+                    config.exchange_rounds,
+                );
                 let outcome = backend.discover(&data, &vocab);
                 (vocab, outcome.groups, outcome.stats)
             }
@@ -316,6 +328,29 @@ mod tests {
         assert!(stats.discovery.groups_discovered >= stats.n_groups);
         // Every group respects the size floor.
         assert!(vexus.groups().iter().all(|(_, g)| g.size() >= 5));
+    }
+
+    #[test]
+    fn exchange_rounds_thread_through_the_builder_to_sharded_discovery() {
+        // The oversharded regime exercises the exchange: the default
+        // config (one round) reports exchange telemetry and its group
+        // space is a superset of the exchange-off run over the same
+        // sharded selection.
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let config =
+            EngineConfig::default().with_discovery(DiscoverySelection::default().sharded(8));
+        let with = VexusBuilder::new(ds.data.clone())
+            .config(config.clone())
+            .build()
+            .unwrap();
+        assert_eq!(with.build_stats().discovery.exchange_rounds_run, 1);
+        let without = VexusBuilder::new(ds.data)
+            .config(config)
+            .exchange_rounds(0)
+            .build()
+            .unwrap();
+        assert_eq!(without.build_stats().discovery.exchange_rounds_run, 0);
+        assert!(without.build_stats().n_groups <= with.build_stats().n_groups);
     }
 
     #[test]

@@ -79,15 +79,19 @@ impl GroupIndex {
         let scored = std::sync::atomic::AtomicUsize::new(0);
 
         // Shard groups across threads; each worker owns a disjoint slice of
-        // the output vectors.
-        let chunk = n.div_ceil(threads).max(1);
+        // the output vectors. Chunk boundaries balance the summed *member*
+        // count per worker, not the group count: a group's candidate scan
+        // walks its members' inverted lists, so with skewed group sizes an
+        // even group split leaves most workers idle behind the one that
+        // drew the giants.
+        let sizes: Vec<usize> = groups.iter().map(|(_, g)| g.size()).collect();
+        let chunks = size_aware_chunks(&sizes, threads);
         crossbeam::thread::scope(|scope| {
             let mut remaining_lists = lists.as_mut_slice();
             let mut remaining_lens = full_lengths.as_mut_slice();
             let mut start = 0usize;
             let mut handles = Vec::new();
-            while start < n {
-                let take = chunk.min(remaining_lists.len());
+            for &take in &chunks {
                 let (lists_chunk, rest_lists) = remaining_lists.split_at_mut(take);
                 let (lens_chunk, rest_lens) = remaining_lens.split_at_mut(take);
                 remaining_lists = rest_lists;
@@ -199,6 +203,44 @@ impl GroupIndex {
     pub fn similarity(groups: &GroupSet, a: GroupId, b: GroupId) -> f64 {
         groups.get(a).members.jaccard(&groups.get(b).members)
     }
+}
+
+/// Split `sizes.len()` items into at most `workers` contiguous chunks
+/// whose summed sizes are balanced (each chunk takes items until it
+/// reaches the remaining total divided by the remaining workers). Returns
+/// the chunk lengths; they are all non-zero and cover every item, so the
+/// build's output layout — and hence the index — is independent of the
+/// worker count.
+fn size_aware_chunks(sizes: &[usize], workers: usize) -> Vec<usize> {
+    let n = sizes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let mut chunks = Vec::with_capacity(workers);
+    let mut remaining: usize = sizes.iter().sum();
+    let mut i = 0;
+    for w in 0..workers {
+        let workers_left = workers - w;
+        // Leave at least one item for every worker after this one.
+        let max_take = n - i - (workers_left - 1);
+        let target = remaining.div_ceil(workers_left);
+        let mut take = 0;
+        let mut acc = 0;
+        while take < max_take && (take == 0 || acc < target) {
+            acc += sizes[i + take];
+            take += 1;
+        }
+        chunks.push(take);
+        i += take;
+        remaining -= acc;
+    }
+    // Zero-size tail items can stall the greedy walk; fold any leftover
+    // into the last chunk so coverage stays exact.
+    if i < n {
+        *chunks.last_mut().expect("workers >= 1") += n - i;
+    }
+    chunks
 }
 
 /// member -> sorted group ids containing that member.
@@ -472,6 +514,90 @@ mod tests {
         assert!(idx.materialized(g1).is_empty());
         // ...but queries are still exact via fallback.
         assert_eq!(idx.neighbors(&gs, g1, 3), compute_all_neighbors(&gs, g1));
+    }
+
+    #[test]
+    fn size_aware_chunks_balance_and_cover() {
+        // Skewed: one giant, many small. Even group-count slicing over 2
+        // workers would put the giant plus half the smalls on worker 0;
+        // size-aware slicing isolates the giant.
+        let sizes = [1000usize, 1, 1, 1, 1, 1, 1, 1];
+        let chunks = size_aware_chunks(&sizes, 2);
+        assert_eq!(chunks.iter().sum::<usize>(), sizes.len());
+        assert!(chunks.iter().all(|&c| c > 0));
+        assert_eq!(chunks[0], 1, "the giant group should fill worker 0");
+        // More workers than items clamps; zero items yields no chunks.
+        assert_eq!(size_aware_chunks(&[5, 5], 8), vec![1, 1]);
+        assert!(size_aware_chunks(&[], 4).is_empty());
+        // Zero-size tails are still covered.
+        let with_zeros = size_aware_chunks(&[3, 0, 0, 0], 2);
+        assert_eq!(with_zeros.iter().sum::<usize>(), 4);
+        // Uniform sizes degrade to near-even chunking.
+        let uniform = size_aware_chunks(&[2; 12], 4);
+        assert_eq!(uniform, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn size_aware_chunks_handle_giants_anywhere_in_the_order() {
+        // One worker gets everything in a single chunk.
+        assert_eq!(size_aware_chunks(&[4, 2, 9, 1], 1), vec![4]);
+        // A giant at the *end* must not starve earlier workers of items:
+        // every chunk stays non-empty and coverage is exact.
+        let sizes = [1usize, 1, 1, 1, 1, 1, 1, 1000];
+        for workers in [2usize, 3, 4, 8] {
+            let chunks = size_aware_chunks(&sizes, workers);
+            assert_eq!(chunks.iter().sum::<usize>(), sizes.len());
+            assert!(chunks.len() <= workers);
+            assert!(
+                chunks.iter().all(|&c| c > 0),
+                "workers={workers}: {chunks:?}"
+            );
+        }
+        // The giant ends up in the last chunk, alone with at most the
+        // leftover smalls its greedy target allows.
+        let two = size_aware_chunks(&sizes, 2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0] + two[1], sizes.len());
+    }
+
+    #[test]
+    fn skewed_sizes_build_matches_serial_at_any_thread_count() {
+        // A giant group plus many small ones: the regime even slicing
+        // imbalances. The parallel build must stay identical to serial.
+        let mut gs = GroupSet::new();
+        gs.push(Group::new(
+            vec![],
+            MemberSet::from_unsorted((0..500).collect()),
+        ));
+        for i in 0..40u32 {
+            gs.push(Group::new(
+                vec![],
+                MemberSet::from_unsorted(vec![i * 3, i * 3 + 1, i * 3 + 2]),
+            ));
+        }
+        let serial = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.5,
+                threads: 1,
+            },
+        );
+        for threads in [2usize, 3, 8, 64] {
+            let parallel = GroupIndex::build(
+                &gs,
+                &IndexConfig {
+                    materialize_fraction: 0.5,
+                    threads,
+                },
+            );
+            for (gid, _) in gs.iter() {
+                assert_eq!(serial.materialized(gid), parallel.materialized(gid));
+                assert_eq!(
+                    serial.full_neighbor_count(gid),
+                    parallel.full_neighbor_count(gid)
+                );
+            }
+        }
     }
 
     #[test]

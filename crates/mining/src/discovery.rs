@@ -67,6 +67,16 @@ pub struct DiscoveryStats {
     /// Wall-clock of the merge stage folding shard outcomes into one group
     /// space (zero for plain runs).
     pub merge_elapsed: Duration,
+    /// Cross-shard closure exchange rounds actually run inside the merge
+    /// (zero for plain runs, when the exchange is disabled, or when it is
+    /// skipped because at most one part contributed descriptions).
+    pub exchange_rounds_run: usize,
+    /// Candidate descriptions the closure exchange added to the global
+    /// recount worklist.
+    pub exchange_candidates: usize,
+    /// Wall-clock of the closure exchange rounds (a sub-interval of
+    /// `merge_elapsed`).
+    pub exchange_elapsed: Duration,
 }
 
 /// The result of one discovery run.
@@ -458,20 +468,24 @@ impl DiscoverySelection {
 
     /// Materialize the selected backend. `min_group_size` supplies support
     /// floors for variants that key off group size. Composite variants
-    /// merge with auto-sized recount parallelism; see
-    /// [`DiscoverySelection::backend_with`] for an explicit worker count.
+    /// merge with auto-sized recount parallelism and one closure exchange
+    /// round (the exactness default); see
+    /// [`DiscoverySelection::backend_with`] for explicit knobs.
     ///
     /// # Panics
     /// If a [`DiscoverySelection::Sharded`] wraps anything but the four
     /// base variants (nest the other way round: ensemble of sharded).
     pub fn backend(&self, min_group_size: usize) -> Box<dyn GroupDiscovery> {
-        self.backend_with(min_group_size, 0)
+        self.backend_with(min_group_size, 0, 1)
     }
 
     /// As [`DiscoverySelection::backend`], with an explicit worker count
     /// for the composite variants' merge recount (`0` = available
-    /// parallelism). The merged group space is byte-identical at any
-    /// count, so this is purely a performance knob.
+    /// parallelism — purely a performance knob: the merged group space is
+    /// byte-identical at any count) and an explicit cross-shard closure
+    /// exchange round count (`0` disables the exchange and with it the
+    /// oversharded-regime exactness guarantee; see
+    /// [`crate::sharded::MergeContext::exchange_rounds`]).
     ///
     /// # Panics
     /// As [`DiscoverySelection::backend`].
@@ -479,6 +493,7 @@ impl DiscoverySelection {
         &self,
         min_group_size: usize,
         merge_threads: usize,
+        exchange_rounds: usize,
     ) -> Box<dyn GroupDiscovery> {
         match self {
             Self::Sharded {
@@ -503,26 +518,41 @@ impl DiscoverySelection {
                     strategy: ShardStrategy,
                     merge: MergeStrategy,
                     merge_threads: usize,
+                    exchange_rounds: usize,
                 ) -> Box<dyn GroupDiscovery> {
                     Box::new(
                         ShardedDiscovery::new(backend, shards)
                             .with_strategy(strategy)
                             .with_merge(merge)
-                            .with_merge_threads(merge_threads),
+                            .with_merge_threads(merge_threads)
+                            .with_exchange_rounds(exchange_rounds),
                     )
                 }
                 match base {
-                    BaseBackend::Lcm(b) => wrap(b, *shards, *strategy, merge, merge_threads),
-                    BaseBackend::Momri(b) => wrap(b, *shards, *strategy, merge, merge_threads),
-                    BaseBackend::Birch(b) => wrap(b, *shards, *strategy, merge, merge_threads),
-                    BaseBackend::StreamFim(b) => wrap(b, *shards, *strategy, merge, merge_threads),
+                    BaseBackend::Lcm(b) => {
+                        wrap(b, *shards, *strategy, merge, merge_threads, exchange_rounds)
+                    }
+                    BaseBackend::Momri(b) => {
+                        wrap(b, *shards, *strategy, merge, merge_threads, exchange_rounds)
+                    }
+                    BaseBackend::Birch(b) => {
+                        wrap(b, *shards, *strategy, merge, merge_threads, exchange_rounds)
+                    }
+                    BaseBackend::StreamFim(b) => {
+                        wrap(b, *shards, *strategy, merge, merge_threads, exchange_rounds)
+                    }
                 }
             }
             Self::Ensemble { members, merge } => {
                 let mut ensemble = EnsembleDiscovery::new(merge.strategy(min_group_size))
-                    .with_merge_threads(merge_threads);
+                    .with_merge_threads(merge_threads)
+                    .with_exchange_rounds(exchange_rounds);
                 for member in members {
-                    ensemble.push(member.backend_with(min_group_size, merge_threads));
+                    ensemble.push(member.backend_with(
+                        min_group_size,
+                        merge_threads,
+                        exchange_rounds,
+                    ));
                 }
                 Box::new(ensemble)
             }

@@ -32,7 +32,10 @@ pub struct LcmConfig {
     /// wide schemas; the space is exponential).
     pub max_groups: usize,
     /// Whether to emit the root group (closure of the full population —
-    /// tokens shared by *everyone*, usually empty and uninteresting).
+    /// tokens shared by *everyone*). An empty root closure is never
+    /// emitted: a group with no description is a cluster, not a closed
+    /// itemset. Sharded drivers turn this on per shard so a shard whose
+    /// whole closed family is its own root still emits a merge witness.
     pub emit_root: bool,
 }
 
@@ -72,7 +75,7 @@ impl Miner<'_> {
         }
         let universe = crate::bitmap::MemberSet::universe(n as u32);
         let root_closure = self.db.closure(&universe);
-        if self.cfg.emit_root && n >= self.cfg.min_support {
+        if self.cfg.emit_root && n >= self.cfg.min_support && !root_closure.is_empty() {
             self.out
                 .push(Group::new(root_closure.clone(), universe.clone()));
         }
@@ -326,6 +329,23 @@ mod tests {
         let (_, root) = with.iter().next().unwrap();
         assert_eq!(root.description, toks(&[0]));
         assert_eq!(root.size(), 3);
+    }
+
+    #[test]
+    fn empty_root_closure_is_never_emitted() {
+        // No token is shared by everyone, so the root closure is empty —
+        // `emit_root: true` must not fabricate a description-less group
+        // (the merge layer would mistake it for a cluster).
+        let db = TransactionDb::from_transactions(vec![toks(&[0]), toks(&[1])], 2);
+        let gs = mine_closed_groups(
+            &db,
+            &LcmConfig {
+                min_support: 1,
+                emit_root: true,
+                ..Default::default()
+            },
+        );
+        assert!(gs.iter().all(|(_, g)| !g.description.is_empty()));
     }
 
     #[test]

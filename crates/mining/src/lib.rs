@@ -58,5 +58,7 @@ pub use features::Featurizer;
 pub use group::{Group, GroupId, GroupSet};
 pub use lcm::{mine_closed_groups, LcmConfig};
 pub use momri::MomriConfig;
-pub use sharded::{EnsembleDiscovery, MergeContext, MergeStrategy, ShardScaled, ShardedDiscovery};
+pub use sharded::{
+    EnsembleDiscovery, MergeContext, MergeStrategy, MergeTelemetry, ShardScaled, ShardedDiscovery,
+};
 pub use stream_fim::StreamFimConfig;

@@ -27,6 +27,33 @@
 //! recovers such hidden sets without ever admitting a false positive: any
 //! recounted group is a closure of a global tidlist, hence exactly a
 //! global closed group.
+//!
+//! The pairwise refinement alone is not complete: it can only intersect
+//! descriptions that some shard actually *mined*, and a shard where `X`'s
+//! carriers sit below the scaled support floor never emits its local
+//! closure of `X`. The **cross-shard closure exchange round**
+//! ([`MergeContext::exchange_rounds`], on by default) closes that last
+//! gap: every candidate description is broadcast to every shard's
+//! transaction projection, each shard re-closes it locally (the distinct
+//! projections of its transactions onto the candidate — exactly the
+//! shard-local closures of single members, floor-free), and the
+//! cross-shard intersection products of those projections feed the global
+//! recount worklist. Completeness argument: a missed global closed
+//! frequent set `X` is contained in some mined witness `Y` (SON picks a
+//! shard where `X` is frequent at the scaled floor, and that shard's LCM
+//! emits `Y = clos(members(X))` — shard-local mining runs with
+//! `emit_root: true` precisely so this holds even when `Y` is the shard's
+//! own root), and `X = ⋂_{u ∈ carriers(X)} (T_u ∩ Y)` because `X` is
+//! closed — an intersection of projected transactions, all of which the
+//! exchange collects. The exchange runs whenever more than one part
+//! contributed *or* the parts are shard projections
+//! ([`MergeContext::partial_parts`] — a lone shard-local family is not
+//! globally closed, unlike a lone full-data part), and the recount
+//! normalizes the one group the miners never emit (the global root, the
+//! closure of the entire population) back out. One round therefore makes
+//! the sharded recount *exact* at any shard count (pinned by
+//! `tests/sharded_discovery.rs`); further rounds only re-broadcast the
+//! newly found descriptions and stop early at the fixpoint.
 
 use crate::bitmap::MemberSet;
 use crate::discovery::{BirchDiscovery, LcmDiscovery, MomriDiscovery, StreamFimDiscovery};
@@ -34,7 +61,7 @@ use crate::discovery::{DiscoveryOutcome, DiscoveryStats, GroupDiscovery, ShardSt
 use crate::group::{Group, GroupSet};
 use crate::transactions::TransactionDb;
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vexus_data::shard::{ShardPlan, ShardStrategy};
 use vexus_data::{TokenId, UserData, Vocabulary};
 
@@ -45,36 +72,123 @@ fn scale_floor(floor: usize, fraction: f64) -> usize {
     ((floor as f64 * fraction).ceil() as usize).max(1)
 }
 
+/// Scale a safety-valve cap *up* for a shard covering `fraction` of the
+/// members, saturating at `usize::MAX`. A scaled-*down* support floor
+/// surfaces proportionally more shard-local structure, so a global cap
+/// applied verbatim per shard could truncate a shard's output stream
+/// before its globally frequent candidates are emitted.
+fn scale_cap(cap: usize, fraction: f64) -> usize {
+    let scaled = (cap as f64 / fraction.max(f64::EPSILON)).ceil();
+    if scaled >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        scaled as usize
+    }
+}
+
 /// Adapt a backend's configuration to one shard of the data.
 ///
-/// The driver hands each worker `backend.for_shard(fraction)` where
-/// `fraction` is the shard's share of all members. Backends whose
-/// thresholds are absolute counts (LCM's `min_support`, BIRCH's
-/// `min_cluster_size`) scale them down proportionally so globally frequent
-/// structure stays visible inside every shard; backends with purely
-/// relative thresholds (stream FIM's σ/ε) return an unchanged copy.
+/// The driver hands each worker `backend.for_shard_of(fraction, n_attrs)`
+/// where `fraction` is the shard's share of all members and `n_attrs` the
+/// schema's attribute count. Backends whose thresholds are absolute counts
+/// (LCM's `min_support`, BIRCH's `min_cluster_size`) scale them down
+/// proportionally so globally frequent structure stays visible inside
+/// every shard; backends with purely relative thresholds (stream FIM's
+/// σ/ε) return an unchanged copy. Backends that lift output caps per
+/// shard re-impose the user's caps on the merged space in
+/// [`ShardScaled::finish_merge`].
 pub trait ShardScaled: Clone {
     /// A copy of this backend configured for a shard holding `fraction`
     /// (in `(0, 1]`) of the members. Default: unchanged clone.
     fn for_shard(&self, _fraction: f64) -> Self {
         self.clone()
     }
+
+    /// As [`ShardScaled::for_shard`], additionally told the schema's
+    /// attribute count — the natural ceiling on any closed description's
+    /// length, since a user carries at most one `(attribute, value)` token
+    /// per attribute — and whether the merge is a recount
+    /// (`recount_witnesses`: the per-shard output feeds a global
+    /// [`MergeStrategy::SupportRecount`], so shard-local output policies
+    /// like LCM's root suppression should be lifted to keep every merge
+    /// witness; false for union/dedup merges, whose parts land in the
+    /// output as-is). Backends whose description caps would otherwise
+    /// prune whole shard-local branches (LCM) lift them to this ceiling
+    /// here, which costs nothing extra: no closure can be longer than the
+    /// shortest member transaction, which this bound already dominates.
+    /// Default: delegate to `for_shard`.
+    fn for_shard_of(&self, fraction: f64, _n_attributes: usize, _recount_witnesses: bool) -> Self {
+        self.for_shard(fraction)
+    }
+
+    /// Re-apply the *user's* global caps that `for_shard_of` lifted per
+    /// shard, after the merge produced the global group space. Default:
+    /// identity.
+    fn finish_merge(&self, groups: GroupSet) -> GroupSet {
+        groups
+    }
+
+    /// Whether the *user's* configuration asks for the whole-population
+    /// group (LCM's `emit_root`). The support-recount merge normalizes
+    /// that group out unless this returns true, mirroring what the
+    /// unsharded backend would emit. Default: false.
+    fn emits_population_group(&self) -> bool {
+        false
+    }
 }
 
 impl ShardScaled for LcmDiscovery {
-    /// Scales `min_support` only. `max_description` and `max_groups` are
-    /// deliberately left at their global values: raising the description
-    /// cap per shard would blow up the per-shard search, but it means a
-    /// shard-local closure that grows past `max_description` prunes its
-    /// whole branch (see `lcm.rs`), and a scaled-down floor can hit the
-    /// `max_groups` safety valve sooner — both add to the same recall
-    /// tail the support-recount merge already documents. Keep
-    /// `max_description` at or above the schema's attribute count (the
-    /// natural ceiling on closure length) when exactness matters.
+    /// Scales `min_support` only; description/group caps are handled by
+    /// [`ShardScaled::for_shard_of`] and [`ShardScaled::finish_merge`].
     fn for_shard(&self, fraction: f64) -> Self {
         let mut scaled = self.clone();
         scaled.config.min_support = scale_floor(self.config.min_support, fraction);
         scaled
+    }
+
+    /// Scales `min_support` down and *lifts* the output caps: the
+    /// description cap rises to the schema's attribute count (a
+    /// shard-local closure longer than the user's `max_description` must
+    /// still be mined — its global recount can shrink back under the cap;
+    /// pruning the branch per shard silently dropped such groups), and
+    /// `max_groups` scales up by the shard count so low-floor shards
+    /// don't hit the safety valve before globally frequent candidates are
+    /// emitted. Under a recount merge (`recount_witnesses`), `emit_root`
+    /// additionally turns on: a shard whose entire closed family collapses
+    /// into its own root (all shard members identical on some tokens)
+    /// would otherwise emit *no* witness for a globally frequent group
+    /// concentrated there. The recount then re-normalizes (shard roots
+    /// recount like any candidate; the whole-population group is dropped
+    /// unless the user's own `emit_root` asked for it), and
+    /// [`ShardScaled::finish_merge`] re-applies the user's caps to the
+    /// merged space. Union/dedup merges keep the user's `emit_root`
+    /// untouched, since their parts land in the output as-is.
+    fn for_shard_of(&self, fraction: f64, n_attributes: usize, recount_witnesses: bool) -> Self {
+        let mut scaled = self.for_shard(fraction);
+        scaled.config.max_description = scaled.config.max_description.max(n_attributes);
+        scaled.config.max_groups = scale_cap(self.config.max_groups, fraction);
+        scaled.config.emit_root = self.config.emit_root || recount_witnesses;
+        scaled
+    }
+
+    /// Drops merged groups whose *global* closed description exceeds the
+    /// user's `max_description` (matching what the unsharded miner never
+    /// emits) and truncates to `max_groups`. The truncation is a safety
+    /// valve, not a top-k contract: when the cap binds, the kept subset
+    /// follows merge order rather than the unsharded miner's DFS order.
+    fn finish_merge(&self, groups: GroupSet) -> GroupSet {
+        let max_description = self.config.max_description;
+        let kept: Vec<Group> = groups
+            .into_vec()
+            .into_iter()
+            .filter(|g| g.description.len() <= max_description)
+            .take(self.config.max_groups)
+            .collect();
+        GroupSet::from_groups(kept)
+    }
+
+    fn emits_population_group(&self) -> bool {
+        self.config.emit_root
     }
 }
 
@@ -163,6 +277,100 @@ fn close_under_intersection(seed: Vec<Vec<TokenId>>, cap: usize) -> Vec<Vec<Toke
     out
 }
 
+/// Per-candidate ceiling on the cross-shard exchange family (the
+/// intersection closure of a candidate's projected transactions). The
+/// family is naturally bounded by `2^|description|` — descriptions are
+/// short conjunctions, so this cap only bites on pathologically wide
+/// schemas; when it does, the exchange degrades to recounting the raw
+/// projections, which stays sound (every recounted description yields an
+/// exact global closed group) but may reopen a recall tail.
+pub const EXCHANGE_FAMILY_CAP: usize = 4096;
+
+/// One shard's re-closure of a broadcast candidate `y`, for every shard in
+/// `dbs`: the distinct projections of the shard's transactions onto `y`
+/// (each projection is the shard-local closure of a single member,
+/// restricted to `y` — no support floor), then the cross-shard
+/// intersection products of all of them. Deterministic: the seed is
+/// collected into a sorted set and [`close_under_intersection`] explores
+/// it in sorted order.
+fn exchange_family(dbs: &[&TransactionDb], y: &[TokenId], cap: usize) -> Vec<Vec<TokenId>> {
+    if y.len() < 2 {
+        // Strict sub-projections of a singleton are empty; nothing to add.
+        return Vec::new();
+    }
+    let mut seed: std::collections::BTreeSet<Vec<TokenId>> = std::collections::BTreeSet::new();
+    for db in dbs {
+        // (member, token) pairs over y's tidlists; sorting groups them by
+        // member, so each run is that member's transaction ∩ y (tokens
+        // ascend within a run because the pair sort is lexicographic).
+        let mut pairs: Vec<(u32, TokenId)> = Vec::new();
+        for &t in y {
+            for u in db.tidlist(t).iter() {
+                pairs.push((u, t));
+            }
+        }
+        pairs.sort_unstable();
+        let mut i = 0;
+        while i < pairs.len() {
+            let member = pairs[i].0;
+            let mut projection = Vec::new();
+            while i < pairs.len() && pairs[i].0 == member {
+                projection.push(pairs[i].1);
+                i += 1;
+            }
+            // The full candidate is already on the worklist; only strict
+            // sub-projections can surface hidden sets.
+            if projection.len() < y.len() {
+                seed.insert(projection);
+            }
+        }
+    }
+    close_under_intersection(seed.into_iter().collect(), cap)
+}
+
+/// One exchange round: broadcast every frontier candidate to every shard
+/// projection, collect the re-closed families, and return the deduplicated
+/// union. Fans out over scoped worker threads in contiguous candidate
+/// chunks; the result is sorted, so it is byte-identical at any worker
+/// count.
+fn exchange_round(
+    dbs: &[&TransactionDb],
+    candidates: &[Vec<TokenId>],
+    threads: usize,
+) -> Vec<Vec<TokenId>> {
+    let workers = resolve_workers(threads).min(candidates.len()).max(1);
+    let families: Vec<Vec<Vec<TokenId>>> = if workers <= 1 {
+        candidates
+            .iter()
+            .map(|y| exchange_family(dbs, y, EXCHANGE_FAMILY_CAP))
+            .collect()
+    } else {
+        let chunk = candidates.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|y| exchange_family(dbs, y, EXCHANGE_FAMILY_CAP))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("exchange worker panicked"))
+                .collect()
+        })
+        .expect("exchange scope")
+    };
+    let mut out: Vec<Vec<TokenId>> = families.into_iter().flatten().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// Worker count resolution: `0` means use the machine's available
 /// parallelism.
 fn resolve_workers(threads: usize) -> usize {
@@ -192,16 +400,52 @@ pub struct MergeContext<'a> {
     /// Worker threads for the candidate recount (`0` = available
     /// parallelism). Output is byte-identical at any thread count.
     pub threads: usize,
+    /// Cross-shard closure exchange rounds run by
+    /// [`MergeStrategy::SupportRecount`] before the global recount
+    /// (`0` disables the exchange). On by default (`1`): one round already
+    /// makes the sharded recount exact at any shard count (see the module
+    /// docs), and further rounds stop early at the fixpoint.
+    pub exchange_rounds: usize,
+    /// Projection-local transaction databases, one per shard, for the
+    /// exchange's shard-local re-closure step. `None` treats the global
+    /// database as a single projection — the merged output is identical
+    /// (every member lives in exactly one shard, so the union of per-shard
+    /// distinct projections equals the global distinct projections), which
+    /// is why the in-process driver never builds them; the per-shard form
+    /// (see [`TransactionDb::build_for_members`]) exists so a distributed
+    /// deployment can keep the re-closure next to each shard's data.
+    pub shard_dbs: Option<&'a [TransactionDb]>,
+    /// Whether the parts were mined on *projections* of the data (shards)
+    /// rather than on the full dataset. When true, the exchange runs even
+    /// if only one part contributed descriptions: a lone shard-local
+    /// family is *not* globally closed (its closures grew inside the
+    /// shard), whereas a lone full-data part already is — the
+    /// `contributing parts > 1` shortcut is only valid for the latter.
+    /// [`ShardedDiscovery`] sets this whenever it runs more than one
+    /// shard; ensembles of full-data backends leave it false.
+    pub partial_parts: bool,
+    /// Whether [`MergeStrategy::SupportRecount`] may emit the
+    /// whole-population group (the global root closure). False — the
+    /// miners' `emit_root: false` convention — unless the user's backend
+    /// configuration asked for the root
+    /// ([`ShardScaled::emits_population_group`]); shard-root witnesses and
+    /// derived candidates recounting onto it are normalized out otherwise.
+    pub keep_population_group: bool,
 }
 
 impl<'a> MergeContext<'a> {
-    /// Context without a pre-built database, merging on one thread.
+    /// Context without a pre-built database, merging on one thread with
+    /// one exchange round (the exactness default).
     pub fn new(data: &'a UserData, vocab: &'a Vocabulary) -> Self {
         Self {
             data,
             vocab,
             db: None,
             threads: 1,
+            exchange_rounds: 1,
+            shard_dbs: None,
+            partial_parts: false,
+            keep_population_group: false,
         }
     }
 
@@ -216,6 +460,46 @@ impl<'a> MergeContext<'a> {
         self.threads = threads;
         self
     }
+
+    /// Builder-style: set the closure exchange round count (`0` = off).
+    pub fn with_exchange_rounds(mut self, exchange_rounds: usize) -> Self {
+        self.exchange_rounds = exchange_rounds;
+        self
+    }
+
+    /// Builder-style: provide per-shard projection databases for the
+    /// exchange's shard-local re-closure.
+    pub fn with_shard_dbs(mut self, shard_dbs: &'a [TransactionDb]) -> Self {
+        self.shard_dbs = Some(shard_dbs);
+        self
+    }
+
+    /// Builder-style: mark the parts as shard-local projections (forces
+    /// the exchange to run even when only one part contributed).
+    pub fn with_partial_parts(mut self, partial_parts: bool) -> Self {
+        self.partial_parts = partial_parts;
+        self
+    }
+
+    /// Builder-style: let the recount emit the whole-population group
+    /// (the user's backend was configured with `emit_root: true`).
+    pub fn with_keep_population_group(mut self, keep: bool) -> Self {
+        self.keep_population_group = keep;
+        self
+    }
+}
+
+/// Telemetry one merge reports back to the discovery driver (currently the
+/// closure exchange stage; all zero when the exchange is off or skipped).
+#[derive(Debug, Clone, Default)]
+pub struct MergeTelemetry {
+    /// Exchange rounds actually run (the loop stops early once a round
+    /// adds no new description).
+    pub exchange_rounds_run: usize,
+    /// Descriptions the exchange added to the recount worklist.
+    pub exchange_candidates: usize,
+    /// Wall-clock of the exchange rounds.
+    pub exchange_elapsed: Duration,
 }
 
 /// Recount one candidate description against the global database: exact
@@ -284,8 +568,19 @@ pub enum MergeStrategy {
     /// Re-evaluate each distinct description against the global
     /// [`TransactionDb`]: recompute members, take the closure, dedup by the
     /// closed description, and keep only groups with at least
-    /// `min_support` members. Merged groups are then exact global closed
-    /// groups (see the module docs for the SON argument).
+    /// `min_support` members. Before the recount, the candidate worklist
+    /// is widened twice — by the bounded pairwise intersection refinement
+    /// and by the cross-shard closure exchange
+    /// ([`MergeContext::exchange_rounds`], on by default) — so the merged
+    /// space is not just sound (every group an exact global closed group,
+    /// the SON argument in the module docs) but *complete*: with at least
+    /// one exchange round it reproduces the unsharded closed-group space
+    /// at any shard count. Cost model: one exchange round scans, per
+    /// candidate description, the tidlists of the candidate's tokens once
+    /// per shard projection (`O(Σ support(token))` pair pushes plus a
+    /// sort), then recounts the handful of sub-descriptions it surfaces —
+    /// in return the quadratic refinement cap stops being a correctness
+    /// knob.
     SupportRecount {
         /// Global support floor after recounting.
         min_support: usize,
@@ -304,12 +599,24 @@ impl MergeStrategy {
 
     /// Fold per-part group spaces into one under an explicit
     /// [`MergeContext`]: reuses `ctx.db` when provided instead of
-    /// rebuilding the global database, and fans the support recount out
-    /// over `ctx.threads` workers. The merged output is byte-identical
-    /// for every thread count (chunked, deterministically
-    /// re-concatenated).
+    /// rebuilding the global database, runs `ctx.exchange_rounds` closure
+    /// exchange rounds before the recount, and fans both stages out over
+    /// `ctx.threads` workers. The merged output is byte-identical for
+    /// every thread count (chunked, deterministically re-concatenated).
     pub fn merge_in(&self, parts: Vec<GroupSet>, ctx: &MergeContext<'_>) -> GroupSet {
-        match self {
+        self.merge_in_traced(parts, ctx).0
+    }
+
+    /// As [`MergeStrategy::merge_in`], additionally reporting
+    /// [`MergeTelemetry`] (exchange rounds run, descriptions added, and
+    /// wall-clock) for the discovery driver's stats.
+    pub fn merge_in_traced(
+        &self,
+        parts: Vec<GroupSet>,
+        ctx: &MergeContext<'_>,
+    ) -> (GroupSet, MergeTelemetry) {
+        let mut telemetry = MergeTelemetry::default();
+        let groups = match self {
             Self::Union => {
                 let mut out = GroupSet::new();
                 for part in parts {
@@ -374,18 +681,67 @@ impl MergeStrategy {
                     }
                     contributing_parts += usize::from(contributed);
                 }
-                // Closure-hidden sets only arise when descriptions come
-                // from *different* shards; a single part's closed family
-                // is already closed under intersection.
-                let candidates = if contributing_parts > 1 {
+                // Descriptions can only hide behind differing closures when
+                // the parts are data *projections* (shards) or when several
+                // parts disagree; a lone part mined on the full data is
+                // already globally closed, so the widening passes are
+                // skipped for it. A lone *shard* part is not (its closures
+                // grew shard-locally) — `ctx.partial_parts` keeps the
+                // exchange on for that case, e.g. when every other shard's
+                // family came up empty.
+                let derive = contributing_parts > 1 || ctx.partial_parts;
+                // The pairwise refinement still needs two disagreeing
+                // families to intersect; the exchange below covers the
+                // single-contributor shard case on its own.
+                let mut candidates = if contributing_parts > 1 {
                     close_under_intersection(candidates, CANDIDATE_REFINEMENT_CAP)
                 } else {
                     candidates
                 };
+                if ctx.exchange_rounds > 0 && derive && !candidates.is_empty() {
+                    let t_exchange = Instant::now();
+                    let single_projection = [db];
+                    let shard_dbs: Vec<&TransactionDb> = match ctx.shard_dbs {
+                        Some(dbs) if !dbs.is_empty() => dbs.iter().collect(),
+                        _ => single_projection.to_vec(),
+                    };
+                    let before = candidates.len();
+                    let mut pool: std::collections::BTreeSet<Vec<TokenId>> =
+                        candidates.iter().cloned().collect();
+                    let mut frontier = candidates.clone();
+                    for _ in 0..ctx.exchange_rounds {
+                        telemetry.exchange_rounds_run += 1;
+                        let fresh: Vec<Vec<TokenId>> =
+                            exchange_round(&shard_dbs, &frontier, ctx.threads)
+                                .into_iter()
+                                .filter(|d| pool.insert(d.clone()))
+                                .collect();
+                        if fresh.is_empty() {
+                            break;
+                        }
+                        candidates.extend(fresh.iter().cloned());
+                        frontier = fresh;
+                    }
+                    telemetry.exchange_candidates = candidates.len() - before;
+                    telemetry.exchange_elapsed = t_exchange.elapsed();
+                }
                 let recounted = recount_candidates(db, &candidates, *min_support, ctx.threads);
                 let mut out = GroupSet::new();
                 let mut seen_closed = std::collections::BTreeSet::new();
+                let population = db.n_transactions();
                 for (closed, members) in recounted {
+                    // Normalize the root convention: the group carried by
+                    // the *entire* population (whose description is
+                    // necessarily the root closure) is emitted only when
+                    // the user's backend asked for it. Shard-local mining
+                    // emits shard roots as witnesses (see
+                    // `ShardScaled::for_shard_of`), and derived candidates
+                    // can land inside the global root closure — both
+                    // recount to this one group, dropped here unless the
+                    // context keeps it.
+                    if members.len() == population && !ctx.keep_population_group {
+                        continue;
+                    }
                     if seen_closed.insert(closed.clone()) {
                         out.push(Group::new(closed, members));
                     }
@@ -395,7 +751,8 @@ impl MergeStrategy {
                 }
                 out
             }
-        }
+        };
+        (groups, telemetry)
     }
 }
 
@@ -419,6 +776,10 @@ pub struct ShardedDiscovery<B> {
     /// Worker threads for the merge's candidate recount (`0` = available
     /// parallelism). The merged output is byte-identical at any count.
     pub merge_threads: usize,
+    /// Cross-shard closure exchange rounds for the support-recount merge
+    /// (`0` disables; default `1` — one round pins exactness at any shard
+    /// count, see [`MergeContext::exchange_rounds`]).
+    pub exchange_rounds: usize,
 }
 
 impl<B> ShardedDiscovery<B> {
@@ -431,6 +792,7 @@ impl<B> ShardedDiscovery<B> {
             strategy: ShardStrategy::Hash,
             merge: MergeStrategy::default(),
             merge_threads: 0,
+            exchange_rounds: 1,
         }
     }
 
@@ -449,6 +811,12 @@ impl<B> ShardedDiscovery<B> {
     /// Builder-style: set the merge recount worker count (`0` = auto).
     pub fn with_merge_threads(mut self, merge_threads: usize) -> Self {
         self.merge_threads = merge_threads;
+        self
+    }
+
+    /// Builder-style: set the closure exchange round count (`0` = off).
+    pub fn with_exchange_rounds(mut self, exchange_rounds: usize) -> Self {
+        self.exchange_rounds = exchange_rounds;
         self
     }
 
@@ -492,6 +860,10 @@ impl<B: GroupDiscovery + ShardScaled + Sync> ShardedDiscovery<B> {
         let n = data.n_users();
         let plan = ShardPlan::build(n, self.shards, self.strategy);
         let n_shards = plan.n_shards();
+        // Witness lifts (LCM's per-shard emit_root) apply only when the
+        // parts feed a global recount; union/dedup merges keep the
+        // backend's own output policy.
+        let recount_witnesses = matches!(self.merge, MergeStrategy::SupportRecount { .. });
         // Bounded worker pool: shard count is a *merge granularity* knob
         // reachable from plain config, so it must not translate 1:1 into
         // OS threads. Workers claim shards off an atomic cursor.
@@ -517,7 +889,11 @@ impl<B: GroupDiscovery + ShardScaled + Sync> ShardedDiscovery<B> {
                                 }
                                 let members = plan.members(s);
                                 let shard_data = data.project_users(members);
-                                let worker = backend.for_shard(plan.fraction(s).max(f64::EPSILON));
+                                let worker = backend.for_shard_of(
+                                    plan.fraction(s).max(f64::EPSILON),
+                                    data.schema().len(),
+                                    recount_witnesses,
+                                );
                                 let mut outcome = worker.discover(&shard_data, vocab);
                                 outcome.groups = remap_to_global(outcome.groups, members);
                                 mined.push((s, outcome, members.len()));
@@ -565,13 +941,25 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
         // Build the global database once, outside the strategy, so the
         // merge layer never rebuilds it (and callers re-merging through
         // `merge_in` can share one too).
-        let db = matches!(self.merge, MergeStrategy::SupportRecount { .. })
-            .then(|| TransactionDb::build(data, vocab));
-        let mut ctx = MergeContext::new(data, vocab).with_threads(self.merge_threads);
+        let recounting = matches!(self.merge, MergeStrategy::SupportRecount { .. });
+        let db = recounting.then(|| TransactionDb::build(data, vocab));
+        // No per-shard databases here: in-process, the global database
+        // used as a single projection yields an identical exchange family
+        // (see `MergeContext::shard_dbs`), so building projection-local
+        // copies would only duplicate every transaction. `partial_parts`
+        // still tells the merge the parts are shard-local, so the
+        // exchange runs even when a single shard contributed.
+        let mut ctx = MergeContext::new(data, vocab)
+            .with_threads(self.merge_threads)
+            .with_exchange_rounds(self.exchange_rounds)
+            .with_partial_parts(self.shards > 1)
+            .with_keep_population_group(self.backend.emits_population_group());
         if let Some(db) = db.as_ref() {
             ctx = ctx.with_db(db);
         }
-        let groups = self.merge.merge_in(parts, &ctx);
+        let (groups, exchange) = self.merge.merge_in_traced(parts, &ctx);
+        // Re-apply the user's output caps that per-shard adaptation lifted.
+        let groups = self.backend.finish_merge(groups);
         let merge_elapsed = t_merge.elapsed();
         let stats = DiscoveryStats {
             algorithm: self.name(),
@@ -580,6 +968,9 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
             candidates_considered: pre_merge,
             shards: shard_stats,
             merge_elapsed,
+            exchange_rounds_run: exchange.exchange_rounds_run,
+            exchange_candidates: exchange.exchange_candidates,
+            exchange_elapsed: exchange.exchange_elapsed,
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -591,13 +982,29 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
 /// [`ShardedDiscovery`]); their outcomes fold through the same
 /// [`MergeStrategy`] the sharded driver uses, and each member's run is
 /// reported as one entry of [`DiscoveryStats::shards`].
-#[derive(Default)]
 pub struct EnsembleDiscovery {
     backends: Vec<Box<dyn GroupDiscovery>>,
     /// How member group spaces fold into one.
     pub merge: MergeStrategy,
     /// Worker threads for the merge's candidate recount (`0` = auto).
     pub merge_threads: usize,
+    /// Closure exchange rounds for the support-recount merge (`0` = off;
+    /// members run on the full data, so each part is treated as one
+    /// projection of the global database).
+    pub exchange_rounds: usize,
+    /// Whether a support-recount merge may emit the whole-population
+    /// group. The members are boxed, so the ensemble cannot inspect their
+    /// root configuration the way [`ShardedDiscovery`] does
+    /// ([`ShardScaled::emits_population_group`]) — set this when a member
+    /// was configured with `emit_root: true` and its root group should
+    /// survive the recount.
+    pub keep_population_group: bool,
+}
+
+impl Default for EnsembleDiscovery {
+    fn default() -> Self {
+        Self::new(MergeStrategy::default())
+    }
 }
 
 impl EnsembleDiscovery {
@@ -607,12 +1014,27 @@ impl EnsembleDiscovery {
             backends: Vec::new(),
             merge,
             merge_threads: 0,
+            exchange_rounds: 1,
+            keep_population_group: false,
         }
     }
 
     /// Builder-style: set the merge recount worker count (`0` = auto).
     pub fn with_merge_threads(mut self, merge_threads: usize) -> Self {
         self.merge_threads = merge_threads;
+        self
+    }
+
+    /// Builder-style: set the closure exchange round count (`0` = off).
+    pub fn with_exchange_rounds(mut self, exchange_rounds: usize) -> Self {
+        self.exchange_rounds = exchange_rounds;
+        self
+    }
+
+    /// Builder-style: let the recount keep the whole-population group
+    /// (a member mines with `emit_root: true`).
+    pub fn with_keep_population_group(mut self, keep: bool) -> Self {
+        self.keep_population_group = keep;
         self
     }
 
@@ -663,11 +1085,14 @@ impl GroupDiscovery for EnsembleDiscovery {
         let t_merge = Instant::now();
         let db = matches!(self.merge, MergeStrategy::SupportRecount { .. })
             .then(|| TransactionDb::build(data, vocab));
-        let mut ctx = MergeContext::new(data, vocab).with_threads(self.merge_threads);
+        let mut ctx = MergeContext::new(data, vocab)
+            .with_threads(self.merge_threads)
+            .with_exchange_rounds(self.exchange_rounds)
+            .with_keep_population_group(self.keep_population_group);
         if let Some(db) = db.as_ref() {
             ctx = ctx.with_db(db);
         }
-        let groups = self.merge.merge_in(parts, &ctx);
+        let (groups, exchange) = self.merge.merge_in_traced(parts, &ctx);
         let merge_elapsed = t_merge.elapsed();
         let stats = DiscoveryStats {
             algorithm: self.name(),
@@ -676,6 +1101,9 @@ impl GroupDiscovery for EnsembleDiscovery {
             candidates_considered: pre_merge,
             shards: shard_stats,
             merge_elapsed,
+            exchange_rounds_run: exchange.exchange_rounds_run,
+            exchange_candidates: exchange.exchange_candidates,
+            exchange_elapsed: exchange.exchange_elapsed,
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -750,6 +1178,101 @@ mod tests {
     }
 
     #[test]
+    fn shard_adaptation_lifts_lcm_caps_and_finish_merge_reapplies_them() {
+        let base = LcmDiscovery::new(LcmConfig {
+            min_support: 20,
+            max_description: 4,
+            max_groups: 1_000,
+            emit_root: false,
+        });
+        let scaled = base.for_shard_of(0.25, 9, true);
+        // Support scales down, the description cap lifts to the schema's
+        // attribute count, the group cap scales up by the shard count,
+        // and recount witnesses turn the shard root on.
+        assert_eq!(scaled.config.min_support, 5);
+        assert_eq!(scaled.config.max_description, 9);
+        assert_eq!(scaled.config.max_groups, 4_000);
+        assert!(
+            scaled.config.emit_root,
+            "recount merges need root witnesses"
+        );
+        // Union/dedup merges keep the user's root policy untouched.
+        assert!(!base.for_shard_of(0.25, 9, false).config.emit_root);
+        // A user cap already above the attribute count is kept.
+        assert_eq!(base.for_shard_of(0.25, 3, true).config.max_description, 4);
+        // Degenerate fractions saturate instead of overflowing.
+        assert_eq!(
+            LcmDiscovery::new(LcmConfig {
+                max_groups: usize::MAX,
+                ..base.config.clone()
+            })
+            .for_shard_of(0.5, 4, true)
+            .config
+            .max_groups,
+            usize::MAX
+        );
+        // The user's own root request is surfaced for the merge context.
+        assert!(!base.emits_population_group());
+        assert!(LcmDiscovery::new(LcmConfig {
+            emit_root: true,
+            ..base.config.clone()
+        })
+        .emits_population_group());
+        // finish_merge re-applies the *user's* caps to the merged space.
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        let g = |desc: &[u32], m: &[u32]| Group::new(d(desc), MemberSet::from_unsorted(m.to_vec()));
+        let merged = GroupSet::from_groups(vec![
+            g(&[1, 2], &[0, 1]),
+            g(&[1, 2, 3, 4, 5], &[2, 3]), // over the user's cap of 4
+            g(&[7], &[4, 5]),
+        ]);
+        let finished = base.finish_merge(merged);
+        assert_eq!(finished.len(), 2);
+        assert!(finished.iter().all(|(_, g)| g.description.len() <= 4));
+        // The group cap truncates in merge order.
+        let capped = LcmDiscovery::new(LcmConfig {
+            max_groups: 1,
+            ..base.config.clone()
+        })
+        .finish_merge(GroupSet::from_groups(vec![g(&[1], &[0]), g(&[2], &[1])]));
+        assert_eq!(capped.len(), 1);
+        assert_eq!(
+            capped.get(crate::group::GroupId::new(0)).description,
+            d(&[1])
+        );
+        // The default adaptation (non-LCM backends) is cap-neutral.
+        let birch = BirchDiscovery::default();
+        let passthrough = birch.finish_merge(GroupSet::from_groups(vec![g(&[], &[0, 1])]));
+        assert_eq!(passthrough.len(), 1);
+    }
+
+    #[test]
+    fn exchange_family_recovers_hidden_subsets() {
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        // Shard A: both members carry {0,1,2}; shard B: members carry
+        // {0,3} and {1,2,3}. The candidate {0,1,2} projected onto shard B
+        // yields {0} and {1,2} — the strict sub-projections a recount
+        // needs to surface the globally closed subsets.
+        let shard_a = TransactionDb::from_transactions(vec![d(&[0, 1, 2]), d(&[0, 1, 2])], 4);
+        let shard_b = TransactionDb::from_transactions(vec![d(&[0, 3]), d(&[1, 2, 3])], 4);
+        let family = exchange_family(&[&shard_a, &shard_b], &d(&[0, 1, 2]), 64);
+        assert!(family.contains(&d(&[0])));
+        assert!(family.contains(&d(&[1, 2])));
+        // The full candidate itself is never re-emitted, and singleton
+        // candidates have no strict sub-projections at all.
+        assert!(!family.contains(&d(&[0, 1, 2])));
+        assert!(exchange_family(&[&shard_a, &shard_b], &d(&[3]), 64).is_empty());
+        // Splitting the same transactions differently across shards does
+        // not change the family (the union of distinct projections is the
+        // same), which is why a global fallback projection is equivalent.
+        let global = TransactionDb::from_transactions(
+            vec![d(&[0, 1, 2]), d(&[0, 1, 2]), d(&[0, 3]), d(&[1, 2, 3])],
+            4,
+        );
+        assert_eq!(family, exchange_family(&[&global], &d(&[0, 1, 2]), 64));
+    }
+
+    #[test]
     fn sharded_lcm_recount_matches_single_shard() {
         let (data, vocab) = fixture();
         let single = lcm(10).discover(&data, &vocab);
@@ -771,31 +1294,268 @@ mod tests {
     }
 
     #[test]
-    fn oversharded_recount_is_sound_with_high_recall() {
+    fn oversharded_recount_without_exchange_is_sound_with_high_recall() {
         // 8 shards over 300 users is deliberately degenerate (scaled
         // support floors bottom out near 1, so shard-local closures of
-        // 2-member tidlists explode). The recount must stay *sound* —
-        // every merged group is an exact global closed frequent group —
-        // and recall may only fray at the margin.
+        // 2-member tidlists explode). With the closure exchange disabled
+        // the recount must stay *sound* — every merged group is an exact
+        // global closed frequent group — and recall may only fray at the
+        // margin. This pins the pre-exchange behavior the `exchange_rounds
+        // = 0` escape hatch deliberately keeps.
         let (data, vocab) = fixture();
         let single: std::collections::BTreeSet<_> =
             normalize(&lcm(10).discover(&data, &vocab).groups)
                 .into_iter()
                 .collect();
-        let sharded: std::collections::BTreeSet<_> = normalize(
-            &ShardedDiscovery::new(lcm(10), 8)
-                .support_recount(10)
-                .discover(&data, &vocab)
-                .groups,
-        )
-        .into_iter()
-        .collect();
+        let outcome = ShardedDiscovery::new(lcm(10), 8)
+            .support_recount(10)
+            .with_exchange_rounds(0)
+            .discover(&data, &vocab);
+        let sharded: std::collections::BTreeSet<_> =
+            normalize(&outcome.groups).into_iter().collect();
         assert!(
             sharded.is_subset(&single),
             "recount emitted a group the global mine does not contain"
         );
         let recall = sharded.len() as f64 / single.len() as f64;
         assert!(recall >= 0.95, "recall degraded too far: {recall:.3}");
+        assert_eq!(outcome.stats.exchange_rounds_run, 0);
+        assert_eq!(outcome.stats.exchange_candidates, 0);
+    }
+
+    #[test]
+    fn oversharded_recount_with_exchange_is_exact() {
+        // Same degenerate regime, default configuration: one closure
+        // exchange round closes the recall tail entirely — the merged
+        // space equals the unsharded mine.
+        let (data, vocab) = fixture();
+        let single = normalize(&lcm(10).discover(&data, &vocab).groups);
+        let outcome = ShardedDiscovery::new(lcm(10), 8)
+            .support_recount(10)
+            .discover(&data, &vocab);
+        assert_eq!(single, normalize(&outcome.groups));
+        assert_eq!(outcome.stats.exchange_rounds_run, 1);
+        assert!(
+            outcome.stats.exchange_candidates > 0,
+            "the oversharded regime should exercise the exchange"
+        );
+        assert!(outcome.stats.exchange_elapsed <= outcome.stats.merge_elapsed);
+        // A second round is a fixpoint no-op: same space, same worklist.
+        let two = ShardedDiscovery::new(lcm(10), 8)
+            .support_recount(10)
+            .with_exchange_rounds(2)
+            .discover(&data, &vocab);
+        assert_eq!(single, normalize(&two.groups));
+        assert_eq!(
+            two.stats.exchange_candidates,
+            outcome.stats.exchange_candidates
+        );
+    }
+
+    #[test]
+    fn degenerate_shards_and_root_witnesses_stay_exact() {
+        // Code-review regression: shard 0 holds ten identical users — its
+        // whole shard-local closed family is its own root — and shard 1
+        // two five-user groups under a common token. Before the fixes,
+        // (a) shard 0 emitted no witness (per-shard `emit_root` stayed
+        // false, so the family was empty) and (b) a single contributing
+        // part gated the refinement *and* the exchange off, so the merged
+        // space lost {female, A} and {male}: recall 0.5.
+        use vexus_data::Schema;
+        let mut schema = Schema::new();
+        let gender = schema.add_categorical("gender");
+        let team = schema.add_categorical("team");
+        let mut b = vexus_data::UserDataBuilder::new(schema);
+        for i in 0..20 {
+            let u = b.user(&format!("u{i}"));
+            let (g, t) = if i < 10 {
+                ("female", "A")
+            } else if i < 15 {
+                ("male", "B")
+            } else {
+                ("male", "C")
+            };
+            b.set_demo(u, gender, g).unwrap();
+            b.set_demo(u, team, t).unwrap();
+        }
+        let data = b.build();
+        let vocab = Vocabulary::build(&data);
+        let single = normalize(&lcm(5).discover(&data, &vocab).groups);
+        assert_eq!(
+            single.len(),
+            4,
+            "fixture mines {{female,A}}, {{male}}, {{male,B}}, {{male,C}}"
+        );
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::Hash] {
+            let sharded = ShardedDiscovery::new(lcm(5), 2)
+                .with_strategy(strategy)
+                .support_recount(5)
+                .discover(&data, &vocab);
+            assert_eq!(
+                single,
+                normalize(&sharded.groups),
+                "{strategy:?} lost a degenerate-shard group"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_parts_forces_the_exchange_for_a_lone_shard_family() {
+        // A single shard-local part is *not* globally closed: here the
+        // shard-grown closure {0,1} dies at the global floor, and only
+        // the exchange (forced by `partial_parts`) recovers the globally
+        // frequent {0} hiding under it.
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        let db = TransactionDb::from_transactions(
+            vec![d(&[0, 1]), d(&[0, 1]), d(&[0, 2]), d(&[0, 2]), d(&[3])],
+            4,
+        );
+        let part = GroupSet::from_groups(vec![Group::new(
+            d(&[0, 1]),
+            MemberSet::from_unsorted(vec![0, 1]),
+        )]);
+        let dummy = vexus_data::UserDataBuilder::new(vexus_data::Schema::new()).build();
+        let vocab = Vocabulary::build(&dummy);
+        let merge = MergeStrategy::SupportRecount { min_support: 3 };
+        let ctx = MergeContext::new(&dummy, &vocab).with_db(&db);
+        // Taken as a full-data part, {0,1} (support 2) just vanishes.
+        let plain = merge.merge_in(vec![part.clone()], &ctx);
+        assert!(plain.is_empty());
+        // Declared a shard projection, the exchange surfaces {0}.
+        let (recovered, telemetry) =
+            merge.merge_in_traced(vec![part], &ctx.with_partial_parts(true));
+        assert_eq!(normalize(&recovered), vec![(d(&[0]), vec![0, 1, 2, 3])]);
+        assert_eq!(telemetry.exchange_rounds_run, 1);
+        assert!(telemetry.exchange_candidates > 0);
+    }
+
+    #[test]
+    fn dedup_and_union_merges_keep_the_users_root_policy() {
+        // Code-review regression: the root-witness lift must only apply
+        // under a recount merge. With the default dedup merge, a sharded
+        // LCM run over degenerate shards (every shard shares tokens) must
+        // not emit shard-root groups the user's `emit_root: false` config
+        // forbids — at any shard count, including 1.
+        let (data, vocab) = fixture();
+        for shards in [1usize, 3] {
+            let plain = lcm(10).discover(&data, &vocab);
+            let sharded = ShardedDiscovery::new(lcm(10), shards)
+                .with_merge(MergeStrategy::DedupByDescription)
+                .discover(&data, &vocab);
+            // Every merged description must exist in some shard's plain
+            // mining output; in particular, no description-bearing group
+            // covers an entire shard unless plain mining produced it.
+            if shards == 1 {
+                assert_eq!(normalize(&plain.groups), normalize(&sharded.groups));
+            }
+            assert!(
+                sharded
+                    .groups
+                    .iter()
+                    .all(|(_, g)| !g.description.is_empty()),
+                "dedup merge of LCM shards must not grow cluster-like groups"
+            );
+        }
+    }
+
+    #[test]
+    fn recount_keeps_the_root_group_when_the_user_asked_for_it() {
+        // Code-review regression: a backend configured with
+        // `emit_root: true` must keep its whole-population group through
+        // the sharded recount, exactly like the unsharded run.
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        // All four users share token 0 — {0} is the non-empty root.
+        let db = TransactionDb::from_transactions(
+            vec![d(&[0, 1]), d(&[0, 1]), d(&[0, 2]), d(&[0, 2])],
+            3,
+        );
+        let rooted = LcmDiscovery::new(LcmConfig {
+            min_support: 2,
+            max_description: 4,
+            emit_root: true,
+            ..Default::default()
+        });
+        let single = crate::lcm::mine_closed_groups(&db, &rooted.config);
+        assert!(
+            single.iter().any(|(_, g)| g.description == d(&[0])),
+            "unsharded emit_root=true mines the root"
+        );
+        // Re-merge the unsharded family as two agreeing shard parts.
+        let parts = vec![single.clone(), single.clone()];
+        let dummy = vexus_data::UserDataBuilder::new(vexus_data::Schema::new()).build();
+        let vocab = Vocabulary::build(&dummy);
+        let merge = MergeStrategy::SupportRecount { min_support: 2 };
+        let ctx = MergeContext::new(&dummy, &vocab)
+            .with_db(&db)
+            .with_partial_parts(true);
+        let dropped = merge.merge_in(parts.clone(), &ctx);
+        assert!(
+            dropped.iter().all(|(_, g)| g.description != d(&[0])),
+            "default context normalizes the population group out"
+        );
+        let kept = merge.merge_in(parts, &ctx.with_keep_population_group(true));
+        assert_eq!(normalize(&kept), normalize(&single));
+    }
+
+    #[test]
+    fn exchange_telemetry_stays_zero_when_no_part_contributes() {
+        // Code-review regression: with every shard family empty there is
+        // nothing to broadcast — the telemetry must report zero rounds,
+        // not a vacuous one.
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        let db = TransactionDb::from_transactions(vec![d(&[0]), d(&[1])], 2);
+        let dummy = vexus_data::UserDataBuilder::new(vexus_data::Schema::new()).build();
+        let vocab = Vocabulary::build(&dummy);
+        let merge = MergeStrategy::SupportRecount { min_support: 2 };
+        let (out, telemetry) = merge.merge_in_traced(
+            vec![GroupSet::new(), GroupSet::new()],
+            &MergeContext::new(&dummy, &vocab)
+                .with_db(&db)
+                .with_partial_parts(true),
+        );
+        assert!(out.is_empty());
+        assert_eq!(telemetry.exchange_rounds_run, 0);
+        assert_eq!(telemetry.exchange_candidates, 0);
+        assert_eq!(telemetry.exchange_elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn recount_never_emits_the_global_root_group() {
+        // Every user carries token 0, so {0} is the root closure —
+        // exactly what the unsharded miner's `emit_root: false` skips.
+        // Shard roots and derived candidates recounting onto it must be
+        // normalized back out.
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        let db = TransactionDb::from_transactions(
+            vec![d(&[0, 1]), d(&[0, 1]), d(&[0, 2]), d(&[0, 2])],
+            3,
+        );
+        let parts = vec![
+            GroupSet::from_groups(vec![Group::new(
+                d(&[0, 1]),
+                MemberSet::from_unsorted(vec![0, 1]),
+            )]),
+            GroupSet::from_groups(vec![Group::new(
+                d(&[0, 2]),
+                MemberSet::from_unsorted(vec![2, 3]),
+            )]),
+        ];
+        let dummy = vexus_data::UserDataBuilder::new(vexus_data::Schema::new()).build();
+        let vocab = Vocabulary::build(&dummy);
+        let merge = MergeStrategy::SupportRecount { min_support: 2 };
+        let merged = merge.merge_in(
+            parts,
+            &MergeContext::new(&dummy, &vocab)
+                .with_db(&db)
+                .with_partial_parts(true),
+        );
+        let norm = normalize(&merged);
+        // {0} = intersection of the two candidates, but it is the root:
+        // dropped, while both real groups survive.
+        assert_eq!(
+            norm,
+            vec![(d(&[0, 1]), vec![0, 1]), (d(&[0, 2]), vec![2, 3]),]
+        );
     }
 
     #[test]
@@ -859,6 +1619,65 @@ mod tests {
     }
 
     #[test]
+    fn ensemble_recount_exchanges_and_stays_on_the_agreed_space() {
+        // Two agreeing full-data members under a recount merge: the
+        // exchange runs (two contributing parts), reports its telemetry,
+        // and — by the fixpoint property — adds nothing to the space.
+        let (data, vocab) = fixture();
+        let single = normalize(&lcm(10).discover(&data, &vocab).groups);
+        let out = EnsembleDiscovery::new(MergeStrategy::SupportRecount { min_support: 10 })
+            .with(lcm(10))
+            .with(lcm(10))
+            .discover(&data, &vocab);
+        assert_eq!(single, normalize(&out.groups));
+        assert_eq!(out.stats.exchange_rounds_run, 1);
+        assert!(out.stats.exchange_elapsed <= out.stats.merge_elapsed);
+    }
+
+    #[test]
+    fn ensemble_keep_population_group_preserves_a_members_root() {
+        // Code-review regression: members are boxed, so an ensemble
+        // cannot see a member's `emit_root: true` — the explicit knob
+        // must carry the intent through the recount normalization.
+        use vexus_data::Schema;
+        let mut schema = Schema::new();
+        let color = schema.add_categorical("color");
+        let shape = schema.add_categorical("shape");
+        let mut b = vexus_data::UserDataBuilder::new(schema);
+        for i in 0..4 {
+            let u = b.user(&format!("u{i}"));
+            b.set_demo(u, color, "red").unwrap();
+            b.set_demo(u, shape, if i < 2 { "square" } else { "round" })
+                .unwrap();
+        }
+        let data = b.build();
+        let vocab = Vocabulary::build(&data);
+        let rooted = LcmDiscovery::new(LcmConfig {
+            min_support: 2,
+            emit_root: true,
+            ..Default::default()
+        });
+        let single = normalize(&rooted.discover(&data, &vocab).groups);
+        assert_eq!(single.len(), 3, "root {{red}} plus the two shape groups");
+        let merge = MergeStrategy::SupportRecount { min_support: 2 };
+        let dropped = EnsembleDiscovery::new(merge.clone())
+            .with(rooted.clone())
+            .with(rooted.clone())
+            .discover(&data, &vocab);
+        assert_eq!(
+            dropped.groups.len(),
+            2,
+            "default recount normalizes the population group out"
+        );
+        let kept = EnsembleDiscovery::new(merge)
+            .with(rooted.clone())
+            .with(rooted)
+            .with_keep_population_group(true)
+            .discover(&data, &vocab);
+        assert_eq!(single, normalize(&kept.groups));
+    }
+
+    #[test]
     fn ensemble_unions_described_and_clustered_groups() {
         let (data, vocab) = fixture();
         let ensemble = EnsembleDiscovery::new(MergeStrategy::Union)
@@ -903,6 +1722,20 @@ mod tests {
         let out = ensemble.discover(&data, &vocab);
         assert_eq!(out.stats.algorithm, "ensemble");
         assert_eq!(out.stats.shards.len(), 2);
+    }
+
+    #[test]
+    fn selection_threads_exchange_rounds_to_the_merge() {
+        let (data, vocab) = fixture();
+        let selection = DiscoverySelection::default().sharded(8);
+        // The default backend() materialization keeps one exchange round.
+        let on = selection.backend(10).discover(&data, &vocab);
+        assert_eq!(on.stats.exchange_rounds_run, 1);
+        // An explicit zero disables it end to end.
+        let off = selection.backend_with(10, 1, 0).discover(&data, &vocab);
+        assert_eq!(off.stats.exchange_rounds_run, 0);
+        assert_eq!(off.stats.exchange_candidates, 0);
+        assert!(off.groups.len() <= on.groups.len());
     }
 
     #[test]

@@ -1,10 +1,17 @@
-//! CLI driver: `experiments [id…] [--json <path>]` runs all experiments
-//! (or a subset) and prints the tables EXPERIMENTS.md records. With
-//! `--json`, the reports are additionally written to `path` as a JSON
-//! document (`{"scale": N, "experiments": [{"id", "report", "metrics"},
-//! …]}`) so CI can upload them as a build artifact; `metrics` is the
-//! experiment's structured per-stage wall-clock map (milliseconds, empty
-//! for most experiments — the perf experiments like `d3` fill it).
+//! CLI driver: `experiments [id…] [--json <path>] [--gate
+//! <id>.<metric>=<min>…]` runs all experiments (or a subset) and prints
+//! the tables EXPERIMENTS.md records. With `--json`, the reports are
+//! additionally written to `path` as a JSON document (`{"scale": N,
+//! "experiments": [{"id", "report", "metrics"}, …]}`) so CI can upload
+//! them as a build artifact; `metrics` is the experiment's structured
+//! per-stage map (milliseconds for the perf experiments like `d3`,
+//! ratios for quality metrics like `d2`'s recall columns).
+//!
+//! `--gate` turns a metric into a hard pass/fail check: the run exits
+//! non-zero when the named metric is missing (a renamed or dropped metric
+//! must not silently pass) or below the given minimum. CI gates
+//! `d2.recount_recall_min=1.0` — the sharded support-recount merge must
+//! reproduce the unsharded group space exactly.
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 8);
@@ -22,9 +29,28 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// A `--gate <id>.<metric>=<min>` check: the metric must exist in the
+/// named experiment's report and be at least `min`.
+struct Gate {
+    experiment: String,
+    metric: String,
+    min: f64,
+}
+
+fn parse_gate(spec: &str) -> Option<Gate> {
+    let (name, min) = spec.split_once('=')?;
+    let (experiment, metric) = name.split_once('.')?;
+    Some(Gate {
+        experiment: experiment.to_string(),
+        metric: metric.to_string(),
+        min: min.parse().ok()?,
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut gates: Vec<Gate> = Vec::new();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -33,6 +59,14 @@ fn main() {
                 Some(path) => json_path = Some(path),
                 None => {
                     eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--gate" {
+            match it.next().as_deref().map(parse_gate) {
+                Some(Some(gate)) => gates.push(gate),
+                _ => {
+                    eprintln!("--gate requires an <id>.<metric>=<min> argument");
                     std::process::exit(2);
                 }
             }
@@ -94,5 +128,42 @@ fn main() {
     // artifact; a silently missing experiment would look like coverage).
     if unknown {
         std::process::exit(2);
+    }
+    let mut gate_failed = false;
+    for gate in &gates {
+        let value = reports
+            .iter()
+            .find(|(id, _)| *id == gate.experiment)
+            .and_then(|(_, r)| {
+                r.metrics
+                    .iter()
+                    .find(|(name, _)| *name == gate.metric)
+                    .map(|&(_, v)| v)
+            });
+        match value {
+            Some(v) if v >= gate.min => {
+                eprintln!(
+                    "gate {}.{} = {v} >= {} — ok",
+                    gate.experiment, gate.metric, gate.min
+                );
+            }
+            Some(v) => {
+                eprintln!(
+                    "gate FAILED: {}.{} = {v} < {}",
+                    gate.experiment, gate.metric, gate.min
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "gate FAILED: metric {}.{} not found in this run",
+                    gate.experiment, gate.metric
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
+        std::process::exit(3);
     }
 }

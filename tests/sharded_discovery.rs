@@ -60,10 +60,9 @@ fn assert_equivalence(data: &UserData, min_support: usize, shard_counts: &[usize
 fn sharded_lcm_equivalence_over_seeded_bookcrossing() {
     // Deterministic grid: three seeds × two support floors × two shard
     // counts × both strategies. The floors keep every shard's scaled
-    // support ≥ 5 members — the regime where the SON recount is exact
-    // (below that, shard-local closures of near-degenerate tidlists can
-    // hide groups; the closure-invariant test below covers that tail, and
-    // the mining crate's unit tests bound its recall).
+    // support ≥ 5 members — the regime where the SON recount was already
+    // exact before the closure exchange existed (the oversharded pin
+    // below covers the regime underneath).
     for seed in [7u64, 42, 1234] {
         let ds = bookcrossing(&BookCrossingConfig {
             n_users: 400,
@@ -88,6 +87,101 @@ fn sharded_lcm_equivalence_over_seeded_dbauthors() {
     });
     for min_support in [25usize, 40] {
         assert_equivalence(&ds.data, min_support, &[2, 4]);
+    }
+}
+
+/// The oversharded exactness pin: with the cross-shard closure exchange
+/// (on by default), sharded support-recount LCM reproduces the unsharded
+/// closed-group space *exactly* — recall == 1.0, members included — even
+/// when per-shard scaled support floors drop below 5 members, across
+/// seeds × 8/16 shards × both shard strategies. This is the guarantee the
+/// exchange round was built for; the CI recall gate on the `d2`
+/// experiment enforces the same property at workload scale.
+#[test]
+fn oversharded_exchange_recount_is_exact_across_seeds_shards_and_strategies() {
+    for seed in [7u64, 42, 1234] {
+        let ds = bookcrossing(&BookCrossingConfig {
+            n_users: 400,
+            n_books: 250,
+            n_ratings: 2_500,
+            n_communities: 4,
+            seed,
+        });
+        let vocab = Vocabulary::build(&ds.data);
+        // min_support 10 over 8/16 shards scales the per-shard floor to
+        // ceil(10/8) = 2 and ceil(10/16) = 1 — squarely inside the old
+        // recall tail.
+        let min_support = 10usize;
+        let single = normalize(&lcm(min_support).discover(&ds.data, &vocab).groups);
+        assert!(!single.is_empty(), "degenerate fixture");
+        for shards in [8usize, 16] {
+            for strategy in [ShardStrategy::Hash, ShardStrategy::Contiguous] {
+                let sharded = ShardedDiscovery::new(lcm(min_support), shards)
+                    .with_strategy(strategy)
+                    .support_recount(min_support)
+                    .discover(&ds.data, &vocab);
+                assert_eq!(
+                    single,
+                    normalize(&sharded.groups),
+                    "seed={seed} shards={shards} strategy={strategy:?}: \
+                     exchange recount lost recall"
+                );
+            }
+        }
+    }
+}
+
+mod exchange_noop_property {
+    //! When the shards already agree — every part carries the same,
+    //! already globally closed descriptions — an exchange round must be a
+    //! no-op: the merged space with one round equals the merged space with
+    //! the exchange disabled, which equals the space itself.
+    //! Property-tested over random transaction databases (the context's
+    //! dataset is irrelevant once a pre-built database is supplied).
+
+    use super::normalize;
+    use proptest::prelude::*;
+    use vexus::data::{Schema, TokenId, UserDataBuilder, Vocabulary};
+    use vexus::mining::transactions::TransactionDb;
+    use vexus::mining::{mine_closed_groups, LcmConfig, MergeContext, MergeStrategy};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn one_exchange_round_is_a_noop_when_shards_agree(
+            txs in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..10, 0..6), 2..24),
+            min_support in 1usize..4
+        ) {
+            let transactions: Vec<Vec<TokenId>> = txs
+                .iter()
+                .map(|s| s.iter().map(|&t| TokenId::new(t)).collect())
+                .collect();
+            let db = TransactionDb::from_transactions(transactions, 10);
+            let groups = mine_closed_groups(
+                &db,
+                &LcmConfig {
+                    min_support,
+                    max_description: 10,
+                    max_groups: usize::MAX,
+                    emit_root: false,
+                },
+            );
+            // Two agreeing "shards": identical, globally closed parts.
+            let dummy = UserDataBuilder::new(Schema::new()).build();
+            let dummy_vocab = Vocabulary::build(&dummy);
+            let parts = || vec![groups.clone(), groups.clone()];
+            let merge = MergeStrategy::SupportRecount { min_support };
+            let ctx = MergeContext::new(&dummy, &dummy_vocab).with_db(&db);
+            let without = merge.merge_in(parts(), &ctx.with_exchange_rounds(0));
+            let with = merge.merge_in(parts(), &ctx.with_exchange_rounds(1));
+            prop_assert_eq!(
+                normalize(&without),
+                normalize(&with),
+                "exchange changed an already-agreed merge"
+            );
+            prop_assert_eq!(normalize(&with), normalize(&groups));
+        }
     }
 }
 
@@ -182,6 +276,37 @@ fn parallel_recount_is_byte_identical_to_sequential() {
             assert_eq!(baseline, merged, "merge_in threads={threads} diverged");
         }
     }
+}
+
+/// The exchange's two projection modes must agree: re-closing candidates
+/// against genuine per-shard databases (`TransactionDb::build_for_members`
+/// over the shard plan — the distributed-deployment form) merges exactly
+/// like the global-database single-projection fallback the in-process
+/// driver uses, and both reproduce `discover`'s output.
+#[test]
+fn shard_local_projection_dbs_match_the_global_fallback() {
+    use vexus::data::ShardPlan;
+    let ds = bookcrossing(&BookCrossingConfig::tiny());
+    let vocab = Vocabulary::build(&ds.data);
+    let db = TransactionDb::build(&ds.data, &vocab);
+    let driver = ShardedDiscovery::new(lcm(10), 8).support_recount(10);
+    let (parts, _) = driver.mine_parts(&ds.data, &vocab);
+    let plan = ShardPlan::build(ds.data.n_users(), 8, ShardStrategy::Hash);
+    let shard_dbs: Vec<TransactionDb> = (0..plan.n_shards())
+        .map(|s| TransactionDb::build_for_members(&ds.data, &vocab, plan.members(s)))
+        .collect();
+    let merge = MergeStrategy::SupportRecount { min_support: 10 };
+    let ctx = MergeContext::new(&ds.data, &vocab)
+        .with_db(&db)
+        .with_partial_parts(true);
+    let global = merge.merge_in(parts.clone(), &ctx);
+    let local = merge.merge_in(parts, &ctx.with_shard_dbs(&shard_dbs));
+    assert_eq!(global, local, "projection modes diverged");
+    assert_eq!(
+        global,
+        driver.discover(&ds.data, &vocab).groups,
+        "re-merge diverged from the discovery outcome"
+    );
 }
 
 /// Reusing a caller-provided database must answer exactly like the
