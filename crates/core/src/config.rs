@@ -43,7 +43,10 @@ pub struct EngineConfig {
     /// support-recount merge. The default `1` makes sharded LCM reproduce
     /// the unsharded closed-group space exactly at any shard count; `0`
     /// disables the exchange (sound, but oversharded runs may lose a
-    /// sub-percent recall tail to shard-local closure growth).
+    /// sub-percent recall tail to shard-local closure growth). The
+    /// broadcast is frequency-pruned and deduplicated (and, with per-shard
+    /// projections, candidate→shard routed) — cost trims only, the merged
+    /// space is unchanged; see `vexus_mining::MergeContext`.
     pub exchange_rounds: usize,
 }
 

@@ -344,6 +344,10 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(with.build_stats().discovery.exchange_rounds_run, 1);
+        // The broadcast dedup telemetry flows through too: eight shards
+        // over a tiny dataset mine plenty of closures that frequency-prune
+        // onto shared (or singleton, broadcast-free) forms.
+        assert!(with.build_stats().discovery.exchange_deduped > 0);
         let without = VexusBuilder::new(ds.data)
             .config(config)
             .exchange_rounds(0)

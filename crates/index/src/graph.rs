@@ -17,11 +17,15 @@ impl OverlapGraph {
         crate::inverted::build_overlap_graph(groups)
     }
 
-    /// Build from a precomputed member→groups map.
-    pub(crate) fn from_member_groups(n_groups: usize, member_groups: &[Vec<u32>]) -> Self {
+    /// Build from a precomputed member→groups CSR map.
+    pub(crate) fn from_member_groups(
+        n_groups: usize,
+        member_groups: &crate::inverted::MemberGroupsCsr,
+    ) -> Self {
         let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
         // For each member, all containing groups are pairwise adjacent.
-        for gs in member_groups {
+        for u in 0..member_groups.n_members() as u32 {
+            let gs = member_groups.groups_of(u);
             for (i, &a) in gs.iter().enumerate() {
                 for &b in &gs[i + 1..] {
                     adjacency[a as usize].push(b);

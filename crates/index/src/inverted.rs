@@ -7,6 +7,16 @@
 //! scan, so results are correct at any fraction — the fraction trades
 //! memory and build time against fallback frequency, which is exactly what
 //! experiment C3 sweeps.
+//!
+//! The build's candidate generator is a flat CSR member→groups map
+//! ([`MemberGroupsCsr`]), and every overlapping pair is scored **once**,
+//! from the smaller-id side: workers score their group ranges into
+//! thread-local buckets, and a deterministic scatter/merge assembles the
+//! per-group lists. The output is byte-identical to the per-side scorer
+//! (kept as [`GroupIndex::build_reference`]) at any thread count, with
+//! `scored_pairs` halved. The CSR is retained in the built index so the
+//! exact fallback of [`GroupIndex::neighbors`] walks only the groups that
+//! overlap the query group instead of scanning the whole group space.
 
 use crate::graph::OverlapGraph;
 use vexus_mining::{GroupId, GroupSet};
@@ -36,14 +46,91 @@ pub struct IndexStats {
     pub n_groups: usize,
     /// Total materialized neighbor entries.
     pub materialized_entries: usize,
-    /// Total overlapping candidate pairs scored during the build.
+    /// Overlapping candidate pairs scored during the build. The symmetric
+    /// build scores each unordered pair once; the per-side reference
+    /// scores it from both ends and reports twice this count.
     pub scored_pairs: usize,
-    /// Approximate heap bytes of the materialized lists.
+    /// Approximate heap bytes of the index: materialized entries, the
+    /// outer list/length vectors, and the retained member→groups CSR.
     pub heap_bytes: usize,
 }
 
 /// One neighbor entry: a group and its Jaccard similarity.
 pub type Neighbor = (GroupId, f32);
+
+/// Flat CSR member→groups map: `ids[offsets[u]..offsets[u + 1]]` are the
+/// groups containing member `u`, ascending. One `offsets`/`ids` pair
+/// replaces the per-member `Vec<Vec<u32>>` of the pre-d4 build — no
+/// per-member allocations, cache-linear candidate scans — and is shared
+/// between the index build, the retained exact-fallback path and
+/// [`build_overlap_graph`].
+#[derive(Debug, Clone, Default)]
+pub struct MemberGroupsCsr {
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl MemberGroupsCsr {
+    /// Build by counting sort over the memberships: one pass counts each
+    /// member's degree, a prefix sum lays out `offsets`, and a second pass
+    /// scatters the group ids. Groups are visited in ascending id order,
+    /// so every member's group list comes out sorted.
+    pub fn build(groups: &GroupSet) -> Self {
+        // Member sets are sorted, so the universe bound is each group's
+        // last slice element: O(groups), not a walk over every membership.
+        let n_users = groups
+            .iter()
+            .filter_map(|(_, g)| g.members.as_slice().last())
+            .max()
+            .map(|&m| m as usize + 1)
+            .unwrap_or(0);
+        let mut offsets = vec![0u32; n_users + 1];
+        for (_, g) in groups.iter() {
+            for u in g.members.iter() {
+                offsets[u as usize + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut ids = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets.clone();
+        for (gid, g) in groups.iter() {
+            for u in g.members.iter() {
+                let at = &mut cursor[u as usize];
+                ids[*at as usize] = gid.0;
+                *at += 1;
+            }
+        }
+        Self { offsets, ids }
+    }
+
+    /// Number of members covered (the dense id bound).
+    pub fn n_members(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The groups containing `member`, ascending.
+    pub fn groups_of(&self, member: u32) -> &[u32] {
+        let lo = self.offsets[member as usize] as usize;
+        let hi = self.offsets[member as usize + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// The groups containing `member` whose id is strictly greater than
+    /// `gid` — the smaller-id side of the symmetric pair scan. The list is
+    /// ascending, so this is a suffix located by binary search.
+    fn groups_of_above(&self, member: u32, gid: u32) -> &[u32] {
+        let list = self.groups_of(member);
+        let from = list.partition_point(|&h| h <= gid);
+        &list[from..]
+    }
+
+    /// Approximate heap bytes of the map.
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.ids.capacity()) * std::mem::size_of::<u32>()
+    }
+}
 
 /// The inverted similarity index over a [`GroupSet`].
 #[derive(Debug)]
@@ -52,97 +139,213 @@ pub struct GroupIndex {
     lists: Vec<Vec<Neighbor>>,
     /// Per-group count of *all* overlapping neighbors (full list length).
     full_lengths: Vec<usize>,
+    /// Retained member→groups map: the exact fallback's candidate
+    /// generator (only overlapping groups are scored, never the whole
+    /// space).
+    member_groups: MemberGroupsCsr,
     stats: IndexStats,
 }
 
 impl GroupIndex {
     /// Build the index over `groups`.
+    ///
+    /// Two phases. Phase one scores every overlapping pair exactly once:
+    /// workers own disjoint group ranges and each scores the pairs whose
+    /// *smaller* id falls in its range (the CSR walk skips to the
+    /// strictly-greater suffix of every member list), pushing the scored
+    /// neighbor entry for both endpoints into thread-local buckets. Phase
+    /// two scatters the buckets into per-group slices by counting sort and
+    /// runs the top-fraction selection per group in parallel. Both the
+    /// kept set and its order are determined by the total neighbor order
+    /// (descending similarity, ids as tie-break), so the index is
+    /// byte-identical at any thread count — and to the per-side reference
+    /// build.
     pub fn build(groups: &GroupSet, cfg: &IndexConfig) -> Self {
         let n = groups.len();
         let fraction = cfg.materialize_fraction.clamp(0.0, 1.0);
+        let member_groups = MemberGroupsCsr::build(groups);
+        let threads = resolve_threads(cfg.threads, n);
 
-        // member -> groups inverted map, the candidate generator.
-        let member_groups = build_member_groups(groups);
-
-        let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            cfg.threads
-        }
-        .max(1)
-        .min(n.max(1));
-
-        let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-        let mut full_lengths = vec![0usize; n];
-        let scored = std::sync::atomic::AtomicUsize::new(0);
-
-        // Shard groups across threads; each worker owns a disjoint slice of
-        // the output vectors. Chunk boundaries balance the summed *member*
-        // count per worker, not the group count: a group's candidate scan
-        // walks its members' inverted lists, so with skewed group sizes an
-        // even group split leaves most workers idle behind the one that
-        // drew the giants.
+        // Chunk boundaries balance the summed *member* count per worker,
+        // not the group count: a group's candidate scan walks its members'
+        // inverted lists, so with skewed group sizes an even group split
+        // leaves most workers idle behind the one that drew the giants.
         let sizes: Vec<usize> = groups.iter().map(|(_, g)| g.size()).collect();
         let chunks = size_aware_chunks(&sizes, threads);
-        crossbeam::thread::scope(|scope| {
-            let mut remaining_lists = lists.as_mut_slice();
-            let mut remaining_lens = full_lengths.as_mut_slice();
-            let mut start = 0usize;
+
+        // Phase 1: per-worker pair scoring into thread-local buckets.
+        // `forward` holds each owned group's greater-id neighbors
+        // contiguously (lengths alongside); `backward` holds the mirrored
+        // entries destined for greater-id groups anywhere in the space.
+        struct Bucket {
+            start: usize,
+            forward: Vec<Neighbor>,
+            forward_lens: Vec<u32>,
+            backward: Vec<(u32, Neighbor)>,
+        }
+        let buckets: Vec<Bucket> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
+            let mut start = 0usize;
             for &take in &chunks {
-                let (lists_chunk, rest_lists) = remaining_lists.split_at_mut(take);
-                let (lens_chunk, rest_lens) = remaining_lens.split_at_mut(take);
-                remaining_lists = rest_lists;
-                remaining_lens = rest_lens;
                 let member_groups = &member_groups;
-                let scored = &scored;
                 let base = start;
                 handles.push(scope.spawn(move |_| {
                     let mut counter: Vec<u32> = vec![0; n];
                     let mut touched: Vec<u32> = Vec::new();
-                    for (offset, (out_list, out_len)) in lists_chunk
-                        .iter_mut()
-                        .zip(lens_chunk.iter_mut())
-                        .enumerate()
-                    {
-                        let gid = GroupId::new((base + offset) as u32);
-                        let scored_here = score_group(
-                            groups,
-                            member_groups,
-                            gid,
-                            fraction,
-                            &mut counter,
-                            &mut touched,
-                            out_list,
-                            out_len,
-                        );
-                        scored.fetch_add(scored_here, std::sync::atomic::Ordering::Relaxed);
+                    let mut bucket = Bucket {
+                        start: base,
+                        forward: Vec::new(),
+                        forward_lens: Vec::with_capacity(take),
+                        backward: Vec::new(),
+                    };
+                    for offset in 0..take {
+                        let a = (base + offset) as u32;
+                        let g = groups.get(GroupId::new(a));
+                        for u in g.members.iter() {
+                            for &h in member_groups.groups_of_above(u, a) {
+                                if counter[h as usize] == 0 {
+                                    touched.push(h);
+                                }
+                                counter[h as usize] += 1;
+                            }
+                        }
+                        bucket.forward_lens.push(touched.len() as u32);
+                        for &h in touched.iter() {
+                            let inter = counter[h as usize] as usize;
+                            counter[h as usize] = 0;
+                            let other = groups.get(GroupId::new(h));
+                            let union = g.size() + other.size() - inter;
+                            let sim = inter as f32 / union as f32;
+                            bucket.forward.push((GroupId::new(h), sim));
+                            bucket.backward.push((h, (GroupId::new(a), sim)));
+                        }
+                        touched.clear();
+                    }
+                    bucket
+                }));
+                start += take;
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index build worker panicked"))
+                .collect()
+        })
+        .expect("index build scope");
+
+        // Phase 2a: deterministic scatter. Count every group's full degree
+        // (forward entries it owns plus backward entries targeting it),
+        // prefix-sum the slice layout, then place entries. The per-group
+        // multiset of entries is independent of the chunking; the order
+        // within a slice is not, but the total-order selection below makes
+        // that irrelevant.
+        let scored_pairs: usize = buckets.iter().map(|b| b.forward.len()).sum();
+        let mut full_lengths = vec![0usize; n];
+        for bucket in &buckets {
+            for (offset, &len) in bucket.forward_lens.iter().enumerate() {
+                full_lengths[bucket.start + offset] += len as usize;
+            }
+            for &(h, _) in &bucket.backward {
+                full_lengths[h as usize] += 1;
+            }
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        starts.push(0usize);
+        for &len in &full_lengths {
+            starts.push(starts.last().unwrap() + len);
+        }
+        let mut entries: Vec<Neighbor> = vec![(GroupId::new(0), 0.0); *starts.last().unwrap()];
+        let mut cursor: Vec<usize> = starts[..n].to_vec();
+        // Consume the buckets as they scatter so each worker's pair
+        // storage is freed immediately — the transient peak is one copy of
+        // the pair data plus the bucket being drained, not both in full.
+        for bucket in buckets {
+            let mut at = 0usize;
+            for (offset, &len) in bucket.forward_lens.iter().enumerate() {
+                let g = bucket.start + offset;
+                let len = len as usize;
+                entries[cursor[g]..cursor[g] + len].copy_from_slice(&bucket.forward[at..at + len]);
+                cursor[g] += len;
+                at += len;
+            }
+            for (h, entry) in bucket.backward {
+                entries[cursor[h as usize]] = entry;
+                cursor[h as usize] += 1;
+            }
+        }
+
+        // Phase 2b: per-group top-fraction selection, parallel over the
+        // same size-aware ranges (selection cost follows list length,
+        // which follows member count). Groups own disjoint `entries`
+        // slices, so selection runs in place and only the kept prefix is
+        // ever copied out.
+        let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
+        lists.resize_with(n, Vec::new);
+        crossbeam::thread::scope(|scope| {
+            let mut remaining_lists = lists.as_mut_slice();
+            let mut remaining_entries = entries.as_mut_slice();
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            for &take in &chunks {
+                let (lists_chunk, rest_lists) = remaining_lists.split_at_mut(take);
+                remaining_lists = rest_lists;
+                let span = starts[start + take] - starts[start];
+                let (entries_chunk, rest_entries) = remaining_entries.split_at_mut(span);
+                remaining_entries = rest_entries;
+                let full_lengths = &full_lengths;
+                let base = start;
+                handles.push(scope.spawn(move |_| {
+                    let mut entries_chunk = entries_chunk;
+                    for (offset, out) in lists_chunk.iter_mut().enumerate() {
+                        let (full, rest) = entries_chunk.split_at_mut(full_lengths[base + offset]);
+                        entries_chunk = rest;
+                        let kept = select_top_in_place(full, keep_of(fraction, full.len()));
+                        *out = full[..kept].to_vec();
                     }
                 }));
                 start += take;
             }
             for h in handles {
-                h.join().expect("index build worker panicked");
+                h.join().expect("index select worker panicked");
             }
         })
-        .expect("index build scope");
+        .expect("index select scope");
+        drop(entries);
 
-        let materialized_entries: usize = lists.iter().map(Vec::len).sum();
-        let heap_bytes: usize = lists
-            .iter()
-            .map(|l| l.capacity() * std::mem::size_of::<Neighbor>())
-            .sum();
-        let stats = IndexStats {
-            n_groups: n,
-            materialized_entries,
-            scored_pairs: scored.into_inner(),
-            heap_bytes,
-        };
+        let stats = build_stats(&lists, &full_lengths, &member_groups, scored_pairs);
         Self {
             lists,
             full_lengths,
+            member_groups,
+            stats,
+        }
+    }
+
+    /// The pre-d4 build, kept as the equivalence reference: a sequential
+    /// scan that scores every overlapping pair from *both* sides (so
+    /// `scored_pairs` is twice the symmetric build's count). Tests and the
+    /// `d4` experiment pin [`GroupIndex::build`] byte-identical to this at
+    /// every thread count; it is not meant for production use.
+    pub fn build_reference(groups: &GroupSet, cfg: &IndexConfig) -> Self {
+        let n = groups.len();
+        let fraction = cfg.materialize_fraction.clamp(0.0, 1.0);
+        let member_groups = MemberGroupsCsr::build(groups);
+        let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
+        let mut full_lengths = vec![0usize; n];
+        let mut scored_pairs = 0usize;
+        let mut counter: Vec<u32> = vec![0; n];
+        for (gid, _) in groups.iter() {
+            let mut full = overlapping_neighbors(groups, &member_groups, gid, &mut counter);
+            scored_pairs += full.len();
+            full_lengths[gid.index()] = full.len();
+            let keep = keep_of(fraction, full.len());
+            select_top(&mut full, keep);
+            lists.push(full);
+        }
+        let stats = build_stats(&lists, &full_lengths, &member_groups, scored_pairs);
+        Self {
+            lists,
+            full_lengths,
+            member_groups,
             stats,
         }
     }
@@ -174,22 +377,20 @@ impl GroupIndex {
     }
 
     /// Top-`k` neighbors of `g`, exact. Served from the materialized prefix
-    /// in O(k) when it suffices; falls back to an on-demand exact scan of
-    /// overlapping groups otherwise.
+    /// in O(k) when it suffices; falls back to an on-demand exact scan
+    /// otherwise. The fallback walks only the groups overlapping `g` via
+    /// the retained member→groups CSR (the build's counter trick), not the
+    /// whole group space, then applies the same partial selection the
+    /// build path uses.
     pub fn neighbors(&self, groups: &GroupSet, g: GroupId, k: usize) -> Vec<Neighbor> {
         let list = &self.lists[g.index()];
         if k <= list.len() || list.len() == self.full_lengths[g.index()] {
             return list[..k.min(list.len())].to_vec();
         }
         // Fallback: exact recomputation (the price of materializing less).
-        // Only the returned `k` need ordering, so select before sorting —
-        // the same partial selection the build path uses.
-        let mut full = collect_overlapping_neighbors(groups, g);
-        if k < full.len() {
-            full.select_nth_unstable_by(k - 1, neighbor_order);
-            full.truncate(k);
-        }
-        full.sort_by(neighbor_order);
+        let mut counter = vec![0u32; groups.len()];
+        let mut full = overlapping_neighbors(groups, &self.member_groups, g, &mut counter);
+        select_top(&mut full, k);
         full
     }
 
@@ -203,6 +404,108 @@ impl GroupIndex {
     pub fn similarity(groups: &GroupSet, a: GroupId, b: GroupId) -> f64 {
         groups.get(a).members.jaccard(&groups.get(b).members)
     }
+}
+
+/// Worker count resolution shared by both build phases.
+fn resolve_threads(threads: usize, n: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .max(1)
+    .min(n.max(1))
+}
+
+/// Materialized-prefix length for a full list of `scored` neighbors.
+fn keep_of(fraction: f64, scored: usize) -> usize {
+    ((fraction * scored as f64).ceil() as usize).min(scored)
+}
+
+/// Index build statistics over the assembled lists.
+fn build_stats(
+    lists: &[Vec<Neighbor>],
+    full_lengths: &[usize],
+    member_groups: &MemberGroupsCsr,
+    scored_pairs: usize,
+) -> IndexStats {
+    let materialized_entries: usize = lists.iter().map(Vec::len).sum();
+    let entry_bytes: usize = lists
+        .iter()
+        .map(|l| l.capacity() * std::mem::size_of::<Neighbor>())
+        .sum();
+    // The outer vectors and the retained CSR are index memory too, not
+    // just the entries they point at.
+    let heap_bytes = entry_bytes
+        + std::mem::size_of_val(lists)
+        + std::mem::size_of_val(full_lengths)
+        + member_groups.heap_bytes();
+    IndexStats {
+        n_groups: lists.len(),
+        materialized_entries,
+        scored_pairs,
+        heap_bytes,
+    }
+}
+
+/// Order the top `keep` entries of `slice` into its sorted prefix under
+/// [`neighbor_order`] and return how many were kept. Partial selection
+/// first — only the kept prefix needs full ordering — then one sort of
+/// the prefix. `neighbor_order` is a total order over distinct neighbor
+/// ids, so the kept prefix is independent of the input permutation (what
+/// makes the parallel build deterministic).
+fn select_top_in_place(slice: &mut [Neighbor], keep: usize) -> usize {
+    let keep = keep.min(slice.len());
+    if keep == 0 {
+        return 0;
+    }
+    if keep < slice.len() {
+        slice.select_nth_unstable_by(keep - 1, neighbor_order);
+    }
+    slice[..keep].sort_by(neighbor_order);
+    keep
+}
+
+/// [`select_top_in_place`] for an owned list: truncate to the kept prefix
+/// and release the spare capacity.
+fn select_top(neighbors: &mut Vec<Neighbor>, keep: usize) {
+    let kept = select_top_in_place(neighbors, keep);
+    neighbors.truncate(kept);
+    neighbors.shrink_to_fit();
+}
+
+/// Every group overlapping `g`, scored but unordered, generated from the
+/// member→groups CSR by intersection counting. `counter` is caller-owned
+/// zeroed scratch of length `groups.len()`; it is returned zeroed.
+fn overlapping_neighbors(
+    groups: &GroupSet,
+    member_groups: &MemberGroupsCsr,
+    gid: GroupId,
+    counter: &mut [u32],
+) -> Vec<Neighbor> {
+    let g = groups.get(gid);
+    let mut touched: Vec<u32> = Vec::new();
+    for u in g.members.iter() {
+        for &h in member_groups.groups_of(u) {
+            if h != gid.0 {
+                if counter[h as usize] == 0 {
+                    touched.push(h);
+                }
+                counter[h as usize] += 1;
+            }
+        }
+    }
+    let mut neighbors: Vec<Neighbor> = Vec::with_capacity(touched.len());
+    for h in touched {
+        let inter = counter[h as usize] as usize;
+        counter[h as usize] = 0;
+        let other = groups.get(GroupId::new(h));
+        let union = g.size() + other.size() - inter;
+        neighbors.push((GroupId::new(h), inter as f32 / union as f32));
+    }
+    neighbors
 }
 
 /// Split `sizes.len()` items into at most `workers` contiguous chunks
@@ -243,75 +546,6 @@ fn size_aware_chunks(sizes: &[usize], workers: usize) -> Vec<usize> {
     chunks
 }
 
-/// member -> sorted group ids containing that member.
-fn build_member_groups(groups: &GroupSet) -> Vec<Vec<u32>> {
-    // Member sets are sorted, so the universe bound is each group's last
-    // slice element: O(groups), not a walk over every membership.
-    let n_users = groups
-        .iter()
-        .filter_map(|(_, g)| g.members.as_slice().last())
-        .max()
-        .map(|&m| m as usize + 1)
-        .unwrap_or(0);
-    let mut map: Vec<Vec<u32>> = vec![Vec::new(); n_users];
-    for (gid, g) in groups.iter() {
-        for u in g.members.iter() {
-            map[u as usize].push(gid.0);
-        }
-    }
-    map
-}
-
-/// Score every group overlapping `gid` and materialize the top fraction.
-/// Returns the number of pairs scored.
-#[allow(clippy::too_many_arguments)]
-fn score_group(
-    groups: &GroupSet,
-    member_groups: &[Vec<u32>],
-    gid: GroupId,
-    fraction: f64,
-    counter: &mut [u32],
-    touched: &mut Vec<u32>,
-    out_list: &mut Vec<Neighbor>,
-    out_len: &mut usize,
-) -> usize {
-    let g = groups.get(gid);
-    // Intersection counting via the member->groups map.
-    for u in g.members.iter() {
-        for &h in &member_groups[u as usize] {
-            if h != gid.0 {
-                if counter[h as usize] == 0 {
-                    touched.push(h);
-                }
-                counter[h as usize] += 1;
-            }
-        }
-    }
-    let scored = touched.len();
-    *out_len = scored;
-    let keep = ((fraction * scored as f64).ceil() as usize).min(scored);
-    let mut neighbors: Vec<Neighbor> = Vec::with_capacity(scored);
-    for &h in touched.iter() {
-        let inter = counter[h as usize] as usize;
-        counter[h as usize] = 0;
-        let other = groups.get(GroupId::new(h));
-        let union = g.size() + other.size() - inter;
-        let sim = inter as f32 / union as f32;
-        neighbors.push((GroupId::new(h), sim));
-    }
-    touched.clear();
-    // Partial selection: only the kept prefix needs full ordering.
-    if keep > 0 && keep < neighbors.len() {
-        neighbors.select_nth_unstable_by(keep - 1, neighbor_order);
-        neighbors.truncate(keep);
-    }
-    neighbors.sort_by(neighbor_order);
-    neighbors.truncate(keep);
-    neighbors.shrink_to_fit();
-    *out_list = neighbors;
-    scored
-}
-
 /// Descending-similarity neighbor order with ids as the tie-break.
 fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
     b.1.partial_cmp(&a.1)
@@ -319,10 +553,13 @@ fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
         .then_with(|| a.0.cmp(&b.0))
 }
 
-/// Every group overlapping `g`, scored but unordered.
-fn collect_overlapping_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
+/// Exact full neighbor list of `g` (descending similarity), computed by a
+/// plain scan over the whole group set. The O(n·|members|) reference the
+/// CSR paths are pinned against; production queries go through
+/// [`GroupIndex::neighbors`].
+pub fn compute_all_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
     let me = groups.get(g);
-    groups
+    let mut out: Vec<Neighbor> = groups
         .iter()
         .filter(|(h, _)| *h != g)
         .filter_map(|(h, other)| {
@@ -333,20 +570,16 @@ fn collect_overlapping_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor>
             let union = me.size() + other.size() - inter;
             Some((h, inter as f32 / union as f32))
         })
-        .collect()
-}
-
-/// Exact full neighbor list of `g` (descending similarity).
-pub fn compute_all_neighbors(groups: &GroupSet, g: GroupId) -> Vec<Neighbor> {
-    let mut out = collect_overlapping_neighbors(groups, g);
+        .collect();
     out.sort_by(neighbor_order);
     out
 }
 
 /// Build the overlap graph from a group set (edges between any two groups
-/// sharing a member). Exposed here because it reuses the member→groups map.
+/// sharing a member). Exposed here because it reuses the member→groups
+/// CSR.
 pub fn build_overlap_graph(groups: &GroupSet) -> OverlapGraph {
-    let member_groups = build_member_groups(groups);
+    let member_groups = MemberGroupsCsr::build(groups);
     OverlapGraph::from_member_groups(groups.len(), &member_groups)
 }
 
@@ -373,6 +606,57 @@ mod tests {
         gs
     }
 
+    fn bookcrossing_groups(min_support: usize) -> GroupSet {
+        let ds =
+            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
+        let vocab = vexus_data::Vocabulary::build(&ds.data);
+        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
+        vexus_mining::mine_closed_groups(
+            &db,
+            &vexus_mining::LcmConfig {
+                min_support,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Materialized lists, full lengths and entry/pair stats must agree.
+    fn assert_same_index(a: &GroupIndex, b: &GroupIndex, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: group count");
+        for g in 0..a.len() {
+            let g = GroupId::new(g as u32);
+            assert_eq!(a.materialized(g), b.materialized(g), "{what}: lists of {g}");
+            assert_eq!(
+                a.full_neighbor_count(g),
+                b.full_neighbor_count(g),
+                "{what}: full length of {g}"
+            );
+        }
+        assert_eq!(
+            a.stats().materialized_entries,
+            b.stats().materialized_entries,
+            "{what}: entries"
+        );
+    }
+
+    #[test]
+    fn csr_matches_per_member_lists() {
+        let gs = groups_fixture();
+        let csr = MemberGroupsCsr::build(&gs);
+        assert_eq!(csr.n_members(), 102);
+        assert_eq!(csr.groups_of(0), &[0]);
+        assert_eq!(csr.groups_of(3), &[0, 1, 2]);
+        assert_eq!(csr.groups_of(4), &[1, 2]);
+        assert_eq!(csr.groups_of(7), &[] as &[u32]);
+        assert_eq!(csr.groups_of(100), &[3]);
+        // The greater-than suffix used by the symmetric scan.
+        assert_eq!(csr.groups_of_above(3, 0), &[1, 2]);
+        assert_eq!(csr.groups_of_above(3, 2), &[] as &[u32]);
+        // Empty group set: no members, nothing to index.
+        let empty = MemberGroupsCsr::build(&GroupSet::new());
+        assert_eq!(empty.n_members(), 0);
+    }
+
     #[test]
     fn full_materialization_matches_exact() {
         let gs = groups_fixture();
@@ -388,6 +672,43 @@ mod tests {
             let expect = compute_all_neighbors(&gs, gid);
             assert_eq!(got, expect, "mismatch for {gid}");
             assert_eq!(idx.full_neighbor_count(gid), expect.len());
+        }
+    }
+
+    #[test]
+    fn symmetric_build_matches_per_side_reference_across_thread_counts() {
+        // The d4 equivalence pin: the symmetric one-pair-once build must
+        // reproduce the per-side reference byte for byte at any thread
+        // count and fraction, with scored_pairs exactly halved.
+        let gs = bookcrossing_groups(10);
+        assert!(gs.len() > 30, "fixture too small: {}", gs.len());
+        for fraction in [0.0, 0.05, 0.3, 1.0] {
+            let reference = GroupIndex::build_reference(
+                &gs,
+                &IndexConfig {
+                    materialize_fraction: fraction,
+                    threads: 1,
+                },
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let symmetric = GroupIndex::build(
+                    &gs,
+                    &IndexConfig {
+                        materialize_fraction: fraction,
+                        threads,
+                    },
+                );
+                assert_same_index(
+                    &symmetric,
+                    &reference,
+                    &format!("fraction={fraction} threads={threads}"),
+                );
+                assert_eq!(
+                    symmetric.stats().scored_pairs * 2,
+                    reference.stats().scored_pairs,
+                    "fraction={fraction} threads={threads}: pairs not halved"
+                );
+            }
         }
     }
 
@@ -468,18 +789,11 @@ mod tests {
     #[test]
     fn fallback_partial_selection_matches_full_sort() {
         // Real workload so fallback lists are long enough to make the
-        // select-then-sort path meaningful at several k.
-        let ds =
-            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
-        let vocab = vexus_data::Vocabulary::build(&ds.data);
-        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
-        let gs = vexus_mining::mine_closed_groups(
-            &db,
-            &vexus_mining::LcmConfig {
-                min_support: 10,
-                ..Default::default()
-            },
-        );
+        // select-then-sort path meaningful at several k. Regression pin
+        // for the CSR retention change: the fallback now generates its
+        // candidates from the retained member→groups map, and must stay
+        // identical to the whole-space reference scan at every k.
+        let gs = bookcrossing_groups(10);
         let idx = GroupIndex::build(
             &gs,
             &IndexConfig {
@@ -563,7 +877,8 @@ mod tests {
     #[test]
     fn skewed_sizes_build_matches_serial_at_any_thread_count() {
         // A giant group plus many small ones: the regime even slicing
-        // imbalances. The parallel build must stay identical to serial.
+        // imbalances. The parallel build must stay identical to serial
+        // and to the per-side reference.
         let mut gs = GroupSet::new();
         gs.push(Group::new(
             vec![],
@@ -575,44 +890,25 @@ mod tests {
                 MemberSet::from_unsorted(vec![i * 3, i * 3 + 1, i * 3 + 2]),
             ));
         }
-        let serial = GroupIndex::build(
-            &gs,
-            &IndexConfig {
-                materialize_fraction: 0.5,
-                threads: 1,
-            },
+        let cfg = |threads| IndexConfig {
+            materialize_fraction: 0.5,
+            threads,
+        };
+        let serial = GroupIndex::build(&gs, &cfg(1));
+        assert_same_index(
+            &serial,
+            &GroupIndex::build_reference(&gs, &cfg(1)),
+            "serial vs reference",
         );
         for threads in [2usize, 3, 8, 64] {
-            let parallel = GroupIndex::build(
-                &gs,
-                &IndexConfig {
-                    materialize_fraction: 0.5,
-                    threads,
-                },
-            );
-            for (gid, _) in gs.iter() {
-                assert_eq!(serial.materialized(gid), parallel.materialized(gid));
-                assert_eq!(
-                    serial.full_neighbor_count(gid),
-                    parallel.full_neighbor_count(gid)
-                );
-            }
+            let parallel = GroupIndex::build(&gs, &cfg(threads));
+            assert_same_index(&serial, &parallel, &format!("threads={threads}"));
         }
     }
 
     #[test]
     fn parallel_build_matches_serial() {
-        let ds =
-            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
-        let vocab = vexus_data::Vocabulary::build(&ds.data);
-        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
-        let gs = vexus_mining::mine_closed_groups(
-            &db,
-            &vexus_mining::LcmConfig {
-                min_support: 15,
-                ..Default::default()
-            },
-        );
+        let gs = bookcrossing_groups(15);
         assert!(gs.len() > 10);
         let serial = GroupIndex::build(
             &gs,
@@ -628,13 +924,7 @@ mod tests {
                 threads: 4,
             },
         );
-        for (gid, _) in gs.iter() {
-            assert_eq!(serial.materialized(gid), parallel.materialized(gid));
-        }
-        assert_eq!(
-            serial.stats().materialized_entries,
-            parallel.stats().materialized_entries
-        );
+        assert_same_index(&serial, &parallel, "threads=4");
     }
 
     #[test]
@@ -649,10 +939,26 @@ mod tests {
         );
         let s = idx.stats();
         assert_eq!(s.n_groups, 4);
-        // g0<->g1, g0<->g2, g1<->g2: each scored from both sides = 6.
-        assert_eq!(s.scored_pairs, 6);
+        // g0<->g1, g0<->g2, g1<->g2: each unordered pair scored once.
+        assert_eq!(s.scored_pairs, 3);
         assert_eq!(s.materialized_entries, 6);
-        assert!(s.heap_bytes >= 6 * std::mem::size_of::<Neighbor>());
+        // The per-side reference scores both directions of every pair.
+        let reference = GroupIndex::build_reference(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 1.0,
+                threads: 1,
+            },
+        );
+        assert_eq!(reference.stats().scored_pairs, 6);
+        // heap accounting covers entries, outer vectors and the CSR.
+        assert!(
+            s.heap_bytes
+                >= 6 * std::mem::size_of::<Neighbor>()
+                    + 4 * std::mem::size_of::<Vec<Neighbor>>()
+                    + 4 * std::mem::size_of::<usize>()
+                    + idx.member_groups.heap_bytes()
+        );
     }
 
     #[test]
@@ -665,17 +971,7 @@ mod tests {
 
     #[test]
     fn smaller_fraction_uses_less_memory() {
-        let ds =
-            vexus_data::synthetic::bookcrossing(&vexus_data::synthetic::BookCrossingConfig::tiny());
-        let vocab = vexus_data::Vocabulary::build(&ds.data);
-        let db = vexus_mining::transactions::TransactionDb::build(&ds.data, &vocab);
-        let gs = vexus_mining::mine_closed_groups(
-            &db,
-            &vexus_mining::LcmConfig {
-                min_support: 10,
-                ..Default::default()
-            },
-        );
+        let gs = bookcrossing_groups(10);
         let full = GroupIndex::build(
             &gs,
             &IndexConfig {
@@ -692,5 +988,53 @@ mod tests {
         );
         assert!(tenth.stats().materialized_entries < full.stats().materialized_entries / 2);
         assert!(tenth.stats().heap_bytes < full.stats().heap_bytes);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Random skewed group-size fixtures: the symmetric CSR build must
+        /// equal the per-side reference — lists, full lengths and halved
+        /// scored_pairs — at thread counts {1, 2, 4, 8}.
+        #[test]
+        fn prop_symmetric_build_equals_reference(
+            raw_groups in proptest::collection::vec(
+                (0u32..60, 1usize..24), 1..40),
+            fraction in 0.0f64..1.0
+        ) {
+            // (start, len) spans over a 90-member universe; overlapping
+            // spans give dense overlap structure, tiny spans give skew.
+            let mut gs = GroupSet::new();
+            for (start, len) in raw_groups {
+                let members: Vec<u32> = (start..start + len as u32).collect();
+                gs.push(Group::new(vec![], MemberSet::from_unsorted(members)));
+            }
+            let reference = GroupIndex::build_reference(
+                &gs,
+                &IndexConfig { materialize_fraction: fraction, threads: 1 },
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let symmetric = GroupIndex::build(
+                    &gs,
+                    &IndexConfig { materialize_fraction: fraction, threads },
+                );
+                for (gid, _) in gs.iter() {
+                    prop_assert_eq!(
+                        symmetric.materialized(gid),
+                        reference.materialized(gid),
+                        "threads={} group={}", threads, gid
+                    );
+                    prop_assert_eq!(
+                        symmetric.full_neighbor_count(gid),
+                        reference.full_neighbor_count(gid)
+                    );
+                }
+                prop_assert_eq!(
+                    symmetric.stats().scored_pairs * 2,
+                    reference.stats().scored_pairs
+                );
+            }
+        }
     }
 }

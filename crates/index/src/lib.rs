@@ -14,13 +14,14 @@
 //! * [`graph`] — the undirected group graph `G` (edge ⇔ groups overlap)
 //!   that exploration navigates.
 //!
-//! Index construction uses a member→groups inverted map so that only
-//! *overlapping* pairs are ever scored (non-overlapping pairs have Jaccard
-//! similarity 0 and never enter a neighbor list), and shards the work
-//! across threads with crossbeam.
+//! Index construction uses a flat CSR member→groups inverted map
+//! ([`inverted::MemberGroupsCsr`]) so that only *overlapping* pairs are
+//! ever scored (non-overlapping pairs have Jaccard similarity 0 and never
+//! enter a neighbor list), scores each unordered pair exactly once from
+//! the smaller-id side, and shards the work across threads with crossbeam.
 
 pub mod graph;
 pub mod inverted;
 
 pub use graph::OverlapGraph;
-pub use inverted::{GroupIndex, IndexConfig, IndexStats};
+pub use inverted::{GroupIndex, IndexConfig, IndexStats, MemberGroupsCsr};

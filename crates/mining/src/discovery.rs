@@ -77,6 +77,14 @@ pub struct DiscoveryStats {
     /// Wall-clock of the closure exchange rounds (a sub-interval of
     /// `merge_elapsed`).
     pub exchange_elapsed: Duration,
+    /// Candidate broadcasts the merge's dedup stage saved: frontier
+    /// candidates collapsing onto an already-broadcast frequency-pruned
+    /// form (or pruning down to a broadcast-free singleton). Zero when
+    /// the exchange runs in its pre-dedup reference mode.
+    pub exchange_deduped: usize,
+    /// Per-candidate shard scans the exchange's candidate→shard routing
+    /// skipped (shards with no carrier of any candidate token).
+    pub exchange_shards_skipped: usize,
 }
 
 /// The result of one discovery run.

@@ -59,6 +59,7 @@ pub use group::{Group, GroupId, GroupSet};
 pub use lcm::{mine_closed_groups, LcmConfig};
 pub use momri::MomriConfig;
 pub use sharded::{
-    EnsembleDiscovery, MergeContext, MergeStrategy, MergeTelemetry, ShardScaled, ShardedDiscovery,
+    EnsembleDiscovery, ExchangeRouter, MergeContext, MergeStrategy, MergeTelemetry, ShardScaled,
+    ShardedDiscovery,
 };
 pub use stream_fim::StreamFimConfig;

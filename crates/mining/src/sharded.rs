@@ -54,6 +54,25 @@
 //! the sharded recount *exact* at any shard count (pinned by
 //! `tests/sharded_discovery.rs`); further rounds only re-broadcast the
 //! newly found descriptions and stop early at the fixpoint.
+//!
+//! The exchange's cost is cut three ways (measured by the `d4`
+//! experiment; [`MergeContext::exchange_dedup`]` = false` restores the
+//! plain broadcast-everything path as the before/after reference). Each
+//! frontier candidate is **frequency-pruned** onto its tokens whose
+//! global support meets the recount floor — a group containing an
+//! infrequent token can never survive the recount, so its tidlists are
+//! never worth scanning. Near-identical candidates (the common case after
+//! SON scaling: shard-local closures differing only in locally-shared
+//! rare tokens) collapse onto one pruned form that is **deduplicated and
+//! broadcast once**; the pruned form itself joins the recount worklist,
+//! which is what keeps the completeness argument intact (a hidden set
+//! whose every carrier carries the whole pruned form is exactly that
+//! form's recount). And with genuine per-shard projections an
+//! [`ExchangeRouter`] routes each candidate only to the **shards holding
+//! a carrier** of at least one of its tokens — computable from per-shard
+//! token supports, or from the [`ShardPlan`]'s member ranges/hashes plus
+//! the global tidlists without touching per-shard data
+//! ([`ExchangeRouter::from_plan`]).
 
 use crate::bitmap::MemberSet;
 use crate::discovery::{BirchDiscovery, LcmDiscovery, MomriDiscovery, StreamFimDiscovery};
@@ -290,12 +309,127 @@ pub const EXCHANGE_FAMILY_CAP: usize = 4096;
 /// `dbs`: the distinct projections of the shard's transactions onto `y`
 /// (each projection is the shard-local closure of a single member,
 /// restricted to `y` — no support floor), then the cross-shard
-/// intersection products of all of them. Deterministic: the seed is
-/// collected into a sorted set and [`close_under_intersection`] explores
-/// it in sorted order.
-fn exchange_family(dbs: &[&TransactionDb], y: &[TokenId], cap: usize) -> Vec<Vec<TokenId>> {
+/// intersection products of all of them.
+///
+/// Hot path: a projection is a subset of `y`, so for the (universal in
+/// practice) case `|y| ≤ 64` each one is a `u64` bitmask over `y`'s token
+/// positions. One pass over the tidlists ORs each carrier's position bit
+/// into a dense per-member scratch word (reset via the touched list, never
+/// rescanned), distinct masks fall out of a word sort, and the
+/// intersection closure becomes a bitwise-AND worklist — no per-carrier
+/// allocation, comparison or tree insert. Descriptions longer than 64
+/// tokens (wider than any real schema here) fall back to the generic
+/// [`exchange_family_reference`]. Deterministic: masks are explored in
+/// sorted word order, which for subsets of the same `y` is a total order,
+/// and the result is converted back to sorted token lists. The family
+/// equals the reference's except under the [`EXCHANGE_FAMILY_CAP`]: the
+/// cap can only bind past `|y| > 12` (the family is bounded by
+/// `2^|y|`), where the two explorations may keep different — equally
+/// sound — subsets.
+///
+/// `scratch` is caller-owned zeroed scratch, at least as long as the
+/// largest projection's transaction count; it is returned zeroed.
+fn exchange_family(
+    dbs: &[&TransactionDb],
+    y: &[TokenId],
+    cap: usize,
+    scratch: &mut Vec<u64>,
+) -> Vec<Vec<TokenId>> {
     if y.len() < 2 {
         // Strict sub-projections of a singleton are empty; nothing to add.
+        return Vec::new();
+    }
+    if y.len() > 64 {
+        return exchange_family_reference(dbs, y, cap);
+    }
+    let full: u64 = if y.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << y.len()) - 1
+    };
+    let rows = dbs.iter().map(|db| db.n_transactions()).max().unwrap_or(0);
+    if scratch.len() < rows {
+        scratch.resize(rows, 0);
+    }
+    let mut seed: Vec<u64> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    for db in dbs {
+        for (i, &t) in y.iter().enumerate() {
+            let bit = 1u64 << i;
+            for u in db.tidlist(t).iter() {
+                if scratch[u as usize] == 0 {
+                    touched.push(u);
+                }
+                scratch[u as usize] |= bit;
+            }
+        }
+        for &u in touched.iter() {
+            let mask = scratch[u as usize];
+            scratch[u as usize] = 0;
+            // The full candidate is already on the worklist; only strict
+            // sub-projections can surface hidden sets.
+            if mask != full {
+                seed.push(mask);
+            }
+        }
+        touched.clear();
+    }
+    seed.sort_unstable();
+    seed.dedup();
+    close_masks_under_and(seed, cap)
+        .into_iter()
+        .map(|mask| {
+            y.iter()
+                .enumerate()
+                .filter_map(|(i, &t)| (mask & (1 << i) != 0).then_some(t))
+                .collect()
+        })
+        .collect()
+}
+
+/// Close a mask family under bitwise AND, up to `cap` members — the
+/// bitmask form of [`close_under_intersection`]. Empty products are
+/// dropped (an all-zero mask is the empty projection, which carries no
+/// description); over the cap the seed passes through unrefined.
+fn close_masks_under_and(seed: Vec<u64>, cap: usize) -> Vec<u64> {
+    let mut known: std::collections::BTreeSet<u64> = seed.iter().copied().collect();
+    if known.len() > cap {
+        return seed;
+    }
+    let mut frontier = seed;
+    let mut snapshot = frontier.clone();
+    'refine: while !frontier.is_empty() {
+        let mut fresh = Vec::new();
+        for &a in &frontier {
+            for &b in &snapshot {
+                let and = a & b;
+                if and != 0 && known.insert(and) {
+                    fresh.push(and);
+                    if known.len() > cap {
+                        break 'refine;
+                    }
+                }
+            }
+        }
+        fresh.sort_unstable();
+        snapshot.extend(fresh.iter().copied());
+        snapshot.sort_unstable();
+        frontier = fresh;
+    }
+    known.into_iter().collect()
+}
+
+/// The PR-4 family computation, kept verbatim as the
+/// [`MergeContext::exchange_dedup`]` = false` reference (and the fallback
+/// for descriptions wider than 64 tokens): materialize `(member, token)`
+/// pairs over the tidlists, sort them so each run is one member's
+/// projection, and close the collected set under pairwise intersection.
+fn exchange_family_reference(
+    dbs: &[&TransactionDb],
+    y: &[TokenId],
+    cap: usize,
+) -> Vec<Vec<TokenId>> {
+    if y.len() < 2 {
         return Vec::new();
     }
     let mut seed: std::collections::BTreeSet<Vec<TokenId>> = std::collections::BTreeSet::new();
@@ -318,8 +452,6 @@ fn exchange_family(dbs: &[&TransactionDb], y: &[TokenId], cap: usize) -> Vec<Vec
                 projection.push(pairs[i].1);
                 i += 1;
             }
-            // The full candidate is already on the worklist; only strict
-            // sub-projections can surface hidden sets.
             if projection.len() < y.len() {
                 seed.insert(projection);
             }
@@ -328,47 +460,150 @@ fn exchange_family(dbs: &[&TransactionDb], y: &[TokenId], cap: usize) -> Vec<Vec
     close_under_intersection(seed.into_iter().collect(), cap)
 }
 
+/// Candidate→shard routing table for the closure exchange: per token, the
+/// shard projections whose members actually carry it. A candidate `y` only
+/// needs re-closing against shards holding a carrier of at least one of
+/// its tokens — every other shard would contribute an empty projection
+/// set, so skipping it is a strict no-op that saves the tidlist scans.
+#[derive(Debug, Clone)]
+pub struct ExchangeRouter {
+    /// `token_shards[token]` = sorted shard indices with non-zero
+    /// shard-local support for that token.
+    token_shards: Vec<Vec<u32>>,
+}
+
+impl ExchangeRouter {
+    /// Build from materialized shard projections by probing each shard's
+    /// local token supports.
+    pub fn from_projections(dbs: &[&TransactionDb]) -> Self {
+        let n_tokens = dbs.first().map(|db| db.n_tokens()).unwrap_or(0);
+        let mut token_shards: Vec<Vec<u32>> = vec![Vec::new(); n_tokens];
+        for (s, db) in dbs.iter().enumerate() {
+            for (t, shards) in token_shards.iter_mut().enumerate() {
+                if db.support(TokenId::new(t as u32)) > 0 {
+                    shards.push(s as u32);
+                }
+            }
+        }
+        Self { token_shards }
+    }
+
+    /// Build from a [`ShardPlan`] and the *global* database — the form a
+    /// distributed deployment computes without touching per-shard data:
+    /// each global tidlist routes through
+    /// [`ShardPlan::shards_containing`]. Shard indices must correspond to
+    /// the plan's (and hence [`MergeContext::shard_dbs`]'s) shard order;
+    /// the result is identical to
+    /// [`ExchangeRouter::from_projections`] over the plan's projections.
+    pub fn from_plan(plan: &ShardPlan, global: &TransactionDb) -> Self {
+        let token_shards = (0..global.n_tokens())
+            .map(|t| {
+                plan.shards_containing(global.tidlist(TokenId::new(t as u32)).iter())
+                    .into_iter()
+                    .map(|s| s as u32)
+                    .collect()
+            })
+            .collect();
+        Self { token_shards }
+    }
+
+    /// The shards that can contribute a projection of `y`: the sorted
+    /// union of its tokens' carrier shards.
+    pub fn route(&self, y: &[TokenId]) -> Vec<u32> {
+        let mut out: Vec<u32> = y
+            .iter()
+            .flat_map(|t| self.token_shards[t.index()].iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 /// One exchange round: broadcast every frontier candidate to every shard
-/// projection, collect the re-closed families, and return the deduplicated
-/// union. Fans out over scoped worker threads in contiguous candidate
-/// chunks; the result is sorted, so it is byte-identical at any worker
-/// count.
+/// projection (or, with a router, only to the shards holding carriers of
+/// its tokens), collect the re-closed families, and return the
+/// deduplicated union plus the number of per-candidate shard scans the
+/// routing skipped. Fans out over scoped worker threads in contiguous
+/// candidate chunks; the result is sorted, so it is byte-identical at any
+/// worker count.
 fn exchange_round(
     dbs: &[&TransactionDb],
     candidates: &[Vec<TokenId>],
+    router: Option<&ExchangeRouter>,
     threads: usize,
-) -> Vec<Vec<TokenId>> {
+    optimized: bool,
+) -> (Vec<Vec<TokenId>>, usize) {
+    // Per-worker closure: route, then compute the family with the
+    // worker-owned mask scratch (or the reference path when the caller
+    // asked for the PR-4 exchange).
+    let family_of = |y: &Vec<TokenId>, scratch: &mut Vec<u64>| -> (Vec<Vec<TokenId>>, usize) {
+        let routed_store: Vec<&TransactionDb>;
+        let (used, skipped): (&[&TransactionDb], usize) = match router {
+            None => (dbs, 0),
+            Some(router) => {
+                routed_store = router.route(y).iter().map(|&s| dbs[s as usize]).collect();
+                let skipped = dbs.len() - routed_store.len();
+                (&routed_store, skipped)
+            }
+        };
+        let family = if optimized {
+            exchange_family(used, y, EXCHANGE_FAMILY_CAP, scratch)
+        } else {
+            exchange_family_reference(used, y, EXCHANGE_FAMILY_CAP)
+        };
+        (family, skipped)
+    };
     let workers = resolve_workers(threads).min(candidates.len()).max(1);
-    let families: Vec<Vec<Vec<TokenId>>> = if workers <= 1 {
-        candidates
+    let (families, skipped): (Vec<Vec<Vec<TokenId>>>, usize) = if workers <= 1 {
+        let mut skipped = 0usize;
+        let mut scratch = Vec::new();
+        let families = candidates
             .iter()
-            .map(|y| exchange_family(dbs, y, EXCHANGE_FAMILY_CAP))
-            .collect()
+            .map(|y| {
+                let (family, s) = family_of(y, &mut scratch);
+                skipped += s;
+                family
+            })
+            .collect();
+        (families, skipped)
     } else {
         let chunk = candidates.len().div_ceil(workers);
         crossbeam::thread::scope(|scope| {
+            let family_of = &family_of;
             let handles: Vec<_> = candidates
                 .chunks(chunk)
                 .map(|chunk| {
                     scope.spawn(move |_| {
-                        chunk
+                        let mut skipped = 0usize;
+                        let mut scratch = Vec::new();
+                        let families: Vec<_> = chunk
                             .iter()
-                            .map(|y| exchange_family(dbs, y, EXCHANGE_FAMILY_CAP))
-                            .collect::<Vec<_>>()
+                            .map(|y| {
+                                let (family, s) = family_of(y, &mut scratch);
+                                skipped += s;
+                                family
+                            })
+                            .collect();
+                        (families, skipped)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("exchange worker panicked"))
-                .collect()
+            let mut families = Vec::new();
+            let mut skipped = 0usize;
+            for h in handles {
+                let (f, s) = h.join().expect("exchange worker panicked");
+                families.extend(f);
+                skipped += s;
+            }
+            (families, skipped)
         })
         .expect("exchange scope")
     };
     let mut out: Vec<Vec<TokenId>> = families.into_iter().flatten().collect();
     out.sort_unstable();
     out.dedup();
-    out
+    (out, skipped)
 }
 
 /// Worker count resolution: `0` means use the machine's available
@@ -431,6 +666,27 @@ pub struct MergeContext<'a> {
     /// ([`ShardScaled::emits_population_group`]); shard-root witnesses and
     /// derived candidates recounting onto it are normalized out otherwise.
     pub keep_population_group: bool,
+    /// Whether the exchange broadcast is deduplicated and
+    /// frequency-pruned (on by default). Each frontier candidate is first
+    /// restricted to its tokens with *global* support at least the
+    /// recount floor — a token below the global floor cannot appear in any
+    /// surviving group, so projecting onto it is wasted tidlist scanning —
+    /// and near-identical candidates (the common case after SON scaling:
+    /// shard-local closures differing only in locally-shared rare tokens)
+    /// collapse onto one pruned form that is broadcast once. The pruned
+    /// forms themselves join the recount worklist, which keeps the
+    /// exchange exactness proof intact (see the module docs). `false`
+    /// restores the PR-4 broadcast-everything exchange, kept as the
+    /// before/after reference for the `d4` experiment.
+    pub exchange_dedup: bool,
+    /// The shard plan behind [`MergeContext::shard_dbs`], if the caller
+    /// has one (shard order must match). Lets the exchange build its
+    /// candidate→shard [`ExchangeRouter`] from the plan's member
+    /// ranges/hashes and the global tidlists
+    /// ([`ExchangeRouter::from_plan`]) instead of probing every
+    /// projection's token supports; without a plan the router is derived
+    /// from the projections directly.
+    pub shard_plan: Option<&'a ShardPlan>,
 }
 
 impl<'a> MergeContext<'a> {
@@ -446,6 +702,8 @@ impl<'a> MergeContext<'a> {
             shard_dbs: None,
             partial_parts: false,
             keep_population_group: false,
+            exchange_dedup: true,
+            shard_plan: None,
         }
     }
 
@@ -487,6 +745,21 @@ impl<'a> MergeContext<'a> {
         self.keep_population_group = keep;
         self
     }
+
+    /// Builder-style: toggle the deduplicated, frequency-pruned exchange
+    /// broadcast (`false` = the PR-4 broadcast-everything reference path).
+    pub fn with_exchange_dedup(mut self, exchange_dedup: bool) -> Self {
+        self.exchange_dedup = exchange_dedup;
+        self
+    }
+
+    /// Builder-style: provide the shard plan matching
+    /// [`MergeContext::shard_dbs`] so candidate→shard routing can be
+    /// computed from the plan instead of probing the projections.
+    pub fn with_shard_plan(mut self, shard_plan: &'a ShardPlan) -> Self {
+        self.shard_plan = Some(shard_plan);
+        self
+    }
 }
 
 /// Telemetry one merge reports back to the discovery driver (currently the
@@ -500,6 +773,15 @@ pub struct MergeTelemetry {
     pub exchange_candidates: usize,
     /// Wall-clock of the exchange rounds.
     pub exchange_elapsed: Duration,
+    /// Candidate broadcasts the dedup stage saved: frontier descriptions
+    /// that collapsed onto an already-broadcast (or within-round
+    /// duplicate) frequency-pruned form, or pruned down to a singleton
+    /// with no family to broadcast. Zero on the
+    /// [`MergeContext::exchange_dedup`]` = false` reference path.
+    pub exchange_deduped: usize,
+    /// Per-candidate shard scans the candidate→shard routing skipped
+    /// (shards holding no carrier of any of the candidate's tokens).
+    pub exchange_shards_skipped: usize,
 }
 
 /// Recount one candidate description against the global database: exact
@@ -576,11 +858,13 @@ pub enum MergeStrategy {
     /// the SON argument in the module docs) but *complete*: with at least
     /// one exchange round it reproduces the unsharded closed-group space
     /// at any shard count. Cost model: one exchange round scans, per
-    /// candidate description, the tidlists of the candidate's tokens once
-    /// per shard projection (`O(Σ support(token))` pair pushes plus a
-    /// sort), then recounts the handful of sub-descriptions it surfaces —
-    /// in return the quadratic refinement cap stops being a correctness
-    /// knob.
+    /// *distinct frequency-pruned* candidate, the tidlists of its frequent
+    /// tokens once per routed shard projection (`O(Σ support(token))`
+    /// carrier pushes plus one transaction intersection per carrier), then
+    /// recounts the handful of sub-descriptions it surfaces — in return
+    /// the quadratic refinement cap stops being a correctness knob. The
+    /// dedup/prune/route trims are the `d4` optimizations; see the module
+    /// docs and [`MergeContext::exchange_dedup`].
     SupportRecount {
         /// Global support floor after recounting.
         min_support: usize,
@@ -674,6 +958,10 @@ impl MergeStrategy {
                             }
                         } else {
                             contributed = true;
+                            // Identical descriptions from different shards
+                            // collapse here (pre-d4 behavior, untracked —
+                            // `exchange_deduped` isolates the broadcast
+                            // dedup so the PR-4 reference path reads 0).
                             if seen_candidates.insert(group.description.clone()) {
                                 candidates.push(group.description);
                             }
@@ -705,17 +993,67 @@ impl MergeStrategy {
                         Some(dbs) if !dbs.is_empty() => dbs.iter().collect(),
                         _ => single_projection.to_vec(),
                     };
+                    // Candidate→shard routing only pays with genuine
+                    // per-shard projections; the single-projection
+                    // fallback always scans its one database.
+                    let router =
+                        (ctx.exchange_dedup && shard_dbs.len() > 1).then(|| match ctx.shard_plan {
+                            Some(plan) => ExchangeRouter::from_plan(plan, db),
+                            None => ExchangeRouter::from_projections(&shard_dbs),
+                        });
                     let before = candidates.len();
                     let mut pool: std::collections::BTreeSet<Vec<TokenId>> =
                         candidates.iter().cloned().collect();
+                    // Pruned forms broadcast so far: a form's family is
+                    // computed once across all rounds.
+                    let mut broadcast_seen: std::collections::BTreeSet<Vec<TokenId>> =
+                        std::collections::BTreeSet::new();
                     let mut frontier = candidates.clone();
                     for _ in 0..ctx.exchange_rounds {
                         telemetry.exchange_rounds_run += 1;
-                        let fresh: Vec<Vec<TokenId>> =
-                            exchange_round(&shard_dbs, &frontier, ctx.threads)
-                                .into_iter()
-                                .filter(|d| pool.insert(d.clone()))
-                                .collect();
+                        let broadcast: Vec<Vec<TokenId>> = if ctx.exchange_dedup {
+                            let mut forms = Vec::new();
+                            for y in &frontier {
+                                let pruned: Vec<TokenId> = y
+                                    .iter()
+                                    .copied()
+                                    .filter(|&t| db.support(t) >= *min_support)
+                                    .collect();
+                                if pruned.len() < y.len()
+                                    && !pruned.is_empty()
+                                    && pool.insert(pruned.clone())
+                                {
+                                    // The pruned form is a legitimate
+                                    // candidate in its own right (the
+                                    // projection of `y` onto the frequent
+                                    // token space); recounting it is what
+                                    // keeps the exactness proof intact
+                                    // when every carrier of a hidden set
+                                    // carries the whole pruned form.
+                                    candidates.push(pruned.clone());
+                                }
+                                if pruned.len() >= 2 && broadcast_seen.insert(pruned.clone()) {
+                                    forms.push(pruned);
+                                }
+                            }
+                            forms.sort_unstable();
+                            telemetry.exchange_deduped += frontier.len() - forms.len();
+                            forms
+                        } else {
+                            std::mem::take(&mut frontier)
+                        };
+                        let (found, skipped) = exchange_round(
+                            &shard_dbs,
+                            &broadcast,
+                            router.as_ref(),
+                            ctx.threads,
+                            ctx.exchange_dedup,
+                        );
+                        telemetry.exchange_shards_skipped += skipped;
+                        let fresh: Vec<Vec<TokenId>> = found
+                            .into_iter()
+                            .filter(|d| pool.insert(d.clone()))
+                            .collect();
                         if fresh.is_empty() {
                             break;
                         }
@@ -971,6 +1309,8 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
             exchange_rounds_run: exchange.exchange_rounds_run,
             exchange_candidates: exchange.exchange_candidates,
             exchange_elapsed: exchange.exchange_elapsed,
+            exchange_deduped: exchange.exchange_deduped,
+            exchange_shards_skipped: exchange.exchange_shards_skipped,
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -1104,6 +1444,8 @@ impl GroupDiscovery for EnsembleDiscovery {
             exchange_rounds_run: exchange.exchange_rounds_run,
             exchange_candidates: exchange.exchange_candidates,
             exchange_elapsed: exchange.exchange_elapsed,
+            exchange_deduped: exchange.exchange_deduped,
+            exchange_shards_skipped: exchange.exchange_shards_skipped,
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -1255,13 +1597,22 @@ mod tests {
         // needs to surface the globally closed subsets.
         let shard_a = TransactionDb::from_transactions(vec![d(&[0, 1, 2]), d(&[0, 1, 2])], 4);
         let shard_b = TransactionDb::from_transactions(vec![d(&[0, 3]), d(&[1, 2, 3])], 4);
-        let family = exchange_family(&[&shard_a, &shard_b], &d(&[0, 1, 2]), 64);
+        let mut scratch = Vec::new();
+        let family = exchange_family(&[&shard_a, &shard_b], &d(&[0, 1, 2]), 64, &mut scratch);
         assert!(family.contains(&d(&[0])));
         assert!(family.contains(&d(&[1, 2])));
         // The full candidate itself is never re-emitted, and singleton
         // candidates have no strict sub-projections at all.
         assert!(!family.contains(&d(&[0, 1, 2])));
-        assert!(exchange_family(&[&shard_a, &shard_b], &d(&[3]), 64).is_empty());
+        assert!(exchange_family(&[&shard_a, &shard_b], &d(&[3]), 64, &mut scratch).is_empty());
+        // The mask hot path must agree with the PR-4 pair-sort reference.
+        let mut reference = exchange_family_reference(&[&shard_a, &shard_b], &d(&[0, 1, 2]), 64);
+        reference.sort_unstable();
+        let mut sorted = family.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, reference);
+        // The scratch is handed back zeroed, ready for the next candidate.
+        assert!(scratch.iter().all(|&m| m == 0));
         // Splitting the same transactions differently across shards does
         // not change the family (the union of distinct projections is the
         // same), which is why a global fallback projection is equivalent.
@@ -1269,7 +1620,159 @@ mod tests {
             vec![d(&[0, 1, 2]), d(&[0, 1, 2]), d(&[0, 3]), d(&[1, 2, 3])],
             4,
         );
-        assert_eq!(family, exchange_family(&[&global], &d(&[0, 1, 2]), 64));
+        assert_eq!(
+            family,
+            exchange_family(&[&global], &d(&[0, 1, 2]), 64, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn frequency_pruning_recounts_the_pruned_form_itself() {
+        // One shard-grown candidate {0, 1} where token 1 is globally
+        // infrequent: the pruned form {0} is a singleton (no family to
+        // broadcast), so exactness hinges on the pruned form itself
+        // joining the recount worklist.
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        let db = TransactionDb::from_transactions(
+            vec![d(&[0, 1]), d(&[0]), d(&[0]), d(&[0]), d(&[2])],
+            3,
+        );
+        let part = GroupSet::from_groups(vec![Group::new(
+            d(&[0, 1]),
+            MemberSet::from_unsorted(vec![0]),
+        )]);
+        let dummy = vexus_data::UserDataBuilder::new(vexus_data::Schema::new()).build();
+        let vocab = Vocabulary::build(&dummy);
+        let merge = MergeStrategy::SupportRecount { min_support: 3 };
+        let ctx = MergeContext::new(&dummy, &vocab)
+            .with_db(&db)
+            .with_partial_parts(true);
+        let (out, telemetry) = merge.merge_in_traced(vec![part.clone()], &ctx);
+        assert_eq!(normalize(&out), vec![(d(&[0]), vec![0, 1, 2, 3])]);
+        // {0, 1} collapsed to a singleton pruned form: nothing was worth
+        // broadcasting, which the dedup telemetry reports.
+        assert_eq!(telemetry.exchange_deduped, 1);
+        // The legacy broadcast-everything path agrees on the space.
+        let legacy = merge.merge_in(vec![part], &ctx.with_exchange_dedup(false));
+        assert_eq!(normalize(&out), normalize(&legacy));
+    }
+
+    #[test]
+    fn deduped_exchange_matches_the_legacy_broadcast_exactly() {
+        // The d4 before/after equivalence pin at workload scale: over the
+        // oversharded regime (scaled floors near 1 — maximal shard-local
+        // closure noise), the pruned/deduped exchange must produce the
+        // same merged space as the PR-4 broadcast-everything exchange, at
+        // several thread counts, while actually collapsing candidates.
+        let (data, vocab) = fixture();
+        let driver = ShardedDiscovery::new(lcm(10), 8).support_recount(10);
+        let (parts, _) = driver.mine_parts(&data, &vocab);
+        let db = TransactionDb::build(&data, &vocab);
+        let merge = MergeStrategy::SupportRecount { min_support: 10 };
+        let ctx = MergeContext::new(&data, &vocab)
+            .with_db(&db)
+            .with_partial_parts(true);
+        let (legacy, legacy_tel) =
+            merge.merge_in_traced(parts.clone(), &ctx.with_exchange_dedup(false));
+        assert_eq!(legacy_tel.exchange_shards_skipped, 0);
+        assert_eq!(
+            legacy_tel.exchange_deduped, 0,
+            "the PR-4 reference path must report no broadcast dedup"
+        );
+        for threads in [1usize, 4] {
+            let (deduped, tel) = merge.merge_in_traced(parts.clone(), &ctx.with_threads(threads));
+            assert_eq!(
+                normalize(&legacy),
+                normalize(&deduped),
+                "threads={threads}: dedup changed the merged space"
+            );
+            assert!(
+                tel.exchange_deduped > 0,
+                "oversharded LCM shards should collapse candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn router_constructions_agree_and_routing_preserves_the_merge() {
+        // from_plan (plan + global tidlists) must equal from_projections
+        // (per-shard support probes), and the routed shard_dbs exchange
+        // must merge exactly like the unrouted one while skipping the
+        // shard scans the routing proves empty.
+        let (data, vocab) = fixture();
+        let db = TransactionDb::build(&data, &vocab);
+        let plan = ShardPlan::build(data.n_users(), 6, ShardStrategy::Contiguous);
+        let shard_dbs: Vec<TransactionDb> = (0..plan.n_shards())
+            .map(|s| TransactionDb::build_for_members(&data, &vocab, plan.members(s)))
+            .collect();
+        let refs: Vec<&TransactionDb> = shard_dbs.iter().collect();
+        let from_plan = ExchangeRouter::from_plan(&plan, &db);
+        let from_projections = ExchangeRouter::from_projections(&refs);
+        for t in 0..db.n_tokens() as u32 {
+            let y = vec![TokenId::new(t)];
+            assert_eq!(
+                from_plan.route(&y),
+                from_projections.route(&y),
+                "router constructions disagree on token {t}"
+            );
+        }
+        // End-to-end: routed vs unrouted shard-local exchange.
+        let driver = ShardedDiscovery::new(lcm(10), 6)
+            .with_strategy(ShardStrategy::Contiguous)
+            .support_recount(10);
+        let (parts, _) = driver.mine_parts(&data, &vocab);
+        let merge = MergeStrategy::SupportRecount { min_support: 10 };
+        let ctx = MergeContext::new(&data, &vocab)
+            .with_db(&db)
+            .with_partial_parts(true)
+            .with_shard_dbs(&shard_dbs);
+        let (unrouted, _) = merge.merge_in_traced(parts.clone(), &ctx.with_exchange_dedup(false));
+        let (routed, tel) = merge.merge_in_traced(parts.clone(), &ctx);
+        assert_eq!(normalize(&unrouted), normalize(&routed));
+        let (planned, planned_tel) = merge.merge_in_traced(parts, &ctx.with_shard_plan(&plan));
+        assert_eq!(normalize(&unrouted), normalize(&planned));
+        assert_eq!(
+            tel.exchange_shards_skipped,
+            planned_tel.exchange_shards_skipped
+        );
+    }
+
+    #[test]
+    fn routing_skips_shards_without_carriers() {
+        // Two contiguous shards over disjoint token spaces: candidates
+        // from shard A carry tokens no member of shard B has, so routing
+        // must skip B entirely (and vice versa).
+        let d = |v: &[u32]| v.iter().map(|&t| TokenId::new(t)).collect::<Vec<_>>();
+        use vexus_data::Schema;
+        let mut schema = Schema::new();
+        let a = schema.add_categorical("a");
+        let b = schema.add_categorical("b");
+        let mut builder = vexus_data::UserDataBuilder::new(schema);
+        for i in 0..8 {
+            let u = builder.user(&format!("u{i}"));
+            if i < 4 {
+                builder
+                    .set_demo(u, a, if i < 2 { "x" } else { "y" })
+                    .unwrap();
+            } else {
+                builder
+                    .set_demo(u, b, if i < 6 { "p" } else { "q" })
+                    .unwrap();
+            }
+        }
+        let data = builder.build();
+        let vocab = Vocabulary::build(&data);
+        let db = TransactionDb::build(&data, &vocab);
+        let plan = ShardPlan::build(data.n_users(), 2, ShardStrategy::Contiguous);
+        let router = ExchangeRouter::from_plan(&plan, &db);
+        // Every token lives in exactly one shard here.
+        for t in 0..db.n_tokens() as u32 {
+            let route = router.route(&d(&[t]));
+            assert!(route.len() <= 1, "token {t} routed to {route:?}");
+        }
+        let tokens: Vec<TokenId> = db.transaction(0).to_vec();
+        assert!(!tokens.is_empty());
+        assert_eq!(router.route(&tokens), vec![0]);
     }
 
     #[test]

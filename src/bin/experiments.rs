@@ -11,7 +11,9 @@
 //! non-zero when the named metric is missing (a renamed or dropped metric
 //! must not silently pass) or below the given minimum. CI gates
 //! `d2.recount_recall_min=1.0` — the sharded support-recount merge must
-//! reproduce the unsharded group space exactly.
+//! reproduce the unsharded group space exactly — and
+//! `d4.exchange_recall_min=1.0`, so the deduped/pruned/routed exchange
+//! optimizations can never silently reintroduce a recall tail.
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 8);
