@@ -1,5 +1,9 @@
-//! C2 micro-bench: the O(1) interaction core — index neighbor lookup and
-//! history backtrack — plus the full (greedy-capped) click for reference.
+//! C2 micro-bench: the O(1) interaction core — index neighbor lookup
+//! (direct and through the shared serving cache) and history backtrack —
+//! plus the full (greedy-capped) click for reference. The click benches
+//! also pin the d5 allocation cuts: a step reuses the session's greedy
+//! scratch buffers and clones neither the clicked group's member list nor
+//! the selection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vexus_bench::workloads;
@@ -13,6 +17,14 @@ fn bench_interactions(c: &mut Criterion) {
     c.bench_function("index_neighbor_lookup_k16", |b| {
         b.iter(|| std::hint::black_box(vexus.index().neighbors(vexus.groups(), g, 16)));
     });
+
+    // The serving fast path: after the first query the list is an Arc
+    // clone out of the shared cache instead of a fresh scan.
+    if let Some(cache) = vexus.neighbor_cache() {
+        c.bench_function("cached_neighbor_lookup_k16", |b| {
+            b.iter(|| std::hint::black_box(cache.neighbors(vexus.index(), vexus.groups(), g, 16)));
+        });
+    }
 
     c.bench_function("backtrack", |b| {
         let mut session = vexus.session().expect("session opens");
@@ -35,6 +47,19 @@ fn bench_interactions(c: &mut Criterion) {
             },
             criterion::BatchSize::PerIteration,
         );
+    });
+    // Steady-state clicking on one long-lived session: the shape serving
+    // cares about — scratch buffers and candidate vectors are warm, every
+    // per-step allocation the d5 work removed would show up here.
+    group.bench_function("click_steady_state", |b| {
+        let mut s = vexus.session().expect("session opens");
+        b.iter(|| {
+            if s.display().is_empty() {
+                s.backtrack(0).expect("backtrack");
+            }
+            let g = s.display()[0];
+            s.click(g).expect("click");
+        });
     });
     group.finish();
 }

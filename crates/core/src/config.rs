@@ -48,6 +48,17 @@ pub struct EngineConfig {
     /// projections, candidate→shard routed) — cost trims only, the merged
     /// space is unchanged; see `vexus_mining::MergeContext`.
     pub exchange_rounds: usize,
+    /// Capacity (entries) of the engine's shared read-through cache over
+    /// index neighbor queries. The index is immutable post-build, so a
+    /// cached neighbor list serves *every* session on the engine; `0`
+    /// builds no cache. Purely a performance knob: cached and uncached
+    /// answers are byte-identical.
+    pub neighbor_cache_capacity: usize,
+    /// Whether this session reads neighbor lists through the engine's
+    /// shared cache (when one exists). Per-session switch so cache-on and
+    /// cache-off sessions can run side by side on one engine — the d5
+    /// ablation and the cache-equality tests rely on it.
+    pub neighbor_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +76,8 @@ impl Default for EngineConfig {
             discovery: DiscoverySelection::default(),
             merge_threads: 0,
             exchange_rounds: 1,
+            neighbor_cache_capacity: 4096,
+            neighbor_cache: true,
         }
     }
 }
@@ -112,6 +125,20 @@ impl EngineConfig {
         self.exchange_rounds = exchange_rounds;
         self
     }
+
+    /// Builder-style: set the shared neighbor cache capacity (`0` = build
+    /// no cache).
+    pub fn with_neighbor_cache_capacity(mut self, capacity: usize) -> Self {
+        self.neighbor_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder-style: toggle this session's use of the engine's shared
+    /// neighbor cache.
+    pub fn with_neighbor_cache(mut self, enabled: bool) -> Self {
+        self.neighbor_cache = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +175,18 @@ mod tests {
             EngineConfig::default()
                 .with_exchange_rounds(0)
                 .exchange_rounds,
+            0
+        );
+        // Neighbor caching defaults on with a bounded capacity; both are
+        // plain knobs.
+        let d = EngineConfig::default();
+        assert!(d.neighbor_cache);
+        assert!(d.neighbor_cache_capacity > 0);
+        assert!(!d.with_neighbor_cache(false).neighbor_cache);
+        assert_eq!(
+            EngineConfig::default()
+                .with_neighbor_cache_capacity(0)
+                .neighbor_cache_capacity,
             0
         );
     }

@@ -11,10 +11,11 @@
 
 use crate::config::EngineConfig;
 use crate::error::CoreError;
-use crate::session::ExplorationSession;
+use crate::session::{BorrowedEngine, EngineRef, ExplorationSession, Session};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vexus_data::{UserData, Vocabulary};
-use vexus_index::{GroupIndex, IndexConfig, OverlapGraph};
+use vexus_index::{GroupIndex, IndexConfig, NeighborCache, OverlapGraph};
 use vexus_mining::{
     DiscoveryStats, GroupDiscovery, GroupSet, MergeStrategy, ShardScaled, ShardedDiscovery,
 };
@@ -199,11 +200,17 @@ impl VexusBuilder {
             index_entries: index.stats().materialized_entries,
             index_bytes: index.stats().heap_bytes,
         };
+        let cache = if config.neighbor_cache_capacity > 0 {
+            Some(NeighborCache::new(config.neighbor_cache_capacity))
+        } else {
+            None
+        };
         Ok(Vexus {
             data,
             vocab,
             groups,
             index,
+            cache,
             config,
             stats,
         })
@@ -211,13 +218,58 @@ impl VexusBuilder {
 }
 
 /// A fully pre-processed VEXUS instance: dataset + group space + index.
+/// Everything exploration reads is immutable post-build, so one engine —
+/// typically behind an `Arc` (see [`Vexus::shared`]) — serves any number
+/// of concurrent sessions.
 pub struct Vexus {
     data: UserData,
     vocab: Vocabulary,
     groups: GroupSet,
     index: GroupIndex,
+    /// Shared read-through cache over index neighbor queries (None when
+    /// [`EngineConfig::neighbor_cache_capacity`] is 0).
+    cache: Option<NeighborCache>,
     config: EngineConfig,
     stats: BuildStats,
+}
+
+/// An owned session over a shared engine handle — the serving shape.
+pub type OwnedSession = Session<Arc<Vexus>>;
+
+impl EngineRef for Arc<Vexus> {
+    fn data(&self) -> &UserData {
+        &self.as_ref().data
+    }
+
+    fn vocab(&self) -> &Vocabulary {
+        &self.as_ref().vocab
+    }
+
+    fn groups(&self) -> &GroupSet {
+        &self.as_ref().groups
+    }
+
+    fn index(&self) -> &GroupIndex {
+        &self.as_ref().index
+    }
+
+    fn neighbor_cache(&self) -> Option<&NeighborCache> {
+        self.as_ref().cache.as_ref()
+    }
+}
+
+impl OwnedSession {
+    /// Open an owned session over a shared engine with the engine's
+    /// configuration.
+    pub fn open(engine: Arc<Vexus>) -> Result<Self, CoreError> {
+        let config = engine.config.clone();
+        Session::open_engine(engine, config)
+    }
+
+    /// Open an owned session with an overriding configuration.
+    pub fn open_with(engine: Arc<Vexus>, config: EngineConfig) -> Result<Self, CoreError> {
+        Session::open_engine(engine, config)
+    }
 }
 
 impl Vexus {
@@ -251,19 +303,28 @@ impl Vexus {
 
     /// Open an exploration session.
     pub fn session(&self) -> Result<ExplorationSession<'_>, CoreError> {
-        ExplorationSession::open(
-            &self.data,
-            &self.vocab,
-            &self.groups,
-            &self.index,
-            self.config.clone(),
-        )
+        self.session_with(self.config.clone())
     }
 
     /// Open a session with a different configuration (k sweeps, budget
     /// sweeps, feedback ablations) without re-running pre-processing.
     pub fn session_with(&self, config: EngineConfig) -> Result<ExplorationSession<'_>, CoreError> {
-        ExplorationSession::open(&self.data, &self.vocab, &self.groups, &self.index, config)
+        Session::open_engine(
+            BorrowedEngine::new(&self.data, &self.vocab, &self.groups, &self.index)
+                .with_cache(self.cache.as_ref()),
+            config,
+        )
+    }
+
+    /// Wrap the engine in an `Arc` for concurrent serving (see
+    /// [`OwnedSession::open`] and [`crate::serve::ExplorationService`]).
+    pub fn shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// The shared neighbor cache, when one is configured.
+    pub fn neighbor_cache(&self) -> Option<&NeighborCache> {
+        self.cache.as_ref()
     }
 
     /// The dataset.

@@ -33,6 +33,39 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Errors raised by the serving layer ([`crate::serve`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A session id that was never opened, or was already closed.
+    UnknownSession(u64),
+    /// The underlying session verb failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession(s) => write!(f, "unknown session s{s}"),
+            ServeError::Core(e) => write!(f, "session error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::UnknownSession(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +77,14 @@ mod tests {
         assert!(CoreError::UnknownAttribute("x".into())
             .to_string()
             .contains("\"x\""));
+    }
+
+    #[test]
+    fn serve_errors_wrap_and_identify() {
+        assert!(ServeError::UnknownSession(4).to_string().contains("s4"));
+        let wrapped: ServeError = CoreError::NotDisplayed(2).into();
+        assert_eq!(wrapped, ServeError::Core(CoreError::NotDisplayed(2)));
+        assert!(wrapped.to_string().contains("g2"));
+        assert!(std::error::Error::source(&wrapped).is_some());
     }
 }

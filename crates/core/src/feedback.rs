@@ -16,14 +16,52 @@
 //! score tending to zero" behaviour the paper describes.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use vexus_data::{TokenId, UserId};
 use vexus_mining::Group;
+
+/// Fixed-seed 64-bit multiply/xor hasher (FxHash-style). `std`'s default
+/// `RandomState` seeds each map differently, which permutes iteration
+/// order per *instance*; the floating-point sums in
+/// [`FeedbackVector::group_affinity`] and `prune_and_normalize` then
+/// differ by a few ulps between two sessions replaying the same clicks,
+/// and an ulp is enough to flip a greedy tie. A deterministic hasher
+/// makes every replay of a click sequence bit-identical — the property
+/// the `d5` concurrency gate pins.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517C_C1B7_2722_0A95);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type DetMap<K> = HashMap<K, f64, BuildHasherDefault<DetHasher>>;
 
 /// The normalized feedback vector over users and demographic values.
 #[derive(Debug, Clone, Default)]
 pub struct FeedbackVector {
-    users: HashMap<UserId, f64>,
-    tokens: HashMap<TokenId, f64>,
+    users: DetMap<UserId>,
+    tokens: DetMap<TokenId>,
     /// Fraction of new mass granted per positive feedback event.
     learning_rate: f64,
 }
@@ -33,8 +71,8 @@ impl FeedbackVector {
     /// rate.
     pub fn new() -> Self {
         Self {
-            users: HashMap::new(),
-            tokens: HashMap::new(),
+            users: DetMap::default(),
+            tokens: DetMap::default(),
             learning_rate: 0.3,
         }
     }

@@ -75,9 +75,82 @@ pub struct SelectionOutcome {
     pub budget_exhausted: bool,
 }
 
+/// A filtered candidate with its feedback-weighted seed score.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    id: GroupId,
+    weighted_sim: f64,
+    affinity: f64,
+}
+
+/// Reusable working memory for [`select_k_with`]. The selector evaluates
+/// its objective hundreds of times per click, and each evaluation needs a
+/// `Vec<GroupId>` and a coverage mark set; a session that owns one
+/// `SelectScratch` amortizes those allocations across its whole lifetime
+/// instead of paying them on every swap trial of every click.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    pool: Vec<Cand>,
+    selection: Vec<usize>,
+    ids: Vec<GroupId>,
+    mask: std::collections::HashSet<u32>,
+}
+
+impl SelectScratch {
+    /// Fresh scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The P2 objective of one trial selection, written against scratch
+/// buffers. A standalone function (not a closure) so the caller can hand
+/// over disjoint `&mut` fields of the scratch without borrow conflicts.
+fn objective(
+    groups: &GroupSet,
+    reference: &MemberSet,
+    params: &SelectParams,
+    pool: &[Cand],
+    sel: &[usize],
+    ids: &mut Vec<GroupId>,
+    mask: &mut std::collections::HashSet<u32>,
+) -> f64 {
+    ids.clear();
+    ids.extend(sel.iter().map(|&i| pool[i].id));
+    let q = quality::evaluate_with(groups, ids, reference, mask);
+    let mean_aff = if sel.is_empty() {
+        0.0
+    } else {
+        sel.iter().map(|&i| pool[i].affinity).sum::<f64>() / sel.len() as f64
+    };
+    q.score(params.diversity_weight, params.coverage_weight) + params.feedback_weight * mean_aff
+}
+
 /// Select up to `k` groups from `candidates`, optimizing P2 within the P3
 /// budget. `reference` is the member set coverage is measured against.
 pub fn select_k(
+    groups: &GroupSet,
+    candidates: &[ScoredCandidate],
+    reference: &MemberSet,
+    feedback: &FeedbackVector,
+    params: &SelectParams,
+) -> SelectionOutcome {
+    let mut scratch = SelectScratch::new();
+    select_k_with(
+        &mut scratch,
+        groups,
+        candidates,
+        reference,
+        feedback,
+        params,
+    )
+}
+
+/// [`select_k`] with caller-owned scratch buffers — the per-step fast
+/// path. Results are identical to [`select_k`]; only the allocation
+/// profile differs.
+pub fn select_k_with(
+    scratch: &mut SelectScratch,
     groups: &GroupSet,
     candidates: &[ScoredCandidate],
     reference: &MemberSet,
@@ -88,27 +161,25 @@ pub fn select_k(
     let deadline = params.budget.map(|b| start + b);
 
     // Filter by the similarity lower bound and pre-compute affinities.
-    struct Cand {
-        id: GroupId,
-        weighted_sim: f64,
-        affinity: f64,
-    }
-    let mut pool: Vec<Cand> = candidates
-        .iter()
-        .filter(|(_, sim)| *sim >= params.min_similarity)
-        .map(|&(id, sim)| {
-            let affinity = if params.feedback_weight > 0.0 {
-                feedback.group_affinity(groups.get(id))
-            } else {
-                0.0
-            };
-            Cand {
-                id,
-                weighted_sim: sim * (1.0 + params.feedback_weight * affinity),
-                affinity,
-            }
-        })
-        .collect();
+    let pool = &mut scratch.pool;
+    pool.clear();
+    pool.extend(
+        candidates
+            .iter()
+            .filter(|(_, sim)| *sim >= params.min_similarity)
+            .map(|&(id, sim)| {
+                let affinity = if params.feedback_weight > 0.0 {
+                    feedback.group_affinity(groups.get(id))
+                } else {
+                    0.0
+                };
+                Cand {
+                    id,
+                    weighted_sim: sim * (1.0 + params.feedback_weight * affinity),
+                    affinity,
+                }
+            }),
+    );
 
     if pool.is_empty() || params.k == 0 {
         return SelectionOutcome {
@@ -131,20 +202,13 @@ pub fn select_k(
             .then_with(|| a.id.cmp(&b.id))
     });
     let k = params.k.min(pool.len());
-    let mut selection: Vec<usize> = (0..k).collect(); // indices into pool
+    let selection = &mut scratch.selection;
+    selection.clear();
+    selection.extend(0..k); // indices into pool
+    let ids = &mut scratch.ids;
+    let mask = &mut scratch.mask;
 
-    let objective = |sel: &[usize]| -> f64 {
-        let ids: Vec<GroupId> = sel.iter().map(|&i| pool[i].id).collect();
-        let q = quality::evaluate(groups, &ids, reference);
-        let mean_aff = if sel.is_empty() {
-            0.0
-        } else {
-            sel.iter().map(|&i| pool[i].affinity).sum::<f64>() / sel.len() as f64
-        };
-        q.score(params.diversity_weight, params.coverage_weight) + params.feedback_weight * mean_aff
-    };
-
-    let mut best_score = objective(&selection);
+    let mut best_score = objective(groups, reference, params, pool, selection, ids, mask);
     let mut rounds = 0usize;
     let mut budget_exhausted = false;
 
@@ -153,7 +217,7 @@ pub fn select_k(
     // makes the optimizer *anytime* rather than all-or-nothing per pass.
     'improve: loop {
         let mut improved = false;
-        for pos in 0..selection.len() {
+        for pos in 0..k {
             for ci in 0..pool.len() {
                 if selection.contains(&ci) {
                     continue;
@@ -167,7 +231,7 @@ pub fn select_k(
                 }
                 let old = selection[pos];
                 selection[pos] = ci;
-                let score = objective(&selection);
+                let score = objective(groups, reference, params, pool, selection, ids, mask);
                 if score > best_score + 1e-12 {
                     best_score = score;
                     improved = true;
@@ -183,7 +247,7 @@ pub fn select_k(
     }
 
     let ids: Vec<GroupId> = selection.iter().map(|&i| pool[i].id).collect();
-    let quality = quality::evaluate(groups, &ids, reference);
+    let quality = quality::evaluate_with(groups, &ids, reference, mask);
     SelectionOutcome {
         selection: ids,
         quality,

@@ -19,11 +19,15 @@
 //! supports *unlearning*, and biases the greedy selector through weighted
 //! similarity.
 //!
-//! [`session::ExplorationSession`] is the five-view state machine
-//! (GROUPVIZ, CONTEXT, STATS, HISTORY, MEMO + the LDA Focus view);
-//! [`engine::Vexus`] is the one-call facade that runs the offline
-//! pre-processing pipeline and opens sessions; [`simulate`] provides the
-//! target-driven simulated explorers and baselines used by the experiments.
+//! [`session::Session`] is the five-view state machine (GROUPVIZ,
+//! CONTEXT, STATS, HISTORY, MEMO + the LDA Focus view), generic over how
+//! the engine is held: [`session::ExplorationSession`] borrows it (the
+//! single-owner shape), [`engine::OwnedSession`] holds an `Arc<Vexus>`
+//! handle; [`engine::Vexus`] is the one-call facade that runs the offline
+//! pre-processing pipeline and opens sessions; [`serve`] runs many
+//! concurrent sessions over one shared engine behind a session table;
+//! [`simulate`] provides the target-driven simulated explorers and
+//! baselines used by the experiments.
 
 pub mod config;
 pub mod engine;
@@ -32,11 +36,13 @@ pub mod features;
 pub mod feedback;
 pub mod greedy;
 pub mod quality;
+pub mod serve;
 pub mod session;
 pub mod simulate;
 
 pub use config::EngineConfig;
-pub use engine::Vexus;
-pub use error::CoreError;
+pub use engine::{OwnedSession, Vexus};
+pub use error::{CoreError, ServeError};
 pub use feedback::FeedbackVector;
-pub use session::ExplorationSession;
+pub use serve::{ExplorationService, Request, Response, SessionId};
+pub use session::{BorrowedEngine, EngineRef, ExplorationSession, Session};

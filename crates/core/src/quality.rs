@@ -31,12 +31,25 @@ pub fn diversity(groups: &GroupSet, selection: &[GroupId]) -> f64 {
 /// group. The reference is the clicked group's member set mid-exploration,
 /// or the whole population for the opening step.
 pub fn coverage(groups: &GroupSet, selection: &[GroupId], reference: &MemberSet) -> f64 {
+    let mut mask = std::collections::HashSet::with_capacity(reference.len());
+    coverage_with(groups, selection, reference, &mut mask)
+}
+
+/// [`coverage`] with a caller-owned mark set. The greedy selector
+/// evaluates the objective hundreds of times per click; reusing one
+/// `HashSet` across evaluations removes an allocation from every one.
+pub fn coverage_with(
+    groups: &GroupSet,
+    selection: &[GroupId],
+    reference: &MemberSet,
+    mask: &mut std::collections::HashSet<u32>,
+) -> f64 {
     if reference.is_empty() {
         return 1.0;
     }
+    mask.clear();
     let mut covered = 0usize;
     // Mark-based counting over the reference only.
-    let mut mask = std::collections::HashSet::with_capacity(reference.len());
     for &gid in selection {
         for u in groups.get(gid).members.iter() {
             if reference.contains(u) && mask.insert(u) {
@@ -98,6 +111,20 @@ pub fn evaluate(groups: &GroupSet, selection: &[GroupId], reference: &MemberSet)
     Quality {
         diversity: diversity(groups, selection),
         coverage: coverage(groups, selection, reference),
+    }
+}
+
+/// [`evaluate`] with a caller-owned coverage mark set (see
+/// [`coverage_with`]).
+pub fn evaluate_with(
+    groups: &GroupSet,
+    selection: &[GroupId],
+    reference: &MemberSet,
+    mask: &mut std::collections::HashSet<u32>,
+) -> Quality {
+    Quality {
+        diversity: diversity(groups, selection),
+        coverage: coverage_with(groups, selection, reference, mask),
     }
 }
 

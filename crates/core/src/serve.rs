@@ -1,0 +1,416 @@
+//! Exploration-as-a-service: many concurrent sessions over one shared
+//! engine.
+//!
+//! The offline pipeline is expensive (discovery + index build); the
+//! per-click work is not. [`ExplorationService`] exploits that split: it
+//! holds one `Arc<Vexus>` and a table of open sessions, and answers
+//! open/click/backtrack/memo/close verbs from any thread. The engine is
+//! immutable post-build, so sessions never contend on it — the only
+//! shared mutable state is the session table (behind an `RwLock`, held
+//! only for lookups) and each session's own mutex.
+//!
+//! Lock discipline: a verb read-locks the table, clones the session's
+//! `Arc<Mutex<…>>`, *drops the table lock*, then locks the session. Steps
+//! of different sessions therefore run fully in parallel; the table lock
+//! is write-held only by `open`/`close`, for the duration of a map
+//! insert/remove.
+//!
+//! [`Request`]/[`Response`] mirror the verb surface as plain data for
+//! transport-style callers (one enum in, one enum out); the typed methods
+//! are the direct API.
+
+use crate::config::EngineConfig;
+use crate::engine::{OwnedSession, Vexus};
+use crate::error::ServeError;
+use crate::feedback::ContextView;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use vexus_data::UserId;
+use vexus_mining::GroupId;
+
+/// Opaque handle to an open session in an [`ExplorationService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A request to the service — the verb surface as plain data.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Open a session with the engine's configuration.
+    Open,
+    /// Open a session with an overriding configuration.
+    OpenWith(EngineConfig),
+    /// Click a displayed group in a session.
+    Click {
+        /// Target session.
+        session: SessionId,
+        /// The displayed group to click.
+        group: GroupId,
+    },
+    /// Backtrack a session to a history step.
+    Backtrack {
+        /// Target session.
+        session: SessionId,
+        /// History step index to restore.
+        step: usize,
+    },
+    /// Read a session's current display.
+    Display {
+        /// Target session.
+        session: SessionId,
+    },
+    /// Read a session's CONTEXT view (top-`n` per side).
+    Context {
+        /// Target session.
+        session: SessionId,
+        /// Entries per side.
+        n: usize,
+    },
+    /// Bookmark a group in a session's MEMO.
+    MemoGroup {
+        /// Target session.
+        session: SessionId,
+        /// Group to bookmark.
+        group: GroupId,
+    },
+    /// Bookmark a user in a session's MEMO.
+    MemoUser {
+        /// Target session.
+        session: SessionId,
+        /// User to bookmark.
+        user: UserId,
+    },
+    /// Close a session, dropping its state.
+    Close {
+        /// Target session.
+        session: SessionId,
+    },
+}
+
+/// A successful response from the service.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A session was opened.
+    Opened {
+        /// The new session's id.
+        session: SessionId,
+        /// Its opening display.
+        display: Vec<GroupId>,
+    },
+    /// The (new) display of a session after a step verb.
+    Display(Vec<GroupId>),
+    /// A CONTEXT snapshot.
+    Context(ContextView),
+    /// The verb succeeded with nothing to return.
+    Ack,
+}
+
+/// A session table over one shared engine: open sessions, step them from
+/// any thread, close them.
+pub struct ExplorationService {
+    engine: Arc<Vexus>,
+    sessions: RwLock<HashMap<u64, Arc<Mutex<OwnedSession>>>>,
+    next_id: AtomicU64,
+}
+
+impl ExplorationService {
+    /// A service over a shared engine.
+    pub fn new(engine: Arc<Vexus>) -> Self {
+        Self {
+            engine,
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Vexus> {
+        &self.engine
+    }
+
+    /// Open a session with the engine's configuration; returns its id and
+    /// opening display.
+    pub fn open(&self) -> Result<(SessionId, Vec<GroupId>), ServeError> {
+        self.open_with(self.engine.config().clone())
+    }
+
+    /// Open a session with an overriding configuration.
+    pub fn open_with(&self, config: EngineConfig) -> Result<(SessionId, Vec<GroupId>), ServeError> {
+        let session = OwnedSession::open_with(Arc::clone(&self.engine), config)?;
+        let display = session.display().to_vec();
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.sessions
+            .write()
+            .expect("session table")
+            .insert(id.0, Arc::new(Mutex::new(session)));
+        Ok((id, display))
+    }
+
+    /// The session handle for `id`, cloned out from under the table lock.
+    fn session(&self, id: SessionId) -> Result<Arc<Mutex<OwnedSession>>, ServeError> {
+        self.sessions
+            .read()
+            .expect("session table")
+            .get(&id.0)
+            .map(Arc::clone)
+            .ok_or(ServeError::UnknownSession(id.0))
+    }
+
+    /// Run a closure against a session's state under its lock. The table
+    /// lock is *not* held while `f` runs, so long steps in one session
+    /// never block verbs on other sessions.
+    pub fn with_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut OwnedSession) -> R,
+    ) -> Result<R, ServeError> {
+        let handle = self.session(id)?;
+        let mut session = handle.lock().expect("session mutex");
+        Ok(f(&mut session))
+    }
+
+    /// Click a displayed group; returns the new display.
+    pub fn click(&self, id: SessionId, g: GroupId) -> Result<Vec<GroupId>, ServeError> {
+        self.with_session(id, |s| s.click(g).map(<[GroupId]>::to_vec))?
+            .map_err(ServeError::from)
+    }
+
+    /// Backtrack to a history step; returns the restored display.
+    pub fn backtrack(&self, id: SessionId, step: usize) -> Result<Vec<GroupId>, ServeError> {
+        self.with_session(id, |s| s.backtrack(step).map(<[GroupId]>::to_vec))?
+            .map_err(ServeError::from)
+    }
+
+    /// A session's current display.
+    pub fn display(&self, id: SessionId) -> Result<Vec<GroupId>, ServeError> {
+        self.with_session(id, |s| s.display().to_vec())
+    }
+
+    /// A session's CONTEXT view, top-`n` per side.
+    pub fn context(&self, id: SessionId, n: usize) -> Result<ContextView, ServeError> {
+        self.with_session(id, |s| s.context(n))
+    }
+
+    /// Bookmark a group in a session's MEMO.
+    pub fn memo_group(&self, id: SessionId, g: GroupId) -> Result<(), ServeError> {
+        self.with_session(id, |s| s.memo_group(g))?
+            .map_err(ServeError::from)
+    }
+
+    /// Bookmark a user in a session's MEMO.
+    pub fn memo_user(&self, id: SessionId, u: UserId) -> Result<(), ServeError> {
+        self.with_session(id, |s| s.memo_user(u))
+    }
+
+    /// Close a session, dropping its state.
+    pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
+        self.sessions
+            .write()
+            .expect("session table")
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(ServeError::UnknownSession(id.0))
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("session table").len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serve one [`Request`] — the transport-style entry point.
+    pub fn handle(&self, request: Request) -> Result<Response, ServeError> {
+        match request {
+            Request::Open => {
+                let (session, display) = self.open()?;
+                Ok(Response::Opened { session, display })
+            }
+            Request::OpenWith(config) => {
+                let (session, display) = self.open_with(config)?;
+                Ok(Response::Opened { session, display })
+            }
+            Request::Click { session, group } => Ok(Response::Display(self.click(session, group)?)),
+            Request::Backtrack { session, step } => {
+                Ok(Response::Display(self.backtrack(session, step)?))
+            }
+            Request::Display { session } => Ok(Response::Display(self.display(session)?)),
+            Request::Context { session, n } => Ok(Response::Context(self.context(session, n)?)),
+            Request::MemoGroup { session, group } => {
+                self.memo_group(session, group)?;
+                Ok(Response::Ack)
+            }
+            Request::MemoUser { session, user } => {
+                self.memo_user(session, user)?;
+                Ok(Response::Ack)
+            }
+            Request::Close { session } => {
+                self.close(session)?;
+                Ok(Response::Ack)
+            }
+        }
+    }
+}
+
+// The whole point of the service is cross-thread serving; pin the auto
+// traits at compile time so a non-Sync field can never sneak in.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Vexus>();
+    assert_send_sync::<ExplorationService>();
+    assert_send_sync::<OwnedSession>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
+
+    fn service() -> ExplorationService {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let engine = Vexus::build(ds.data, EngineConfig::default()).unwrap();
+        ExplorationService::new(engine.shared())
+    }
+
+    #[test]
+    fn open_click_backtrack_close_roundtrip() {
+        let svc = service();
+        let (id, display) = svc.open().unwrap();
+        assert!(!display.is_empty());
+        assert_eq!(svc.display(id).unwrap(), display);
+        let next = svc.click(id, display[0]).unwrap();
+        assert!(!next.is_empty());
+        assert_ne!(svc.context(id, 5).unwrap().users.len(), 0);
+        let back = svc.backtrack(id, 0).unwrap();
+        assert_eq!(back, display);
+        svc.memo_group(id, display[0]).unwrap();
+        svc.memo_user(id, UserId::new(1)).unwrap();
+        assert_eq!(svc.len(), 1);
+        svc.close(id).unwrap();
+        assert!(svc.is_empty());
+        assert_eq!(svc.close(id), Err(ServeError::UnknownSession(id.0)));
+    }
+
+    #[test]
+    fn verbs_on_unknown_sessions_fail() {
+        let svc = service();
+        let ghost = SessionId(99);
+        assert!(matches!(
+            svc.click(ghost, GroupId::new(0)),
+            Err(ServeError::UnknownSession(99))
+        ));
+        assert!(matches!(
+            svc.display(ghost),
+            Err(ServeError::UnknownSession(99))
+        ));
+    }
+
+    #[test]
+    fn core_errors_pass_through() {
+        let svc = service();
+        let (id, _) = svc.open().unwrap();
+        let err = svc.click(id, GroupId::new(u32::MAX - 1)).unwrap_err();
+        assert!(matches!(err, ServeError::Core(CoreError::NotDisplayed(_))));
+        let err = svc.backtrack(id, 42).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Core(CoreError::BadHistoryStep(42))
+        ));
+    }
+
+    #[test]
+    fn session_ids_are_unique_and_isolated() {
+        let svc = service();
+        // A budget that never binds: identical opening displays must not
+        // hinge on wall-clock noise cutting two hill-climbs differently.
+        let cfg = EngineConfig::default().with_budget(std::time::Duration::from_secs(600));
+        let (a, display_a) = svc.open_with(cfg.clone()).unwrap();
+        let (b, display_b) = svc.open_with(cfg).unwrap();
+        assert_ne!(a, b);
+        // Identical opening displays (same engine, same config)…
+        assert_eq!(display_a, display_b);
+        // …but stepping one session leaves the other untouched.
+        svc.click(a, display_a[0]).unwrap();
+        assert_eq!(svc.display(b).unwrap(), display_b);
+        assert!(svc.context(b, 5).unwrap().users.is_empty());
+    }
+
+    #[test]
+    fn request_response_mirrors_typed_verbs() {
+        let svc = service();
+        let (id, display) = match svc.handle(Request::Open).unwrap() {
+            Response::Opened { session, display } => (session, display),
+            other => panic!("expected Opened, got {other:?}"),
+        };
+        let next = match svc
+            .handle(Request::Click {
+                session: id,
+                group: display[0],
+            })
+            .unwrap()
+        {
+            Response::Display(d) => d,
+            other => panic!("expected Display, got {other:?}"),
+        };
+        assert!(!next.is_empty());
+        assert!(matches!(
+            svc.handle(Request::Context { session: id, n: 3 }).unwrap(),
+            Response::Context(_)
+        ));
+        assert!(matches!(
+            svc.handle(Request::MemoGroup {
+                session: id,
+                group: display[0],
+            })
+            .unwrap(),
+            Response::Ack
+        ));
+        assert!(matches!(
+            svc.handle(Request::Close { session: id }).unwrap(),
+            Response::Ack
+        ));
+        assert!(svc.handle(Request::Display { session: id }).is_err());
+    }
+
+    #[test]
+    fn concurrent_sessions_step_independently() {
+        let svc = service();
+        // A budget the tiny workload never exhausts: greedy runs to
+        // convergence, so contended threads still converge to the same
+        // selections and the cross-session equality below is exact.
+        let config = EngineConfig::default().with_budget(std::time::Duration::from_secs(600));
+        let ids: Vec<SessionId> = (0..8)
+            .map(|_| svc.open_with(config.clone()).unwrap().0)
+            .collect();
+        std::thread::scope(|scope| {
+            for &id in &ids {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let display = svc.display(id).unwrap();
+                        if display.is_empty() {
+                            break;
+                        }
+                        svc.click(id, display[0]).unwrap();
+                    }
+                });
+            }
+        });
+        // All sessions advanced the same deterministic script to the same
+        // state (same engine, same clicks).
+        let reference = svc.display(ids[0]).unwrap();
+        for &id in &ids[1..] {
+            assert_eq!(svc.display(id).unwrap(), reference);
+        }
+    }
+}

@@ -10,14 +10,36 @@
 //! any stage of the process, the explorer can bookmark a group or a user in
 //! MEMO. The analysis ends when the explorer is satisfied with her
 //! collection in MEMO, which serves as her analysis goal."
+//!
+//! ## Session = state over a shared, immutable engine
+//!
+//! A [`Session`] is generic over an [`EngineRef`] — anything that can hand
+//! out the four immutable engine parts (dataset, vocabulary, group space,
+//! index). Two instantiations matter:
+//!
+//! * [`ExplorationSession`] (`Session<BorrowedEngine<'_>>`) borrows the
+//!   parts — the original single-owner shape, still what
+//!   [`crate::engine::Vexus::session`] returns,
+//! * `Session<Arc<Vexus>>` ([`crate::engine::OwnedSession`]) owns a
+//!   cheap handle to a shared engine, so thousands of sessions can live on
+//!   different threads over one group space — the serving shape behind
+//!   [`crate::serve::ExplorationService`].
+//!
+//! Per-step state is deliberately cheap: the display is an
+//! `Arc<[GroupId]>`, feedback is copy-on-write behind an `Arc`, and every
+//! HISTORY snapshot is two `Arc` clones — a deep history costs O(actual
+//! feedback deltas), not O(steps × feedback size). The per-click scratch
+//! buffers of the greedy optimizer live in the session and are reused
+//! across clicks.
 
 use crate::config::EngineConfig;
 use crate::error::CoreError;
 use crate::features::Featurizer;
 use crate::feedback::{ContextView, FeedbackVector};
-use crate::greedy::{self, ScoredCandidate, SelectParams, SelectionOutcome};
+use crate::greedy::{self, ScoredCandidate, SelectParams, SelectScratch, SelectionOutcome};
+use std::sync::Arc;
 use vexus_data::{AttrId, UserData, UserId, Vocabulary};
-use vexus_index::GroupIndex;
+use vexus_index::{GroupIndex, NeighborCache};
 use vexus_mining::{GroupId, GroupSet, MemberSet};
 use vexus_stats::StatsView;
 use vexus_viz::color::{Color, Palette};
@@ -25,16 +47,99 @@ use vexus_viz::force::{ForceConfig, ForceLayout};
 use vexus_viz::lda::Lda;
 use vexus_viz::pca::Pca;
 
-/// One entry of the HISTORY view.
+/// Read access to the immutable engine parts a session explores over.
+///
+/// Implementors: [`BorrowedEngine`] (plain borrows, the single-owner
+/// shape) and `Arc<Vexus>` (a shared handle, the serving shape). The
+/// engine is immutable post-build, so any number of sessions — on any
+/// number of threads — may hold the same engine.
+pub trait EngineRef {
+    /// The dataset.
+    fn data(&self) -> &UserData;
+    /// The token vocabulary.
+    fn vocab(&self) -> &Vocabulary;
+    /// The discovered group space.
+    fn groups(&self) -> &GroupSet;
+    /// The similarity index.
+    fn index(&self) -> &GroupIndex;
+    /// The engine's shared neighbor cache, when it has one. Sessions read
+    /// index neighbor lists through it (unless the session config opts
+    /// out), sharing cached lists across all sessions on the engine.
+    fn neighbor_cache(&self) -> Option<&NeighborCache> {
+        None
+    }
+}
+
+/// An [`EngineRef`] over plain borrows — the thin shim that keeps the
+/// original `ExplorationSession<'a>` shape (and every existing example and
+/// test) working unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct BorrowedEngine<'a> {
+    data: &'a UserData,
+    vocab: &'a Vocabulary,
+    groups: &'a GroupSet,
+    index: &'a GroupIndex,
+    cache: Option<&'a NeighborCache>,
+}
+
+impl<'a> BorrowedEngine<'a> {
+    /// Borrow the four engine parts (no neighbor cache).
+    pub fn new(
+        data: &'a UserData,
+        vocab: &'a Vocabulary,
+        groups: &'a GroupSet,
+        index: &'a GroupIndex,
+    ) -> Self {
+        Self {
+            data,
+            vocab,
+            groups,
+            index,
+            cache: None,
+        }
+    }
+
+    /// Attach a shared neighbor cache.
+    pub fn with_cache(mut self, cache: Option<&'a NeighborCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+}
+
+impl EngineRef for BorrowedEngine<'_> {
+    fn data(&self) -> &UserData {
+        self.data
+    }
+
+    fn vocab(&self) -> &Vocabulary {
+        self.vocab
+    }
+
+    fn groups(&self) -> &GroupSet {
+        self.groups
+    }
+
+    fn index(&self) -> &GroupIndex {
+        self.index
+    }
+
+    fn neighbor_cache(&self) -> Option<&NeighborCache> {
+        self.cache
+    }
+}
+
+/// One entry of the HISTORY view. Snapshots are shared (`Arc`), so pushing
+/// a step never deep-copies the display or the feedback vector; a restore
+/// ([`Session::backtrack`]) is two reference-count bumps.
 #[derive(Debug, Clone)]
 pub struct HistoryStep {
     /// The group clicked to produce this step (`None` = opening step or
     /// backtrack landing).
     pub clicked: Option<GroupId>,
     /// The GroupViz display after the step.
-    pub display: Vec<GroupId>,
+    pub display: Arc<[GroupId]>,
     /// Feedback state after the step (snapshot, restorable).
-    pub feedback: FeedbackVector,
+    pub feedback: Arc<FeedbackVector>,
 }
 
 /// The MEMO view: bookmarked groups and users — "her analysis goal".
@@ -85,23 +190,30 @@ pub struct Circle {
     pub label: String,
 }
 
-/// An interactive exploration over a pre-processed group space.
-pub struct ExplorationSession<'a> {
-    data: &'a UserData,
-    vocab: &'a Vocabulary,
-    groups: &'a GroupSet,
-    index: &'a GroupIndex,
+/// An interactive exploration over a pre-processed group space, generic
+/// over how the engine is held (see [`EngineRef`]).
+pub struct Session<E: EngineRef> {
+    engine: E,
     config: EngineConfig,
-    feedback: FeedbackVector,
-    display: Vec<GroupId>,
+    feedback: Arc<FeedbackVector>,
+    display: Arc<[GroupId]>,
     history: Vec<HistoryStep>,
     memo: Memo,
     last_outcome: Option<SelectionOutcome>,
+    /// Reused greedy working memory (cleared each click, never shrunk).
+    scratch: SelectScratch,
+    /// Reused candidate buffer for the neighbors → greedy handoff.
+    candidates: Vec<ScoredCandidate>,
 }
 
+/// The borrowing session — `Session` over [`BorrowedEngine`]. Existing
+/// code spelled against `ExplorationSession<'a>` compiles unchanged.
+pub type ExplorationSession<'a> = Session<BorrowedEngine<'a>>;
+
 impl<'a> ExplorationSession<'a> {
-    /// Open a session: runs the opening greedy step over the whole group
-    /// space (reference = the full population).
+    /// Open a borrowing session from explicit engine parts: runs the
+    /// opening greedy step over the whole group space (reference = the
+    /// full population).
     pub fn open(
         data: &'a UserData,
         vocab: &'a Vocabulary,
@@ -109,20 +221,27 @@ impl<'a> ExplorationSession<'a> {
         index: &'a GroupIndex,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        if groups.is_empty() {
+        Session::open_engine(BorrowedEngine::new(data, vocab, groups, index), config)
+    }
+}
+
+impl<E: EngineRef> Session<E> {
+    /// Open a session over any engine handle: runs the opening greedy step
+    /// over the whole group space (reference = the full population).
+    pub fn open_engine(engine: E, config: EngineConfig) -> Result<Self, CoreError> {
+        if engine.groups().is_empty() {
             return Err(CoreError::EmptyGroupSpace);
         }
         let mut session = Self {
-            data,
-            vocab,
-            groups,
-            index,
+            engine,
             config,
-            feedback: FeedbackVector::new(),
-            display: Vec::new(),
+            feedback: Arc::new(FeedbackVector::new()),
+            display: Arc::from(Vec::new()),
             history: Vec::new(),
             memo: Memo::default(),
             last_outcome: None,
+            scratch: SelectScratch::new(),
+            candidates: Vec::new(),
         };
         session.opening_step();
         Ok(session)
@@ -131,25 +250,68 @@ impl<'a> ExplorationSession<'a> {
     /// Re-run the opening step (used by `restart` flows and the C5 sweep).
     fn opening_step(&mut self) {
         // Opening candidates: the biggest groups, similarity 1 (no anchor).
-        let mut by_size: Vec<GroupId> = self.groups.ids().collect();
-        by_size.sort_by_key(|&id| std::cmp::Reverse(self.groups.get(id).size()));
+        let groups = self.engine.groups();
+        let mut by_size: Vec<GroupId> = groups.ids().collect();
+        by_size.sort_by_key(|&id| std::cmp::Reverse(groups.get(id).size()));
         by_size.truncate(self.config.candidate_pool);
-        let candidates: Vec<ScoredCandidate> = by_size.into_iter().map(|id| (id, 1.0)).collect();
-        let reference = MemberSet::universe(self.data.n_users() as u32);
-        let outcome = greedy::select_k(
-            self.groups,
-            &candidates,
+        self.candidates.clear();
+        self.candidates
+            .extend(by_size.into_iter().map(|id| (id, 1.0)));
+        let reference = MemberSet::universe(self.engine.data().n_users() as u32);
+        let params = self.select_params();
+        let outcome = greedy::select_k_with(
+            &mut self.scratch,
+            self.engine.groups(),
+            &self.candidates,
             &reference,
             &self.feedback,
-            &self.select_params(),
+            &params,
         );
-        self.display = outcome.selection.clone();
+        self.commit_step(None, outcome);
+    }
+
+    /// Install a selection as the new display and snapshot it into
+    /// HISTORY. The display is copied once into an `Arc`; the history
+    /// entry and the feedback snapshot are reference-count bumps.
+    fn commit_step(&mut self, clicked: Option<GroupId>, outcome: SelectionOutcome) {
+        self.display = Arc::from(outcome.selection.as_slice());
         self.last_outcome = Some(outcome);
         self.history.push(HistoryStep {
-            clicked: None,
-            display: self.display.clone(),
-            feedback: self.feedback.clone(),
+            clicked,
+            display: Arc::clone(&self.display),
+            feedback: Arc::clone(&self.feedback),
         });
+    }
+
+    /// Fill the reusable candidate buffer with the clicked group's index
+    /// neighbors — through the engine's shared cache when present and
+    /// enabled ([`EngineConfig::neighbor_cache`]), directly otherwise.
+    /// Both paths produce identical candidates.
+    fn refresh_candidates(&mut self, g: GroupId) {
+        let groups = self.engine.groups();
+        let index = self.engine.index();
+        let pool = self.config.candidate_pool;
+        self.candidates.clear();
+        let cache = if self.config.neighbor_cache {
+            self.engine.neighbor_cache()
+        } else {
+            None
+        };
+        match cache {
+            Some(cache) => {
+                let neighbors = cache.neighbors(index, groups, g, pool);
+                self.candidates
+                    .extend(neighbors.iter().map(|&(id, sim)| (id, sim as f64)));
+            }
+            None => {
+                self.candidates.extend(
+                    index
+                        .neighbors(groups, g, pool)
+                        .into_iter()
+                        .map(|(id, sim)| (id, sim as f64)),
+                );
+            }
+        }
     }
 
     fn select_params(&self) -> SelectParams {
@@ -175,32 +337,24 @@ impl<'a> ExplorationSession<'a> {
         if !self.display.contains(&g) {
             return Err(CoreError::NotDisplayed(g.0));
         }
-        let group = self.groups.get(g);
         if self.config.feedback_weight > 0.0 {
-            self.feedback.reward_group(group);
+            let group = self.engine.groups().get(g);
+            // Copy-on-write: clones the vector only when a history
+            // snapshot still shares it.
+            Arc::make_mut(&mut self.feedback).reward_group(group);
         }
-        let candidates = self
-            .index
-            .neighbors(self.groups, g, self.config.candidate_pool);
-        let candidates: Vec<ScoredCandidate> = candidates
-            .into_iter()
-            .map(|(id, sim)| (id, sim as f64))
-            .collect();
-        let reference = group.members.clone();
-        let outcome = greedy::select_k(
-            self.groups,
-            &candidates,
-            &reference,
+        self.refresh_candidates(g);
+        let params = self.select_params();
+        let group = self.engine.groups().get(g);
+        let outcome = greedy::select_k_with(
+            &mut self.scratch,
+            self.engine.groups(),
+            &self.candidates,
+            &group.members,
             &self.feedback,
-            &self.select_params(),
+            &params,
         );
-        self.display = outcome.selection.clone();
-        self.last_outcome = Some(outcome);
-        self.history.push(HistoryStep {
-            clicked: Some(g),
-            display: self.display.clone(),
-            feedback: self.feedback.clone(),
-        });
+        self.commit_step(Some(g), outcome);
         Ok(&self.display)
     }
 
@@ -217,8 +371,8 @@ impl<'a> ExplorationSession<'a> {
         }
         self.history.truncate(step + 1);
         let snapshot = &self.history[step];
-        self.display = snapshot.display.clone();
-        self.feedback = snapshot.feedback.clone();
+        self.display = Arc::clone(&snapshot.display);
+        self.feedback = Arc::clone(&snapshot.feedback);
         Ok(&self.display)
     }
 
@@ -230,17 +384,17 @@ impl<'a> ExplorationSession<'a> {
     /// Unlearn a demographic value (delete it from CONTEXT) — e.g. the PC
     /// chair deleting "male" to re-balance results.
     pub fn unlearn_token(&mut self, token: vexus_data::TokenId) {
-        self.feedback.unlearn_token(token);
+        Arc::make_mut(&mut self.feedback).unlearn_token(token);
     }
 
     /// Unlearn a user.
     pub fn unlearn_user(&mut self, user: UserId) {
-        self.feedback.unlearn_user(user);
+        Arc::make_mut(&mut self.feedback).unlearn_user(user);
     }
 
     /// Bookmark a group in MEMO.
     pub fn memo_group(&mut self, g: GroupId) -> Result<(), CoreError> {
-        if g.index() >= self.groups.len() {
+        if g.index() >= self.engine.groups().len() {
             return Err(CoreError::UnknownGroup(g.0));
         }
         self.memo.add_group(g);
@@ -259,12 +413,19 @@ impl<'a> ExplorationSession<'a> {
 
     /// The STATS view over a group's members (coordinated histograms +
     /// brushable user table).
-    pub fn stats_view(&self, g: GroupId) -> Result<StatsView<'a>, CoreError> {
-        if g.index() >= self.groups.len() {
+    pub fn stats_view(&self, g: GroupId) -> Result<StatsView<'_>, CoreError> {
+        if g.index() >= self.engine.groups().len() {
             return Err(CoreError::UnknownGroup(g.0));
         }
-        let members: Vec<UserId> = self.groups.get(g).members.iter().map(UserId::new).collect();
-        Ok(StatsView::new(self.data, members))
+        let members: Vec<UserId> = self
+            .engine
+            .groups()
+            .get(g)
+            .members
+            .iter()
+            .map(UserId::new)
+            .collect();
+        Ok(StatsView::new(self.engine.data(), members))
     }
 
     /// The Focus view: a 2-D projection of a group's members, labeled (and
@@ -275,20 +436,28 @@ impl<'a> ExplorationSession<'a> {
         g: GroupId,
         label_attr: AttrId,
     ) -> Result<Vec<(UserId, [f64; 2], u32)>, CoreError> {
-        if g.index() >= self.groups.len() {
+        if g.index() >= self.engine.groups().len() {
             return Err(CoreError::UnknownGroup(g.0));
         }
-        let members: Vec<UserId> = self.groups.get(g).members.iter().map(UserId::new).collect();
+        let data = self.engine.data();
+        let members: Vec<UserId> = self
+            .engine
+            .groups()
+            .get(g)
+            .members
+            .iter()
+            .map(UserId::new)
+            .collect();
         if members.is_empty() {
             return Ok(Vec::new());
         }
-        let featurizer = Featurizer::new(self.data);
-        let points = featurizer.features_of(self.data, &members);
-        let missing_class = self.data.schema().cardinality(label_attr) as u32;
+        let featurizer = Featurizer::new(data);
+        let points = featurizer.features_of(data, &members);
+        let missing_class = data.schema().cardinality(label_attr) as u32;
         let labels: Vec<u32> = members
             .iter()
             .map(|&u| {
-                let v = self.data.value(u, label_attr);
+                let v = data.value(u, label_attr);
                 if v.is_missing() {
                     missing_class
                 } else {
@@ -324,23 +493,25 @@ impl<'a> ExplorationSession<'a> {
         if self.display.is_empty() {
             return Vec::new();
         }
+        let groups = self.engine.groups();
+        let data = self.engine.data();
         let max_size = self
             .display
             .iter()
-            .map(|&g| self.groups.get(g).size())
+            .map(|&g| groups.get(g).size())
             .max()
             .unwrap_or(1)
             .max(1) as f64;
         let radii: Vec<f64> = self
             .display
             .iter()
-            .map(|&g| 18.0 + 42.0 * (self.groups.get(g).size() as f64 / max_size).sqrt())
+            .map(|&g| 18.0 + 42.0 * (groups.get(g).size() as f64 / max_size).sqrt())
             .collect();
         let mut layout = ForceLayout::new(&radii, ForceConfig::default());
         // Springs proportional to pairwise similarity.
         for i in 0..self.display.len() {
             for j in i + 1..self.display.len() {
-                let sim = GroupIndex::similarity(self.groups, self.display[i], self.display[j]);
+                let sim = GroupIndex::similarity(groups, self.display[i], self.display[j]);
                 if sim > 0.0 {
                     layout.link(i, j, sim);
                 }
@@ -351,11 +522,11 @@ impl<'a> ExplorationSession<'a> {
             .iter()
             .zip(&layout.nodes)
             .map(|(&g, node)| {
-                let group = self.groups.get(g);
+                let group = groups.get(g);
                 // Color: blend of the color attribute's value shares.
                 let mut shares: std::collections::HashMap<u32, f64> = Default::default();
                 for u in group.members.iter() {
-                    let v = self.data.value(UserId::new(u), color_attr);
+                    let v = data.value(UserId::new(u), color_attr);
                     if !v.is_missing() {
                         *shares.entry(v.raw()).or_insert(0.0) += 1.0;
                     }
@@ -368,7 +539,7 @@ impl<'a> ExplorationSession<'a> {
                     y: node.y,
                     radius: node.radius,
                     color: Palette::blend(&share_vec),
-                    label: group.label(self.vocab, self.data.schema()),
+                    label: group.label(self.engine.vocab(), data.schema()),
                 }
             })
             .collect()
@@ -376,20 +547,33 @@ impl<'a> ExplorationSession<'a> {
 
     /// Member set of a group (used by simulated explorers and experiments).
     pub fn group_members(&self, g: GroupId) -> &MemberSet {
-        &self.groups.get(g).members
+        &self.engine.groups().get(g).members
     }
 
     /// The underlying dataset.
     pub fn data(&self) -> &UserData {
-        self.data
+        self.engine.data()
+    }
+
+    /// The engine handle the session explores over.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Human-readable description of a group (the hover text).
     pub fn describe(&self, g: GroupId) -> String {
+        let groups = self.engine.groups();
         format!(
             "{} ({} users)",
-            self.groups.get(g).label(self.vocab, self.data.schema()),
-            self.groups.get(g).size()
+            groups
+                .get(g)
+                .label(self.engine.vocab(), self.engine.data().schema()),
+            groups.get(g).size()
         )
     }
 
@@ -406,6 +590,8 @@ impl<'a> ExplorationSession<'a> {
     /// Export MEMO as CSV — the "Save" module of Fig. 1. One row per
     /// bookmarked group (kind=group) and per bookmarked user (kind=user).
     pub fn export_memo_csv(&self) -> String {
+        let groups = self.engine.groups();
+        let data = self.engine.data();
         let header: Vec<String> = ["kind", "id", "label", "size_or_activity"]
             .iter()
             .map(|s| s.to_string())
@@ -415,16 +601,16 @@ impl<'a> ExplorationSession<'a> {
             records.push(vec![
                 "group".to_string(),
                 g.to_string(),
-                self.groups.get(g).label(self.vocab, self.data.schema()),
-                self.groups.get(g).size().to_string(),
+                groups.get(g).label(self.engine.vocab(), data.schema()),
+                groups.get(g).size().to_string(),
             ]);
         }
         for &u in self.memo.users() {
             records.push(vec![
                 "user".to_string(),
-                self.data.user_name(u).to_string(),
-                self.data.describe_user(u),
-                self.data.user_activity(u).to_string(),
+                data.user_name(u).to_string(),
+                data.describe_user(u),
+                data.user_activity(u).to_string(),
             ]);
         }
         vexus_data::csv::write(&header, &records, vexus_data::csv::CsvOptions::default())
@@ -433,9 +619,10 @@ impl<'a> ExplorationSession<'a> {
     /// Render the whole five-view state as text (for the CLI examples and
     /// the F2 experiment).
     pub fn render_text(&self) -> String {
+        let data = self.engine.data();
         let mut out = String::new();
         out.push_str("== GROUPVIZ ==\n");
-        for &g in &self.display {
+        for &g in self.display.iter() {
             out.push_str(&format!("  ({g}) {}\n", self.describe(g)));
         }
         out.push_str("== CONTEXT ==\n");
@@ -443,11 +630,11 @@ impl<'a> ExplorationSession<'a> {
         for (t, s) in &ctx.tokens {
             out.push_str(&format!(
                 "  [{}] {s:.3}\n",
-                self.vocab.label(*t, self.data.schema())
+                self.engine.vocab().label(*t, data.schema())
             ));
         }
         for (u, s) in &ctx.users {
-            out.push_str(&format!("  [{}] {s:.3}\n", self.data.user_name(*u)));
+            out.push_str(&format!("  [{}] {s:.3}\n", data.user_name(*u)));
         }
         out.push_str("== HISTORY ==\n");
         for (i, step) in self.history.iter().enumerate() {
@@ -461,7 +648,7 @@ impl<'a> ExplorationSession<'a> {
             out.push_str(&format!("  group {g}: {}\n", self.describe(*g)));
         }
         for u in self.memo.users() {
-            out.push_str(&format!("  user {}\n", self.data.user_name(*u)));
+            out.push_str(&format!("  user {}\n", data.user_name(*u)));
         }
         out
     }
@@ -536,6 +723,68 @@ mod tests {
             session.backtrack(9),
             Err(CoreError::BadHistoryStep(9))
         ));
+    }
+
+    /// Regression pin for the Arc-snapshot refactor: backtracking to a
+    /// step and replaying the same clicks must reproduce byte-identical
+    /// displays and feedback state at every step — exactly what the
+    /// eagerly-cloning history gave.
+    #[test]
+    fn backtrack_then_replay_is_byte_identical() {
+        let vexus = engine();
+        // A budget the tiny workload never exhausts: every greedy call
+        // runs to convergence, so the replay cannot diverge on a noisy
+        // machine where the clock (not the optimum) decides.
+        let config = EngineConfig::default().with_budget(std::time::Duration::from_secs(600));
+        let mut session = vexus.session_with(config).unwrap();
+        // Walk four clicks, recording the trace.
+        let mut clicks = Vec::new();
+        let mut displays = vec![session.display().to_vec()];
+        let mut contexts = vec![session.context(usize::MAX)];
+        for step in 0..4 {
+            let g = session.display()[step % session.display().len()];
+            clicks.push(g);
+            session.click(g).unwrap();
+            displays.push(session.display().to_vec());
+            contexts.push(session.context(usize::MAX));
+        }
+        // Backtrack to the opening step and replay the identical clicks.
+        session.backtrack(0).unwrap();
+        assert_eq!(session.display(), displays[0].as_slice());
+        assert_eq!(session.context(usize::MAX), contexts[0]);
+        for (i, &g) in clicks.iter().enumerate() {
+            session.click(g).unwrap();
+            assert_eq!(session.display(), displays[i + 1].as_slice(), "step {i}");
+            assert_eq!(session.context(usize::MAX), contexts[i + 1], "step {i}");
+        }
+        // Mid-history backtrack restores that exact snapshot too.
+        session.backtrack(2).unwrap();
+        assert_eq!(session.display(), displays[2].as_slice());
+        assert_eq!(session.context(usize::MAX), contexts[2]);
+    }
+
+    /// The history is O(deltas): with feedback disabled no click mutates
+    /// the vector, so every snapshot shares one allocation.
+    #[test]
+    fn history_snapshots_share_feedback_when_unchanged() {
+        let vexus = engine();
+        let mut session = vexus
+            .session_with(EngineConfig::default().without_feedback())
+            .unwrap();
+        for _ in 0..3 {
+            let g = session.display()[0];
+            if session.click(g).is_err() || session.display().is_empty() {
+                break;
+            }
+        }
+        let history = session.history();
+        assert!(history.len() >= 2);
+        for step in &history[1..] {
+            assert!(
+                Arc::ptr_eq(&history[0].feedback, &step.feedback),
+                "unchanged feedback must be shared, not cloned"
+            );
+        }
     }
 
     #[test]
@@ -665,5 +914,33 @@ mod tests {
         session.click(g).unwrap();
         let outcome = session.last_outcome().unwrap();
         assert!(outcome.elapsed <= std::time::Duration::from_secs(2));
+    }
+
+    /// The owned shape: sessions over `Arc<Vexus>` behave identically to
+    /// borrowing sessions over the same engine.
+    #[test]
+    fn owned_session_matches_borrowed() {
+        let vexus = Arc::new(engine());
+        // A budget that never binds: equality must not hinge on wall-clock
+        // noise cutting two identical hill-climbs at different points.
+        let cfg = EngineConfig::default().with_budget(std::time::Duration::from_secs(600));
+        let mut owned =
+            crate::engine::OwnedSession::open_with(Arc::clone(&vexus), cfg.clone()).unwrap();
+        let mut borrowed = vexus.session_with(cfg).unwrap();
+        assert_eq!(owned.display(), borrowed.display());
+        for _ in 0..3 {
+            let g = owned.display()[0];
+            let a = owned.click(g).unwrap().to_vec();
+            let b = borrowed.click(g).unwrap().to_vec();
+            assert_eq!(a, b);
+            if a.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            owned.context(usize::MAX),
+            borrowed.context(usize::MAX),
+            "feedback must evolve identically"
+        );
     }
 }

@@ -19,7 +19,7 @@
 //!   discussion-club case).
 
 use crate::error::CoreError;
-use crate::session::ExplorationSession;
+use crate::session::{EngineRef, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vexus_data::UserId;
@@ -95,8 +95,8 @@ pub struct StOutcome {
 /// The informed policy clicks the displayed group with the highest Jaccard
 /// similarity to the target (the navigation signal), regardless of the
 /// acceptance criterion (the stop signal).
-pub fn run_st(
-    session: &mut ExplorationSession<'_>,
+pub fn run_st<E: EngineRef>(
+    session: &mut Session<E>,
     target: &MemberSet,
     accept: StAccept,
     max_iterations: usize,
@@ -208,7 +208,7 @@ impl MtTask {
 
     /// The members of a group that survive the explorer's brushes — what
     /// she actually sees in the STATS table.
-    fn brushed_members(&self, session: &ExplorationSession<'_>, g: GroupId) -> Vec<UserId> {
+    fn brushed_members<E: EngineRef>(&self, session: &Session<E>, g: GroupId) -> Vec<UserId> {
         let data = session.data();
         session
             .group_members(g)
@@ -236,8 +236,8 @@ pub struct MtOutcome {
 /// Run an MT task: collect the target users by memoizing them whenever an
 /// *inspectable* displayed group contains them; the explorer clicks the
 /// group most likely to narrow onto uncollected targets.
-pub fn run_mt(
-    session: &mut ExplorationSession<'_>,
+pub fn run_mt<E: EngineRef>(
+    session: &mut Session<E>,
     task: &MtTask,
     policy: Policy,
 ) -> Result<MtOutcome, CoreError> {
@@ -343,8 +343,8 @@ pub struct CommitteeOutcome {
 }
 
 /// Run a committee-formation task.
-pub fn run_committee(
-    session: &mut ExplorationSession<'_>,
+pub fn run_committee<E: EngineRef>(
+    session: &mut Session<E>,
     task: &CommitteeTask,
     policy: Policy,
 ) -> Result<CommitteeOutcome, CoreError> {
@@ -354,7 +354,7 @@ pub fn run_committee(
     let mut per_value: std::collections::HashMap<u32, usize> = Default::default();
     let mut iterations = 0usize;
 
-    let qualifies = |session: &ExplorationSession<'_>, u: UserId| -> bool {
+    let qualifies = |session: &Session<E>, u: UserId| -> bool {
         let data = session.data();
         task.brush.iter().all(|&(a, v)| data.value(u, a) == v)
             && data.user_activity(u) >= task.min_activity

@@ -1,0 +1,268 @@
+//! Shared read-through cache for [`GroupIndex::neighbors`] results.
+//!
+//! The index is immutable once built, so a neighbor list computed for one
+//! exploration session is valid for *every* session over the same engine.
+//! [`NeighborCache`] memoizes `(group, k)` → neighbor list behind sharded
+//! mutexes: concurrent sessions clicking around one shared group space pay
+//! the exact fallback scan (or even the materialized-prefix copy) once per
+//! distinct query instead of once per click.
+//!
+//! Three properties matter for serving:
+//!
+//! * **transparency** — the cache stores the exact
+//!   [`GroupIndex::neighbors`] result, so cached and uncached answers are
+//!   byte-identical (pinned by tests and the `d5` determinism gate),
+//! * **bounded memory** — per-shard FIFO eviction caps the entry count;
+//!   a `capacity` of 0 disables storage entirely (every query recomputes),
+//! * **cheap hits** — entries are `Arc<[Neighbor]>`, so a hit is one
+//!   atomic increment, shared by all sessions that asked.
+
+use crate::inverted::{GroupIndex, Neighbor};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use vexus_mining::{GroupId, GroupSet};
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 16;
+
+/// Hit/miss counters of a [`NeighborCache`], readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to compute (and, capacity permitting, insert).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no queries were served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    entries: HashMap<(u32, u32), Arc<[Neighbor]>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<(u32, u32)>,
+}
+
+/// Bounded, sharded read-through cache over [`GroupIndex::neighbors`].
+pub struct NeighborCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum entries per shard (total capacity / shard count).
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for NeighborCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeighborCache")
+            .field("capacity", &(self.per_shard * SHARDS))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl NeighborCache {
+    /// A cache holding at most `capacity` neighbor lists (rounded up to a
+    /// multiple of the shard count; `0` keeps nothing and turns every
+    /// query into a counted miss).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS);
+        let shards = (0..SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    entries: HashMap::new(),
+                    order: VecDeque::new(),
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(g: GroupId, k: usize) -> usize {
+        // Mix the key (xor-shift around a Fibonacci multiply) so consecutive
+        // group ids spread across shards instead of contending on one lock —
+        // a skewed shard whose working set exceeds its FIFO quota would
+        // otherwise thrash on cyclic access patterns.
+        let mut h = (g.0 as u64) << 32 | (k as u64 & 0xFFFF_FFFF);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h as usize & (SHARDS - 1)
+    }
+
+    /// The top-`k` neighbors of `g`: served from the cache when present,
+    /// computed through [`GroupIndex::neighbors`] (and cached) otherwise.
+    /// The returned list is always byte-identical to the uncached call.
+    pub fn neighbors(
+        &self,
+        index: &GroupIndex,
+        groups: &GroupSet,
+        g: GroupId,
+        k: usize,
+    ) -> Arc<[Neighbor]> {
+        let key = (g.0, k as u32);
+        let shard = &self.shards[Self::shard_of(g, k)];
+        if let Some(hit) = shard
+            .lock()
+            .expect("neighbor cache shard")
+            .entries
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: a slow fallback scan must not block
+        // sibling queries that hash to the same shard.
+        let computed: Arc<[Neighbor]> = index.neighbors(groups, g, k).into();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.per_shard > 0 {
+            let mut guard = shard.lock().expect("neighbor cache shard");
+            if !guard.entries.contains_key(&key) {
+                if guard.entries.len() >= self.per_shard {
+                    if let Some(old) = guard.order.pop_front() {
+                        guard.entries.remove(&old);
+                    }
+                }
+                guard.entries.insert(key, Arc::clone(&computed));
+                guard.order.push_back(key);
+            }
+        }
+        computed
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently cached (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("neighbor cache shard").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted::IndexConfig;
+    use vexus_mining::{Group, MemberSet};
+
+    fn fixture() -> (GroupSet, GroupIndex) {
+        let mut gs = GroupSet::new();
+        for i in 0..30u32 {
+            let members: Vec<u32> = (i..i + 10).collect();
+            gs.push(Group::new(vec![], MemberSet::from_unsorted(members)));
+        }
+        let idx = GroupIndex::build(
+            &gs,
+            &IndexConfig {
+                materialize_fraction: 0.1,
+                threads: 1,
+            },
+        );
+        (gs, idx)
+    }
+
+    #[test]
+    fn cached_results_match_uncached() {
+        let (gs, idx) = fixture();
+        let cache = NeighborCache::new(64);
+        for (gid, _) in gs.iter() {
+            for k in [1usize, 4, 16] {
+                let direct = idx.neighbors(&gs, gid, k);
+                let cached = cache.neighbors(&idx, &gs, gid, k);
+                assert_eq!(&cached[..], &direct[..], "g={gid} k={k}");
+                // Second query is a hit with the same bytes.
+                let again = cache.neighbors(&idx, &gs, gid, k);
+                assert_eq!(&again[..], &direct[..]);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 30 * 3);
+        assert_eq!(stats.hits, 30 * 3);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let (gs, idx) = fixture();
+        let cache = NeighborCache::new(16);
+        for round in 0..3 {
+            for (gid, _) in gs.iter() {
+                cache.neighbors(&idx, &gs, gid, 8 + round);
+            }
+        }
+        // ceil(16/SHARDS) per shard * SHARDS shards is the hard ceiling.
+        assert!(cache.len() <= 16usize.div_ceil(SHARDS) * SHARDS);
+    }
+
+    #[test]
+    fn zero_capacity_counts_misses_and_stores_nothing() {
+        let (gs, idx) = fixture();
+        let cache = NeighborCache::new(0);
+        let g = GroupId::new(0);
+        let a = cache.neighbors(&idx, &gs, g, 5);
+        let b = cache.neighbors(&idx, &gs, g, 5);
+        assert_eq!(&a[..], &b[..]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let (gs, idx) = fixture();
+        let cache = NeighborCache::new(128);
+        let reference: Vec<Vec<Neighbor>> = gs
+            .iter()
+            .map(|(gid, _)| idx.neighbors(&gs, gid, 6))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (gid, _) in gs.iter() {
+                        let got = cache.neighbors(&idx, &gs, gid, 6);
+                        assert_eq!(&got[..], &reference[gid.index()][..]);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 30);
+        // Racing first-queries may all miss (compute runs outside the
+        // lock); what the design guarantees is that once the race settles,
+        // every key is cached: a sequential sweep is 100% hits.
+        for (gid, _) in gs.iter() {
+            cache.neighbors(&idx, &gs, gid, 6);
+        }
+        let after = cache.stats();
+        assert_eq!(after.hits - stats.hits, 30);
+        assert_eq!(after.misses, stats.misses);
+    }
+}

@@ -20,8 +20,10 @@
 //! enter a neighbor list), scores each unordered pair exactly once from
 //! the smaller-id side, and shards the work across threads with crossbeam.
 
+pub mod cache;
 pub mod graph;
 pub mod inverted;
 
+pub use cache::{CacheStats, NeighborCache};
 pub use graph::OverlapGraph;
 pub use inverted::{GroupIndex, IndexConfig, IndexStats, MemberGroupsCsr};

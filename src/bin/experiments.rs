@@ -11,9 +11,12 @@
 //! non-zero when the named metric is missing (a renamed or dropped metric
 //! must not silently pass) or below the given minimum. CI gates
 //! `d2.recount_recall_min=1.0` — the sharded support-recount merge must
-//! reproduce the unsharded group space exactly — and
+//! reproduce the unsharded group space exactly —
 //! `d4.exchange_recall_min=1.0`, so the deduped/pruned/routed exchange
-//! optimizations can never silently reintroduce a recall tail.
+//! optimizations can never silently reintroduce a recall tail, and
+//! `d5.session_determinism=1.0` — every concurrently served session's
+//! display trajectory must be byte-identical to its single-threaded
+//! reference, with or without the shared neighbor cache.
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 8);

@@ -1,0 +1,146 @@
+//! Concurrent-serving equivalence properties: any set of scripted
+//! sessions served concurrently from one shared engine (through
+//! [`vexus::core::ExplorationService`]) must see exactly the display
+//! trajectories the same scripts produce single-threaded, and a session
+//! that bypasses the shared neighbor cache must see exactly what a cached
+//! session sees. Scripts are deterministic functions of each session's
+//! own displays, and the greedy budget is set far above convergence, so
+//! any divergence is a real serving bug — not timing noise.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use vexus::core::engine::OwnedSession;
+use vexus::core::{EngineConfig, ExplorationService, Vexus};
+use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::mining::GroupId;
+
+/// A budget the tiny engine never exhausts: outcomes depend only on
+/// session-local state, never on scheduler noise.
+fn config() -> EngineConfig {
+    EngineConfig::default().with_budget(Duration::from_secs(600))
+}
+
+/// One engine shared by every proptest case (building it dominates the
+/// cost of a case; the engine is immutable post-build).
+fn engine() -> Arc<Vexus> {
+    static ENGINE: OnceLock<Arc<Vexus>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        Arc::new(Vexus::build(ds.data, config()).expect("non-empty group space"))
+    }))
+}
+
+/// The verb a script pick maps to, given only session-local state.
+enum Verb {
+    Click(GroupId),
+    Backtrack(usize),
+    Stop,
+}
+
+fn verb(pick: usize, display: &[GroupId], history_len: usize) -> Verb {
+    if pick == 6 && history_len > 1 {
+        Verb::Backtrack(0)
+    } else if display.is_empty() {
+        Verb::Stop
+    } else {
+        Verb::Click(display[pick % display.len()])
+    }
+}
+
+/// Replay `script` on one owned session, single-threaded; returns the
+/// display after every verb (opening display first).
+fn replay_single_threaded(script: &[usize], config: &EngineConfig) -> Vec<Vec<GroupId>> {
+    let mut session = OwnedSession::open_with(engine(), config.clone()).expect("session opens");
+    let mut traj = vec![session.display().to_vec()];
+    let mut history_len = 1usize;
+    for &pick in script {
+        let display = traj.last().expect("non-empty trajectory").clone();
+        match verb(pick, &display, history_len) {
+            Verb::Click(g) => {
+                traj.push(session.click(g).expect("scripted click").to_vec());
+                history_len += 1;
+            }
+            Verb::Backtrack(to) => {
+                traj.push(session.backtrack(to).expect("scripted backtrack").to_vec());
+                history_len = to + 1;
+            }
+            Verb::Stop => break,
+        }
+    }
+    traj
+}
+
+/// Replay every script concurrently — one service over the shared engine,
+/// one thread per session — and return each session's trajectory.
+fn replay_concurrently(scripts: &[Vec<usize>], config: &EngineConfig) -> Vec<Vec<Vec<GroupId>>> {
+    let svc = ExplorationService::new(engine());
+    let opened: Vec<_> = scripts
+        .iter()
+        .map(|_| svc.open_with(config.clone()).expect("session opens"))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .zip(&opened)
+            .map(|(script, (id, opening))| {
+                let svc = &svc;
+                scope.spawn(move || {
+                    let mut traj = vec![opening.clone()];
+                    let mut history_len = 1usize;
+                    for &pick in script {
+                        let display = traj.last().expect("non-empty trajectory").clone();
+                        match verb(pick, &display, history_len) {
+                            Verb::Click(g) => {
+                                traj.push(svc.click(*id, g).expect("scripted click"));
+                                history_len += 1;
+                            }
+                            Verb::Backtrack(to) => {
+                                traj.push(svc.backtrack(*id, to).expect("scripted backtrack"));
+                                history_len = to + 1;
+                            }
+                            Verb::Stop => break,
+                        }
+                    }
+                    traj
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving thread"))
+            .collect()
+    })
+}
+
+proptest! {
+    // Each case replays every script twice (reference + concurrent); a
+    // handful of cases over 2–4 sessions covers the interleavings that
+    // matter without minutes of greedy steps.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N concurrent sessions over one shared engine see exactly the
+    /// displays their scripts produce single-threaded.
+    #[test]
+    fn concurrent_sessions_match_single_threaded(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 1..5), 2..5)
+    ) {
+        let cfg = config();
+        let reference: Vec<_> =
+            scripts.iter().map(|s| replay_single_threaded(s, &cfg)).collect();
+        let concurrent = replay_concurrently(&scripts, &cfg);
+        prop_assert_eq!(concurrent, reference);
+    }
+
+    /// A session that bypasses the shared neighbor cache sees exactly what
+    /// a cached session sees — the cache is a pure perf layer.
+    #[test]
+    fn cache_off_session_matches_cache_on(
+        script in proptest::collection::vec(0usize..8, 1..7)
+    ) {
+        let cached = replay_single_threaded(&script, &config());
+        let uncached = replay_single_threaded(&script, &config().with_neighbor_cache(false));
+        prop_assert_eq!(cached, uncached);
+    }
+}
