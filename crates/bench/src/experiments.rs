@@ -27,8 +27,8 @@ use vexus_viz::pca::{silhouette, Pca};
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9",
-    "c10", "c11", "c12",
+    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8",
+    "c9", "c10", "c11", "c12",
 ];
 
 /// One experiment's output: the human-readable table plus structured
@@ -61,6 +61,7 @@ pub fn run(id: &str) -> Option<Report> {
         "d3" => d3_parallel_hot_paths(),
         "d4" => d4_hot_path_cuts(),
         "d5" => d5_concurrent_serving(),
+        "d6" => d6_snapshot(),
         "c1" => c1_budget_sweep().into(),
         "c2" => c2_interaction_latency().into(),
         "c3" => c3_materialization().into(),
@@ -1231,6 +1232,181 @@ pub fn d5_concurrent_serving() -> Report {
          reference; the greedy budget is set far above convergence so outcomes depend only on \
          session-local state, and the shared cache stores exact index answers — determinism is \
          gated at 1.0 in CI)\n",
+    );
+    Report { text: out, metrics }
+}
+
+// ---------------------------------------------------------------------------
+// D6: snapshots — serialize the built engine, load instead of rebuilding
+// ---------------------------------------------------------------------------
+
+/// Snapshot persistence, measured on the d2 workload: encode the built
+/// engine to the flat-buffer format, load it back, and compare the load
+/// against a full rebuild (discovery + size filter + index). The load is
+/// validation plus slice reinterpretation — no mining, no pair scoring —
+/// so it should beat the rebuild by orders of magnitude
+/// (`load_speedup`). Correctness rides along as gated metrics:
+/// `snapshot_roundtrip` is 1.0 only when re-encoding the loaded engine
+/// reproduces the original buffer byte for byte AND the loaded group
+/// space equals the built one; `loaded_serving_determinism` is 1.0 only
+/// when a scripted session on the loaded engine tracks the built engine's
+/// displays verb for verb. CI gates `snapshot_roundtrip` at 1.0 and
+/// archives the metrics as `BENCH_d6.json`. `Vexus::heap_bytes` lands
+/// next to the snapshot size so the resident-vs-at-rest cost of the
+/// serving state is one table.
+pub fn d6_snapshot() -> Report {
+    let mut out = header(
+        "d6",
+        "snapshots: flat-buffer persistence, zero-copy load vs full rebuild",
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let dataset = || {
+        bookcrossing(&BookCrossingConfig {
+            n_users: 3_000,
+            n_books: 2_000,
+            n_ratings: 20_000,
+            n_communities: 8,
+            seed: 42,
+        })
+    };
+    let config = EngineConfig::paper();
+
+    // Build once; the rebuild baseline is timed after the snapshot
+    // measurements so the microsecond-scale load timings don't run in the
+    // allocator and thermal shadow of repeated multi-threaded builds.
+    let mut built = Vexus::build(dataset().data, config.clone()).expect("non-empty");
+
+    // Encode, best of 3.
+    let mut encode = Duration::MAX;
+    let mut buf = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        buf = built.write_snapshot();
+        encode = encode.min(t.elapsed());
+    }
+
+    // Load, best of 5. Each timed engine drops before the next load so
+    // iterations recycle the same allocations instead of measuring fresh
+    // page faults with the previous engine still resident.
+    let mut load = Duration::MAX;
+    for _ in 0..5 {
+        let data = built.data().clone();
+        let t = Instant::now();
+        let l = Vexus::from_snapshot(data, &buf, config.clone()).expect("loads");
+        load = load.min(t.elapsed());
+        drop(l);
+    }
+    let loaded = Vexus::from_snapshot(built.data().clone(), &buf, config.clone()).expect("loads");
+
+    // Rebuild baseline: the full offline pipeline, best of 3. Discovery
+    // is deterministic, so the re-built engine is the one snapshotted.
+    let mut rebuild = Duration::MAX;
+    for _ in 0..3 {
+        let ds = dataset();
+        let t = Instant::now();
+        built = Vexus::build(ds.data, config.clone()).expect("non-empty");
+        rebuild = rebuild.min(t.elapsed());
+    }
+    let speedup = rebuild.as_secs_f64() / load.as_secs_f64().max(1e-12);
+
+    // Round-trip exactness: the loaded engine re-encodes to the same
+    // bytes and holds the same group space.
+    let roundtrip = (loaded.write_snapshot() == buf && loaded.groups() == built.groups()) as u8;
+
+    // Serving determinism: a scripted session must not tell the engines
+    // apart (unlimited greedy budget, the d5 pin, so outcomes depend only
+    // on state — never wall-clock).
+    let session_cfg = EngineConfig::paper().with_budget(Duration::from_secs(600));
+    let mut a = built.session_with(session_cfg.clone()).expect("session");
+    let mut b = loaded.session_with(session_cfg).expect("session");
+    let mut serving_exact = a.display() == b.display();
+    for step in 0..6 {
+        if a.display().is_empty() {
+            break;
+        }
+        let pick = a.display()[step % a.display().len()];
+        let x = a.click(pick).expect("scripted click").to_vec();
+        let y = b.click(pick).expect("scripted click").to_vec();
+        serving_exact &= x == y;
+    }
+
+    metrics.push(("snapshot_bytes".into(), buf.len() as f64));
+    metrics.push(("encode_ms".into(), ms(encode)));
+    metrics.push(("load_ms".into(), ms(load)));
+    metrics.push(("rebuild_ms".into(), ms(rebuild)));
+    metrics.push(("load_speedup".into(), speedup));
+    metrics.push(("snapshot_roundtrip".into(), roundtrip as f64));
+    metrics.push((
+        "loaded_serving_determinism".into(),
+        serving_exact as u8 as f64,
+    ));
+    metrics.push(("heap_built_bytes".into(), built.heap_bytes() as f64));
+    metrics.push(("heap_loaded_bytes".into(), loaded.heap_bytes() as f64));
+    metrics.push((
+        "heap_groups_bytes".into(),
+        built.groups().heap_bytes() as f64,
+    ));
+    metrics.push((
+        "heap_catalog_bytes".into(),
+        built.data().item_catalog().heap_bytes() as f64,
+    ));
+    metrics.push((
+        "heap_index_bytes".into(),
+        built.index().stats().heap_bytes as f64,
+    ));
+
+    let s = built.build_stats();
+    let _ = writeln!(
+        out,
+        "workload: {} users, {} groups, {} materialized index entries",
+        built.data().n_users(),
+        s.n_groups,
+        s.index_entries,
+    );
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>12} | {:>12} | {:>12} | {:>9}",
+        "stage", "fastest", "bytes", "vs rebuild", "exact"
+    );
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>12?} | {:>12} | {:>12} | {:>9}",
+        "rebuild", rebuild, "-", "1.00x", "-"
+    );
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>12?} | {:>12} | {:>11.2}x | {:>9}",
+        "snapshot encode",
+        encode,
+        buf.len(),
+        rebuild.as_secs_f64() / encode.as_secs_f64().max(1e-12),
+        "-"
+    );
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>12?} | {:>12} | {:>11.2}x | {:>9}",
+        "snapshot load",
+        load,
+        "-",
+        speedup,
+        roundtrip == 1 && serving_exact
+    );
+    let _ = writeln!(
+        out,
+        "heap: built {} KiB vs loaded {} KiB resident (groups {} + catalog {} + index {} KiB; \
+         the loaded engine's views borrow one retained {} KiB buffer)",
+        built.heap_bytes() / 1024,
+        loaded.heap_bytes() / 1024,
+        built.groups().heap_bytes() / 1024,
+        built.data().item_catalog().heap_bytes() / 1024,
+        built.index().stats().heap_bytes / 1024,
+        loaded.snapshot_bytes() / 1024,
+    );
+    out.push_str(
+        "(the load performs no discovery and scores no pairs — it validates the buffer and \
+         reinterprets it in place; `snapshot_roundtrip` requires the loaded engine to re-encode \
+         byte-identically and is gated at 1.0 in CI)\n",
     );
     Report { text: out, metrics }
 }

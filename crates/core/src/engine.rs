@@ -213,6 +213,7 @@ impl VexusBuilder {
             cache,
             config,
             stats,
+            snapshot_bytes: 0,
         })
     }
 }
@@ -231,6 +232,9 @@ pub struct Vexus {
     cache: Option<NeighborCache>,
     config: EngineConfig,
     stats: BuildStats,
+    /// Size of the retained snapshot buffer backing zero-copy views when
+    /// this engine came from [`Vexus::from_snapshot`]; `0` when built.
+    snapshot_bytes: usize,
 }
 
 /// An owned session over a shared engine handle — the serving shape.
@@ -361,6 +365,82 @@ impl Vexus {
     /// index; the graph supports reachability analyses).
     pub fn overlap_graph(&self) -> OverlapGraph {
         OverlapGraph::build(&self.groups)
+    }
+
+    /// Serialize the built engine (vocabulary, item catalog, group space,
+    /// CSR and similarity index) into the versioned flat-buffer snapshot
+    /// format. `from_snapshot ∘ write_snapshot` is the identity, byte for
+    /// byte: re-encoding a loaded engine reproduces this buffer exactly.
+    pub fn write_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode_engine(self)
+    }
+
+    /// Load an engine from a snapshot, skipping discovery and index
+    /// construction entirely. `data` must be the dataset the snapshot was
+    /// written against (its user count is cross-checked; its item catalog
+    /// is replaced by the snapshot's). Corrupt or mismatched input fails
+    /// with [`CoreError::Snapshot`] — never a panic. The load is
+    /// validation plus slice reinterpretation: group member lists, the
+    /// member→groups CSR and the index offset tables are zero-copy views
+    /// into one retained buffer (see [`Vexus::snapshot_bytes`]).
+    pub fn from_snapshot(
+        data: UserData,
+        bytes: &[u8],
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        let t0 = Instant::now();
+        let decoded = crate::snapshot::decode_engine(data, bytes).map_err(CoreError::Snapshot)?;
+        if decoded.groups.is_empty() {
+            return Err(CoreError::EmptyGroupSpace);
+        }
+        let stats = BuildStats {
+            discovery: DiscoveryStats {
+                algorithm: "snapshot",
+                elapsed: t0.elapsed(),
+                groups_discovered: decoded.groups.len(),
+                candidates_considered: decoded.groups.len(),
+                ..Default::default()
+            },
+            index_time: Duration::ZERO,
+            filtered_out: 0,
+            n_groups: decoded.groups.len(),
+            index_entries: decoded.index.stats().materialized_entries,
+            index_bytes: decoded.index.stats().heap_bytes,
+        };
+        let cache = if config.neighbor_cache_capacity > 0 {
+            Some(NeighborCache::new(config.neighbor_cache_capacity))
+        } else {
+            None
+        };
+        Ok(Vexus {
+            data: decoded.data,
+            vocab: decoded.vocab,
+            groups: decoded.groups,
+            index: decoded.index,
+            cache,
+            config,
+            stats,
+            snapshot_bytes: decoded.buffer_bytes,
+        })
+    }
+
+    /// Size of the retained snapshot buffer this engine's zero-copy views
+    /// borrow from (`0` for engines built from scratch).
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snapshot_bytes
+    }
+
+    /// Approximate resident heap of the read-only serving state: group
+    /// space (descriptions + member sets), item catalog, similarity index
+    /// (materialized lists, offset tables and the member→groups CSR), plus
+    /// the retained snapshot buffer for loaded engines. Snapshot-backed
+    /// views own no heap of their own, so the shared buffer is counted
+    /// exactly once here.
+    pub fn heap_bytes(&self) -> usize {
+        self.groups.heap_bytes()
+            + self.data.item_catalog().heap_bytes()
+            + self.index.stats().heap_bytes
+            + self.snapshot_bytes
     }
 }
 

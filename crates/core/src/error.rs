@@ -1,6 +1,7 @@
 //! Error types for the exploration engine.
 
 use std::fmt;
+use vexus_data::SnapshotError;
 
 /// Errors raised by the exploration engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +16,9 @@ pub enum CoreError {
     EmptyGroupSpace,
     /// A named attribute is missing from the schema.
     UnknownAttribute(String),
+    /// A snapshot buffer failed to load (corrupt, truncated, or written
+    /// against a different dataset).
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for CoreError {
@@ -27,11 +31,25 @@ impl fmt::Display for CoreError {
             }
             CoreError::EmptyGroupSpace => write!(f, "group discovery produced no groups"),
             CoreError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for CoreError {
+    fn from(e: SnapshotError) -> Self {
+        CoreError::Snapshot(e)
+    }
+}
 
 /// Errors raised by the serving layer ([`crate::serve`]).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -39,6 +39,7 @@ pub mod quality;
 pub mod serve;
 pub mod session;
 pub mod simulate;
+pub mod snapshot;
 
 pub use config::EngineConfig;
 pub use engine::{OwnedSession, Vexus};
@@ -46,3 +47,4 @@ pub use error::{CoreError, ServeError};
 pub use feedback::FeedbackVector;
 pub use serve::{ExplorationService, Request, Response, SessionId};
 pub use session::{BorrowedEngine, EngineRef, ExplorationSession, Session};
+pub use vexus_data::SnapshotError;

@@ -36,12 +36,15 @@ pub struct Action {
 /// labels. Split out of [`UserData`] and shared behind an [`Arc`] so the
 /// N per-shard projections of [`UserData::project_users`] reference one
 /// catalog instead of holding N copies of it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Fields are `pub(crate)` so the sibling [`crate::snapshot`] codec can
+/// encode/decode the flat tables directly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ItemCatalog {
-    item_names: Vec<String>,
+    pub(crate) item_names: Vec<String>,
     /// Per item: index into `category_labels`, `u32::MAX` = none.
-    item_categories: Vec<u32>,
-    category_labels: Vec<String>,
+    pub(crate) item_categories: Vec<u32>,
+    pub(crate) category_labels: Vec<String>,
 }
 
 impl ItemCatalog {
@@ -74,12 +77,27 @@ impl ItemCatalog {
     pub fn category_labels(&self) -> &[String] {
         &self.category_labels
     }
+
+    /// Heap bytes owned by the catalog (string contents + tables).
+    pub fn heap_bytes(&self) -> usize {
+        string_table_bytes(&self.item_names)
+            + self.item_categories.capacity() * std::mem::size_of::<u32>()
+            + string_table_bytes(&self.category_labels)
+    }
+}
+
+/// Heap bytes of a string table: the `Vec<String>` spine plus each
+/// string's own buffer.
+fn string_table_bytes(strings: &[String]) -> usize {
+    std::mem::size_of_val(strings) + strings.iter().map(|s| s.capacity()).sum::<usize>()
 }
 
 /// Immutable columnar user dataset.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct UserData {
-    schema: Schema,
+    /// Shared schema: projections hold the same `Arc`, so N per-shard
+    /// projections pay for one copy of the attribute dictionaries.
+    schema: Arc<Schema>,
     user_names: Vec<String>,
     /// `columns[attr][user]` = value of `attr` for `user`.
     columns: Vec<Vec<ValueId>>,
@@ -143,6 +161,20 @@ impl UserData {
     /// catalog.
     pub fn item_catalog(&self) -> &Arc<ItemCatalog> {
         &self.items
+    }
+
+    /// The shared schema handle (pointer-equal across projections).
+    pub fn schema_arc(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Replace the item catalog, keeping everything else. Snapshot load
+    /// uses this to install the decoded catalog so a loaded engine's item
+    /// tables come from the snapshot, not from whatever dataset the caller
+    /// happened to pair with it.
+    pub fn with_item_catalog(mut self, items: Arc<ItemCatalog>) -> UserData {
+        self.items = items;
+        self
     }
 
     /// Value of `attr` for `user`.
@@ -214,7 +246,7 @@ impl UserData {
             .collect();
         let (user_offsets, actions_by_user) = csr_index(members.len(), &actions);
         UserData {
-            schema: self.schema.clone(),
+            schema: Arc::clone(&self.schema),
             user_names,
             columns,
             items: Arc::clone(&self.items),
@@ -389,7 +421,7 @@ impl UserDataBuilder {
     pub fn build(self) -> UserData {
         let (user_offsets, actions_by_user) = csr_index(self.user_names.len(), &self.actions);
         UserData {
-            schema: self.schema,
+            schema: Arc::new(self.schema),
             user_names: self.user_names,
             columns: self.columns,
             items: Arc::new(ItemCatalog {
@@ -409,10 +441,10 @@ impl UserDataBuilder {
 /// The paper's inverted-index and mining layers treat every demographic
 /// value a user carries as an "item" in a transaction; the vocabulary is the
 /// bijection between those pairs and dense token ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Vocabulary {
-    token_of: HashMap<(AttrId, ValueId), TokenId>,
-    pairs: Vec<(AttrId, ValueId)>,
+    pub(crate) token_of: HashMap<(AttrId, ValueId), TokenId>,
+    pub(crate) pairs: Vec<(AttrId, ValueId)>,
 }
 
 impl Vocabulary {
@@ -731,6 +763,45 @@ mod tests {
         assert_eq!(a.item_catalog().len(), a.n_items());
         assert_eq!(a.item_catalog().name(ItemId::new(0)), "Mr Miracle");
         assert_eq!(a.item_catalog().category(ItemId::new(1)), Some("scifi"));
+    }
+
+    #[test]
+    fn projections_share_one_schema() {
+        let d = small();
+        let a = d.project_users(&[0]);
+        let b = a.project_users(&[0]);
+        // The schema rides along by refcount, not by clone — the carried
+        // projection seam, partially closed: schema + catalog are shared,
+        // user columns/actions are still copied (see ROADMAP).
+        assert!(Arc::ptr_eq(d.schema_arc(), a.schema_arc()));
+        assert!(Arc::ptr_eq(d.schema_arc(), b.schema_arc()));
+        assert_eq!(a.schema().attr("gender"), d.schema().attr("gender"));
+    }
+
+    #[test]
+    fn catalog_heap_bytes_counts_strings_and_tables() {
+        let d = small();
+        let cat = d.item_catalog();
+        let floor = cat
+            .item_names
+            .iter()
+            .chain(cat.category_labels.iter())
+            .map(|s| s.len())
+            .sum::<usize>();
+        assert!(cat.heap_bytes() >= floor + 2 * std::mem::size_of::<u32>());
+        assert_eq!(ItemCatalog::default().heap_bytes(), 0);
+    }
+
+    #[test]
+    fn with_item_catalog_swaps_only_the_catalog() {
+        let d = small();
+        let replacement = Arc::new(d.item_catalog().as_ref().clone());
+        let swapped = d.clone().with_item_catalog(Arc::clone(&replacement));
+        assert!(Arc::ptr_eq(swapped.item_catalog(), &replacement));
+        assert!(!Arc::ptr_eq(swapped.item_catalog(), d.item_catalog()));
+        assert_eq!(swapped.n_users(), d.n_users());
+        assert_eq!(swapped.n_actions(), d.n_actions());
+        assert_eq!(swapped.item_name(ItemId::new(0)), "Mr Miracle");
     }
 
     #[test]

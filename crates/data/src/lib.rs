@@ -19,6 +19,10 @@
 //! * [`shard`] — member-disjoint [`shard::ShardPlan`]s (hash / contiguous)
 //!   that let the discovery stage run one worker per slice of the user
 //!   space,
+//! * [`snapshot`] — the versioned flat-buffer snapshot format (header,
+//!   section table, checksum, zero-copy [`snapshot::WordSlice`] views)
+//!   plus the catalog/vocabulary codecs; higher layers add their own
+//!   sections on top,
 //! * [`stream`] — bounded action streams for the stream-mining path,
 //! * [`zipf`] — seeded Zipf/power-law samplers used by the generators,
 //! * [`synthetic`] — seeded generators standing in for the paper's
@@ -32,6 +36,7 @@ pub mod etl;
 pub mod ids;
 pub mod schema;
 pub mod shard;
+pub mod snapshot;
 pub mod stream;
 pub mod synthetic;
 pub mod zipf;
@@ -41,3 +46,4 @@ pub use error::DataError;
 pub use ids::{AttrId, ItemId, TokenId, UserId, ValueId};
 pub use schema::{AttributeDef, AttributeKind, Schema};
 pub use shard::{ShardPlan, ShardStrategy};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, U32Store, WordSlice};

@@ -19,6 +19,7 @@
 //! overlap the query group instead of scanning the whole group space.
 
 use crate::graph::OverlapGraph;
+use vexus_data::U32Store;
 use vexus_mining::{GroupId, GroupSet};
 
 /// Index construction knobs.
@@ -64,10 +65,12 @@ pub type Neighbor = (GroupId, f32);
 /// per-member allocations, cache-linear candidate scans — and is shared
 /// between the index build, the retained exact-fallback path and
 /// [`build_overlap_graph`].
+/// Storage is borrowed-or-owned ([`U32Store`]): the built form owns its
+/// arrays, the snapshot-loaded form views the shared buffer.
 #[derive(Debug, Clone, Default)]
 pub struct MemberGroupsCsr {
-    offsets: Vec<u32>,
-    ids: Vec<u32>,
+    offsets: U32Store,
+    ids: U32Store,
 }
 
 impl MemberGroupsCsr {
@@ -102,7 +105,26 @@ impl MemberGroupsCsr {
                 *at += 1;
             }
         }
+        Self {
+            offsets: offsets.into(),
+            ids: ids.into(),
+        }
+    }
+
+    /// Reassemble from storage (the snapshot decode path; offsets/ids may
+    /// be zero-copy views). The caller has validated CSR invariants.
+    pub(crate) fn from_stores(offsets: U32Store, ids: U32Store) -> Self {
         Self { offsets, ids }
+    }
+
+    /// The raw offset table (`n_members + 1` entries).
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated group ids, member-major.
+    pub(crate) fn ids(&self) -> &[u32] {
+        &self.ids
     }
 
     /// Number of members covered (the dense id bound).
@@ -126,19 +148,29 @@ impl MemberGroupsCsr {
         &list[from..]
     }
 
-    /// Approximate heap bytes of the map.
+    /// Heap bytes owned by the map (zero for snapshot-backed views; the
+    /// shared buffer is accounted once at the engine level).
     pub fn heap_bytes(&self) -> usize {
-        (self.offsets.capacity() + self.ids.capacity()) * std::mem::size_of::<u32>()
+        self.offsets.heap_bytes() + self.ids.heap_bytes()
     }
 }
 
 /// The inverted similarity index over a [`GroupSet`].
+///
+/// The materialized lists live in **one flat array** (`entries`) addressed
+/// by a `n + 1` offset table, not a `Vec<Vec<_>>` — one allocation instead
+/// of one per group, cache-linear scans, and the exact shape the snapshot
+/// codec serializes (the offset tables load as zero-copy views; the
+/// interleaved `(id, sim)` entries are rebuilt in a single allocation).
 #[derive(Debug)]
 pub struct GroupIndex {
-    /// Materialized neighbor prefix per group, descending similarity.
-    lists: Vec<Vec<Neighbor>>,
+    /// `entries[list_offsets[g]..list_offsets[g + 1]]` is the materialized
+    /// neighbor prefix of group `g`, descending similarity.
+    list_offsets: U32Store,
+    /// Concatenated materialized entries, group-major.
+    entries: Vec<Neighbor>,
     /// Per-group count of *all* overlapping neighbors (full list length).
-    full_lengths: Vec<usize>,
+    full_lengths: U32Store,
     /// Retained member→groups map: the exact fallback's candidate
     /// generator (only overlapping groups are scored, never the whole
     /// space).
@@ -276,18 +308,18 @@ impl GroupIndex {
         // Phase 2b: per-group top-fraction selection, parallel over the
         // same size-aware ranges (selection cost follows list length,
         // which follows member count). Groups own disjoint `entries`
-        // slices, so selection runs in place and only the kept prefix is
-        // ever copied out.
-        let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
-        lists.resize_with(n, Vec::new);
+        // slices, so selection runs in place; each worker records the kept
+        // length per group. The kept set and its order come from the total
+        // neighbor order, so they are independent of the chunking.
+        let mut kept_lens = vec![0u32; n];
         crossbeam::thread::scope(|scope| {
-            let mut remaining_lists = lists.as_mut_slice();
+            let mut remaining_kept = kept_lens.as_mut_slice();
             let mut remaining_entries = entries.as_mut_slice();
             let mut start = 0usize;
             let mut handles = Vec::new();
             for &take in &chunks {
-                let (lists_chunk, rest_lists) = remaining_lists.split_at_mut(take);
-                remaining_lists = rest_lists;
+                let (kept_chunk, rest_kept) = remaining_kept.split_at_mut(take);
+                remaining_kept = rest_kept;
                 let span = starts[start + take] - starts[start];
                 let (entries_chunk, rest_entries) = remaining_entries.split_at_mut(span);
                 remaining_entries = rest_entries;
@@ -295,11 +327,11 @@ impl GroupIndex {
                 let base = start;
                 handles.push(scope.spawn(move |_| {
                     let mut entries_chunk = entries_chunk;
-                    for (offset, out) in lists_chunk.iter_mut().enumerate() {
+                    for (offset, out) in kept_chunk.iter_mut().enumerate() {
                         let (full, rest) = entries_chunk.split_at_mut(full_lengths[base + offset]);
                         entries_chunk = rest;
                         let kept = select_top_in_place(full, keep_of(fraction, full.len()));
-                        *out = full[..kept].to_vec();
+                        *out = kept as u32;
                     }
                 }));
                 start += take;
@@ -309,15 +341,31 @@ impl GroupIndex {
             }
         })
         .expect("index select scope");
+
+        // Deterministic sequential compaction: move every group's kept
+        // prefix into the final flat array and lay down the offset table.
+        let total_kept: usize = kept_lens.iter().map(|&k| k as usize).sum();
+        let mut flat: Vec<Neighbor> = Vec::with_capacity(total_kept);
+        let mut list_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        list_offsets.push(0);
+        for g in 0..n {
+            let at = starts[g];
+            flat.extend_from_slice(&entries[at..at + kept_lens[g] as usize]);
+            list_offsets.push(flat.len() as u32);
+        }
         drop(entries);
 
-        let stats = build_stats(&lists, &full_lengths, &member_groups, scored_pairs);
-        Self {
-            lists,
-            full_lengths,
+        Self::from_parts(
+            list_offsets.into(),
+            flat,
+            full_lengths
+                .iter()
+                .map(|&l| l as u32)
+                .collect::<Vec<_>>()
+                .into(),
             member_groups,
-            stats,
-        }
+            scored_pairs,
+        )
     }
 
     /// The pre-d4 build, kept as the equivalence reference: a sequential
@@ -329,25 +377,70 @@ impl GroupIndex {
         let n = groups.len();
         let fraction = cfg.materialize_fraction.clamp(0.0, 1.0);
         let member_groups = MemberGroupsCsr::build(groups);
-        let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
-        let mut full_lengths = vec![0usize; n];
+        let mut entries: Vec<Neighbor> = Vec::new();
+        let mut list_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        list_offsets.push(0);
+        let mut full_lengths = vec![0u32; n];
         let mut scored_pairs = 0usize;
         let mut counter: Vec<u32> = vec![0; n];
         for (gid, _) in groups.iter() {
             let mut full = overlapping_neighbors(groups, &member_groups, gid, &mut counter);
             scored_pairs += full.len();
-            full_lengths[gid.index()] = full.len();
+            full_lengths[gid.index()] = full.len() as u32;
             let keep = keep_of(fraction, full.len());
-            select_top(&mut full, keep);
-            lists.push(full);
+            let kept = select_top_in_place(&mut full, keep);
+            entries.extend_from_slice(&full[..kept]);
+            list_offsets.push(entries.len() as u32);
         }
-        let stats = build_stats(&lists, &full_lengths, &member_groups, scored_pairs);
+        Self::from_parts(
+            list_offsets.into(),
+            entries,
+            full_lengths.into(),
+            member_groups,
+            scored_pairs,
+        )
+    }
+
+    /// Assemble from storage parts, recomputing derived statistics.
+    /// `heap_bytes` reflects what this representation actually owns, so a
+    /// snapshot-loaded index (shared offset tables) reports less than its
+    /// built twin — by design; the d6 experiment prints both next to the
+    /// snapshot size.
+    pub(crate) fn from_parts(
+        list_offsets: U32Store,
+        entries: Vec<Neighbor>,
+        full_lengths: U32Store,
+        member_groups: MemberGroupsCsr,
+        scored_pairs: usize,
+    ) -> Self {
+        let heap_bytes = entries.capacity() * std::mem::size_of::<Neighbor>()
+            + list_offsets.heap_bytes()
+            + full_lengths.heap_bytes()
+            + member_groups.heap_bytes();
+        let stats = IndexStats {
+            n_groups: full_lengths.len(),
+            materialized_entries: entries.len(),
+            scored_pairs,
+            heap_bytes,
+        };
         Self {
-            lists,
+            list_offsets,
+            entries,
             full_lengths,
             member_groups,
             stats,
         }
+    }
+
+    /// The flat storage parts `(list_offsets, entries, full_lengths,
+    /// member_groups)` — the snapshot encoder's view.
+    pub(crate) fn parts(&self) -> (&[u32], &[Neighbor], &[u32], &MemberGroupsCsr) {
+        (
+            &self.list_offsets,
+            &self.entries,
+            &self.full_lengths,
+            &self.member_groups,
+        )
     }
 
     /// Build statistics.
@@ -357,23 +450,25 @@ impl GroupIndex {
 
     /// Number of indexed groups.
     pub fn len(&self) -> usize {
-        self.lists.len()
+        self.full_lengths.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.lists.is_empty()
+        self.full_lengths.is_empty()
     }
 
     /// The materialized neighbor prefix of `g` (descending similarity).
     pub fn materialized(&self, g: GroupId) -> &[Neighbor] {
-        &self.lists[g.index()]
+        let lo = self.list_offsets[g.index()] as usize;
+        let hi = self.list_offsets[g.index() + 1] as usize;
+        &self.entries[lo..hi]
     }
 
     /// Number of *overlapping* neighbors `g` has in total (materialized or
     /// not).
     pub fn full_neighbor_count(&self, g: GroupId) -> usize {
-        self.full_lengths[g.index()]
+        self.full_lengths[g.index()] as usize
     }
 
     /// Top-`k` neighbors of `g`, exact. Served from the materialized prefix
@@ -383,8 +478,8 @@ impl GroupIndex {
     /// whole group space, then applies the same partial selection the
     /// build path uses.
     pub fn neighbors(&self, groups: &GroupSet, g: GroupId, k: usize) -> Vec<Neighbor> {
-        let list = &self.lists[g.index()];
-        if k <= list.len() || list.len() == self.full_lengths[g.index()] {
+        let list = self.materialized(g);
+        if k <= list.len() || list.len() == self.full_neighbor_count(g) {
             return list[..k.min(list.len())].to_vec();
         }
         // Fallback: exact recomputation (the price of materializing less).
@@ -396,8 +491,8 @@ impl GroupIndex {
 
     /// Whether serving `k` neighbors of `g` would need the exact fallback.
     pub fn needs_fallback(&self, g: GroupId, k: usize) -> bool {
-        let list = &self.lists[g.index()];
-        k > list.len() && list.len() < self.full_lengths[g.index()]
+        let len = self.materialized(g).len();
+        k > len && len < self.full_neighbor_count(g)
     }
 
     /// Exact Jaccard similarity between two groups (computed on demand).
@@ -422,32 +517,6 @@ fn resolve_threads(threads: usize, n: usize) -> usize {
 /// Materialized-prefix length for a full list of `scored` neighbors.
 fn keep_of(fraction: f64, scored: usize) -> usize {
     ((fraction * scored as f64).ceil() as usize).min(scored)
-}
-
-/// Index build statistics over the assembled lists.
-fn build_stats(
-    lists: &[Vec<Neighbor>],
-    full_lengths: &[usize],
-    member_groups: &MemberGroupsCsr,
-    scored_pairs: usize,
-) -> IndexStats {
-    let materialized_entries: usize = lists.iter().map(Vec::len).sum();
-    let entry_bytes: usize = lists
-        .iter()
-        .map(|l| l.capacity() * std::mem::size_of::<Neighbor>())
-        .sum();
-    // The outer vectors and the retained CSR are index memory too, not
-    // just the entries they point at.
-    let heap_bytes = entry_bytes
-        + std::mem::size_of_val(lists)
-        + std::mem::size_of_val(full_lengths)
-        + member_groups.heap_bytes();
-    IndexStats {
-        n_groups: lists.len(),
-        materialized_entries,
-        scored_pairs,
-        heap_bytes,
-    }
 }
 
 /// Order the top `keep` entries of `slice` into its sorted prefix under
@@ -547,7 +616,7 @@ fn size_aware_chunks(sizes: &[usize], workers: usize) -> Vec<usize> {
 }
 
 /// Descending-similarity neighbor order with ids as the tie-break.
-fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+pub(crate) fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
     b.1.partial_cmp(&a.1)
         .expect("finite similarity")
         .then_with(|| a.0.cmp(&b.0))
@@ -951,12 +1020,12 @@ mod tests {
             },
         );
         assert_eq!(reference.stats().scored_pairs, 6);
-        // heap accounting covers entries, outer vectors and the CSR.
+        // heap accounting covers the flat entries, both offset tables and
+        // the retained CSR.
         assert!(
             s.heap_bytes
                 >= 6 * std::mem::size_of::<Neighbor>()
-                    + 4 * std::mem::size_of::<Vec<Neighbor>>()
-                    + 4 * std::mem::size_of::<usize>()
+                    + (5 + 4) * std::mem::size_of::<u32>()
                     + idx.member_groups.heap_bytes()
         );
     }

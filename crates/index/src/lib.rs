@@ -23,6 +23,7 @@
 pub mod cache;
 pub mod graph;
 pub mod inverted;
+pub mod snapshot;
 
 pub use cache::{CacheStats, NeighborCache};
 pub use graph::OverlapGraph;

@@ -3,22 +3,62 @@
 //! Group member sets are the hot data structure of the whole stack: the
 //! inverted index computes Jaccard similarities between every overlapping
 //! pair of groups, and the greedy optimizer evaluates coverage unions under
-//! a hard 100 ms budget. A sorted `Vec<u32>` with galloping intersection is
+//! a hard 100 ms budget. A sorted `u32` run with galloping intersection is
 //! compact (4 bytes/member), cache-friendly, and makes
 //! `intersection_size`/`jaccard` allocation-free.
+//!
+//! Storage is borrowed-or-owned: a built engine owns each set's `Vec<u32>`;
+//! a snapshot-loaded engine holds [`WordSlice`] views into the one shared
+//! snapshot buffer ([`MemberSet::from_shared`]), so loading N groups costs
+//! zero per-group allocations. Every operation routes through
+//! [`MemberSet::as_slice`], so the two forms are behaviorally identical
+//! (same `Eq`/`Hash`, same algebra).
 
 use std::fmt;
+use vexus_data::WordSlice;
+
+#[derive(Clone)]
+enum Repr {
+    /// Heap-owned members (the built form).
+    Owned(Vec<u32>),
+    /// View into a loaded snapshot buffer (the zero-copy form).
+    Shared(WordSlice),
+}
 
 /// An immutable sorted set of dense user indices.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct MemberSet {
-    sorted: Vec<u32>,
+    repr: Repr,
+}
+
+impl Default for MemberSet {
+    fn default() -> Self {
+        Self {
+            repr: Repr::Owned(Vec::new()),
+        }
+    }
+}
+
+impl PartialEq for MemberSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MemberSet {}
+
+impl std::hash::Hash for MemberSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Slice hashing matches Vec hashing, so Owned and Shared forms of
+        // the same set collide as required by `Eq`.
+        self.as_slice().hash(state);
+    }
 }
 
 impl fmt::Debug for MemberSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.len() <= 8 {
-            write!(f, "MemberSet{:?}", self.sorted)
+            write!(f, "MemberSet{:?}", self.as_slice())
         } else {
             write!(f, "MemberSet[{} members]", self.len())
         }
@@ -40,49 +80,70 @@ impl MemberSet {
             sorted.windows(2).all(|w| w[0] < w[1]),
             "must be strictly sorted"
         );
-        Self { sorted }
+        Self {
+            repr: Repr::Owned(sorted),
+        }
     }
 
     /// Build from arbitrary input: sorts and dedupes.
     pub fn from_unsorted(mut v: Vec<u32>) -> Self {
         v.sort_unstable();
         v.dedup();
-        Self { sorted: v }
+        Self {
+            repr: Repr::Owned(v),
+        }
+    }
+
+    /// Build as a zero-copy view over a snapshot buffer. The words must be
+    /// strictly ascending — the snapshot decoder validates this before
+    /// constructing the view (debug-asserted here as well).
+    pub fn from_shared(words: WordSlice) -> Self {
+        debug_assert!(
+            words.windows(2).all(|w| w[0] < w[1]),
+            "must be strictly sorted"
+        );
+        Self {
+            repr: Repr::Shared(words),
+        }
     }
 
     /// The full universe `0..n`.
     pub fn universe(n: u32) -> Self {
         Self {
-            sorted: (0..n).collect(),
+            repr: Repr::Owned((0..n).collect()),
         }
     }
 
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.as_slice().len()
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Membership test (binary search).
     #[inline]
     pub fn contains(&self, x: u32) -> bool {
-        self.sorted.binary_search(&x).is_ok()
+        self.as_slice().binary_search(&x).is_ok()
     }
 
     /// Iterate members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.sorted.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// The members as a sorted slice.
+    #[inline]
     pub fn as_slice(&self) -> &[u32] {
-        &self.sorted
+        match &self.repr {
+            Repr::Owned(v) => v,
+            Repr::Shared(s) => s.as_slice(),
+        }
     }
 
     /// `|self ∩ other|` without allocating.
@@ -91,11 +152,8 @@ impl MemberSet {
     /// when one side is much smaller — the common case when comparing a
     /// small group against a large one.
     pub fn intersection_size(&self, other: &MemberSet) -> usize {
-        let (small, large) = if self.len() <= other.len() {
-            (&self.sorted, &other.sorted)
-        } else {
-            (&other.sorted, &self.sorted)
-        };
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
         if small.is_empty() || large.is_empty() {
             return 0;
         }
@@ -166,18 +224,17 @@ impl MemberSet {
     /// Whether the two sets share at least one member (the paper's group
     /// graph has an edge iff groups "are not disjoint").
     pub fn overlaps(&self, other: &MemberSet) -> bool {
+        let (a, b) = (self.as_slice(), other.as_slice());
         // Early-exit merge scan; ranges test first.
-        if self.is_empty() || other.is_empty() {
+        if a.is_empty() || b.is_empty() {
             return false;
         }
-        if self.sorted[self.len() - 1] < other.sorted[0]
-            || other.sorted[other.len() - 1] < self.sorted[0]
-        {
+        if a[a.len() - 1] < b[0] || b[b.len() - 1] < a[0] {
             return false;
         }
         let (mut i, mut j) = (0, 0);
-        while i < self.sorted.len() && j < other.sorted.len() {
-            match self.sorted[i].cmp(&other.sorted[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => return true,
@@ -188,60 +245,67 @@ impl MemberSet {
 
     /// Materialized intersection.
     pub fn intersect(&self, other: &MemberSet) -> MemberSet {
-        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
         let (mut i, mut j) = (0, 0);
-        while i < self.sorted.len() && j < other.sorted.len() {
-            match self.sorted[i].cmp(&other.sorted[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(self.sorted[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        MemberSet { sorted: out }
+        MemberSet {
+            repr: Repr::Owned(out),
+        }
     }
 
     /// Materialized union.
     pub fn union(&self, other: &MemberSet) -> MemberSet {
-        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0, 0);
-        while i < self.sorted.len() && j < other.sorted.len() {
-            match self.sorted[i].cmp(&other.sorted[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
-                    out.push(self.sorted[i]);
+                    out.push(a[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push(other.sorted[j]);
+                    out.push(b[j]);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push(self.sorted[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.sorted[i..]);
-        out.extend_from_slice(&other.sorted[j..]);
-        MemberSet { sorted: out }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        MemberSet {
+            repr: Repr::Owned(out),
+        }
     }
 
     /// Materialized difference `self \ other`.
     pub fn difference(&self, other: &MemberSet) -> MemberSet {
-        let mut out = Vec::with_capacity(self.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = Vec::with_capacity(a.len());
         let (mut i, mut j) = (0, 0);
-        while i < self.sorted.len() {
-            if j >= other.sorted.len() {
-                out.extend_from_slice(&self.sorted[i..]);
+        while i < a.len() {
+            if j >= b.len() {
+                out.extend_from_slice(&a[i..]);
                 break;
             }
-            match self.sorted[i].cmp(&other.sorted[j]) {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
-                    out.push(self.sorted[i]);
+                    out.push(a[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => j += 1,
@@ -251,7 +315,9 @@ impl MemberSet {
                 }
             }
         }
-        MemberSet { sorted: out }
+        MemberSet {
+            repr: Repr::Owned(out),
+        }
     }
 
     /// Whether `self ⊆ other`.
@@ -265,27 +331,28 @@ impl MemberSet {
     /// one is sublinear in `self` — the hot check of the token-major
     /// [`crate::transactions::TransactionDb::closure`].
     pub fn contains_all(&self, other: &MemberSet) -> bool {
-        if other.len() > self.len() {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        if b.len() > a.len() {
             return false;
         }
-        let Some(&last) = other.sorted.last() else {
+        let Some(&last) = b.last() else {
             return true;
         };
-        if last > self.sorted[self.len() - 1] || other.sorted[0] < self.sorted[0] {
+        if last > a[a.len() - 1] || b[0] < a[0] {
             return false;
         }
         let mut lo = 0usize;
-        for &x in &other.sorted {
-            if lo >= self.sorted.len() {
+        for &x in b {
+            if lo >= a.len() {
                 return false;
             }
             // Exponential search from `lo` for a window containing x.
             let mut bound = 1usize;
-            while lo + bound < self.sorted.len() && self.sorted[lo + bound] < x {
+            while lo + bound < a.len() && a[lo + bound] < x {
                 bound *= 2;
             }
-            let hi = (lo + bound + 1).min(self.sorted.len());
-            match self.sorted[lo..hi].binary_search(&x) {
+            let hi = (lo + bound + 1).min(a.len());
+            match a[lo..hi].binary_search(&x) {
                 Ok(i) => lo += i + 1,
                 Err(_) => return false,
             }
@@ -296,7 +363,7 @@ impl MemberSet {
     /// Count of members also present in a boolean mask (indexed by member).
     /// Used by coverage computations against a "covered so far" mask.
     pub fn count_in_mask(&self, mask: &[bool]) -> usize {
-        self.sorted
+        self.as_slice()
             .iter()
             .filter(|&&x| mask.get(x as usize).copied().unwrap_or(false))
             .count()
@@ -305,7 +372,7 @@ impl MemberSet {
     /// Set the mask bit for every member; returns how many were newly set.
     pub fn mark_mask(&self, mask: &mut [bool]) -> usize {
         let mut newly = 0;
-        for &x in &self.sorted {
+        for &x in self.as_slice() {
             let slot = &mut mask[x as usize];
             if !*slot {
                 *slot = true;
@@ -315,9 +382,19 @@ impl MemberSet {
         newly
     }
 
-    /// Heap bytes used (for the index-materialization experiment C3).
+    /// Heap bytes owned by this set. A `Shared` view owns nothing — the
+    /// snapshot buffer it borrows from is accounted once, at the engine
+    /// level.
     pub fn heap_bytes(&self) -> usize {
-        self.sorted.capacity() * std::mem::size_of::<u32>()
+        match &self.repr {
+            Repr::Owned(v) => v.capacity() * std::mem::size_of::<u32>(),
+            Repr::Shared(_) => 0,
+        }
+    }
+
+    /// Whether this set is a zero-copy view over a snapshot buffer.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.repr, Repr::Shared(_))
     }
 }
 
@@ -335,6 +412,15 @@ mod tests {
 
     fn ms(v: &[u32]) -> MemberSet {
         MemberSet::from_unsorted(v.to_vec())
+    }
+
+    /// The same set in Shared form, views into a scratch snapshot buffer.
+    fn shared(v: &[u32]) -> MemberSet {
+        let mut w = vexus_data::SnapshotWriter::new();
+        w.section_words(0x1, v);
+        let buf = w.finish();
+        let r = vexus_data::SnapshotReader::load(&buf).unwrap();
+        MemberSet::from_shared(r.section_words(0x1).unwrap())
     }
 
     #[test]
@@ -366,6 +452,36 @@ mod tests {
         assert!(!e.overlaps(&a));
         assert!(e.is_subset_of(&a));
         assert_eq!(e.union(&a).as_slice(), &[1]);
+    }
+
+    #[test]
+    fn shared_form_is_behaviorally_identical() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let owned = ms(&[1, 2, 3, 5, 8]);
+        let view = shared(&[1, 2, 3, 5, 8]);
+        assert!(view.is_shared() && !owned.is_shared());
+        assert_eq!(owned, view);
+        assert_eq!(view.as_slice(), owned.as_slice());
+        assert_eq!(view.heap_bytes(), 0);
+        assert!(owned.heap_bytes() >= 20);
+        // Eq-consistent hashing across representations.
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        owned.hash(&mut h1);
+        view.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        // Mixed-representation algebra.
+        let other = shared(&[2, 3, 4, 8, 9]);
+        assert_eq!(owned.intersection_size(&other), 3);
+        assert_eq!(other.intersect(&owned).as_slice(), &[2, 3, 8]);
+        assert!(!other.intersect(&owned).is_shared());
+        assert!(view.contains(5) && !view.contains(4));
+        assert_eq!(format!("{view:?}"), "MemberSet[1, 2, 3, 5, 8]");
+        // Empty shared view.
+        let e = shared(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e, MemberSet::empty());
     }
 
     #[test]
@@ -451,6 +567,25 @@ mod tests {
             prop_assert_eq!(ma.is_subset_of(&mb), sa.is_subset(&sb));
             prop_assert_eq!(ma.contains_all(&mb), sb.is_subset(&sa));
             prop_assert_eq!(mb.contains_all(&ma), sa.is_subset(&sb));
+        }
+
+        #[test]
+        fn prop_shared_matches_owned(
+            a in proptest::collection::vec(0u32..500, 0..80),
+            b in proptest::collection::vec(0u32..500, 0..80)
+        ) {
+            // Every operation must agree between the Owned and Shared forms.
+            let (ma, mb) = (MemberSet::from_unsorted(a), MemberSet::from_unsorted(b));
+            let (va, vb) = (shared(ma.as_slice()), shared(mb.as_slice()));
+            prop_assert_eq!(&ma, &va);
+            prop_assert_eq!(va.intersection_size(&vb), ma.intersection_size(&mb));
+            prop_assert_eq!(va.union_size(&vb), ma.union_size(&mb));
+            prop_assert_eq!(va.intersect(&vb).as_slice(), ma.intersect(&mb).as_slice());
+            prop_assert_eq!(va.union(&vb).as_slice(), ma.union(&mb).as_slice());
+            prop_assert_eq!(va.difference(&vb).as_slice(), ma.difference(&mb).as_slice());
+            prop_assert_eq!(va.overlaps(&vb), ma.overlaps(&mb));
+            prop_assert_eq!(va.contains_all(&vb), ma.contains_all(&mb));
+            prop_assert!((va.jaccard(&vb) - ma.jaccard(&mb)).abs() < 1e-15);
         }
 
         #[test]

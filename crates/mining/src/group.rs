@@ -78,6 +78,13 @@ impl Group {
     pub fn describes(&self, token: TokenId) -> bool {
         self.description.binary_search(&token).is_ok()
     }
+
+    /// Heap bytes owned by this group (description + members). Snapshot-
+    /// loaded groups report only the description: their member sets are
+    /// views into the shared buffer, accounted once at the engine level.
+    pub fn heap_bytes(&self) -> usize {
+        self.description.capacity() * std::mem::size_of::<TokenId>() + self.members.heap_bytes()
+    }
 }
 
 /// An indexed collection of groups (the node set of the paper's group graph
@@ -169,6 +176,12 @@ impl GroupSet {
             covered += g.members.mark_mask(&mut mask);
         }
         covered
+    }
+
+    /// Heap bytes owned by the collection (spine + per-group payloads).
+    pub fn heap_bytes(&self) -> usize {
+        self.groups.capacity() * std::mem::size_of::<Group>()
+            + self.groups.iter().map(Group::heap_bytes).sum::<usize>()
     }
 }
 

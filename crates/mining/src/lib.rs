@@ -46,6 +46,7 @@ pub mod group;
 pub mod lcm;
 pub mod momri;
 pub mod sharded;
+pub mod snapshot;
 pub mod stream_fim;
 pub mod transactions;
 

@@ -1,0 +1,216 @@
+//! Snapshot codec for the group space (`0x1x` section tags).
+//!
+//! A [`GroupSet`] flattens into four `u32` arrays — description offsets +
+//! tokens, member offsets + member ids — the same offsets-plus-payload
+//! shape the CSR index already uses. Decoding hands every group's member
+//! set back as a zero-copy [`MemberSet::from_shared`] view into the loaded
+//! buffer: the dominant payload (member ids) costs no per-group
+//! allocations. Descriptions are short (a handful of tokens) and live in
+//! `HashMap` keys and move-heavy merge paths, so they are rebuilt as owned
+//! `Vec<TokenId>`s.
+
+use crate::bitmap::MemberSet;
+use crate::group::{Group, GroupSet};
+use vexus_data::snapshot::{all_bounded, runs_sorted, validate_offsets};
+use vexus_data::{SnapshotError, SnapshotReader, SnapshotWriter, TokenId};
+
+/// Group-description offsets: `n_groups + 1` token offsets.
+pub const TAG_GROUP_DESC_OFFSETS: u32 = 0x10;
+/// Concatenated description tokens, group-major.
+pub const TAG_GROUP_DESC_TOKENS: u32 = 0x11;
+/// Group-member offsets: `n_groups + 1` member offsets.
+pub const TAG_GROUP_MEMBER_OFFSETS: u32 = 0x12;
+/// Concatenated sorted member ids, group-major.
+pub const TAG_GROUP_MEMBERS: u32 = 0x13;
+
+/// Encode the group space into its `0x1x` sections.
+pub fn encode_group_set(groups: &GroupSet, w: &mut SnapshotWriter) {
+    let mut desc_offsets = Vec::with_capacity(groups.len() + 1);
+    let mut member_offsets = Vec::with_capacity(groups.len() + 1);
+    let mut tokens = Vec::new();
+    let mut members = Vec::new();
+    desc_offsets.push(0u32);
+    member_offsets.push(0u32);
+    for (_, g) in groups.iter() {
+        tokens.extend(g.description.iter().map(|t| t.raw()));
+        desc_offsets.push(tokens.len() as u32);
+        members.extend_from_slice(g.members.as_slice());
+        member_offsets.push(members.len() as u32);
+    }
+    w.section_words(TAG_GROUP_DESC_OFFSETS, &desc_offsets);
+    w.section_words(TAG_GROUP_DESC_TOKENS, &tokens);
+    w.section_words(TAG_GROUP_MEMBER_OFFSETS, &member_offsets);
+    w.section_words(TAG_GROUP_MEMBERS, &members);
+}
+
+/// Decode the group space written by [`encode_group_set`], validating every
+/// structural invariant the engine relies on: offset tables monotone and
+/// exactly covering their payloads, descriptions strictly ascending token
+/// ids below `n_tokens`, member lists strictly ascending user indices below
+/// `n_users`.
+pub fn decode_group_set(
+    r: &SnapshotReader,
+    n_users: usize,
+    n_tokens: usize,
+) -> Result<GroupSet, SnapshotError> {
+    let desc_offsets = r.section_words(TAG_GROUP_DESC_OFFSETS)?;
+    let tokens = r.section_words(TAG_GROUP_DESC_TOKENS)?;
+    let member_offsets = r.section_words(TAG_GROUP_MEMBER_OFFSETS)?;
+    let members = r.section_words(TAG_GROUP_MEMBERS)?;
+    validate_offsets(
+        TAG_GROUP_DESC_OFFSETS,
+        &desc_offsets,
+        tokens.len(),
+        "bad description offsets",
+    )?;
+    validate_offsets(
+        TAG_GROUP_MEMBER_OFFSETS,
+        &member_offsets,
+        members.len(),
+        "bad member offsets",
+    )?;
+    if desc_offsets.len() != member_offsets.len() {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_GROUP_MEMBER_OFFSETS,
+            what: "description/member group counts disagree",
+        });
+    }
+    // Array-global validation: bounds are one vectorized `max` reduction
+    // per payload, per-list strict ascent is one flat violation-counting
+    // pass ([`runs_sorted`]) — the construction loop below stays pure.
+    if !all_bounded(tokens.as_slice(), n_tokens)
+        || !runs_sorted(tokens.as_slice(), desc_offsets.as_slice(), |a, b| a >= b)
+    {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_GROUP_DESC_TOKENS,
+            what: "description tokens not strictly ascending in vocabulary",
+        });
+    }
+    if !all_bounded(members.as_slice(), n_users)
+        || !runs_sorted(members.as_slice(), member_offsets.as_slice(), |a, b| a >= b)
+    {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_GROUP_MEMBERS,
+            what: "member ids not strictly ascending below the user count",
+        });
+    }
+    let n_groups = desc_offsets.len() - 1;
+    let mut out = Vec::with_capacity(n_groups);
+    for i in 0..n_groups {
+        let (dlo, dhi) = (desc_offsets[i] as usize, desc_offsets[i + 1] as usize);
+        let desc = &tokens.as_slice()[dlo..dhi];
+        let (mlo, mhi) = (member_offsets[i] as usize, member_offsets[i + 1] as usize);
+        out.push(Group {
+            description: desc.iter().map(|&t| TokenId::new(t)).collect(),
+            members: MemberSet::from_shared(
+                members
+                    .slice(mlo, mhi - mlo)
+                    .expect("validated member range"),
+            ),
+        });
+    }
+    Ok(GroupSet::from_groups(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroupSet {
+        let mut gs = GroupSet::new();
+        gs.push(Group::new(
+            vec![TokenId::new(0), TokenId::new(2)],
+            MemberSet::from_unsorted(vec![0, 3, 5]),
+        ));
+        gs.push(Group::new(vec![], MemberSet::from_unsorted(vec![1, 2])));
+        gs.push(Group::new(
+            vec![TokenId::new(1)],
+            MemberSet::from_unsorted(vec![5]),
+        ));
+        gs
+    }
+
+    fn round_trip(gs: &GroupSet, n_users: usize, n_tokens: usize) -> GroupSet {
+        let mut w = SnapshotWriter::new();
+        encode_group_set(gs, &mut w);
+        let buf = w.finish();
+        let r = SnapshotReader::load(&buf).unwrap();
+        decode_group_set(&r, n_users, n_tokens).unwrap()
+    }
+
+    #[test]
+    fn group_set_round_trips() {
+        let gs = sample();
+        let back = round_trip(&gs, 6, 3);
+        assert_eq!(back, gs);
+        // Members come back as zero-copy views owning no heap; only the
+        // (small, owned) descriptions count against the loaded form.
+        assert!(back.iter().all(|(_, g)| g.members.is_shared()));
+        assert!(back.iter().all(|(_, g)| g.members.heap_bytes() == 0));
+        assert!(back.heap_bytes() < gs.heap_bytes());
+        // Empty group space round-trips too.
+        let empty = round_trip(&GroupSet::new(), 0, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn decode_validates_bounds() {
+        let gs = sample();
+        let mut w = SnapshotWriter::new();
+        encode_group_set(&gs, &mut w);
+        let buf = w.finish();
+        let r = SnapshotReader::load(&buf).unwrap();
+        // Member id 5 is out of range for a 5-user universe.
+        assert!(matches!(
+            decode_group_set(&r, 5, 3).unwrap_err(),
+            SnapshotError::Malformed {
+                tag: TAG_GROUP_MEMBERS,
+                ..
+            }
+        ));
+        // Token id 2 is out of range for a 2-token vocabulary.
+        assert!(matches!(
+            decode_group_set(&r, 6, 2).unwrap_err(),
+            SnapshotError::Malformed {
+                tag: TAG_GROUP_DESC_TOKENS,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_members() {
+        let mut w = SnapshotWriter::new();
+        w.section_words(TAG_GROUP_DESC_OFFSETS, &[0, 0]);
+        w.section_words(TAG_GROUP_DESC_TOKENS, &[]);
+        w.section_words(TAG_GROUP_MEMBER_OFFSETS, &[0, 2]);
+        w.section_words(TAG_GROUP_MEMBERS, &[3, 1]);
+        let buf = w.finish();
+        let r = SnapshotReader::load(&buf).unwrap();
+        assert!(matches!(
+            decode_group_set(&r, 9, 9).unwrap_err(),
+            SnapshotError::Malformed {
+                tag: TAG_GROUP_MEMBERS,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_offset_tables() {
+        let mut w = SnapshotWriter::new();
+        w.section_words(TAG_GROUP_DESC_OFFSETS, &[0, 0, 0]);
+        w.section_words(TAG_GROUP_DESC_TOKENS, &[]);
+        w.section_words(TAG_GROUP_MEMBER_OFFSETS, &[0, 1]);
+        w.section_words(TAG_GROUP_MEMBERS, &[0]);
+        let buf = w.finish();
+        let r = SnapshotReader::load(&buf).unwrap();
+        assert!(matches!(
+            decode_group_set(&r, 9, 9).unwrap_err(),
+            SnapshotError::Malformed {
+                tag: TAG_GROUP_MEMBER_OFFSETS,
+                ..
+            }
+        ));
+    }
+}
