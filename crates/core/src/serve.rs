@@ -25,7 +25,7 @@ use crate::error::ServeError;
 use crate::feedback::ContextView;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use vexus_data::UserId;
 use vexus_mining::GroupId;
 
@@ -134,6 +134,31 @@ impl ExplorationService {
         &self.engine
     }
 
+    /// Read-lock the session table, recovering from poison. A panic while
+    /// the table was write-held can only leave the map between two valid
+    /// states of `HashMap`'s safe API (an insert or remove either happened
+    /// or did not), so the data is usable either way — propagating the
+    /// poison would brick every session over one crashed verb.
+    fn table_read(&self) -> RwLockReadGuard<'_, HashMap<u64, Arc<Mutex<OwnedSession>>>> {
+        self.sessions.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-lock the session table, recovering from poison (see
+    /// [`Self::table_read`]).
+    fn table_write(&self) -> RwLockWriteGuard<'_, HashMap<u64, Arc<Mutex<OwnedSession>>>> {
+        self.sessions
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock one session's state, recovering from poison. A poisoned
+    /// session mutex means a verb panicked mid-step on *this* session;
+    /// recovering keeps the lock (and the table around it) functional
+    /// instead of turning every later verb into a panic.
+    fn lock_session(handle: &Mutex<OwnedSession>) -> MutexGuard<'_, OwnedSession> {
+        handle.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Open a session with the engine's configuration; returns its id and
     /// opening display.
     pub fn open(&self) -> Result<(SessionId, Vec<GroupId>), ServeError> {
@@ -145,18 +170,14 @@ impl ExplorationService {
         let session = OwnedSession::open_with(Arc::clone(&self.engine), config)?;
         let display = session.display().to_vec();
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.sessions
-            .write()
-            .expect("session table")
+        self.table_write()
             .insert(id.0, Arc::new(Mutex::new(session)));
         Ok((id, display))
     }
 
     /// The session handle for `id`, cloned out from under the table lock.
     fn session(&self, id: SessionId) -> Result<Arc<Mutex<OwnedSession>>, ServeError> {
-        self.sessions
-            .read()
-            .expect("session table")
+        self.table_read()
             .get(&id.0)
             .map(Arc::clone)
             .ok_or(ServeError::UnknownSession(id.0))
@@ -171,7 +192,7 @@ impl ExplorationService {
         f: impl FnOnce(&mut OwnedSession) -> R,
     ) -> Result<R, ServeError> {
         let handle = self.session(id)?;
-        let mut session = handle.lock().expect("session mutex");
+        let mut session = Self::lock_session(&handle);
         Ok(f(&mut session))
     }
 
@@ -210,9 +231,7 @@ impl ExplorationService {
 
     /// Close a session, dropping its state.
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
-        self.sessions
-            .write()
-            .expect("session table")
+        self.table_write()
             .remove(&id.0)
             .map(|_| ())
             .ok_or(ServeError::UnknownSession(id.0))
@@ -220,7 +239,7 @@ impl ExplorationService {
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.sessions.read().expect("session table").len()
+        self.table_read().len()
     }
 
     /// Whether no sessions are open.
@@ -380,6 +399,30 @@ mod tests {
             Response::Ack
         ));
         assert!(svc.handle(Request::Display { session: id }).is_err());
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_bricking_the_service() {
+        let svc = service();
+        let (id, display) = svc.open().unwrap();
+        let (other, other_display) = svc.open().unwrap();
+        // Panic mid-verb while the session mutex is held: the unwind
+        // poisons the mutex. Before the recovery accessors, every later
+        // verb on any session died on `.expect("session mutex")` /
+        // `.expect("session table")`.
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = svc.with_session(id, |_| panic!("verb crashed mid-step"));
+        }));
+        assert!(boom.is_err());
+        // The service still serves: the crashed session's state is intact
+        // (the panic fired before any mutation) and other sessions are
+        // untouched.
+        assert_eq!(svc.display(id).unwrap(), display);
+        assert_eq!(svc.display(other).unwrap(), other_display);
+        assert_eq!(svc.len(), 2);
+        svc.close(id).unwrap();
+        svc.close(other).unwrap();
+        assert!(svc.is_empty());
     }
 
     #[test]
