@@ -10,7 +10,7 @@ use vexus_core::engine::{OwnedSession, VexusBuilder};
 use vexus_core::greedy::{self, ScoredCandidate, SelectParams};
 use vexus_core::simulate::{run_committee, run_st, CommitteeTask, Policy, StAccept};
 use vexus_core::{EngineConfig, FeedbackVector};
-use vexus_core::{ExplorationService, Vexus};
+use vexus_core::{ExplorationService, ServeError, ServiceConfig, ServiceStats, SessionId, Vexus};
 use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
 use vexus_data::{UserId, Vocabulary};
 use vexus_index::{GroupIndex, IndexConfig};
@@ -27,8 +27,8 @@ use vexus_viz::pca::{silhouette, Pca};
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8",
-    "c9", "c10", "c11", "c12",
+    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "c1", "c2", "c3", "c4", "c5", "c6", "c7",
+    "c8", "c9", "c10", "c11", "c12",
 ];
 
 /// One experiment's output: the human-readable table plus structured
@@ -62,6 +62,7 @@ pub fn run(id: &str) -> Option<Report> {
         "d4" => d4_hot_path_cuts(),
         "d5" => d5_concurrent_serving(),
         "d6" => d6_snapshot(),
+        "d7" => d7_chaos_serving(),
         "c1" => c1_budget_sweep().into(),
         "c2" => c2_interaction_latency().into(),
         "c3" => c3_materialization().into(),
@@ -1407,6 +1408,312 @@ pub fn d6_snapshot() -> Report {
         "(the load performs no discovery and scores no pairs — it validates the buffer and \
          reinterprets it in place; `snapshot_roundtrip` requires the loaded engine to re-encode \
          byte-identically and is gated at 1.0 in CI)\n",
+    );
+    Report { text: out, metrics }
+}
+
+// ---------------------------------------------------------------------------
+// D7: chaos serving — seeded faults, quarantine containment, lifecycle
+// ---------------------------------------------------------------------------
+
+/// Concurrent scripted sessions in the d7 chaos pass.
+const D7_SESSIONS: usize = 64;
+/// Fraction of session ids the seeded fault selector targets.
+const D7_FAULT_P: f64 = 0.2;
+/// Seed of the `serve.step` fault selector.
+const D7_SEED: u64 = 0xC4A05;
+
+/// Whether the seeded selector targets session id `id` — the same
+/// predicate as the `serve.step` `KeyProb` trigger, so the harness knows
+/// the faulted set up front, independent of thread interleaving. Nothing
+/// is targeted when the harness is compiled out.
+#[cfg(feature = "failpoints")]
+fn d7_faulted(id: u64) -> bool {
+    vexus_core::failpoint::key_selected(D7_SEED, D7_FAULT_P, id)
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn d7_faulted(_id: u64) -> bool {
+    false
+}
+
+/// One session's chaos outcome: the trajectory it completed plus the
+/// first error that stopped it (`None` — the script ran to completion).
+struct D7Outcome {
+    traj: Trajectory,
+    error: Option<ServeError>,
+}
+
+/// The d5 worker-pool sweep, fault-tolerant: a verb error ends that
+/// session's script (recorded, not panicked) while its siblings keep
+/// stepping. Returns per-session outcomes in session order, successful
+/// per-verb latencies (ms), the session ids, and the service counters.
+fn d7_sweep(
+    engine: &Arc<Vexus>,
+    n: usize,
+) -> (Vec<D7Outcome>, Vec<f64>, Vec<SessionId>, ServiceStats) {
+    let svc = ExplorationService::new(Arc::clone(engine));
+    let mut ids = Vec::with_capacity(n);
+    let mut opening = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (id, display) = svc.open_with(d5_config()).expect("session opens");
+        ids.push(id);
+        opening.push(display);
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(1, n);
+    let per_worker: Vec<Vec<(usize, D7Outcome, Vec<f64>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let svc = &svc;
+                let ids = &ids;
+                let opening = &opening;
+                scope.spawn(move || {
+                    let mut sessions: Vec<(usize, D7Outcome, Vec<f64>)> = (w..ids.len())
+                        .step_by(workers)
+                        .map(|i| {
+                            let outcome = D7Outcome {
+                                traj: vec![opening[i].clone()],
+                                error: None,
+                            };
+                            (i, outcome, Vec::new())
+                        })
+                        .collect();
+                    let mut done: Vec<bool> = vec![false; sessions.len()];
+                    for step in 0..D5_STEPS {
+                        for (slot, (i, outcome, lat)) in sessions.iter_mut().enumerate() {
+                            if done[slot] {
+                                continue;
+                            }
+                            let display = outcome.traj.last().expect("non-empty").clone();
+                            let t = Instant::now();
+                            let result = match d5_step(*i, step, &display) {
+                                D5Verb::Click(g) => svc.click(ids[*i], g),
+                                D5Verb::Backtrack(to) => svc.backtrack(ids[*i], to),
+                                D5Verb::Done => {
+                                    done[slot] = true;
+                                    continue;
+                                }
+                            };
+                            match result {
+                                Ok(next) => {
+                                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                                    outcome.traj.push(next);
+                                }
+                                Err(e) => {
+                                    outcome.error = Some(e);
+                                    done[slot] = true;
+                                }
+                            }
+                        }
+                    }
+                    sessions
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("d7 worker"))
+            .collect()
+    });
+    let stats = svc.stats();
+    let mut outcomes: Vec<Option<D7Outcome>> = (0..n).map(|_| None).collect();
+    let mut latencies = Vec::new();
+    for worker in per_worker {
+        for (i, outcome, lat) in worker {
+            outcomes[i] = Some(outcome);
+            latencies.extend(lat);
+        }
+    }
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every session has an outcome"))
+        .collect();
+    (outcomes, latencies, ids, stats)
+}
+
+/// Chaos serving: `D7_SESSIONS` concurrent scripted sessions with seeded
+/// `serve.step` panic faults in a predicted subset of them, plus a
+/// fault-free steady-state pass and a deterministic lifecycle scenario.
+///
+/// The containment claim is `survivor_determinism`: every session the
+/// selector did *not* target must replay byte-identical to the
+/// single-threaded reference even while targeted siblings panic and get
+/// quarantined mid-sweep — gated at 1.0 in CI. Targeted sessions must die
+/// *typed* (`SessionPoisoned`, counted by `quarantines`), never unwind a
+/// worker. Without the `failpoints` feature the same experiment runs
+/// fault-free (`faults_enabled` records which build produced the
+/// numbers), so `idle_p50_ms`/`idle_p99_ms` measure enabled-but-idle vs
+/// compiled-out across the two CI artifacts.
+pub fn d7_chaos_serving() -> Report {
+    let mut out = header(
+        "d7",
+        "chaos serving: seeded faults, quarantine containment, lifecycle",
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let engine = Arc::new(workloads::small_bookcrossing_engine(d5_config()));
+    let reference = d5_reference(&engine, D7_SESSIONS);
+    let faults_enabled = cfg!(feature = "failpoints");
+    let cache_recoveries_before = engine
+        .neighbor_cache()
+        .map(|c| c.stats().recoveries)
+        .unwrap_or(0);
+
+    // Chaos pass: every verb of a targeted session panics at the
+    // `serve.step` site, inside the service's catch_unwind guard.
+    #[cfg(feature = "failpoints")]
+    let scenario = {
+        use vexus_core::failpoint as fp;
+        let s = fp::FailScenario::setup();
+        fp::configure(
+            fp::SERVE_STEP,
+            fp::Trigger::KeyProb {
+                p: D7_FAULT_P,
+                seed: D7_SEED,
+            },
+            fp::FailAction::Panic,
+        );
+        s
+    };
+    // The injected panics are all caught by the service's quarantine
+    // guard; silence the default panic hook for the chaos window so the
+    // expected backtraces don't bury the report.
+    #[cfg(feature = "failpoints")]
+    let default_hook = {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        hook
+    };
+    let (outcomes, _, ids, stats) = d7_sweep(&engine, D7_SESSIONS);
+    #[cfg(feature = "failpoints")]
+    {
+        std::panic::set_hook(default_hook);
+        drop(scenario);
+    }
+
+    let faulted: Vec<usize> = (0..D7_SESSIONS).filter(|&i| d7_faulted(ids[i].0)).collect();
+    let survivors: Vec<usize> = (0..D7_SESSIONS)
+        .filter(|&i| !d7_faulted(ids[i].0))
+        .collect();
+    let exact = survivors
+        .iter()
+        .filter(|&&i| outcomes[i].error.is_none() && outcomes[i].traj == reference[i])
+        .count();
+    let mut survivor_determinism = if survivors.is_empty() {
+        1.0
+    } else {
+        exact as f64 / survivors.len() as f64
+    };
+    // Targeted sessions die on their first verb, typed — quarantined, not
+    // unwound, and not silently successful.
+    let faulted_typed = faulted.iter().all(|&i| {
+        matches!(outcomes[i].error, Some(ServeError::SessionPoisoned(_)))
+            && outcomes[i].traj.len() == 1
+    });
+    let _ = writeln!(
+        out,
+        "chaos pass: {} sessions, {} targeted by seed {:#x} (p={}), {} quarantined, \
+         {}/{} survivors exact",
+        D7_SESSIONS,
+        faulted.len(),
+        D7_SEED,
+        D7_FAULT_P,
+        stats.quarantines,
+        exact,
+        survivors.len(),
+    );
+    metrics.push(("sessions".into(), D7_SESSIONS as f64));
+    metrics.push(("faulted_sessions".into(), faulted.len() as f64));
+    metrics.push(("quarantines".into(), stats.quarantines as f64));
+    metrics.push(("faulted_typed".into(), faulted_typed as u8 as f64));
+    metrics.push(("faults_enabled".into(), faults_enabled as u8 as f64));
+
+    // Steady-state pass: registry empty (feature build: enabled-but-idle;
+    // default build: compiled out). Survivorship here is all sessions.
+    let t0 = Instant::now();
+    let (idle_outcomes, mut idle_lat, _, idle_stats) = d7_sweep(&engine, D7_SESSIONS);
+    let idle_elapsed = t0.elapsed();
+    let idle_exact = (0..D7_SESSIONS)
+        .filter(|&i| idle_outcomes[i].error.is_none() && idle_outcomes[i].traj == reference[i])
+        .count();
+    survivor_determinism = survivor_determinism.min(idle_exact as f64 / D7_SESSIONS as f64);
+    let idle_steps: usize = idle_outcomes.iter().map(|o| o.traj.len() - 1).sum();
+    let idle_p50 = d5_percentile(&mut idle_lat, 0.50);
+    let idle_p99 = d5_percentile(&mut idle_lat, 0.99);
+    metrics.push(("survivor_determinism".into(), survivor_determinism));
+    metrics.push(("idle_p50_ms".into(), idle_p50));
+    metrics.push(("idle_p99_ms".into(), idle_p99));
+    metrics.push((
+        "idle_steps_per_sec".into(),
+        idle_steps as f64 / idle_elapsed.as_secs_f64().max(1e-9),
+    ));
+    let _ = writeln!(
+        out,
+        "steady state ({}): {idle_steps} steps, p50 {idle_p50:.2}ms, p99 {idle_p99:.2}ms, \
+         {}/{} exact, 0 quarantines ({} observed)",
+        if faults_enabled {
+            "harness enabled, idle"
+        } else {
+            "harness compiled out"
+        },
+        idle_exact,
+        D7_SESSIONS,
+        idle_stats.quarantines,
+    );
+
+    // Lifecycle pass: admission control and TTL eviction against the
+    // logical clock — exact, deterministic counters, no faults involved.
+    let svc = ExplorationService::with_config(
+        Arc::clone(&engine),
+        ServiceConfig::default()
+            .with_max_sessions(8)
+            // Generous enough that the fill's own clock ticks (one per
+            // verb) never expire a session mid-scenario.
+            .with_idle_ttl_steps(100),
+    );
+    let mut lifecycle_ok = true;
+    let mut open_ids = Vec::new();
+    for _ in 0..8 {
+        open_ids.push(svc.open_with(d5_config()).expect("under capacity").0);
+    }
+    for _ in 0..4 {
+        lifecycle_ok &= matches!(
+            svc.open_with(d5_config()),
+            Err(ServeError::AtCapacity { open: 8, max: 8 })
+        );
+    }
+    svc.advance_clock(200);
+    let swept = svc.sweep_idle();
+    lifecycle_ok &= swept == 8 && svc.is_empty();
+    lifecycle_ok &= matches!(svc.display(open_ids[0]), Err(ServeError::SessionExpired(_)));
+    lifecycle_ok &= svc.open_with(d5_config()).is_ok();
+    let ls = svc.stats();
+    lifecycle_ok &= ls.rejections == 4 && ls.evictions == 8 && ls.opens == 9;
+    metrics.push(("rejections".into(), ls.rejections as f64));
+    metrics.push(("evictions".into(), ls.evictions as f64));
+    metrics.push(("lifecycle_ok".into(), lifecycle_ok as u8 as f64));
+    let cache_recoveries = engine
+        .neighbor_cache()
+        .map(|c| c.stats().recoveries)
+        .unwrap_or(0)
+        - cache_recoveries_before;
+    metrics.push((
+        "lock_recoveries".into(),
+        (stats.recoveries + cache_recoveries) as f64,
+    ));
+    let _ = writeln!(
+        out,
+        "lifecycle: 8-session cap rejected {} opens typed, TTL swept {} sessions, \
+         counters exact: {}",
+        ls.rejections, ls.evictions, lifecycle_ok,
+    );
+    out.push_str(
+        "(the fault selector is a seeded hash of the session id, so the targeted set is known \
+         before any thread runs; survivors must replay byte-identical to the single-threaded \
+         reference while targeted siblings panic and are quarantined — survivor_determinism is \
+         gated at 1.0 in CI in both the fault-enabled and default builds)\n",
     );
     Report { text: out, metrics }
 }

@@ -14,7 +14,7 @@ use crate::error::CoreError;
 use crate::session::{BorrowedEngine, EngineRef, ExplorationSession, Session};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vexus_data::{UserData, Vocabulary};
+use vexus_data::{SnapshotError, UserData, Vocabulary};
 use vexus_index::{GroupIndex, IndexConfig, NeighborCache, OverlapGraph};
 use vexus_mining::{
     DiscoveryStats, GroupDiscovery, GroupSet, MergeStrategy, ShardScaled, ShardedDiscovery,
@@ -389,6 +389,12 @@ impl Vexus {
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
         let t0 = Instant::now();
+        if crate::failpoint::inject(crate::failpoint::SNAPSHOT_LOAD, 0) {
+            return Err(CoreError::Snapshot(SnapshotError::Malformed {
+                tag: 0,
+                what: "injected fault (snapshot.load)",
+            }));
+        }
         let decoded = crate::snapshot::decode_engine(data, bytes).map_err(CoreError::Snapshot)?;
         if decoded.groups.is_empty() {
             return Err(CoreError::EmptyGroupSpace);

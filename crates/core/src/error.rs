@@ -56,6 +56,22 @@ impl From<SnapshotError> for CoreError {
 pub enum ServeError {
     /// A session id that was never opened, or was already closed.
     UnknownSession(u64),
+    /// Admission control rejected the open: the table already holds
+    /// `max` live sessions.
+    AtCapacity {
+        /// Live sessions at the time of the rejection.
+        open: usize,
+        /// The configured `ServiceConfig::max_sessions` ceiling.
+        max: usize,
+    },
+    /// The session existed but was evicted after exceeding the idle TTL.
+    SessionExpired(u64),
+    /// The session panicked mid-verb and was quarantined; it no longer
+    /// accepts verbs. Other sessions are unaffected.
+    SessionPoisoned(u64),
+    /// A fault-injection site fired (only reachable with the
+    /// `failpoints` feature and an active scenario).
+    Injected(&'static str),
     /// The underlying session verb failed.
     Core(CoreError),
 }
@@ -64,6 +80,14 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownSession(s) => write!(f, "unknown session s{s}"),
+            ServeError::AtCapacity { open, max } => {
+                write!(f, "service at capacity ({open} of {max} sessions open)")
+            }
+            ServeError::SessionExpired(s) => write!(f, "session s{s} expired (idle TTL)"),
+            ServeError::SessionPoisoned(s) => {
+                write!(f, "session s{s} is quarantined after a panic")
+            }
+            ServeError::Injected(site) => write!(f, "injected fault ({site})"),
             ServeError::Core(e) => write!(f, "session error: {e}"),
         }
     }
@@ -73,7 +97,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Core(e) => Some(e),
-            ServeError::UnknownSession(_) => None,
+            _ => None,
         }
     }
 }
@@ -104,5 +128,19 @@ mod tests {
         assert_eq!(wrapped, ServeError::Core(CoreError::NotDisplayed(2)));
         assert!(wrapped.to_string().contains("g2"));
         assert!(std::error::Error::source(&wrapped).is_some());
+    }
+
+    #[test]
+    fn lifecycle_errors_identify_their_cause() {
+        let at = ServeError::AtCapacity { open: 8, max: 8 };
+        assert!(at.to_string().contains("8 of 8"));
+        assert!(ServeError::SessionExpired(3).to_string().contains("s3"));
+        assert!(ServeError::SessionPoisoned(5)
+            .to_string()
+            .contains("quarantined"));
+        assert!(ServeError::Injected("serve.step")
+            .to_string()
+            .contains("serve.step"));
+        assert!(std::error::Error::source(&at).is_none());
     }
 }

@@ -1,0 +1,47 @@
+//! Fail-point sites compiled into the serving stack behind the
+//! `failpoints` cargo feature.
+//!
+//! Production code calls the crate-private `inject` at each named site;
+//! without the
+//! feature the call is a `const false` the optimizer deletes, with it the
+//! call forwards to the seeded registry in `vexus-failpoint` (one relaxed
+//! atomic load when no scenario is active). Sites either return an
+//! injected typed error (`FailAction::Error` ⇒ `inject` returns `true`)
+//! or panic at the site (`FailAction::Panic`) to exercise the
+//! `catch_unwind` quarantine path.
+//!
+//! Site catalog (see README "Robustness"):
+//!
+//! | site            | key          | effect when fired (Error action)              |
+//! |-----------------|--------------|-----------------------------------------------|
+//! | `serve.open`    | session id   | open rejected with `ServeError::Injected`     |
+//! | `serve.step`    | session id   | verb fails with `ServeError::Injected`        |
+//! | `snapshot.load` | 0            | `Vexus::from_snapshot` reports `Malformed`    |
+//! | `cache.shard`   | shard index  | neighbor insert skipped (permanent cache miss)|
+
+/// Injected fault at session open.
+pub const SERVE_OPEN: &str = "serve.open";
+/// Injected fault inside verb execution (under the quarantine guard).
+pub const SERVE_STEP: &str = "serve.step";
+/// Injected fault while decoding an engine snapshot.
+pub const SNAPSHOT_LOAD: &str = "snapshot.load";
+
+#[cfg(feature = "failpoints")]
+pub use vexus_failpoint::{
+    clear, clear_all, configure, fired, key_selected, FailAction, FailScenario, Trigger,
+};
+
+/// Evaluate the fail point at `site` for `key`: `true` means the site
+/// must fail with its injected error. Compiles to `false` without the
+/// `failpoints` feature.
+#[cfg(feature = "failpoints")]
+#[inline(always)]
+pub(crate) fn inject(site: &str, key: u64) -> bool {
+    vexus_failpoint::hit_key(site, key)
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn inject(_site: &str, _key: u64) -> bool {
+    false
+}

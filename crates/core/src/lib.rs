@@ -32,6 +32,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod failpoint;
 pub mod features;
 pub mod feedback;
 pub mod greedy;
@@ -45,6 +46,6 @@ pub use config::EngineConfig;
 pub use engine::{OwnedSession, Vexus};
 pub use error::{CoreError, ServeError};
 pub use feedback::FeedbackVector;
-pub use serve::{ExplorationService, Request, Response, SessionId};
+pub use serve::{ExplorationService, Request, Response, ServiceConfig, ServiceStats, SessionId};
 pub use session::{BorrowedEngine, EngineRef, ExplorationSession, Session};
 pub use vexus_data::SnapshotError;

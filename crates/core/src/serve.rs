@@ -1,5 +1,5 @@
 //! Exploration-as-a-service: many concurrent sessions over one shared
-//! engine.
+//! engine, hardened for production.
 //!
 //! The offline pipeline is expensive (discovery + index build); the
 //! per-click work is not. [`ExplorationService`] exploits that split: it
@@ -10,10 +10,33 @@
 //! only for lookups) and each session's own mutex.
 //!
 //! Lock discipline: a verb read-locks the table, clones the session's
-//! `Arc<Mutex<…>>`, *drops the table lock*, then locks the session. Steps
-//! of different sessions therefore run fully in parallel; the table lock
-//! is write-held only by `open`/`close`, for the duration of a map
+//! slot `Arc`, *drops the table lock*, then locks the session. Steps of
+//! different sessions therefore run fully in parallel; the table lock is
+//! write-held only by `open`/`close`/eviction, for the duration of a map
 //! insert/remove.
+//!
+//! Robustness (see README "Robustness" for the full failure semantics):
+//!
+//! * **Admission control & lifecycle** — [`ServiceConfig`] bounds the
+//!   table (`max_sessions` ⇒ typed [`ServeError::AtCapacity`]) and ages
+//!   idle sessions out against a *logical* clock that ticks once per verb
+//!   (`idle_ttl_steps` ⇒ [`ServeError::SessionExpired`]); no wall time,
+//!   so every lifecycle decision is deterministic and testable. A bounded
+//!   memory of recent evictions distinguishes `SessionExpired` from
+//!   [`ServeError::UnknownSession`].
+//! * **Panic isolation** — every verb body runs under `catch_unwind`; a
+//!   panicking step quarantines *only its own session* (later verbs on it
+//!   return [`ServeError::SessionPoisoned`]) while every other session
+//!   continues byte-identically. Table and session locks recover from
+//!   poisoning instead of propagating it, so one crash can never brick
+//!   the service.
+//! * **Observability** — [`ServiceStats`] counts opens, rejections,
+//!   evictions, quarantines and lock recoveries, surfaced through the
+//!   [`Request::Stats`] verb.
+//! * **Fault injection** — with the `failpoints` cargo feature the
+//!   `serve.open`/`serve.step` sites (see [`crate::failpoint`]) inject
+//!   seeded panics or typed [`ServeError::Injected`] errors; without the
+//!   feature the sites compile to nothing.
 //!
 //! [`Request`]/[`Response`] mirror the verb surface as plain data for
 //! transport-style callers (one enum in, one enum out); the typed methods
@@ -22,8 +45,10 @@
 use crate::config::EngineConfig;
 use crate::engine::{OwnedSession, Vexus};
 use crate::error::ServeError;
+use crate::failpoint;
 use crate::feedback::ContextView;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use vexus_data::UserId;
@@ -36,6 +61,94 @@ pub struct SessionId(pub u64);
 impl std::fmt::Display for SessionId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "s{}", self.0)
+    }
+}
+
+/// Operational limits for an [`ExplorationService`].
+///
+/// The defaults impose no limits (unbounded table, no expiry), matching
+/// the pre-hardening behaviour; production deployments dial both in.
+/// Idle age is measured in *logical steps* — the service clock ticks once
+/// per verb — so lifecycle behaviour is deterministic under test and
+/// independent of wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum open sessions (live + quarantined); opens beyond it are
+    /// rejected with [`ServeError::AtCapacity`].
+    pub max_sessions: usize,
+    /// Evict a session once it has not been touched for more than this
+    /// many logical steps. `u64::MAX` disables expiry.
+    pub idle_ttl_steps: u64,
+    /// How many recently evicted ids to remember, so verbs on them can
+    /// report [`ServeError::SessionExpired`] instead of the generic
+    /// [`ServeError::UnknownSession`]. `0` disables the memory.
+    pub eviction_memory: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: usize::MAX,
+            idle_ttl_steps: u64::MAX,
+            eviction_memory: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the session-table capacity.
+    pub fn with_max_sessions(mut self, max: usize) -> Self {
+        self.max_sessions = max;
+        self
+    }
+
+    /// Set the idle TTL in logical steps.
+    pub fn with_idle_ttl_steps(mut self, ttl: u64) -> Self {
+        self.idle_ttl_steps = ttl;
+        self
+    }
+
+    /// Set the recent-eviction memory size.
+    pub fn with_eviction_memory(mut self, n: usize) -> Self {
+        self.eviction_memory = n;
+        self
+    }
+}
+
+/// Cumulative service counters, snapshot via
+/// [`ExplorationService::stats`] or the [`Request::Stats`] verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Sessions opened successfully.
+    pub opens: u64,
+    /// Opens rejected (at capacity, or by an injected `serve.open` fault).
+    pub rejections: u64,
+    /// Sessions evicted after exceeding the idle TTL.
+    pub evictions: u64,
+    /// Sessions quarantined after a panic mid-verb.
+    pub quarantines: u64,
+    /// Poisoned table/session locks recovered instead of propagated.
+    pub recoveries: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    opens: AtomicU64,
+    rejections: AtomicU64,
+    evictions: AtomicU64,
+    quarantines: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            opens: self.opens.load(Ordering::SeqCst),
+            rejections: self.rejections.load(Ordering::SeqCst),
+            evictions: self.evictions.load(Ordering::SeqCst),
+            quarantines: self.quarantines.load(Ordering::SeqCst),
+            recoveries: self.recoveries.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -86,6 +199,8 @@ pub enum Request {
         /// User to bookmark.
         user: UserId,
     },
+    /// Read the service's cumulative [`ServiceStats`].
+    Stats,
     /// Close a session, dropping its state.
     Close {
         /// Target session.
@@ -107,25 +222,62 @@ pub enum Response {
     Display(Vec<GroupId>),
     /// A CONTEXT snapshot.
     Context(ContextView),
+    /// A [`ServiceStats`] snapshot.
+    Stats(ServiceStats),
     /// The verb succeeded with nothing to return.
     Ack,
 }
 
+/// A live session's table slot: its state plus the logical time it was
+/// last touched (for idle eviction).
+struct LiveSlot {
+    session: Mutex<OwnedSession>,
+    last_touch: AtomicU64,
+}
+
+/// One entry in the session table. Quarantined slots keep the id
+/// occupied (so verbs get the typed poison error, not `UnknownSession`)
+/// but drop the crashed state; they leave via `close` or the idle TTL.
+#[derive(Clone)]
+enum Slot {
+    Live(Arc<LiveSlot>),
+    Quarantined { since: u64 },
+}
+
+type Table = HashMap<u64, Slot>;
+
 /// A session table over one shared engine: open sessions, step them from
-/// any thread, close them.
+/// any thread, close them — with admission control, idle eviction and
+/// panic quarantine per [`ServiceConfig`].
 pub struct ExplorationService {
     engine: Arc<Vexus>,
-    sessions: RwLock<HashMap<u64, Arc<Mutex<OwnedSession>>>>,
+    config: ServiceConfig,
+    sessions: RwLock<Table>,
     next_id: AtomicU64,
+    /// Logical clock: ticks once per verb. All lifecycle decisions key
+    /// off it, never off wall time.
+    clock: AtomicU64,
+    /// Recently evicted ids (bounded by `config.eviction_memory`).
+    evicted: Mutex<VecDeque<u64>>,
+    counters: Counters,
 }
 
 impl ExplorationService {
-    /// A service over a shared engine.
+    /// A service over a shared engine with default (unbounded) limits.
     pub fn new(engine: Arc<Vexus>) -> Self {
+        Self::with_config(engine, ServiceConfig::default())
+    }
+
+    /// A service over a shared engine with explicit operational limits.
+    pub fn with_config(engine: Arc<Vexus>, config: ServiceConfig) -> Self {
         Self {
             engine,
+            config,
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            evicted: Mutex::new(VecDeque::new()),
+            counters: Counters::default(),
         }
     }
 
@@ -134,29 +286,129 @@ impl ExplorationService {
         &self.engine
     }
 
+    /// The service's operational limits.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.counters.snapshot()
+    }
+
+    /// The logical clock: verbs served so far (each verb ticks it once).
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advance the logical clock by `steps` without serving a verb —
+    /// deterministic idle-time injection for tests and experiments.
+    /// Returns the new clock value.
+    pub fn advance_clock(&self, steps: u64) -> u64 {
+        self.clock.fetch_add(steps, Ordering::SeqCst) + steps
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Read-lock the session table, recovering from poison. A panic while
     /// the table was write-held can only leave the map between two valid
     /// states of `HashMap`'s safe API (an insert or remove either happened
     /// or did not), so the data is usable either way — propagating the
     /// poison would brick every session over one crashed verb.
-    fn table_read(&self) -> RwLockReadGuard<'_, HashMap<u64, Arc<Mutex<OwnedSession>>>> {
-        self.sessions.read().unwrap_or_else(PoisonError::into_inner)
+    fn table_read(&self) -> RwLockReadGuard<'_, Table> {
+        self.sessions.read().unwrap_or_else(|e| {
+            self.counters.recoveries.fetch_add(1, Ordering::SeqCst);
+            e.into_inner()
+        })
     }
 
     /// Write-lock the session table, recovering from poison (see
     /// [`Self::table_read`]).
-    fn table_write(&self) -> RwLockWriteGuard<'_, HashMap<u64, Arc<Mutex<OwnedSession>>>> {
-        self.sessions
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn table_write(&self) -> RwLockWriteGuard<'_, Table> {
+        self.sessions.write().unwrap_or_else(|e| {
+            self.counters.recoveries.fetch_add(1, Ordering::SeqCst);
+            e.into_inner()
+        })
     }
 
     /// Lock one session's state, recovering from poison. A poisoned
     /// session mutex means a verb panicked mid-step on *this* session;
     /// recovering keeps the lock (and the table around it) functional
     /// instead of turning every later verb into a panic.
-    fn lock_session(handle: &Mutex<OwnedSession>) -> MutexGuard<'_, OwnedSession> {
-        handle.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_session<'a>(&self, handle: &'a Mutex<OwnedSession>) -> MutexGuard<'a, OwnedSession> {
+        handle.lock().unwrap_or_else(|e| {
+            self.counters.recoveries.fetch_add(1, Ordering::SeqCst);
+            e.into_inner()
+        })
+    }
+
+    fn expired(&self, last_touch: u64, now: u64) -> bool {
+        now.saturating_sub(last_touch) > self.config.idle_ttl_steps
+    }
+
+    fn remember_eviction(&self, id: u64) {
+        if self.config.eviction_memory == 0 {
+            return;
+        }
+        let mut log = self.evicted.lock().unwrap_or_else(PoisonError::into_inner);
+        log.push_back(id);
+        while log.len() > self.config.eviction_memory {
+            log.pop_front();
+        }
+    }
+
+    fn recently_evicted(&self, id: u64) -> bool {
+        self.evicted
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(&id)
+    }
+
+    /// Evict `id` iff it is (still) idle-expired at `now` — the expiry is
+    /// re-checked under the write lock so a concurrent verb that touched
+    /// the session in the meantime wins.
+    fn evict_if_expired(&self, id: u64, now: u64) -> bool {
+        let mut table = self.table_write();
+        let expired = match table.get(&id) {
+            Some(Slot::Live(live)) => self.expired(live.last_touch.load(Ordering::SeqCst), now),
+            Some(Slot::Quarantined { since }) => self.expired(*since, now),
+            None => false,
+        };
+        if expired {
+            table.remove(&id);
+            drop(table);
+            self.remember_eviction(id);
+            self.counters.evictions.fetch_add(1, Ordering::SeqCst);
+        }
+        expired
+    }
+
+    /// Evict every idle-expired session (live or quarantined) now;
+    /// returns how many were evicted. `open` sweeps automatically when a
+    /// TTL is configured; long-idle deployments can also sweep on a
+    /// maintenance tick.
+    pub fn sweep_idle(&self) -> usize {
+        if self.config.idle_ttl_steps == u64::MAX {
+            return 0;
+        }
+        let now = self.clock();
+        let stale: Vec<u64> = self
+            .table_read()
+            .iter()
+            .filter_map(|(&id, slot)| {
+                let last = match slot {
+                    Slot::Live(live) => live.last_touch.load(Ordering::SeqCst),
+                    Slot::Quarantined { since } => *since,
+                };
+                self.expired(last, now).then_some(id)
+            })
+            .collect();
+        stale
+            .into_iter()
+            .filter(|&id| self.evict_if_expired(id, now))
+            .count()
     }
 
     /// Open a session with the engine's configuration; returns its id and
@@ -165,35 +417,134 @@ impl ExplorationService {
         self.open_with(self.engine.config().clone())
     }
 
-    /// Open a session with an overriding configuration.
+    /// Open a session with an overriding configuration. Fails typed when
+    /// the table is at `max_sessions` (idle-expired sessions are swept
+    /// first, so stale load never blocks fresh users).
     pub fn open_with(&self, config: EngineConfig) -> Result<(SessionId, Vec<GroupId>), ServeError> {
+        let now = self.tick();
+        self.sweep_idle();
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        if failpoint::inject(failpoint::SERVE_OPEN, id.0) {
+            self.counters.rejections.fetch_add(1, Ordering::SeqCst);
+            return Err(ServeError::Injected(failpoint::SERVE_OPEN));
+        }
+        // Cheap pre-check before the expensive session build; the
+        // authoritative check repeats under the write lock below.
+        if self.config.max_sessions != usize::MAX {
+            let open = self.table_read().len();
+            if open >= self.config.max_sessions {
+                self.counters.rejections.fetch_add(1, Ordering::SeqCst);
+                return Err(ServeError::AtCapacity {
+                    open,
+                    max: self.config.max_sessions,
+                });
+            }
+        }
         let session = OwnedSession::open_with(Arc::clone(&self.engine), config)?;
         let display = session.display().to_vec();
-        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.table_write()
-            .insert(id.0, Arc::new(Mutex::new(session)));
+        let slot = Arc::new(LiveSlot {
+            session: Mutex::new(session),
+            last_touch: AtomicU64::new(now),
+        });
+        {
+            let mut table = self.table_write();
+            if table.len() >= self.config.max_sessions {
+                self.counters.rejections.fetch_add(1, Ordering::SeqCst);
+                return Err(ServeError::AtCapacity {
+                    open: table.len(),
+                    max: self.config.max_sessions,
+                });
+            }
+            table.insert(id.0, Slot::Live(slot));
+        }
+        self.counters.opens.fetch_add(1, Ordering::SeqCst);
         Ok((id, display))
     }
 
-    /// The session handle for `id`, cloned out from under the table lock.
-    fn session(&self, id: SessionId) -> Result<Arc<Mutex<OwnedSession>>, ServeError> {
-        self.table_read()
-            .get(&id.0)
-            .map(Arc::clone)
-            .ok_or(ServeError::UnknownSession(id.0))
+    /// The typed error for an id that is not in the table.
+    fn missing(&self, id: u64) -> ServeError {
+        if self.recently_evicted(id) {
+            ServeError::SessionExpired(id)
+        } else {
+            ServeError::UnknownSession(id)
+        }
+    }
+
+    /// The live slot for `id`, cloned out from under the table lock.
+    /// Applies the lifecycle rules: quarantined ⇒ `SessionPoisoned`,
+    /// idle-expired ⇒ evict now and `SessionExpired`.
+    fn slot(&self, id: SessionId, now: u64) -> Result<Arc<LiveSlot>, ServeError> {
+        let found = self.table_read().get(&id.0).cloned();
+        match found {
+            Some(Slot::Live(live)) => {
+                if self.expired(live.last_touch.load(Ordering::SeqCst), now)
+                    && self.evict_if_expired(id.0, now)
+                {
+                    return Err(ServeError::SessionExpired(id.0));
+                }
+                Ok(live)
+            }
+            Some(Slot::Quarantined { since }) => {
+                if self.expired(since, now) && self.evict_if_expired(id.0, now) {
+                    Err(ServeError::SessionExpired(id.0))
+                } else {
+                    Err(ServeError::SessionPoisoned(id.0))
+                }
+            }
+            None => Err(self.missing(id.0)),
+        }
+    }
+
+    /// Replace a session's slot with a quarantine marker after a panic.
+    /// The crashed state is dropped; the id stays occupied so later verbs
+    /// get [`ServeError::SessionPoisoned`], not `UnknownSession`.
+    fn quarantine(&self, id: u64, now: u64) {
+        let mut table = self.table_write();
+        if let Some(slot) = table.get_mut(&id) {
+            *slot = Slot::Quarantined { since: now };
+            drop(table);
+            self.counters.quarantines.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Run a closure against a session's state under its lock. The table
     /// lock is *not* held while `f` runs, so long steps in one session
-    /// never block verbs on other sessions.
+    /// never block verbs on other sessions. The body runs under
+    /// `catch_unwind`: a panic quarantines this session and surfaces as
+    /// [`ServeError::SessionPoisoned`] instead of unwinding the caller.
     pub fn with_session<R>(
         &self,
         id: SessionId,
         f: impl FnOnce(&mut OwnedSession) -> R,
     ) -> Result<R, ServeError> {
-        let handle = self.session(id)?;
-        let mut session = Self::lock_session(&handle);
-        Ok(f(&mut session))
+        let now = self.tick();
+        let slot = self.slot(id, now)?;
+        slot.last_touch.store(now, Ordering::SeqCst);
+        let mut session = self.lock_session(&slot.session);
+        // Distinguishes "injected error fault" from a caught panic; the
+        // injection fires *inside* the guard so a `Panic`-action fail
+        // point exercises the same quarantine path as an organic crash.
+        enum Outcome<T> {
+            Done(T),
+            Injected,
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if failpoint::inject(failpoint::SERVE_STEP, id.0) {
+                return Outcome::Injected;
+            }
+            Outcome::Done(f(&mut session))
+        }));
+        // The guard is owned by this frame, not the closure, so a caught
+        // panic has NOT poisoned the mutex — quarantine is explicit.
+        drop(session);
+        match outcome {
+            Ok(Outcome::Done(r)) => Ok(r),
+            Ok(Outcome::Injected) => Err(ServeError::Injected(failpoint::SERVE_STEP)),
+            Err(_panic) => {
+                self.quarantine(id.0, now);
+                Err(ServeError::SessionPoisoned(id.0))
+            }
+        }
     }
 
     /// Click a displayed group; returns the new display.
@@ -229,15 +580,18 @@ impl ExplorationService {
         self.with_session(id, |s| s.memo_user(u))
     }
 
-    /// Close a session, dropping its state.
+    /// Close a session, dropping its state. Closing a quarantined session
+    /// succeeds — it is how a client acknowledges the poison and frees
+    /// the slot.
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
-        self.table_write()
-            .remove(&id.0)
-            .map(|_| ())
-            .ok_or(ServeError::UnknownSession(id.0))
+        self.tick();
+        match self.table_write().remove(&id.0) {
+            Some(_) => Ok(()),
+            None => Err(self.missing(id.0)),
+        }
     }
 
-    /// Number of open sessions.
+    /// Number of open sessions (live + quarantined).
     pub fn len(&self) -> usize {
         self.table_read().len()
     }
@@ -272,6 +626,7 @@ impl ExplorationService {
                 self.memo_user(session, user)?;
                 Ok(Response::Ack)
             }
+            Request::Stats => Ok(Response::Stats(self.stats())),
             Request::Close { session } => {
                 self.close(session)?;
                 Ok(Response::Ack)
@@ -295,10 +650,15 @@ mod tests {
     use crate::error::CoreError;
     use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
 
-    fn service() -> ExplorationService {
+    fn engine() -> Arc<Vexus> {
         let ds = bookcrossing(&BookCrossingConfig::tiny());
-        let engine = Vexus::build(ds.data, EngineConfig::default()).unwrap();
-        ExplorationService::new(engine.shared())
+        Vexus::build(ds.data, EngineConfig::default())
+            .unwrap()
+            .shared()
+    }
+
+    fn service() -> ExplorationService {
+        ExplorationService::new(engine())
     }
 
     #[test]
@@ -394,6 +754,11 @@ mod tests {
             .unwrap(),
             Response::Ack
         ));
+        let stats = match svc.handle(Request::Stats).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected Stats, got {other:?}"),
+        };
+        assert_eq!(stats.opens, 1);
         assert!(matches!(
             svc.handle(Request::Close { session: id }).unwrap(),
             Response::Ack
@@ -402,26 +767,135 @@ mod tests {
     }
 
     #[test]
+    fn at_capacity_opens_are_rejected_typed() {
+        let svc = ExplorationService::with_config(
+            engine(),
+            ServiceConfig::default().with_max_sessions(2),
+        );
+        let (a, _) = svc.open().unwrap();
+        let (_b, _) = svc.open().unwrap();
+        assert_eq!(
+            svc.open().unwrap_err(),
+            ServeError::AtCapacity { open: 2, max: 2 }
+        );
+        assert_eq!(svc.stats().rejections, 1);
+        assert_eq!(svc.stats().opens, 2);
+        // Closing frees a slot.
+        svc.close(a).unwrap();
+        svc.open().unwrap();
+        assert_eq!(svc.len(), 2);
+    }
+
+    #[test]
+    fn idle_sessions_expire_against_the_logical_clock() {
+        let svc = ExplorationService::with_config(
+            engine(),
+            ServiceConfig::default().with_idle_ttl_steps(5),
+        );
+        let (a, _) = svc.open().unwrap();
+        let (b, _) = svc.open().unwrap();
+        // Keep `a` warm while the clock advances past `b`'s TTL.
+        for _ in 0..3 {
+            svc.display(a).unwrap();
+        }
+        svc.advance_clock(10);
+        assert_eq!(svc.display(b).unwrap_err(), ServeError::SessionExpired(b.0));
+        // `a` expired too (its last touch is also >5 steps old now).
+        assert_eq!(svc.display(a).unwrap_err(), ServeError::SessionExpired(a.0));
+        // Expired ids stay distinguishable from never-opened ids.
+        assert_eq!(svc.display(b).unwrap_err(), ServeError::SessionExpired(b.0));
+        assert!(matches!(
+            svc.display(SessionId(999)).unwrap_err(),
+            ServeError::UnknownSession(999)
+        ));
+        assert_eq!(svc.stats().evictions, 2);
+        assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn sweep_idle_collects_stale_sessions_in_bulk() {
+        let svc = ExplorationService::with_config(
+            engine(),
+            ServiceConfig::default().with_idle_ttl_steps(4),
+        );
+        for _ in 0..3 {
+            svc.open().unwrap();
+        }
+        assert_eq!(svc.sweep_idle(), 0, "nothing stale yet");
+        svc.advance_clock(50);
+        assert_eq!(svc.sweep_idle(), 3);
+        assert!(svc.is_empty());
+        assert_eq!(svc.stats().evictions, 3);
+        // Opens sweep automatically: stale load never blocks fresh users.
+        let svc2 = ExplorationService::with_config(
+            engine(),
+            ServiceConfig::default()
+                .with_max_sessions(1)
+                .with_idle_ttl_steps(4),
+        );
+        svc2.open().unwrap();
+        svc2.advance_clock(50);
+        svc2.open().unwrap();
+        assert_eq!(svc2.len(), 1);
+    }
+
+    #[test]
+    fn panicking_verb_quarantines_only_its_own_session() {
+        let svc = service();
+        let (bad, _) = svc.open().unwrap();
+        let (good, good_display) = svc.open().unwrap();
+        // The panic is caught, not propagated: the caller sees a typed
+        // error and the service keeps serving.
+        let err = svc
+            .with_session(bad, |_| -> () { panic!("verb crashed mid-step") })
+            .unwrap_err();
+        assert_eq!(err, ServeError::SessionPoisoned(bad.0));
+        // The crashed session is quarantined…
+        assert_eq!(
+            svc.display(bad).unwrap_err(),
+            ServeError::SessionPoisoned(bad.0)
+        );
+        // …while the other session continues byte-identically.
+        assert_eq!(svc.display(good).unwrap(), good_display);
+        assert_eq!(svc.len(), 2, "quarantined slot still occupies the table");
+        assert_eq!(svc.stats().quarantines, 1);
+        // Close acknowledges the poison and frees the slot.
+        svc.close(bad).unwrap();
+        assert_eq!(svc.len(), 1);
+    }
+
+    #[test]
     fn poisoned_locks_recover_instead_of_bricking_the_service() {
         let svc = service();
         let (id, display) = svc.open().unwrap();
-        let (other, other_display) = svc.open().unwrap();
-        // Panic mid-verb while the session mutex is held: the unwind
-        // poisons the mutex. Before the recovery accessors, every later
-        // verb on any session died on `.expect("session mutex")` /
-        // `.expect("session table")`.
-        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = svc.with_session(id, |_| panic!("verb crashed mid-step"));
-        }));
-        assert!(boom.is_err());
-        // The service still serves: the crashed session's state is intact
-        // (the panic fired before any mutation) and other sessions are
-        // untouched.
+        // Poison the session mutex the hard way: lock it on another
+        // thread and panic while holding the guard. (Verb panics no
+        // longer poison it — the guard lives in `with_session`'s frame —
+        // so this simulates a crash inside the lock itself.)
+        let slot = svc.slot(id, svc.clock()).unwrap();
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = slot.session.lock().unwrap();
+                panic!("poison the session mutex");
+            })
+            .join()
+        });
+        assert!(slot.session.is_poisoned());
+        // The service recovers: state intact, recovery counted.
         assert_eq!(svc.display(id).unwrap(), display);
-        assert_eq!(svc.display(other).unwrap(), other_display);
-        assert_eq!(svc.len(), 2);
+        assert!(svc.stats().recoveries >= 1);
+        // Same for the table lock.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = svc.sessions.write().unwrap();
+                panic!("poison the table lock");
+            })
+            .join()
+        });
+        assert!(svc.sessions.is_poisoned());
+        assert_eq!(svc.len(), 1);
+        assert_eq!(svc.display(id).unwrap(), display);
         svc.close(id).unwrap();
-        svc.close(other).unwrap();
         assert!(svc.is_empty());
     }
 

@@ -20,11 +20,17 @@
 use crate::inverted::{GroupIndex, Neighbor};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use vexus_mining::{GroupId, GroupSet};
 
 /// Number of independently locked shards (power of two).
 const SHARDS: usize = 16;
+
+/// Fail-point site: fires inside a shard's insert critical section,
+/// keyed by shard index (`Panic` action poisons the shard, `Error`
+/// action skips the insert — both degrade to cache misses).
+#[cfg(feature = "failpoints")]
+const FP_CACHE_SHARD: &str = "cache.shard";
 
 /// Hit/miss counters of a [`NeighborCache`], readable at any time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +39,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Queries that had to compute (and, capacity permitting, insert).
     pub misses: u64,
+    /// Poisoned shards recovered (contents dropped, shard kept serving).
+    pub recoveries: u64,
 }
 
 impl CacheStats {
@@ -60,6 +68,7 @@ pub struct NeighborCache {
     per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for NeighborCache {
@@ -90,7 +99,27 @@ impl NeighborCache {
             per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Lock a shard, recovering from poison. A panic inside the critical
+    /// section (only reachable through the `cache.shard` fail point or a
+    /// bug) may leave `entries` and `order` out of step, so recovery
+    /// drops the shard's contents: the cache is a pure memo over an
+    /// immutable index, losing entries only costs recomputes — never
+    /// correctness, and never a propagated panic. `clear_poison` makes
+    /// the recovery one-shot rather than once per subsequent access.
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        let shard = &self.shards[i];
+        shard.lock().unwrap_or_else(|poisoned| {
+            shard.clear_poison();
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            let mut guard = poisoned.into_inner();
+            guard.entries.clear();
+            guard.order.clear();
+            guard
+        })
     }
 
     fn shard_of(g: GroupId, k: usize) -> usize {
@@ -116,13 +145,8 @@ impl NeighborCache {
         k: usize,
     ) -> Arc<[Neighbor]> {
         let key = (g.0, k as u32);
-        let shard = &self.shards[Self::shard_of(g, k)];
-        if let Some(hit) = shard
-            .lock()
-            .expect("neighbor cache shard")
-            .entries
-            .get(&key)
-        {
+        let si = Self::shard_of(g, k);
+        if let Some(hit) = self.lock_shard(si).entries.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -131,7 +155,11 @@ impl NeighborCache {
         let computed: Arc<[Neighbor]> = index.neighbors(groups, g, k).into();
         self.misses.fetch_add(1, Ordering::Relaxed);
         if self.per_shard > 0 {
-            let mut guard = shard.lock().expect("neighbor cache shard");
+            let mut guard = self.lock_shard(si);
+            #[cfg(feature = "failpoints")]
+            if vexus_failpoint::hit_key(FP_CACHE_SHARD, si as u64) {
+                return computed;
+            }
             if !guard.entries.contains_key(&key) {
                 if guard.entries.len() >= self.per_shard {
                     if let Some(old) = guard.order.pop_front() {
@@ -150,15 +178,28 @@ impl NeighborCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
         }
     }
 
     /// Entries currently cached (across all shards).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("neighbor cache shard").entries.len())
-            .sum()
+        (0..SHARDS).map(|i| self.lock_shard(i).entries.len()).sum()
+    }
+
+    /// Poison the shard `g`/`k` maps to, simulating a crash inside the
+    /// critical section — recovery-path tests only.
+    #[cfg(test)]
+    fn poison_shard_of(&self, g: GroupId, k: usize) {
+        let shard = &self.shards[Self::shard_of(g, k)];
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("poison the cache shard");
+            })
+            .join()
+        });
+        assert!(shard.is_poisoned());
     }
 
     /// Whether the cache holds no entries.
@@ -233,6 +274,30 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_degrades_to_a_miss_not_a_panic() {
+        let (gs, idx) = fixture();
+        let cache = NeighborCache::new(64);
+        let g = GroupId::new(3);
+        let direct = idx.neighbors(&gs, g, 6);
+        cache.neighbors(&idx, &gs, g, 6);
+        assert_eq!(cache.stats().hits, 0);
+        cache.poison_shard_of(g, 6);
+        // First access after the poison recovers the shard: its contents
+        // are gone (a miss, recomputed correctly), but nothing panics and
+        // the recovery is counted exactly once.
+        let after = cache.neighbors(&idx, &gs, g, 6);
+        assert_eq!(&after[..], &direct[..]);
+        let stats = cache.stats();
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.hits, 0, "post-poison access is a miss");
+        // The shard serves (and caches) normally again.
+        cache.neighbors(&idx, &gs, g, 6);
+        let settled = cache.stats();
+        assert_eq!(settled.hits, 1);
+        assert_eq!(settled.recoveries, 1, "recovery is one-shot");
     }
 
     #[test]

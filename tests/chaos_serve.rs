@@ -1,0 +1,261 @@
+//! Chaos tests for the hardened serving layer, driven by the seeded
+//! fail-point registry (`--features failpoints`).
+//!
+//! The containment contract under test: a fault injected into one
+//! session — a panic mid-verb, an injected error, a poisoned cache shard
+//! — must surface as a *typed* error on that session alone, while every
+//! other session replays byte-identical to a single-threaded reference.
+//! Fault selection is a seeded hash of the session id, so each case
+//! knows its faulted set up front, independent of thread interleaving.
+//!
+//! Every test takes a [`fp::FailScenario`]: scenarios hold a process-wide
+//! lock, so these tests serialize against each other instead of fighting
+//! over the global registry.
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use vexus::core::failpoint as fp;
+use vexus::core::{
+    CoreError, EngineConfig, ExplorationService, OwnedSession, ServeError, SnapshotError, Vexus,
+};
+use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
+use vexus::mining::GroupId;
+
+/// A budget the tiny engine never exhausts: outcomes depend only on
+/// session-local state, so survivor comparisons are exact.
+fn config() -> EngineConfig {
+    EngineConfig::default().with_budget(Duration::from_secs(600))
+}
+
+/// One engine shared by every test (immutable post-build).
+fn engine() -> Arc<Vexus> {
+    static ENGINE: OnceLock<Arc<Vexus>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        Arc::new(Vexus::build(ds.data, config()).expect("non-empty group space"))
+    }))
+}
+
+const SESSIONS: usize = 12;
+const STEPS: usize = 5;
+
+enum Verb {
+    Click(GroupId),
+    Backtrack(usize),
+}
+
+/// Session `i`'s scripted verb at `step`, a function of its own display
+/// only — the same script the single-threaded reference replays.
+fn verb(i: usize, step: usize, display: &[GroupId]) -> Option<Verb> {
+    if step == 3 {
+        Some(Verb::Backtrack(1))
+    } else if display.is_empty() {
+        None
+    } else {
+        Some(Verb::Click(display[(i + step) % display.len()]))
+    }
+}
+
+/// Session `i`'s exact display trajectory, single-threaded, no service.
+fn reference(i: usize) -> Vec<Vec<GroupId>> {
+    let mut s = OwnedSession::open_with(engine(), config()).expect("session opens");
+    let mut traj = vec![s.display().to_vec()];
+    for step in 0..STEPS {
+        let display = traj.last().expect("non-empty").clone();
+        let next = match verb(i, step, &display) {
+            Some(Verb::Click(g)) => s.click(g).expect("scripted click").to_vec(),
+            Some(Verb::Backtrack(to)) => s.backtrack(to).expect("scripted backtrack").to_vec(),
+            None => break,
+        };
+        traj.push(next);
+    }
+    traj
+}
+
+/// Run the script for every session concurrently against `svc`,
+/// tolerating per-session errors. Returns each session's trajectory and
+/// the first error that stopped it.
+fn run_concurrent(
+    svc: &ExplorationService,
+    opened: &[(vexus::core::SessionId, Vec<GroupId>)],
+) -> Vec<(Vec<Vec<GroupId>>, Option<ServeError>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = opened
+            .iter()
+            .enumerate()
+            .map(|(i, (id, opening))| {
+                scope.spawn(move || {
+                    let mut traj = vec![opening.clone()];
+                    for step in 0..STEPS {
+                        let display = traj.last().expect("non-empty").clone();
+                        let result = match verb(i, step, &display) {
+                            Some(Verb::Click(g)) => svc.click(*id, g),
+                            Some(Verb::Backtrack(to)) => svc.backtrack(*id, to),
+                            None => break,
+                        };
+                        match result {
+                            Ok(next) => traj.push(next),
+                            Err(e) => return (traj, Some(e)),
+                        }
+                    }
+                    (traj, None)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    })
+}
+
+/// Install a silent panic hook for a closure whose injected panics are
+/// all caught downstream; restores the previous hook afterwards.
+fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    std::panic::set_hook(hook);
+    r
+}
+
+#[test]
+fn survivors_replay_byte_identical_under_seeded_panics() {
+    let engine = engine();
+    let refs: Vec<_> = (0..SESSIONS).map(reference).collect();
+    let fault_p = 0.4;
+    let mut total_faulted = 0usize;
+    let mut total_survived = 0usize;
+    for seed in [1u64, 7, 42] {
+        let scenario = fp::FailScenario::setup();
+        fp::configure(
+            fp::SERVE_STEP,
+            fp::Trigger::KeyProb { p: fault_p, seed },
+            fp::FailAction::Panic,
+        );
+        let svc = ExplorationService::new(Arc::clone(&engine));
+        let opened: Vec<_> = (0..SESSIONS)
+            .map(|_| svc.open_with(config()).expect("session opens"))
+            .collect();
+        let outcomes = quiet_panics(|| run_concurrent(&svc, &opened));
+        drop(scenario);
+        let mut faulted = 0usize;
+        for (i, (traj, error)) in outcomes.iter().enumerate() {
+            let id = opened[i].0;
+            if fp::key_selected(seed, fault_p, id.0) {
+                faulted += 1;
+                // Targeted sessions die on their first verb, typed, and
+                // stay quarantined for every later verb.
+                assert_eq!(
+                    *error,
+                    Some(ServeError::SessionPoisoned(id.0)),
+                    "seed {seed}"
+                );
+                assert_eq!(traj.len(), 1, "quarantined before any step landed");
+                assert_eq!(
+                    svc.display(id).unwrap_err(),
+                    ServeError::SessionPoisoned(id.0)
+                );
+            } else {
+                total_survived += 1;
+                assert_eq!(*error, None, "survivor errored (seed {seed})");
+                assert_eq!(
+                    traj, &refs[i],
+                    "survivor diverged (seed {seed}, session {i})"
+                );
+            }
+        }
+        assert_eq!(svc.stats().quarantines as usize, faulted);
+        assert_eq!(svc.len(), SESSIONS, "quarantined slots stay accounted");
+        total_faulted += faulted;
+    }
+    // The matrix must actually exercise both sides of the contract.
+    assert!(total_faulted > 0, "no session ever targeted");
+    assert!(total_survived > 0, "no session ever survived");
+}
+
+#[test]
+fn injected_step_and_open_errors_are_typed_and_stateless() {
+    let svc = ExplorationService::new(engine());
+    let scenario = fp::FailScenario::setup();
+    let (id, display) = svc.open_with(config()).expect("session opens");
+    // Error-action step faults: typed, no quarantine, no state change.
+    fp::configure(fp::SERVE_STEP, fp::Trigger::Always, fp::FailAction::Error);
+    assert_eq!(
+        svc.click(id, display[0]).unwrap_err(),
+        ServeError::Injected(fp::SERVE_STEP)
+    );
+    fp::clear(fp::SERVE_STEP);
+    assert_eq!(svc.stats().quarantines, 0);
+    assert_eq!(svc.display(id).unwrap(), display, "state untouched");
+    svc.click(id, display[0]).expect("works once cleared");
+    // Open faults: typed rejection, counted, nothing inserted.
+    fp::configure(fp::SERVE_OPEN, fp::Trigger::Always, fp::FailAction::Error);
+    let before = svc.stats();
+    assert_eq!(
+        svc.open_with(config()).unwrap_err(),
+        ServeError::Injected(fp::SERVE_OPEN)
+    );
+    assert_eq!(svc.stats().rejections, before.rejections + 1);
+    assert_eq!(svc.len(), 1);
+    drop(scenario);
+    svc.open_with(config()).expect("opens once cleared");
+}
+
+#[test]
+fn poisoned_cache_shards_recover_as_misses() {
+    let engine = engine();
+    let cache = engine.neighbor_cache().expect("engine built with a cache");
+    let scenario = fp::FailScenario::setup();
+    fp::configure("cache.shard", fp::Trigger::Always, fp::FailAction::Panic);
+    let sample: Vec<GroupId> = engine.groups().ids().take(8).collect();
+    let before = cache.stats();
+    // Every insert panics inside the shard lock, poisoning the shard;
+    // the panic escapes the cache (no session in the way here).
+    quiet_panics(|| {
+        for &g in &sample {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                cache.neighbors(engine.index(), engine.groups(), g, 5)
+            }));
+            assert!(r.is_err(), "panic-action fail point fired");
+        }
+    });
+    drop(scenario);
+    // Post-storm: every poisoned shard recovers as a miss — answers stay
+    // byte-identical to the direct index query, nothing panics.
+    for &g in &sample {
+        let direct = engine.index().neighbors(engine.groups(), g, 5);
+        let got = cache.neighbors(engine.index(), engine.groups(), g, 5);
+        assert_eq!(&got[..], &direct[..]);
+    }
+    let after = cache.stats();
+    assert!(after.recoveries > before.recoveries, "recoveries counted");
+    // And the shards cache normally again: a repeat sweep is all hits.
+    for &g in &sample {
+        cache.neighbors(engine.index(), engine.groups(), g, 5);
+    }
+    assert_eq!(cache.stats().hits - after.hits, sample.len() as u64);
+}
+
+#[test]
+fn injected_snapshot_faults_fail_typed_then_load_cleanly() {
+    let engine = engine();
+    let buf = engine.write_snapshot();
+    let scenario = fp::FailScenario::setup();
+    fp::configure(
+        fp::SNAPSHOT_LOAD,
+        fp::Trigger::Always,
+        fp::FailAction::Error,
+    );
+    match Vexus::from_snapshot(engine.data().clone(), &buf, config()) {
+        Err(CoreError::Snapshot(SnapshotError::Malformed { .. })) => {}
+        Err(other) => panic!("expected a Malformed snapshot error, got {other}"),
+        Ok(_) => panic!("injected snapshot fault did not fire"),
+    }
+    drop(scenario);
+    // The exact same buffer loads once the registry is clear.
+    let loaded = Vexus::from_snapshot(engine.data().clone(), &buf, config()).expect("loads");
+    assert_eq!(loaded.groups(), engine.groups());
+}

@@ -2,7 +2,11 @@
 //! configurations, and hostile edge cases must fail loudly and precisely —
 //! never corrupt state or succeed silently.
 
-use vexus::core::{CoreError, EngineConfig, Vexus};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use vexus::core::{
+    CoreError, EngineConfig, ExplorationService, Request, Response, ServeError, SessionId, Vexus,
+};
 use vexus::data::csv::{parse, CsvOptions};
 use vexus::data::etl::{import, ImportSpec};
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
@@ -229,4 +233,84 @@ fn crossfilter_rejects_inconsistent_inputs() {
         cf.add_categorical(vec![0, 1, 9], 2); // category out of range
     });
     assert!(result.is_err());
+}
+
+/// One engine shared by every serving property case — building it
+/// dominates the cost of a case and it is immutable post-build.
+fn serving_engine() -> Arc<Vexus> {
+    static ENGINE: OnceLock<Arc<Vexus>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        Arc::new(Vexus::build(ds.data, EngineConfig::default()).expect("non-empty group space"))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The serving layer under hostile request streams: verbs aimed at
+    /// stale (closed) sessions, never-opened session ids, out-of-range
+    /// group ids, and backtrack steps beyond any history. Every input
+    /// must yield a *typed* `ServeError` — never a panic, never a
+    /// mis-addressed error — and the table size must track the model's
+    /// open set exactly after every request.
+    #[test]
+    fn serving_layer_rejects_hostile_requests_typed(
+        ops in proptest::collection::vec((0usize..8, 0usize..3, 0usize..100), 1..40)
+    ) {
+        let svc = ExplorationService::new(serving_engine());
+        let mut open: Vec<SessionId> = Vec::new();
+        let mut closed: Vec<SessionId> = Vec::new();
+        for (op, sel, arg) in ops {
+            // Target selection: a live session, a stale (closed) one, or
+            // an id that never existed.
+            let target = match sel {
+                0 if !open.is_empty() => open[arg % open.len()],
+                1 if !closed.is_empty() => closed[arg % closed.len()],
+                _ => SessionId(1_000_000 + arg as u64),
+            };
+            let known = open.contains(&target);
+            let request = match op {
+                0 => Request::Open,
+                1 => Request::Click {
+                    session: target,
+                    // Mostly far outside the group space; occasionally a
+                    // real (possibly displayed) group.
+                    group: GroupId::new((arg as u32).wrapping_mul(7919)),
+                },
+                // No script here clicks 50 times, so the step is always
+                // beyond whatever history the session accumulated.
+                2 => Request::Backtrack { session: target, step: 50 + arg },
+                3 => Request::Display { session: target },
+                4 => Request::Context { session: target, n: arg % 10 },
+                5 => Request::MemoGroup {
+                    session: target,
+                    group: GroupId::new(u32::MAX - arg as u32),
+                },
+                6 => Request::Stats,
+                _ => Request::Close { session: target },
+            };
+            match (svc.handle(request), op) {
+                (Ok(Response::Opened { session, .. }), _) => open.push(session),
+                (Ok(_), 6) => {}
+                (Ok(_), 7) => {
+                    prop_assert!(known, "close of unknown {target} succeeded");
+                    open.retain(|s| *s != target);
+                    closed.push(target);
+                }
+                (Ok(_), _) => prop_assert!(known, "verb on unknown {target} succeeded"),
+                (Err(ServeError::UnknownSession(id)), _) => {
+                    prop_assert!(!known, "live {target} reported unknown");
+                    prop_assert_eq!(id, target.0);
+                }
+                (Err(ServeError::Core(_)), _) => {
+                    prop_assert!(known, "core error for a session that does not exist");
+                }
+                (Err(other), _) => {
+                    prop_assert!(false, "unexpected error kind: {other}");
+                }
+            }
+            prop_assert_eq!(svc.len(), open.len());
+        }
+    }
 }
