@@ -27,8 +27,8 @@ use vexus_viz::pca::{silhouette, Pca};
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "c1", "c2", "c3", "c4", "c5", "c6", "c7",
-    "c8", "c9", "c10", "c11", "c12",
+    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "c1", "c2", "c3", "c4", "c5", "c6",
+    "c7", "c8", "c9", "c10", "c11", "c12",
 ];
 
 /// One experiment's output: the human-readable table plus structured
@@ -63,6 +63,7 @@ pub fn run(id: &str) -> Option<Report> {
         "d5" => d5_concurrent_serving(),
         "d6" => d6_snapshot(),
         "d7" => d7_chaos_serving(),
+        "d8" => d8_live_engine(),
         "c1" => c1_budget_sweep().into(),
         "c2" => c2_interaction_latency().into(),
         "c3" => c3_materialization().into(),
@@ -1714,6 +1715,189 @@ pub fn d7_chaos_serving() -> Report {
          before any thread runs; survivors must replay byte-identical to the single-threaded \
          reference while targeted siblings panic and are quarantined — survivor_determinism is \
          gated at 1.0 in CI in both the fault-enabled and default builds)\n",
+    );
+    Report { text: out, metrics }
+}
+
+// ---------------------------------------------------------------------------
+// D8: live engine — streaming ingestion, incremental refresh, epoch swap
+// ---------------------------------------------------------------------------
+
+/// Actions per ingested batch in the d8 staleness sweep.
+const D8_BATCH: usize = 2_000;
+
+/// Send `actions` through a bounded channel and drain them into the
+/// service's ingest buffer (capacity == batch size, so the send loop
+/// never blocks).
+fn d8_feed(svc: &ExplorationService, actions: &[vexus_data::Action]) {
+    let (tx, mut rx) = vexus_data::stream::ChannelStream::with_capacity(actions.len().max(1));
+    for &a in actions {
+        assert!(tx.send(a), "d8 channel closed early");
+    }
+    drop(tx);
+    let drained = svc
+        .ingest(&mut rx, usize::MAX)
+        .expect("live service ingests");
+    assert_eq!(drained, actions.len());
+}
+
+/// Fraction of groups whose published neighbor list is byte-identical to
+/// a from-scratch [`GroupIndex::build`] over the same space — the CI-gated
+/// incremental-equivalence score (must be exactly 1.0).
+fn d8_equivalence(engine: &Vexus) -> f64 {
+    let reference = GroupIndex::build(
+        engine.groups(),
+        &IndexConfig {
+            materialize_fraction: engine.config().materialize_fraction,
+            threads: 0,
+        },
+    );
+    let n = engine.groups().len();
+    let equal = (0..n)
+        .filter(|&g| {
+            let g = GroupId::new(g as u32);
+            engine.index().materialized(g) == reference.materialized(g)
+                && engine.index().full_neighbor_count(g) == reference.full_neighbor_count(g)
+        })
+        .count();
+    equal as f64 / n.max(1) as f64
+}
+
+/// The live path end to end: bootstrap from a warmup prefix, stream the
+/// remaining action tape through the ingest buffer, and publish epochs by
+/// patching the index instead of rebuilding. Sweeps the refresh interval
+/// to expose the staleness-vs-refresh-cost trade, checks the patched
+/// index against a full rebuild (gated at exactly 1.0 in CI), and pins
+/// epoch continuity for sessions opened before refreshes.
+pub fn d8_live_engine() -> Report {
+    use vexus_core::LiveEngine;
+    use vexus_mining::DiscoverySelection;
+
+    let mut out = header(
+        "d8",
+        "live engine: streaming ingestion, incremental index refresh, epoch-swapped serving",
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let ds = workloads::bookcrossing_at(workloads::scale());
+    let (mut base, tape) = ds.data.split_actions();
+    let warmup = tape.len() / 4;
+    base.append_actions(&tape[..warmup]);
+    let live_tape = &tape[warmup..];
+    let config = EngineConfig::paper().with_discovery(DiscoverySelection::StreamFim {
+        support: 0.02,
+        epsilon: 0.004,
+        max_len: 3,
+    });
+    let _ = writeln!(
+        out,
+        "workload: {} users, {} warmup actions, {} streamed in {}-action batches",
+        base.n_users(),
+        warmup,
+        live_tape.len(),
+        D8_BATCH,
+    );
+
+    let mut equivalence_min = 1.0f64;
+    let mut pinning_ok = true;
+    let mut finest_refresh_ms = 0.0f64;
+    let mut finest_patch_ms = 0.0f64;
+    let mut finest_engine: Option<Arc<Vexus>> = None;
+    // Refresh every `interval` batches: staleness (actions waiting in the
+    // buffer when a refresh finally lands) trades against per-refresh cost.
+    for &interval in &[1usize, 4, 16] {
+        let live = Arc::new(
+            LiveEngine::bootstrap(base.clone(), config.clone()).expect("warmup mines groups"),
+        );
+        let svc = ExplorationService::live(Arc::clone(&live));
+        let (pinned, display0) = svc.open().expect("session opens");
+
+        let mut refresh_ms: Vec<f64> = Vec::new();
+        let mut patch_ms: Vec<f64> = Vec::new();
+        let mut lag_actions: Vec<usize> = Vec::new();
+        let mut rescored_total = 0usize;
+        let mut touched_total = 0usize;
+        let batches = live_tape.chunks(D8_BATCH).count();
+        for (bi, chunk) in live_tape.chunks(D8_BATCH).enumerate() {
+            d8_feed(&svc, chunk);
+            if (bi + 1) % interval == 0 || bi + 1 == batches {
+                lag_actions.push(live.pending().expect("live"));
+                let outcome = svc.refresh().expect("refresh applies");
+                assert!(outcome.advanced, "non-empty cut must advance");
+                refresh_ms.push(outcome.refresh_time.as_secs_f64() * 1e3);
+                // The index-patch slice of the refresh (the part a full
+                // rebuild would replace), as recorded by the new epoch.
+                patch_ms.push(svc.engine().build_stats().index_time.as_secs_f64() * 1e3);
+                rescored_total += outcome.rescored;
+                touched_total +=
+                    outcome.groups_added + outcome.groups_retired + outcome.groups_resized;
+            }
+        }
+        let engine = svc.engine();
+        let eq = d8_equivalence(&engine);
+        equivalence_min = equivalence_min.min(eq);
+        // Epoch pinning: the pre-refresh session still serves its opening
+        // display — refreshes swapped the published Arc, not its engine.
+        pinning_ok &= svc.display(pinned).expect("pinned session serves") == display0;
+        pinning_ok &= svc.stats().epoch == refresh_ms.len() as u64;
+        let mean_ms = refresh_ms.iter().sum::<f64>() / refresh_ms.len().max(1) as f64;
+        let max_ms = refresh_ms.iter().cloned().fold(0.0, f64::max);
+        let mean_patch = patch_ms.iter().sum::<f64>() / patch_ms.len().max(1) as f64;
+        let mean_lag = lag_actions.iter().sum::<usize>() as f64 / lag_actions.len().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "interval {interval:>2} batches: {} refreshes | staleness {:>6.0} actions mean | \
+             refresh {mean_ms:>6.2} ms mean / {max_ms:>6.2} ms max (patch {mean_patch:>5.2} ms) | \
+             {} groups touched, {} lists rescored | equivalence {eq:.3}",
+            refresh_ms.len(),
+            mean_lag,
+            touched_total,
+            rescored_total,
+        );
+        if interval == 1 {
+            finest_refresh_ms = mean_ms;
+            finest_patch_ms = mean_patch;
+            finest_engine = Some(engine);
+            metrics.push(("refreshes".into(), refresh_ms.len() as f64));
+            metrics.push(("refresh_mean_ms".into(), mean_ms));
+            metrics.push(("refresh_max_ms".into(), max_ms));
+            metrics.push(("patch_mean_ms".into(), mean_patch));
+            metrics.push(("rescored_lists".into(), rescored_total as f64));
+        }
+    }
+
+    // What the incremental path buys: a from-scratch rebuild of the final
+    // epoch's index vs the mean per-refresh index patch (the slice of the
+    // refresh a rebuild would replace; the rest of the refresh — fold,
+    // discovery, publication — has no offline counterpart).
+    let engine = finest_engine.expect("interval-1 sweep ran");
+    let t0 = Instant::now();
+    let rebuilt = GroupIndex::build(
+        engine.groups(),
+        &IndexConfig {
+            materialize_fraction: engine.config().materialize_fraction,
+            threads: 0,
+        },
+    );
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let speedup = rebuild_ms / finest_patch_ms.max(1e-9);
+    let _ = writeln!(
+        out,
+        "final epoch: {} groups, {} materialized entries | full index rebuild {rebuild_ms:.2} ms \
+         vs {finest_patch_ms:.2} ms mean patch ({speedup:.1}x) within a {finest_refresh_ms:.2} ms \
+         mean refresh | epoch pinning {}",
+        engine.groups().len(),
+        rebuilt.stats().materialized_entries,
+        if pinning_ok { "exact" } else { "VIOLATED" },
+    );
+    metrics.push(("incremental_equivalence".into(), equivalence_min));
+    metrics.push(("epoch_pinning_ok".into(), pinning_ok as u8 as f64));
+    metrics.push(("full_rebuild_ms".into(), rebuild_ms));
+    metrics.push(("patch_speedup".into(), speedup));
+    metrics.push(("groups_final".into(), engine.groups().len() as f64));
+    out.push_str(
+        "(equivalence = fraction of groups whose patched neighbor list is byte-identical to a \
+         from-scratch rebuild of the same epoch — gated at exactly 1.0 in CI; staleness is the \
+         ingest-buffer depth the moment a refresh lands)\n",
     );
     Report { text: out, metrics }
 }

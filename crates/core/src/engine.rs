@@ -305,6 +305,33 @@ impl Vexus {
             .build()
     }
 
+    /// Assemble an engine from a live refresh's parts (see
+    /// [`crate::live::LiveEngine`]): the epoch's dataset snapshot, the
+    /// bootstrap vocabulary, the canonical group space, the incrementally
+    /// patched index, and the carried-over neighbor cache. No pipeline
+    /// stage runs — the live path already ran incremental equivalents of
+    /// each stage.
+    pub(crate) fn from_live_parts(
+        data: UserData,
+        vocab: Vocabulary,
+        groups: GroupSet,
+        index: GroupIndex,
+        cache: Option<NeighborCache>,
+        config: EngineConfig,
+        stats: BuildStats,
+    ) -> Self {
+        Vexus {
+            data,
+            vocab,
+            groups,
+            index,
+            cache,
+            config,
+            stats,
+            snapshot_bytes: 0,
+        }
+    }
+
     /// Open an exploration session.
     pub fn session(&self) -> Result<ExplorationSession<'_>, CoreError> {
         self.session_with(self.config.clone())

@@ -19,6 +19,13 @@ pub enum CoreError {
     /// A snapshot buffer failed to load (corrupt, truncated, or written
     /// against a different dataset).
     Snapshot(SnapshotError),
+    /// A live-engine operation on an engine without live ingestion state:
+    /// fixed engines, non-stream discovery selections, or a live engine
+    /// halted after a panic mid-refresh. The payload says which.
+    NotLive(&'static str),
+    /// A fault-injection site fired (only reachable with the `failpoints`
+    /// feature and an active scenario).
+    Injected(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +39,8 @@ impl fmt::Display for CoreError {
             CoreError::EmptyGroupSpace => write!(f, "group discovery produced no groups"),
             CoreError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
             CoreError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+            CoreError::NotLive(why) => write!(f, "engine is not live: {why}"),
+            CoreError::Injected(site) => write!(f, "injected fault ({site})"),
         }
     }
 }

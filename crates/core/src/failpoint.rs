@@ -18,6 +18,9 @@
 //! | `serve.step`    | session id   | verb fails with `ServeError::Injected`        |
 //! | `snapshot.load` | 0            | `Vexus::from_snapshot` reports `Malformed`    |
 //! | `cache.shard`   | shard index  | neighbor insert skipped (permanent cache miss)|
+//! | `ingest.apply`  | epoch        | refresh fails with `CoreError::Injected` before
+//!   any state mutation; a `Panic` action halts the live state while the old
+//!   epoch stays published and serving                                          |
 
 /// Injected fault at session open.
 pub const SERVE_OPEN: &str = "serve.open";
@@ -25,6 +28,8 @@ pub const SERVE_OPEN: &str = "serve.open";
 pub const SERVE_STEP: &str = "serve.step";
 /// Injected fault while decoding an engine snapshot.
 pub const SNAPSHOT_LOAD: &str = "snapshot.load";
+/// Injected fault at the head of a live refresh (before any mutation).
+pub const INGEST_APPLY: &str = "ingest.apply";
 
 #[cfg(feature = "failpoints")]
 pub use vexus_failpoint::{

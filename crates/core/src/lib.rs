@@ -28,6 +28,11 @@
 //! concurrent sessions over one shared engine behind a session table;
 //! [`simulate`] provides the target-driven simulated explorers and
 //! baselines used by the experiments.
+//!
+//! [`live`] makes the engine refreshable: [`live::LiveEngine`] ingests
+//! action streams, patches the index incrementally, and publishes
+//! immutable engine epochs with one `Arc` swap — in-flight sessions pin
+//! the epoch they opened against while new opens see the latest.
 
 pub mod config;
 pub mod engine;
@@ -36,6 +41,7 @@ pub mod failpoint;
 pub mod features;
 pub mod feedback;
 pub mod greedy;
+pub mod live;
 pub mod quality;
 pub mod serve;
 pub mod session;
@@ -46,6 +52,7 @@ pub use config::EngineConfig;
 pub use engine::{OwnedSession, Vexus};
 pub use error::{CoreError, ServeError};
 pub use feedback::FeedbackVector;
+pub use live::{LiveEngine, RefreshOutcome};
 pub use serve::{ExplorationService, Request, Response, ServiceConfig, ServiceStats, SessionId};
 pub use session::{BorrowedEngine, EngineRef, ExplorationSession, Session};
 pub use vexus_data::SnapshotError;

@@ -1,0 +1,543 @@
+//! The live engine: streaming ingestion, incremental refresh, and
+//! epoch-swapped publication.
+//!
+//! [`LiveEngine`] turns the offline pipeline into a live one. It owns two
+//! things:
+//!
+//! * the **published engine** — an `Arc<Vexus>` behind an `RwLock`. Every
+//!   consumer (the serving layer, sessions, experiments) reads it with
+//!   [`LiveEngine::engine`], which clones the `Arc` and drops the lock
+//!   immediately. Sessions therefore *pin* the epoch they opened against:
+//!   a refresh swaps the `Arc` in the lock, never the `Vexus` behind an
+//!   already-cloned handle, so in-flight exploration replays
+//!   byte-identically across refreshes;
+//! * the **live state** — the growing dataset, the [`IngestBuffer`], and
+//!   the [`DeltaDiscovery`] driver, behind a `Mutex`. Only
+//!   [`LiveEngine::ingest`] and [`LiveEngine::refresh`] touch it.
+//!
+//! A refresh is incremental end to end: the buffered actions are cut into
+//! one epoch-stamped delta, appended to the dataset, fed to the stream
+//! miner, the epoch's group space is diffed against the previous one, and
+//! the published index is *patched* ([`GroupIndex::apply_delta`]) rather
+//! than rebuilt — rescoring only groups the delta touches, with the result
+//! proven byte-identical to a full rebuild. Publication is the last step:
+//! one `Arc` assignment under the write lock, then the epoch counter
+//! bumps. Nothing blocks in-flight verbs.
+//!
+//! The refresh body runs under `catch_unwind` with the
+//! `ingest.apply` fail-point evaluated *before any mutation* (see
+//! [`crate::failpoint`]): an injected error leaves the state untouched and
+//! retryable, while a panic halts the live state — subsequent refreshes
+//! report [`CoreError::NotLive`] — with the old epoch still published and
+//! serving.
+
+use crate::config::EngineConfig;
+use crate::engine::{BuildStats, Vexus};
+use crate::error::CoreError;
+use crate::failpoint;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+use vexus_data::{ActionStream, IngestBuffer, UserData, Vocabulary};
+use vexus_index::{GroupIndex, IndexConfig, NeighborCache};
+use vexus_mining::{DeltaDiscovery, DiscoverySelection, GroupSet, StreamFimConfig};
+
+/// Mutable ingestion-side state, guarded by one mutex. The `groups` field
+/// tracks the group space of the *published* index — the old space the
+/// next refresh diffs against.
+struct LiveState {
+    data: UserData,
+    vocab: Vocabulary,
+    buffer: IngestBuffer,
+    discovery: DeltaDiscovery,
+    groups: GroupSet,
+    config: EngineConfig,
+}
+
+/// What one [`LiveEngine::refresh`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefreshOutcome {
+    /// The epoch published by this refresh (unchanged when `!advanced`).
+    pub epoch: u64,
+    /// Whether a new engine was published. `false` means the cut was
+    /// empty — nothing ingested since the last refresh — and the call was
+    /// a no-op.
+    pub advanced: bool,
+    /// Actions folded into the dataset (actions referencing unknown users
+    /// or items are dropped by the data layer and not counted).
+    pub actions_applied: usize,
+    /// Users making their first appearance in this delta.
+    pub arrivals: usize,
+    /// Groups the epoch delta added.
+    pub groups_added: usize,
+    /// Groups the epoch delta retired.
+    pub groups_retired: usize,
+    /// Surviving groups whose member set changed.
+    pub groups_resized: usize,
+    /// Neighbor lists rescored by the index patch (everything else was
+    /// copied with a pure id rewrite).
+    pub rescored: usize,
+    /// Wall-clock of the whole refresh, including publication.
+    pub refresh_time: Duration,
+}
+
+/// A continuously refreshable engine publishing immutable [`Vexus`]
+/// epochs. See the module docs for the epoch-swap discipline.
+pub struct LiveEngine {
+    /// See [`LiveEngine::engine`] for the read discipline.
+    published: RwLock<Arc<Vexus>>,
+    /// Epochs published so far (bumped *after* the swap; readers seeing
+    /// epoch `n` are guaranteed `engine()` is at least epoch `n`).
+    epoch: AtomicU64,
+    state: Mutex<Option<LiveState>>,
+}
+
+impl LiveEngine {
+    /// Bootstrap a live engine from a warmed-up dataset: users are
+    /// observed in arrival order off the dataset's action tape, the
+    /// initial group space is cut, and epoch 0 is published.
+    ///
+    /// Requires [`DiscoverySelection::StreamFim`] — the only backend with
+    /// one-pass incremental semantics; anything else gets
+    /// [`CoreError::NotLive`]. Returns [`CoreError::EmptyGroupSpace`] when
+    /// the warmup prefix mines no groups (warm up with more actions or
+    /// lower the support threshold).
+    pub fn bootstrap(data: UserData, config: EngineConfig) -> Result<Self, CoreError> {
+        let DiscoverySelection::StreamFim {
+            support,
+            epsilon,
+            max_len,
+        } = config.discovery
+        else {
+            return Err(CoreError::NotLive(
+                "bootstrap requires DiscoverySelection::StreamFim",
+            ));
+        };
+        let vocab = Vocabulary::build(&data);
+        let mut discovery = DeltaDiscovery::new(
+            StreamFimConfig {
+                support,
+                epsilon,
+                max_len,
+            },
+            config.min_group_size,
+            data.n_users(),
+        );
+        let t0 = Instant::now();
+        discovery.observe_arrivals(&data, &vocab, data.actions());
+        let (groups, _) = discovery.epoch();
+        let discovery_time = t0.elapsed();
+        if groups.is_empty() {
+            return Err(CoreError::EmptyGroupSpace);
+        }
+        let t1 = Instant::now();
+        let index = GroupIndex::build(
+            &groups,
+            &IndexConfig {
+                materialize_fraction: config.materialize_fraction,
+                threads: 0,
+            },
+        );
+        let stats = BuildStats {
+            discovery: discovery.stats(discovery_time),
+            index_time: t1.elapsed(),
+            filtered_out: 0,
+            n_groups: groups.len(),
+            index_entries: index.stats().materialized_entries,
+            index_bytes: index.stats().heap_bytes,
+        };
+        let cache = if config.neighbor_cache_capacity > 0 {
+            Some(NeighborCache::new(config.neighbor_cache_capacity))
+        } else {
+            None
+        };
+        let engine = Vexus::from_live_parts(
+            data.clone(),
+            vocab.clone(),
+            groups.clone(),
+            index,
+            cache,
+            config.clone(),
+            stats,
+        );
+        Ok(LiveEngine {
+            published: RwLock::new(Arc::new(engine)),
+            epoch: AtomicU64::new(0),
+            state: Mutex::new(Some(LiveState {
+                data,
+                vocab,
+                buffer: IngestBuffer::new(),
+                discovery,
+                groups,
+                config,
+            })),
+        })
+    }
+
+    /// Wrap an already-built engine with no ingestion state — the
+    /// backwards-compatible shape the serving layer uses for offline
+    /// engines. [`LiveEngine::ingest`] and [`LiveEngine::refresh`] report
+    /// [`CoreError::NotLive`]; everything else behaves like a live engine
+    /// pinned at epoch 0.
+    pub fn fixed(engine: Arc<Vexus>) -> Self {
+        LiveEngine {
+            published: RwLock::new(engine),
+            epoch: AtomicU64::new(0),
+            state: Mutex::new(None),
+        }
+    }
+
+    /// The currently published engine. Clones the `Arc` under a read lock
+    /// held for the clone only — callers keep serving this epoch however
+    /// long they hold the handle.
+    pub fn engine(&self) -> Arc<Vexus> {
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Epochs published so far (0 until the first advancing refresh).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the engine still has live ingestion state (`false` for
+    /// [`LiveEngine::fixed`] wrappers and after a refresh panic halted the
+    /// live side).
+    pub fn is_live(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Drain up to `max` actions from `stream` into the ingest buffer
+    /// without applying anything. Returns the number drained.
+    pub fn ingest(&self, stream: &mut dyn ActionStream, max: usize) -> Result<usize, CoreError> {
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = guard.as_mut().ok_or(NOT_LIVE)?;
+        Ok(state.buffer.pull(stream, max))
+    }
+
+    /// Actions buffered but not yet folded in by a refresh.
+    pub fn pending(&self) -> Result<usize, CoreError> {
+        let guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(guard.as_ref().ok_or(NOT_LIVE)?.buffer.pending())
+    }
+
+    /// Cut the ingest buffer and publish a new epoch reflecting it: append
+    /// the actions to the dataset, observe new arrivals, cut the epoch's
+    /// group space, patch the published index with the group delta, carry
+    /// over still-valid neighbor-cache entries, and swap the published
+    /// `Arc`. An empty cut is a no-op (`advanced: false`, no epoch
+    /// consumed).
+    ///
+    /// In-flight sessions are never blocked: the only write lock taken is
+    /// for the final one-assignment swap. On a panic inside the body the
+    /// live state halts (this and every subsequent call reports
+    /// [`CoreError::NotLive`]) while the previously published epoch keeps
+    /// serving untouched.
+    pub fn refresh(&self) -> Result<RefreshOutcome, CoreError> {
+        let t0 = Instant::now();
+        let current = self.engine();
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = guard.as_mut().ok_or(NOT_LIVE)?;
+        let epoch_now = self.epoch.load(Ordering::Acquire);
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            if failpoint::inject(failpoint::INGEST_APPLY, epoch_now) {
+                return Err(CoreError::Injected(failpoint::INGEST_APPLY));
+            }
+            Self::apply(state, &current)
+        }));
+        match body {
+            Ok(Ok(None)) => Ok(RefreshOutcome {
+                epoch: epoch_now,
+                refresh_time: t0.elapsed(),
+                ..RefreshOutcome::default()
+            }),
+            Ok(Ok(Some((engine, outcome)))) => {
+                *self
+                    .published
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner) = Arc::new(engine);
+                let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                Ok(RefreshOutcome {
+                    epoch,
+                    advanced: true,
+                    refresh_time: t0.elapsed(),
+                    ..outcome
+                })
+            }
+            Ok(Err(e)) => {
+                if e == CoreError::EmptyGroupSpace {
+                    // The discovery baseline has advanced past the
+                    // published space; a later refresh would diff against
+                    // the wrong epoch. Halt rather than serve corrupt
+                    // deltas.
+                    *guard = None;
+                }
+                Err(e)
+            }
+            Err(_) => {
+                *guard = None;
+                Err(CoreError::NotLive(
+                    "refresh panicked mid-apply; live ingestion halted (old epoch still serving)",
+                ))
+            }
+        }
+    }
+
+    /// The refresh body, separated so the `catch_unwind` wrapper stays
+    /// readable. `Ok(None)` means the cut was empty. Any partially-applied
+    /// mutation on error is the caller's cue to halt — only
+    /// [`CoreError::EmptyGroupSpace`] can surface after mutation starts.
+    #[allow(clippy::type_complexity)]
+    fn apply(
+        state: &mut LiveState,
+        current: &Arc<Vexus>,
+    ) -> Result<Option<(Vexus, RefreshOutcome)>, CoreError> {
+        let delta = state.buffer.cut();
+        if delta.is_empty() {
+            return Ok(None);
+        }
+        let actions_applied = state.data.append_actions(&delta.actions);
+        let t0 = Instant::now();
+        let arrivals = state
+            .discovery
+            .observe_arrivals(&state.data, &state.vocab, &delta.actions);
+        let (groups_new, gdelta) = state.discovery.epoch();
+        let discovery_time = t0.elapsed();
+        if groups_new.is_empty() {
+            return Err(CoreError::EmptyGroupSpace);
+        }
+        let t1 = Instant::now();
+        let patch = current.index().apply_delta(
+            &state.groups,
+            &groups_new,
+            &gdelta,
+            &IndexConfig {
+                materialize_fraction: state.config.materialize_fraction,
+                threads: 0,
+            },
+        );
+        let index_time = t1.elapsed();
+        // Carry over cache entries that are provably still exact in the
+        // new epoch: the keyed group survived with an unchanged id and a
+        // clean (not rescored) list, and every cached neighbor id is
+        // likewise unchanged. Clean lists are byte-identical up to the id
+        // rewrite, so id-stable entries are byte-identical outright.
+        let cache = current.neighbor_cache().map(|c| {
+            c.carry_over(|g, list| {
+                let stable =
+                    |id: usize| id < patch.old_to_new.len() && patch.old_to_new[id] == id as u32;
+                stable(g as usize)
+                    && !patch.dirty[g as usize]
+                    && list.iter().all(|&(h, _)| stable(h.index()))
+            })
+        });
+        let stats = BuildStats {
+            discovery: state.discovery.stats(discovery_time),
+            index_time,
+            filtered_out: 0,
+            n_groups: groups_new.len(),
+            index_entries: patch.index.stats().materialized_entries,
+            index_bytes: patch.index.stats().heap_bytes,
+        };
+        let engine = Vexus::from_live_parts(
+            state.data.clone(),
+            state.vocab.clone(),
+            groups_new.clone(),
+            patch.index,
+            cache,
+            state.config.clone(),
+            stats,
+        );
+        state.groups = groups_new;
+        Ok(Some((
+            engine,
+            RefreshOutcome {
+                actions_applied,
+                arrivals,
+                groups_added: gdelta.added.len(),
+                groups_retired: gdelta.retired.len(),
+                groups_resized: gdelta.resized.len(),
+                rescored: patch.rescored,
+                ..RefreshOutcome::default()
+            },
+        )))
+    }
+}
+
+impl std::fmt::Debug for LiveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveEngine")
+            .field("epoch", &self.epoch())
+            .field("live", &self.is_live())
+            .finish_non_exhaustive()
+    }
+}
+
+const NOT_LIVE: CoreError =
+    CoreError::NotLive("no ingestion state (fixed engine, or halted after a refresh panic)");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexus_data::stream::ChannelStream;
+    use vexus_data::synthetic::{bookcrossing, BookCrossingConfig};
+    use vexus_data::Action;
+    use vexus_mining::GroupId;
+
+    fn stream_config() -> EngineConfig {
+        EngineConfig::default().with_discovery(DiscoverySelection::StreamFim {
+            support: 0.05,
+            epsilon: 0.01,
+            max_len: 3,
+        })
+    }
+
+    /// Tiny bookcrossing split into a warmed-up base (first `warmup`
+    /// actions applied) and the remaining action tape.
+    fn warmed(warmup: usize) -> (UserData, Vec<Action>) {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let (mut base, tape) = ds.data.split_actions();
+        assert!(warmup <= tape.len());
+        base.append_actions(&tape[..warmup]);
+        (base, tape[warmup..].to_vec())
+    }
+
+    fn feed(live: &LiveEngine, actions: &[Action]) -> usize {
+        let (tx, mut rx) = ChannelStream::with_capacity(actions.len().max(1));
+        for &a in actions {
+            assert!(tx.send(a));
+        }
+        drop(tx);
+        live.ingest(&mut rx, usize::MAX).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_requires_a_stream_backend() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let err = LiveEngine::bootstrap(ds.data, EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::NotLive(_)), "{err}");
+    }
+
+    #[test]
+    fn fixed_engines_serve_but_do_not_ingest() {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let engine = Vexus::build(ds.data, EngineConfig::default())
+            .unwrap()
+            .shared();
+        let live = LiveEngine::fixed(Arc::clone(&engine));
+        assert!(Arc::ptr_eq(&live.engine(), &engine));
+        assert_eq!(live.epoch(), 0);
+        assert!(!live.is_live());
+        assert_eq!(live.refresh().unwrap_err(), NOT_LIVE);
+        assert_eq!(live.pending().unwrap_err(), NOT_LIVE);
+        let (tx, mut rx) = ChannelStream::with_capacity(1);
+        drop(tx);
+        assert_eq!(live.ingest(&mut rx, 8).unwrap_err(), NOT_LIVE);
+    }
+
+    #[test]
+    fn empty_cut_refresh_is_a_noop() {
+        let (base, _tape) = warmed(400);
+        let live = LiveEngine::bootstrap(base, stream_config()).unwrap();
+        let before = live.engine();
+        let out = live.refresh().unwrap();
+        assert!(!out.advanced);
+        assert_eq!(out.epoch, 0);
+        assert_eq!(out.actions_applied, 0);
+        assert_eq!(live.epoch(), 0);
+        assert!(
+            Arc::ptr_eq(&before, &live.engine()),
+            "no-op refresh must not republish"
+        );
+    }
+
+    #[test]
+    fn ingest_then_refresh_publishes_a_new_epoch() {
+        let (base, tape) = warmed(300);
+        assert!(!tape.is_empty());
+        let live = LiveEngine::bootstrap(base, stream_config()).unwrap();
+        let epoch0 = live.engine();
+        let n = feed(&live, &tape);
+        assert_eq!(n, tape.len());
+        assert_eq!(live.pending().unwrap(), n);
+        let out = live.refresh().unwrap();
+        assert!(out.advanced);
+        assert_eq!(out.epoch, 1);
+        assert_eq!(live.epoch(), 1);
+        assert_eq!(out.actions_applied, tape.len());
+        assert_eq!(live.pending().unwrap(), 0);
+        let epoch1 = live.engine();
+        assert!(!Arc::ptr_eq(&epoch0, &epoch1), "refresh must swap the Arc");
+        assert_eq!(
+            epoch1.data().actions().len(),
+            epoch0.data().actions().len() + tape.len()
+        );
+        // The pinned epoch-0 handle is untouched: same groups, same index.
+        assert_eq!(epoch0.groups().len(), epoch0.index().stats().n_groups);
+    }
+
+    /// The tentpole equivalence claim at the engine level: a chain of
+    /// incremental refreshes ends in an index byte-identical to a full
+    /// rebuild over the final group space.
+    #[test]
+    fn refreshed_index_matches_a_full_rebuild() {
+        let (base, tape) = warmed(200);
+        let live = LiveEngine::bootstrap(base, stream_config()).unwrap();
+        for chunk in tape.chunks(tape.len().div_ceil(3).max(1)) {
+            feed(&live, chunk);
+            live.refresh().unwrap();
+        }
+        let engine = live.engine();
+        let reference = GroupIndex::build(
+            engine.groups(),
+            &IndexConfig {
+                materialize_fraction: engine.config().materialize_fraction,
+                threads: 1,
+            },
+        );
+        assert_eq!(engine.groups().len(), reference.stats().n_groups);
+        for g in 0..engine.groups().len() {
+            let g = GroupId::new(g as u32);
+            assert_eq!(
+                engine.index().materialized(g),
+                reference.materialized(g),
+                "materialized list diverged for {g:?}"
+            );
+            assert_eq!(
+                engine.index().full_neighbor_count(g),
+                reference.full_neighbor_count(g)
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_pin_their_epoch_across_refreshes() {
+        let (base, tape) = warmed(300);
+        let live = LiveEngine::bootstrap(base, stream_config()).unwrap();
+        let pinned = live.engine();
+        let mut before = crate::engine::OwnedSession::open(Arc::clone(&pinned)).unwrap();
+        let display0: Vec<_> = before.display().to_vec();
+        feed(&live, &tape);
+        assert!(live.refresh().unwrap().advanced);
+        // The open session still explores its pinned epoch: publication
+        // swapped the lock's Arc, not the engine behind existing handles.
+        assert!(Arc::ptr_eq(before.engine(), &pinned));
+        let first = display0[0];
+        let stepped: Vec<_> = before.click(first).unwrap().to_vec();
+        // A session opened on the pinned handle after the refresh replays
+        // the exact same exploration.
+        let mut replay = crate::engine::OwnedSession::open(pinned).unwrap();
+        assert_eq!(display0, replay.display().to_vec());
+        assert_eq!(stepped, replay.click(first).unwrap().to_vec());
+        // New opens see the new epoch.
+        assert!(!Arc::ptr_eq(&live.engine(), before.engine()));
+    }
+}

@@ -3,11 +3,20 @@
 //!
 //! The offline pipeline is expensive (discovery + index build); the
 //! per-click work is not. [`ExplorationService`] exploits that split: it
-//! holds one `Arc<Vexus>` and a table of open sessions, and answers
-//! open/click/backtrack/memo/close verbs from any thread. The engine is
-//! immutable post-build, so sessions never contend on it — the only
-//! shared mutable state is the session table (behind an `RwLock`, held
-//! only for lookups) and each session's own mutex.
+//! holds a [`LiveEngine`] publishing immutable engine epochs and a table
+//! of open sessions, and answers open/click/backtrack/memo/close verbs
+//! from any thread. Each published `Vexus` is immutable, so sessions
+//! never contend on it — the only shared mutable state is the session
+//! table (behind an `RwLock`, held only for lookups) and each session's
+//! own mutex.
+//!
+//! **Epoch discipline**: every open clones the currently published
+//! `Arc<Vexus>` and the session keeps that handle for life — a
+//! [`Request::Refresh`] swaps what *new* opens see without blocking or
+//! perturbing in-flight sessions (they replay byte-identically against
+//! their pinned epoch). Services over a plain `Arc<Vexus>`
+//! ([`ExplorationService::new`]) wrap it in [`LiveEngine::fixed`] and
+//! simply never advance.
 //!
 //! Lock discipline: a verb read-locks the table, clones the session's
 //! slot `Arc`, *drops the table lock*, then locks the session. Steps of
@@ -47,6 +56,7 @@ use crate::engine::{OwnedSession, Vexus};
 use crate::error::ServeError;
 use crate::failpoint;
 use crate::feedback::ContextView;
+use crate::live::{LiveEngine, RefreshOutcome};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,6 +139,12 @@ pub struct ServiceStats {
     pub quarantines: u64,
     /// Poisoned table/session locks recovered instead of propagated.
     pub recoveries: u64,
+    /// Refresh verbs that published a new epoch (empty-cut no-ops and
+    /// failed refreshes excluded).
+    pub refreshes: u64,
+    /// The engine epoch currently published for new opens (0 for fixed
+    /// engines; see [`LiveEngine::epoch`]).
+    pub epoch: u64,
 }
 
 #[derive(Default)]
@@ -138,16 +154,19 @@ struct Counters {
     evictions: AtomicU64,
     quarantines: AtomicU64,
     recoveries: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl Counters {
-    fn snapshot(&self) -> ServiceStats {
+    fn snapshot(&self, epoch: u64) -> ServiceStats {
         ServiceStats {
             opens: self.opens.load(Ordering::SeqCst),
             rejections: self.rejections.load(Ordering::SeqCst),
             evictions: self.evictions.load(Ordering::SeqCst),
             quarantines: self.quarantines.load(Ordering::SeqCst),
             recoveries: self.recoveries.load(Ordering::SeqCst),
+            refreshes: self.refreshes.load(Ordering::SeqCst),
+            epoch,
         }
     }
 }
@@ -201,6 +220,11 @@ pub enum Request {
     },
     /// Read the service's cumulative [`ServiceStats`].
     Stats,
+    /// Cut the live engine's ingest buffer and publish a new epoch for
+    /// subsequent opens (see [`LiveEngine::refresh`]). In-flight sessions
+    /// are never blocked or perturbed. Fails with
+    /// [`crate::CoreError::NotLive`] on a fixed-engine service.
+    Refresh,
     /// Close a session, dropping its state.
     Close {
         /// Target session.
@@ -224,6 +248,8 @@ pub enum Response {
     Context(ContextView),
     /// A [`ServiceStats`] snapshot.
     Stats(ServiceStats),
+    /// What a [`Request::Refresh`] did.
+    Refreshed(RefreshOutcome),
     /// The verb succeeded with nothing to return.
     Ack,
 }
@@ -250,7 +276,7 @@ type Table = HashMap<u64, Slot>;
 /// any thread, close them — with admission control, idle eviction and
 /// panic quarantine per [`ServiceConfig`].
 pub struct ExplorationService {
-    engine: Arc<Vexus>,
+    live: Arc<LiveEngine>,
     config: ServiceConfig,
     sessions: RwLock<Table>,
     next_id: AtomicU64,
@@ -263,15 +289,30 @@ pub struct ExplorationService {
 }
 
 impl ExplorationService {
-    /// A service over a shared engine with default (unbounded) limits.
+    /// A service over a fixed shared engine with default (unbounded)
+    /// limits. The engine is wrapped in [`LiveEngine::fixed`]: it serves
+    /// forever at epoch 0 and [`Self::refresh`] reports
+    /// [`crate::CoreError::NotLive`].
     pub fn new(engine: Arc<Vexus>) -> Self {
         Self::with_config(engine, ServiceConfig::default())
     }
 
-    /// A service over a shared engine with explicit operational limits.
+    /// A service over a fixed shared engine with explicit operational
+    /// limits (see [`Self::new`]).
     pub fn with_config(engine: Arc<Vexus>, config: ServiceConfig) -> Self {
+        Self::live_with_config(Arc::new(LiveEngine::fixed(engine)), config)
+    }
+
+    /// A service over a live engine with default (unbounded) limits: new
+    /// opens follow the published epoch, [`Self::refresh`] advances it.
+    pub fn live(live: Arc<LiveEngine>) -> Self {
+        Self::live_with_config(live, ServiceConfig::default())
+    }
+
+    /// A service over a live engine with explicit operational limits.
+    pub fn live_with_config(live: Arc<LiveEngine>, config: ServiceConfig) -> Self {
         Self {
-            engine,
+            live,
             config,
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(0),
@@ -281,9 +322,17 @@ impl ExplorationService {
         }
     }
 
-    /// The shared engine.
-    pub fn engine(&self) -> &Arc<Vexus> {
-        &self.engine
+    /// The currently published engine epoch. The handle is cloned out of
+    /// the publication lock: it stays valid (and unchanged) however long
+    /// the caller holds it, even across refreshes.
+    pub fn engine(&self) -> Arc<Vexus> {
+        self.live.engine()
+    }
+
+    /// The live engine behind the service — ingestion and epoch telemetry
+    /// live here.
+    pub fn live_engine(&self) -> &Arc<LiveEngine> {
+        &self.live
     }
 
     /// The service's operational limits.
@@ -293,7 +342,7 @@ impl ExplorationService {
 
     /// Cumulative service counters.
     pub fn stats(&self) -> ServiceStats {
-        self.counters.snapshot()
+        self.counters.snapshot(self.live.epoch())
     }
 
     /// The logical clock: verbs served so far (each verb ticks it once).
@@ -414,7 +463,7 @@ impl ExplorationService {
     /// Open a session with the engine's configuration; returns its id and
     /// opening display.
     pub fn open(&self) -> Result<(SessionId, Vec<GroupId>), ServeError> {
-        self.open_with(self.engine.config().clone())
+        self.open_with(self.live.engine().config().clone())
     }
 
     /// Open a session with an overriding configuration. Fails typed when
@@ -440,7 +489,9 @@ impl ExplorationService {
                 });
             }
         }
-        let session = OwnedSession::open_with(Arc::clone(&self.engine), config)?;
+        // Pin the epoch published *now*: the session keeps this handle for
+        // life, refreshes notwithstanding.
+        let session = OwnedSession::open_with(self.live.engine(), config)?;
         let display = session.display().to_vec();
         let slot = Arc::new(LiveSlot {
             session: Mutex::new(session),
@@ -580,6 +631,28 @@ impl ExplorationService {
         self.with_session(id, |s| s.memo_user(u))
     }
 
+    /// Cut the live engine's ingest buffer and publish a new epoch for
+    /// subsequent opens (delegates to [`LiveEngine::refresh`]). Counts
+    /// one logical tick and, when the epoch advanced, one refresh.
+    pub fn refresh(&self) -> Result<RefreshOutcome, ServeError> {
+        self.tick();
+        let outcome = self.live.refresh().map_err(ServeError::from)?;
+        if outcome.advanced {
+            self.counters.refreshes.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(outcome)
+    }
+
+    /// Drain up to `max` actions from `stream` into the live engine's
+    /// ingest buffer (nothing is applied until [`Self::refresh`]).
+    pub fn ingest(
+        &self,
+        stream: &mut dyn vexus_data::ActionStream,
+        max: usize,
+    ) -> Result<usize, ServeError> {
+        self.live.ingest(stream, max).map_err(ServeError::from)
+    }
+
     /// Close a session, dropping its state. Closing a quarantined session
     /// succeeds — it is how a client acknowledges the poison and frees
     /// the slot.
@@ -627,6 +700,7 @@ impl ExplorationService {
                 Ok(Response::Ack)
             }
             Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Refresh => Ok(Response::Refreshed(self.refresh()?)),
             Request::Close { session } => {
                 self.close(session)?;
                 Ok(Response::Ack)
@@ -642,6 +716,7 @@ const _: fn() = || {
     assert_send_sync::<Vexus>();
     assert_send_sync::<ExplorationService>();
     assert_send_sync::<OwnedSession>();
+    assert_send_sync::<LiveEngine>();
 };
 
 #[cfg(test)]
@@ -897,6 +972,80 @@ mod tests {
         assert_eq!(svc.display(id).unwrap(), display);
         svc.close(id).unwrap();
         assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn fixed_services_refuse_the_refresh_verb() {
+        let svc = service();
+        let err = svc.handle(Request::Refresh).unwrap_err();
+        assert!(matches!(err, ServeError::Core(CoreError::NotLive(_))));
+        assert_eq!(svc.stats().epoch, 0);
+        assert_eq!(svc.stats().refreshes, 0);
+    }
+
+    /// Live service over a warmed-up bookcrossing: ingest + Refresh swaps
+    /// the epoch for new opens while sessions opened before the refresh
+    /// replay byte-identically against their pinned engine.
+    #[test]
+    fn refresh_swaps_epochs_without_perturbing_open_sessions() {
+        use crate::live::LiveEngine;
+        use vexus_data::stream::ChannelStream;
+        use vexus_mining::DiscoverySelection;
+
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let (mut base, tape) = ds.data.split_actions();
+        base.append_actions(&tape[..300]);
+        let config = EngineConfig::default()
+            .with_discovery(DiscoverySelection::StreamFim {
+                support: 0.05,
+                epsilon: 0.01,
+                max_len: 3,
+            })
+            .with_budget(std::time::Duration::from_secs(600));
+        let live = Arc::new(LiveEngine::bootstrap(base, config).unwrap());
+        let svc = ExplorationService::live(Arc::clone(&live));
+
+        let epoch0 = svc.engine();
+        let (pinned, display0) = svc.open().unwrap();
+        let (replay, _) = svc.open().unwrap();
+
+        let (tx, mut rx) = ChannelStream::with_capacity(tape.len());
+        for &a in &tape[300..] {
+            assert!(tx.send(a));
+        }
+        drop(tx);
+        svc.ingest(&mut rx, usize::MAX).unwrap();
+        let outcome = match svc.handle(Request::Refresh).unwrap() {
+            Response::Refreshed(o) => o,
+            other => panic!("expected Refreshed, got {other:?}"),
+        };
+        assert!(outcome.advanced);
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(svc.stats().epoch, 1);
+        assert_eq!(svc.stats().refreshes, 1);
+
+        // In-flight sessions keep replaying their pinned epoch: the two
+        // pre-refresh sessions step identically to each other after the
+        // swap, and their display still matches the pre-refresh opening.
+        assert_eq!(svc.display(pinned).unwrap(), display0);
+        let a = svc.click(pinned, display0[0]).unwrap();
+        let b = svc.click(replay, display0[0]).unwrap();
+        assert_eq!(a, b, "pinned sessions diverged across the refresh");
+
+        // New opens see the new epoch.
+        let epoch1 = svc.engine();
+        assert!(!Arc::ptr_eq(&epoch0, &epoch1));
+        assert_eq!(
+            epoch1.data().actions().len(),
+            epoch0.data().actions().len() + (tape.len() - 300)
+        );
+        svc.open().unwrap();
+        assert_eq!(svc.stats().opens, 3);
+
+        // An empty cut is a visible no-op.
+        let noop = svc.refresh().unwrap();
+        assert!(!noop.advanced);
+        assert_eq!(svc.stats().refreshes, 1);
     }
 
     #[test]

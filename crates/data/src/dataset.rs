@@ -256,6 +256,86 @@ impl UserData {
         }
     }
 
+    /// Split off every action, leaving a demographics-only dataset with an
+    /// empty (but valid) CSR action index. The returned actions are in
+    /// insertion order, so replaying them through
+    /// [`UserData::append_actions`] — in any batching — reconstructs this
+    /// dataset exactly. This is the live-deployment splitter: demographics
+    /// are known up front, actions arrive over an
+    /// [`crate::stream::ActionStream`].
+    pub fn split_actions(mut self) -> (UserData, Vec<Action>) {
+        let actions = std::mem::take(&mut self.actions);
+        let (user_offsets, actions_by_user) = csr_index(self.n_users(), &[]);
+        self.user_offsets = user_offsets;
+        self.actions_by_user = actions_by_user;
+        (self, actions)
+    }
+
+    /// Append a batch of actions, patching the CSR per-user index in place
+    /// instead of rebuilding it. Actions referencing unknown users or items
+    /// are skipped (a live stream may race ahead of the demographic
+    /// universe); the number of actions actually applied is returned.
+    ///
+    /// The result is indistinguishable from rebuilding: appending in any
+    /// batching yields the same dataset as building with all actions at
+    /// once (appended actions keep insertion order, so within each user
+    /// they land after every existing action — exactly where the full
+    /// CSR-index rebuild would put them). Pinned by tests below.
+    pub fn append_actions(&mut self, batch: &[Action]) -> usize {
+        let n_users = self.n_users();
+        let n_items = self.n_items();
+        let applied_from = self.actions.len();
+        self.actions.extend(
+            batch
+                .iter()
+                .filter(|a| a.user.index() < n_users && a.item.index() < n_items),
+        );
+        let applied = &self.actions[applied_from..];
+        if applied.is_empty() {
+            return 0;
+        }
+
+        // Per-user addition counts → new offsets (old + running additions).
+        let mut added = vec![0u32; n_users];
+        for a in applied {
+            added[a.user.index()] += 1;
+        }
+        let old_offsets = std::mem::take(&mut self.user_offsets);
+        let mut new_offsets = Vec::with_capacity(n_users + 1);
+        let mut shift = 0u32;
+        new_offsets.push(0);
+        for u in 0..n_users {
+            shift += added[u];
+            new_offsets.push(old_offsets[u + 1] + shift);
+        }
+
+        // Shift existing per-user slices toward the back, last user first:
+        // every destination is at or past its source, so the descending
+        // walk never overwrites a slice it still has to move.
+        self.actions_by_user
+            .resize(self.actions_by_user.len() + applied.len(), 0);
+        for u in (0..n_users).rev() {
+            let src = old_offsets[u] as usize..old_offsets[u + 1] as usize;
+            let dst = new_offsets[u] as usize;
+            if dst != src.start && !src.is_empty() {
+                self.actions_by_user.copy_within(src, dst);
+            }
+        }
+
+        // Scatter the new action indices into each user's tail slot, in
+        // insertion order (the same order the full rebuild preserves).
+        let mut cursor: Vec<u32> = (0..n_users)
+            .map(|u| new_offsets[u] + (old_offsets[u + 1] - old_offsets[u]))
+            .collect();
+        for (i, a) in applied.iter().enumerate() {
+            let slot = cursor[a.user.index()];
+            self.actions_by_user[slot as usize] = (applied_from + i) as u32;
+            cursor[a.user.index()] += 1;
+        }
+        self.user_offsets = new_offsets;
+        applied.len()
+    }
+
     /// Human-readable `attr=value` description for a user's demographics.
     pub fn describe_user(&self, user: UserId) -> String {
         let mut parts = Vec::with_capacity(self.schema.len());
@@ -802,6 +882,132 @@ mod tests {
         assert_eq!(swapped.n_users(), d.n_users());
         assert_eq!(swapped.n_actions(), d.n_actions());
         assert_eq!(swapped.item_name(ItemId::new(0)), "Mr Miracle");
+    }
+
+    /// The in-place CSR patch must be indistinguishable from a full
+    /// rebuild over the concatenated action list.
+    fn assert_csr_matches_rebuild(d: &UserData) {
+        let (offsets, by_user) = csr_index(d.n_users(), &d.actions);
+        assert_eq!(d.user_offsets, offsets, "offsets != full rebuild");
+        assert_eq!(d.actions_by_user, by_user, "index != full rebuild");
+    }
+
+    #[test]
+    fn split_then_replay_reconstructs_the_dataset() {
+        let d = small();
+        let full = d.clone();
+        let (mut bare, actions) = d.split_actions();
+        assert_eq!(bare.n_actions(), 0);
+        assert_eq!(bare.n_users(), full.n_users());
+        assert!(bare.users().all(|u| bare.user_activity(u) == 0));
+        assert_eq!(actions.len(), full.n_actions());
+        // Replay in two uneven batches.
+        assert_eq!(bare.append_actions(&actions[..1]), 1);
+        assert_eq!(bare.append_actions(&actions[1..]), actions.len() - 1);
+        assert_eq!(bare.actions(), full.actions());
+        assert_eq!(bare.user_offsets, full.user_offsets);
+        assert_eq!(bare.actions_by_user, full.actions_by_user);
+    }
+
+    #[test]
+    fn append_actions_patches_the_csr_in_place() {
+        let mut d = small();
+        let dune = ItemId::new(1);
+        let batch = [
+            Action {
+                user: UserId::new(1),
+                item: dune,
+                value: 3.0,
+            },
+            Action {
+                user: UserId::new(0),
+                item: dune,
+                value: 1.0,
+            },
+            Action {
+                user: UserId::new(1),
+                item: ItemId::new(0),
+                value: 5.0,
+            },
+        ];
+        assert_eq!(d.append_actions(&batch), 3);
+        assert_eq!(d.n_actions(), 6);
+        assert_csr_matches_rebuild(&d);
+        // Per-user order: old actions first, then the batch in order.
+        let bob: Vec<f32> = d.user_actions(UserId::new(1)).map(|a| a.value).collect();
+        assert_eq!(bob, vec![2.0, 3.0, 5.0]);
+        // Appending nothing is a no-op.
+        assert_eq!(d.append_actions(&[]), 0);
+        assert_csr_matches_rebuild(&d);
+    }
+
+    #[test]
+    fn append_actions_skips_unknown_users_and_items() {
+        let mut d = small();
+        let batch = [
+            Action {
+                user: UserId::new(99),
+                item: ItemId::new(0),
+                value: 1.0,
+            },
+            Action {
+                user: UserId::new(0),
+                item: ItemId::new(99),
+                value: 1.0,
+            },
+            Action {
+                user: UserId::new(0),
+                item: ItemId::new(0),
+                value: 2.5,
+            },
+        ];
+        assert_eq!(d.append_actions(&batch), 1);
+        assert_eq!(d.n_actions(), 4);
+        assert_csr_matches_rebuild(&d);
+    }
+
+    #[test]
+    fn append_in_any_batching_equals_building_at_once() {
+        // Seeded pseudo-random action tape over a few users/items, applied
+        // in several batch splits; every split must equal the full build.
+        let mut s = Schema::new();
+        let g = s.add_categorical("gender");
+        let mut b = UserDataBuilder::new(s);
+        for i in 0..7 {
+            let u = b.user(&format!("u{i}"));
+            b.set_demo(u, g, if i % 2 == 0 { "female" } else { "male" })
+                .unwrap();
+        }
+        for i in 0..3 {
+            b.item(&format!("i{i}"), None);
+        }
+        let base = b.build();
+        let mut x = 0x9e37u32;
+        let tape: Vec<Action> = (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                Action {
+                    user: UserId::new((x >> 8) % 7),
+                    item: ItemId::new((x >> 16) % 3),
+                    value: (x % 5) as f32,
+                }
+            })
+            .collect();
+        let mut at_once = base.clone();
+        at_once.append_actions(&tape);
+        for split in [1usize, 3, 17, 64] {
+            let mut inc = base.clone();
+            for chunk in tape.chunks(split) {
+                inc.append_actions(chunk);
+            }
+            assert_eq!(inc.actions(), at_once.actions(), "split={split}");
+            assert_eq!(inc.user_offsets, at_once.user_offsets, "split={split}");
+            assert_eq!(
+                inc.actions_by_user, at_once.actions_by_user,
+                "split={split}"
+            );
+            assert_csr_matches_rebuild(&inc);
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   section table, checksum, zero-copy [`snapshot::WordSlice`] views)
 //!   plus the catalog/vocabulary codecs; higher layers add their own
 //!   sections on top,
-//! * [`stream`] — bounded action streams for the stream-mining path,
+//! * [`stream`] — bounded action streams for the stream-mining path, plus
+//!   the [`stream::IngestBuffer`] that cuts them into epoch-stamped
+//!   deltas for the live engine,
 //! * [`zipf`] — seeded Zipf/power-law samplers used by the generators,
 //! * [`synthetic`] — seeded generators standing in for the paper's
 //!   BOOKCROSSING and DB-AUTHORS datasets (see DESIGN.md §1 for the
@@ -47,3 +49,4 @@ pub use ids::{AttrId, ItemId, TokenId, UserId, ValueId};
 pub use schema::{AttributeDef, AttributeKind, Schema};
 pub use shard::{ShardPlan, ShardStrategy};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, U32Store, WordSlice};
+pub use stream::{ActionDelta, ActionStream, IngestBuffer};

@@ -8,6 +8,11 @@
 //!   running on other threads,
 //! * [`codec`] — a length-free fixed-width binary frame codec
 //!   (`user:u32 item:u32 value:f32`, little-endian) for wire ingestion.
+//!
+//! [`IngestBuffer`] sits between any stream and the live engine: it
+//! drains batches into a pending buffer and cuts epoch-stamped
+//! [`ActionDelta`]s on demand, so refresh cadence is decoupled from
+//! arrival cadence.
 
 use crate::dataset::{Action, UserData};
 use crate::ids::{ItemId, UserId};
@@ -110,6 +115,95 @@ impl ActionStream for ChannelStream {
 
     fn is_live(&self) -> bool {
         !self.closed
+    }
+}
+
+/// One epoch's worth of ingested actions, cut from an [`IngestBuffer`].
+///
+/// The epoch stamp is the buffer's cut counter: the engine layer publishes
+/// one engine version per applied non-empty delta, so the stamp identifies
+/// which published engine first reflects these actions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActionDelta {
+    /// The cut ordinal this delta was stamped with.
+    pub epoch: u64,
+    /// The actions, in arrival order.
+    pub actions: Vec<Action>,
+}
+
+impl ActionDelta {
+    /// Number of actions in the delta.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the delta carries no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// Accumulates actions drained from any [`ActionStream`] and cuts them
+/// into epoch-stamped [`ActionDelta`]s.
+///
+/// The buffer is the seam between arrival cadence (producers push whenever
+/// they like) and refresh cadence (the engine applies a delta when it
+/// decides to): [`IngestBuffer::pull`] drains a stream without applying
+/// anything, [`IngestBuffer::cut`] hands the pending actions over as one
+/// stamped delta.
+#[derive(Debug, Default)]
+pub struct IngestBuffer {
+    pending: Vec<Action>,
+    next_epoch: u64,
+    drained: u64,
+}
+
+impl IngestBuffer {
+    /// Empty buffer starting at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain up to `max` actions from `stream` into the pending buffer,
+    /// looping over batches until the stream runs dry (or `max` is hit).
+    /// Returns the number drained by this call.
+    pub fn pull(&mut self, stream: &mut dyn ActionStream, max: usize) -> usize {
+        let mut drained = 0;
+        while drained < max {
+            let got = stream.next_batch(max - drained, &mut self.pending);
+            if got == 0 {
+                break;
+            }
+            drained += got;
+        }
+        self.drained += drained as u64;
+        drained
+    }
+
+    /// Actions buffered but not yet cut into a delta.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total actions drained over the buffer's lifetime.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// The epoch stamp the next non-empty cut will carry.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Cut the pending actions into one stamped delta. An empty cut does
+    /// not consume an epoch (the engine publishes nothing for it).
+    pub fn cut(&mut self) -> ActionDelta {
+        let actions = std::mem::take(&mut self.pending);
+        let epoch = self.next_epoch;
+        if !actions.is_empty() {
+            self.next_epoch += 1;
+        }
+        ActionDelta { epoch, actions }
     }
 }
 
@@ -267,5 +361,101 @@ mod tests {
         buf.extend_from_slice(&encoded[codec::FRAME_LEN - 1..]);
         assert_eq!(codec::decode(&mut buf, &mut out), 1);
         assert_eq!(out[0], actions[0]);
+    }
+
+    /// The `is_live` contract: a dry live stream (producers still holding
+    /// the sender) answers `0` but stays live; only disconnection makes an
+    /// empty batch mean "exhausted".
+    #[test]
+    fn channel_stream_dry_vs_exhausted() {
+        let (tx, mut stream) = ChannelStream::with_capacity(4);
+        let mut out = Vec::new();
+        // Dry, not exhausted: nothing sent yet, producer alive.
+        assert_eq!(stream.next_batch(10, &mut out), 0);
+        assert!(stream.is_live(), "dry stream with a producer is live");
+        // Still live after delivering and draining.
+        assert!(tx.send(Action {
+            user: UserId::new(0),
+            item: ItemId::new(0),
+            value: 1.0
+        }));
+        assert_eq!(stream.next_batch(10, &mut out), 1);
+        assert_eq!(stream.next_batch(10, &mut out), 0);
+        assert!(stream.is_live(), "drained stream with a producer is live");
+        // Exhausted: every producer gone, empty batch flips is_live.
+        drop(tx);
+        assert_eq!(stream.next_batch(10, &mut out), 0);
+        assert!(!stream.is_live(), "disconnected stream is exhausted");
+    }
+
+    #[test]
+    fn ingest_buffer_pulls_and_cuts_epoch_stamped_deltas() {
+        let d = sample_data(10);
+        let mut stream = ReplayStream::new(&d);
+        let mut buf = IngestBuffer::new();
+        // Pull caps at `max` even when the stream has more.
+        assert_eq!(buf.pull(&mut stream, 4), 4);
+        assert_eq!(buf.pending(), 4);
+        let first = buf.cut();
+        assert_eq!((first.epoch, first.len()), (0, 4));
+        assert_eq!(buf.pending(), 0);
+        // An empty cut consumes no epoch.
+        let empty = buf.cut();
+        assert!(empty.is_empty());
+        assert_eq!(buf.next_epoch(), 1);
+        // Pull loops across multiple underlying batches up to max.
+        assert_eq!(buf.pull(&mut stream, usize::MAX), 6);
+        let second = buf.cut();
+        assert_eq!((second.epoch, second.len()), (1, 6));
+        assert_eq!(buf.drained(), 10);
+        // Delta contents preserve arrival order.
+        let all: Vec<f32> = first
+            .actions
+            .iter()
+            .chain(second.actions.iter())
+            .map(|a| a.value)
+            .collect();
+        assert_eq!(all, (0..10).map(|k| k as f32).collect::<Vec<_>>());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// encode → arbitrary byte-split feeding → decode is the identity:
+        /// however the wire fragments frames, the decoded action sequence
+        /// equals the input and nothing is left over.
+        #[test]
+        fn prop_codec_round_trips_across_frame_splits(
+            raw in proptest::collection::vec((0u32..1000, 0u32..1000, -100i32..100), 0..40),
+            cuts in proptest::collection::vec(1usize..37, 0..12)
+        ) {
+            let actions: Vec<Action> = raw
+                .iter()
+                .map(|&(u, i, v)| Action {
+                    user: UserId::new(u),
+                    item: ItemId::new(i),
+                    value: v as f32,
+                })
+                .collect();
+            let encoded = codec::encode(&actions);
+            prop_assert_eq!(encoded.len(), actions.len() * codec::FRAME_LEN);
+            // Feed the wire bytes in arbitrary fragments; partial frames
+            // must buffer across calls.
+            let mut buf = BytesMut::new();
+            let mut out = Vec::new();
+            let mut pos = 0;
+            for &cut in &cuts {
+                let end = (pos + cut).min(encoded.len());
+                buf.extend_from_slice(&encoded[pos..end]);
+                codec::decode(&mut buf, &mut out);
+                prop_assert!(buf.len() < codec::FRAME_LEN);
+                pos = end;
+            }
+            buf.extend_from_slice(&encoded[pos..]);
+            codec::decode(&mut buf, &mut out);
+            prop_assert_eq!(out, actions);
+            prop_assert!(buf.is_empty());
+        }
     }
 }

@@ -173,6 +173,33 @@ impl NeighborCache {
         computed
     }
 
+    /// Carry entries into a fresh cache of the same capacity across an
+    /// epoch swap, keeping only those `keep` approves. Entries are copied
+    /// per shard in FIFO order (the eviction order is preserved); counters
+    /// start at zero, so the new epoch reports its own hit rate.
+    ///
+    /// `keep` sees the cached group id and neighbor list. The serving
+    /// layer keeps an entry only when the group is id-stable and clean
+    /// across the swap and every cached neighbor id is id-stable — in
+    /// which case the cached bytes are already the new epoch's answer, so
+    /// transparency (cached ≡ uncached) is preserved without a rewrite.
+    pub fn carry_over(&self, keep: impl Fn(u32, &[Neighbor]) -> bool) -> NeighborCache {
+        let fresh = NeighborCache::new(self.per_shard * SHARDS);
+        for i in 0..SHARDS {
+            let old = self.lock_shard(i);
+            let mut new = fresh.shards[i].lock().expect("fresh shard is unshared");
+            for &key in &old.order {
+                if let Some(list) = old.entries.get(&key) {
+                    if keep(key.0, list) {
+                        new.entries.insert(key, Arc::clone(list));
+                        new.order.push_back(key);
+                    }
+                }
+            }
+        }
+        fresh
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -298,6 +325,32 @@ mod tests {
         let settled = cache.stats();
         assert_eq!(settled.hits, 1);
         assert_eq!(settled.recoveries, 1, "recovery is one-shot");
+    }
+
+    #[test]
+    fn carry_over_keeps_approved_entries_and_resets_counters() {
+        let (gs, idx) = fixture();
+        let cache = NeighborCache::new(64);
+        for (gid, _) in gs.iter() {
+            cache.neighbors(&idx, &gs, gid, 4);
+        }
+        let populated = cache.len();
+        assert!(populated > 0);
+        // Keep only even group ids.
+        let carried = cache.carry_over(|g, _| g % 2 == 0);
+        assert_eq!(carried.len(), populated / 2, "odd ids dropped");
+        assert_eq!(carried.stats(), CacheStats::default(), "fresh counters");
+        // Surviving entries are hits with the original bytes; dropped
+        // entries recompute as misses.
+        let even = GroupId::new(2);
+        let direct = idx.neighbors(&gs, even, 4);
+        assert_eq!(&carried.neighbors(&idx, &gs, even, 4)[..], &direct[..]);
+        assert_eq!(carried.stats().hits, 1);
+        carried.neighbors(&idx, &gs, GroupId::new(3), 4);
+        assert_eq!(carried.stats().misses, 1);
+        // Keep-nothing empties; the original cache is untouched.
+        assert!(cache.carry_over(|_, _| false).is_empty());
+        assert_eq!(cache.len(), populated);
     }
 
     #[test]

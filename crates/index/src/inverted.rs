@@ -17,10 +17,17 @@
 //! `scored_pairs` halved. The CSR is retained in the built index so the
 //! exact fallback of [`GroupIndex::neighbors`] walks only the groups that
 //! overlap the query group instead of scanning the whole group space.
+//!
+//! For live deployments, [`GroupIndex::apply_delta`] patches a built index
+//! across an epoch's [`GroupDelta`] instead of rebuilding it: the retained
+//! CSR is spliced (no membership recount), only the groups the delta can
+//! actually affect are rescored, and every untouched list is copied with a
+//! pure id rewrite — byte-identical to [`GroupIndex::build`] over the new
+//! space, which stays the reference oracle.
 
 use crate::graph::OverlapGraph;
 use vexus_data::U32Store;
-use vexus_mining::{GroupId, GroupSet};
+use vexus_mining::{GroupDelta, GroupId, GroupSet};
 
 /// Index construction knobs.
 #[derive(Debug, Clone)]
@@ -401,6 +408,295 @@ impl GroupIndex {
         )
     }
 
+    /// Patch this index across one epoch's [`GroupDelta`] instead of
+    /// rebuilding it. `old_groups` must be the space this index was built
+    /// over, `new_groups` the new epoch's space, and `delta` the
+    /// [`vexus_mining::delta::diff`] between them; both spaces must be
+    /// canonical (description-sorted), which makes the survivor id remap
+    /// monotone. The result is **byte-identical** to
+    /// [`GroupIndex::build`]`(new_groups, cfg)` — lists, full lengths and
+    /// the member→groups CSR — provided `cfg.materialize_fraction` matches
+    /// the original build (the proptest below pins this across random
+    /// delta sequences and thread counts).
+    ///
+    /// Three incremental passes, none of which rescans untouched state:
+    ///
+    /// 1. **CSR splice** — per-user group lists are rewritten through the
+    ///    monotone remap and merged with the delta's membership gains /
+    ///    losses; memberships are never recounted.
+    /// 2. **Dirty-set rescore** — a new group's list must be recomputed
+    ///    iff the group is added or resized, or it shares a member with a
+    ///    touched group (only then can a neighbor appear, disappear, or
+    ///    change similarity). Dirty groups are rescored from the new CSR
+    ///    in parallel over size-aware chunks (`cfg.threads`).
+    /// 3. **Clean copy** — every other group's materialized list is the
+    ///    old list with ids rewritten: its neighbors are all unchanged
+    ///    survivors, and the monotone remap preserves the
+    ///    similarity-then-id total order, so bytes (and the kept-set
+    ///    boundary) carry over exactly.
+    ///
+    /// `scored_pairs` in the returned stats counts only the patch's
+    /// rescoring work — the incremental-vs-full cost the d8 experiment
+    /// reports — not the full build's pair count.
+    pub fn apply_delta(
+        &self,
+        old_groups: &GroupSet,
+        new_groups: &GroupSet,
+        delta: &GroupDelta,
+        cfg: &IndexConfig,
+    ) -> IndexPatch {
+        let n_old = old_groups.len();
+        let n_new = new_groups.len();
+        debug_assert_eq!(n_old, self.len(), "old space does not match the index");
+        let fraction = cfg.materialize_fraction.clamp(0.0, 1.0);
+
+        // Survivor maps: old ids minus `retired`, zipped in order with new
+        // ids minus `added` (both canonical, so the zip is the monotone
+        // remap). `u32::MAX` marks retired / added ids.
+        let mut old_to_new = vec![u32::MAX; n_old];
+        let mut new_to_old = vec![u32::MAX; n_new];
+        {
+            let mut retired = delta.retired.iter().peekable();
+            let mut added = delta.added.iter().peekable();
+            let mut j = 0u32;
+            for i in 0..n_old as u32 {
+                if retired.peek().is_some_and(|r| r.0 == i) {
+                    retired.next();
+                    continue;
+                }
+                while added.peek().is_some_and(|a| a.0 == j) {
+                    added.next();
+                    j += 1;
+                }
+                old_to_new[i as usize] = j;
+                new_to_old[j as usize] = i;
+                j += 1;
+            }
+        }
+        for &(o, n) in &delta.resized {
+            debug_assert_eq!(
+                old_to_new[o.index()],
+                n.0,
+                "resized pair off the survivor zip"
+            );
+        }
+
+        // Membership splice lists: (user, new id) gains from added and
+        // grown groups, (user, old id) losses from shrunk groups. Retired
+        // groups need no loss entries — their ids remap to `u32::MAX` and
+        // drop out of every user list below.
+        let mut gains: Vec<(u32, u32)> = Vec::new();
+        let mut losses: Vec<(u32, u32)> = Vec::new();
+        for &g in &delta.added {
+            for u in new_groups.get(g).members.iter() {
+                gains.push((u, g.0));
+            }
+        }
+        for &(o, n) in &delta.resized {
+            member_diff(
+                old_groups.get(o).members.as_slice(),
+                new_groups.get(n).members.as_slice(),
+                |u| gains.push((u, n.0)),
+                |u| losses.push((u, o.0)),
+            );
+        }
+        gains.sort_unstable();
+        losses.sort_unstable();
+
+        // Pass 1: CSR splice. The user universe bound is recomputed the
+        // exact way `MemberGroupsCsr::build` computes it, so the patched
+        // CSR matches a rebuild even when the universe grows or shrinks.
+        let n_users = new_groups
+            .iter()
+            .filter_map(|(_, g)| g.members.as_slice().last())
+            .max()
+            .map(|&m| m as usize + 1)
+            .unwrap_or(0);
+        let old_csr = &self.member_groups;
+        let old_users = old_csr.n_members();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n_users + 1);
+        offsets.push(0);
+        let mut ids: Vec<u32> = Vec::with_capacity(old_csr.ids().len() + gains.len());
+        let (mut gat, mut lat) = (0usize, 0usize);
+        for u in 0..n_users as u32 {
+            let old_list: &[u32] = if (u as usize) < old_users {
+                old_csr.groups_of(u)
+            } else {
+                &[]
+            };
+            let lfrom = lat;
+            while lat < losses.len() && losses[lat].0 == u {
+                lat += 1;
+            }
+            let lost = &losses[lfrom..lat];
+            let gfrom = gat;
+            while gat < gains.len() && gains[gat].0 == u {
+                gat += 1;
+            }
+            let gained = &gains[gfrom..gat];
+            // Merge the remapped survivors of the old list with the gains;
+            // both runs are ascending (the remap is monotone), so the
+            // merged list is sorted exactly as a counting-sort rebuild
+            // would emit it.
+            let (mut gi, mut li) = (0usize, 0usize);
+            for &h in old_list {
+                if li < lost.len() && lost[li].1 == h {
+                    li += 1;
+                    continue;
+                }
+                let m = old_to_new[h as usize];
+                if m == u32::MAX {
+                    continue;
+                }
+                while gi < gained.len() && gained[gi].1 < m {
+                    ids.push(gained[gi].1);
+                    gi += 1;
+                }
+                ids.push(m);
+            }
+            for &(_, g) in &gained[gi..] {
+                ids.push(g);
+            }
+            offsets.push(ids.len() as u32);
+        }
+        let member_groups = MemberGroupsCsr {
+            offsets: offsets.into(),
+            ids: ids.into(),
+        };
+
+        // Pass 2: dirty set. Added and resized groups are dirty by
+        // definition; a survivor is dirty iff it shares a member with a
+        // touched group — and every such share is visible in the *old*
+        // CSR, because an unchanged survivor's members are the same in
+        // both spaces. Members of touched groups are walked from the
+        // space that holds them (old for retired/shrunk, new for
+        // added/grown, both for resized).
+        let mut dirty = vec![false; n_new];
+        for &g in &delta.added {
+            dirty[g.index()] = true;
+        }
+        for &(_, n) in &delta.resized {
+            dirty[n.index()] = true;
+        }
+        {
+            let mut mark_groups_of = |u: u32| {
+                if (u as usize) < old_users {
+                    for &h in old_csr.groups_of(u) {
+                        let m = old_to_new[h as usize];
+                        if m != u32::MAX {
+                            dirty[m as usize] = true;
+                        }
+                    }
+                }
+            };
+            for &g in &delta.retired {
+                for u in old_groups.get(g).members.iter() {
+                    mark_groups_of(u);
+                }
+            }
+            for &(o, n) in &delta.resized {
+                for u in old_groups.get(o).members.iter() {
+                    mark_groups_of(u);
+                }
+                for u in new_groups.get(n).members.iter() {
+                    mark_groups_of(u);
+                }
+            }
+            for &g in &delta.added {
+                for u in new_groups.get(g).members.iter() {
+                    mark_groups_of(u);
+                }
+            }
+        }
+        let dirty_ids: Vec<u32> = (0..n_new as u32).filter(|&g| dirty[g as usize]).collect();
+
+        // Pass 3: rescore the dirty groups from the patched CSR, parallel
+        // over the same size-aware chunking the full build uses. Each
+        // group's list is computed independently into its own slot, so
+        // the result is byte-identical at any thread count.
+        let mut rescored_lists: Vec<Vec<Neighbor>> = vec![Vec::new(); dirty_ids.len()];
+        let mut rescored_full: Vec<u32> = vec![0; dirty_ids.len()];
+        if !dirty_ids.is_empty() {
+            let sizes: Vec<usize> = dirty_ids
+                .iter()
+                .map(|&g| new_groups.get(GroupId::new(g)).size())
+                .collect();
+            let threads = resolve_threads(cfg.threads, dirty_ids.len());
+            let chunks = size_aware_chunks(&sizes, threads);
+            crossbeam::thread::scope(|scope| {
+                let mut rest_lists = rescored_lists.as_mut_slice();
+                let mut rest_full = rescored_full.as_mut_slice();
+                let mut start = 0usize;
+                for &take in &chunks {
+                    let (lists_chunk, r) = rest_lists.split_at_mut(take);
+                    rest_lists = r;
+                    let (full_chunk, r) = rest_full.split_at_mut(take);
+                    rest_full = r;
+                    let ids_chunk = &dirty_ids[start..start + take];
+                    let member_groups = &member_groups;
+                    scope.spawn(move |_| {
+                        let mut counter = vec![0u32; n_new];
+                        for ((&g, list), full_len) in
+                            ids_chunk.iter().zip(lists_chunk).zip(full_chunk)
+                        {
+                            let mut full = overlapping_neighbors(
+                                new_groups,
+                                member_groups,
+                                GroupId::new(g),
+                                &mut counter,
+                            );
+                            *full_len = full.len() as u32;
+                            let keep = keep_of(fraction, full.len());
+                            let kept = select_top_in_place(&mut full, keep);
+                            full.truncate(kept);
+                            *list = full;
+                        }
+                    });
+                    start += take;
+                }
+            })
+            .expect("index patch scope");
+        }
+        let scored_pairs: usize = rescored_full.iter().map(|&l| l as usize).sum();
+
+        // Assembly: dirty groups take their rescored lists, clean groups
+        // copy their old list through the id rewrite.
+        let mut entries: Vec<Neighbor> = Vec::new();
+        let mut list_offsets: Vec<u32> = Vec::with_capacity(n_new + 1);
+        list_offsets.push(0);
+        let mut full_lengths = vec![0u32; n_new];
+        let mut at = 0usize;
+        for g in 0..n_new {
+            if dirty[g] {
+                full_lengths[g] = rescored_full[at];
+                entries.append(&mut rescored_lists[at]);
+                at += 1;
+            } else {
+                let o = GroupId::new(new_to_old[g]);
+                full_lengths[g] = self.full_lengths[o.index()];
+                for &(h, sim) in self.materialized(o) {
+                    let m = old_to_new[h.index()];
+                    debug_assert_ne!(m, u32::MAX, "clean list holds a retired neighbor");
+                    entries.push((GroupId::new(m), sim));
+                }
+            }
+            list_offsets.push(entries.len() as u32);
+        }
+        let rescored = dirty_ids.len();
+        IndexPatch {
+            index: Self::from_parts(
+                list_offsets.into(),
+                entries,
+                full_lengths.into(),
+                member_groups,
+                scored_pairs,
+            ),
+            old_to_new,
+            dirty,
+            rescored,
+        }
+    }
+
     /// Assemble from storage parts, recomputing derived statistics.
     /// `heap_bytes` reflects what this representation actually owns, so a
     /// snapshot-loaded index (shared offset tables) reports less than its
@@ -498,6 +794,48 @@ impl GroupIndex {
     /// Exact Jaccard similarity between two groups (computed on demand).
     pub fn similarity(groups: &GroupSet, a: GroupId, b: GroupId) -> f64 {
         groups.get(a).members.jaccard(&groups.get(b).members)
+    }
+}
+
+/// The result of [`GroupIndex::apply_delta`]: the patched index plus the
+/// patch's bookkeeping, which the serving layer uses to decide which
+/// neighbor-cache entries survive the epoch swap.
+pub struct IndexPatch {
+    /// The patched index — byte-identical to a full build over the new
+    /// space.
+    pub index: GroupIndex,
+    /// Old-space id → new-space id for survivors; `u32::MAX` for retired
+    /// groups. Monotone over survivors (both spaces are canonical).
+    pub old_to_new: Vec<u32>,
+    /// Per new-space group: whether its neighbor list was rescored (added,
+    /// resized, or sharing a member with a touched group). Clean groups'
+    /// lists were copied with a pure id rewrite.
+    pub dirty: Vec<bool>,
+    /// Number of dirty groups rescored.
+    pub rescored: usize,
+}
+
+/// Two-pointer diff of sorted member slices: `gained` receives members in
+/// `new` only, `lost` members in `old` only.
+fn member_diff(old: &[u32], new: &[u32], mut gained: impl FnMut(u32), mut lost: impl FnMut(u32)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() || j < new.len() {
+        if i == old.len() {
+            gained(new[j]);
+            j += 1;
+        } else if j == new.len() {
+            lost(old[i]);
+            i += 1;
+        } else if old[i] == new[j] {
+            i += 1;
+            j += 1;
+        } else if old[i] < new[j] {
+            lost(old[i]);
+            i += 1;
+        } else {
+            gained(new[j]);
+            j += 1;
+        }
     }
 }
 
@@ -705,6 +1043,16 @@ mod tests {
             a.stats().materialized_entries,
             b.stats().materialized_entries,
             "{what}: entries"
+        );
+        assert_eq!(
+            a.member_groups.offsets(),
+            b.member_groups.offsets(),
+            "{what}: CSR offsets"
+        );
+        assert_eq!(
+            a.member_groups.ids(),
+            b.member_groups.ids(),
+            "{what}: CSR ids"
         );
     }
 
@@ -1059,6 +1407,133 @@ mod tests {
         assert!(tenth.stats().heap_bytes < full.stats().heap_bytes);
     }
 
+    use vexus_data::TokenId;
+    use vexus_mining::delta::{canonicalize, diff};
+
+    /// A described group space from `(tag, members)` pairs, in canonical
+    /// (description-sorted) order. Tags must be unique.
+    fn described_space(defs: &[(u32, Vec<u32>)]) -> GroupSet {
+        let mut gs = GroupSet::new();
+        for (tag, members) in defs {
+            gs.push(Group::new(
+                vec![TokenId::new(*tag)],
+                MemberSet::from_unsorted(members.clone()),
+            ));
+        }
+        canonicalize(gs)
+    }
+
+    fn patch_config(fraction: f64, threads: usize) -> IndexConfig {
+        IndexConfig {
+            materialize_fraction: fraction,
+            threads,
+        }
+    }
+
+    #[test]
+    fn empty_delta_patch_reproduces_the_index() {
+        let gs = described_space(&[
+            (1, vec![0, 1, 2, 3]),
+            (2, vec![2, 3, 4, 5]),
+            (3, vec![3, 4, 5, 6]),
+        ]);
+        let cfg = patch_config(0.5, 1);
+        let idx = GroupIndex::build(&gs, &cfg);
+        let patch = idx.apply_delta(&gs, &gs, &GroupDelta::default(), &cfg);
+        assert_same_index(&patch.index, &idx, "empty delta");
+        assert_eq!(patch.rescored, 0, "nothing is dirty");
+        assert_eq!(patch.old_to_new, vec![0, 1, 2], "identity remap");
+        assert!(patch.dirty.iter().all(|&d| !d));
+        // A patch that rescored nothing reports zero patch work.
+        assert_eq!(patch.index.stats().scored_pairs, 0);
+    }
+
+    #[test]
+    fn patch_matches_rebuild_across_add_retire_resize() {
+        // Old: {1}=[0..4]  {2}=[2..6]  {5}=[10,11,12]  {7}=[0,5]
+        // New: {1}=[0..4]  {2}=[2..7] (grew)  {4}=[1,2,10] (added),
+        // {5} retired, {7}=[0,5] untouched but overlaps nothing touched?
+        // ({7} shares 5 with nothing touched — 2 gains member 6, retains
+        // 5? no: {2}=[2,3,4,5] holds 5, so {7} is dirty via {2}'s resize.)
+        let old = described_space(&[
+            (1, vec![0, 1, 2, 3]),
+            (2, vec![2, 3, 4, 5]),
+            (5, vec![10, 11, 12]),
+            (7, vec![0, 5]),
+        ]);
+        let new = described_space(&[
+            (1, vec![0, 1, 2, 3]),
+            (2, vec![2, 3, 4, 5, 6]),
+            (4, vec![1, 2, 10]),
+            (7, vec![0, 5]),
+        ]);
+        let delta = diff(&old, &new);
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.retired.len(), 1);
+        assert_eq!(delta.resized.len(), 1);
+        for fraction in [0.0, 0.3, 1.0] {
+            let cfg = patch_config(fraction, 1);
+            let idx = GroupIndex::build(&old, &cfg);
+            let patch = idx.apply_delta(&old, &new, &delta, &cfg);
+            let rebuilt = GroupIndex::build(&new, &cfg);
+            assert_same_index(&patch.index, &rebuilt, &format!("fraction={fraction}"));
+            // The patch scored strictly less than the rebuild (only dirty
+            // groups were rescored).
+            assert!(patch.rescored <= new.len());
+        }
+    }
+
+    #[test]
+    fn untouched_disconnected_groups_stay_clean() {
+        // Two overlapping groups in one component; a far-away pair in
+        // another. Resizing inside the first component must not dirty the
+        // second — its lists are copied, not rescored.
+        let old = described_space(&[
+            (1, vec![0, 1, 2]),
+            (2, vec![1, 2, 3]),
+            (8, vec![100, 101, 102]),
+            (9, vec![101, 102, 103]),
+        ]);
+        let new = described_space(&[
+            (1, vec![0, 1, 2, 4]),
+            (2, vec![1, 2, 3]),
+            (8, vec![100, 101, 102]),
+            (9, vec![101, 102, 103]),
+        ]);
+        let delta = diff(&old, &new);
+        assert_eq!(delta.resized.len(), 1);
+        let cfg = patch_config(1.0, 1);
+        let idx = GroupIndex::build(&old, &cfg);
+        let patch = idx.apply_delta(&old, &new, &delta, &cfg);
+        assert_same_index(&patch.index, &GroupIndex::build(&new, &cfg), "disconnected");
+        // Canonical order: tags 1, 2, 8, 9 → ids 0, 1, 2, 3.
+        assert_eq!(patch.dirty, vec![true, true, false, false]);
+        assert_eq!(patch.rescored, 2);
+    }
+
+    #[test]
+    fn patch_survives_a_universe_shrink_and_regrow() {
+        // Retiring the group holding the largest member ids shrinks the
+        // CSR universe; a later add regrows it. Both transitions must
+        // match the rebuild's universe computation exactly.
+        let cfg = patch_config(1.0, 2);
+        let e0 = described_space(&[(1, vec![0, 1]), (2, vec![1, 2]), (3, vec![500, 501])]);
+        let e1 = described_space(&[(1, vec![0, 1]), (2, vec![1, 2])]);
+        let e2 = described_space(&[(1, vec![0, 1]), (2, vec![1, 2]), (4, vec![2, 900])]);
+        let idx0 = GroupIndex::build(&e0, &cfg);
+        let p1 = idx0.apply_delta(&e0, &e1, &diff(&e0, &e1), &cfg);
+        assert_same_index(&p1.index, &GroupIndex::build(&e1, &cfg), "shrink");
+        let p2 = p1.index.apply_delta(&e1, &e2, &diff(&e1, &e2), &cfg);
+        assert_same_index(&p2.index, &GroupIndex::build(&e2, &cfg), "regrow");
+    }
+
+    /// The evolving-space model for the delta proptest: `(tag, members)`
+    /// entries keyed by description tag.
+    fn model_space(model: &std::collections::BTreeMap<u32, Vec<u32>>) -> GroupSet {
+        let defs: Vec<(u32, Vec<u32>)> = model.iter().map(|(&t, m)| (t, m.clone())).collect();
+        described_space(&defs)
+    }
+
     use proptest::prelude::*;
 
     proptest! {
@@ -1103,6 +1578,87 @@ mod tests {
                     symmetric.stats().scored_pairs * 2,
                     reference.stats().scored_pairs
                 );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The incremental-refresh oracle: starting from a random described
+        /// space, apply random epochs of add / retire / resize ops and pin
+        /// [`GroupIndex::apply_delta`] byte-identical to a full
+        /// [`GroupIndex::build`] over every epoch's space, at thread counts
+        /// {1, 2, 4, 8}, chaining each epoch's patch off the previous
+        /// patched index.
+        #[test]
+        fn prop_apply_delta_equals_full_rebuild(
+            initial in proptest::collection::vec(
+                (0u32..24, 0u32..40, 1usize..10), 1..12),
+            epochs in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u8..3, 0u32..24, 0u32..40, 1usize..10), 1..8),
+                1..4),
+            fraction in 0.0f64..1.0
+        ) {
+            let mut model: std::collections::BTreeMap<u32, Vec<u32>> =
+                std::collections::BTreeMap::new();
+            for (tag, start, len) in initial {
+                model.entry(tag)
+                    .or_insert_with(|| (start..start + len as u32).collect());
+            }
+            let cfg = patch_config(fraction, 1);
+            let mut space = model_space(&model);
+            let mut idx = GroupIndex::build(&space, &cfg);
+            for (e, ops) in epochs.into_iter().enumerate() {
+                for (kind, tag, start, len) in ops {
+                    let members: Vec<u32> = (start..start + len as u32).collect();
+                    let keys: Vec<u32> = model.keys().copied().collect();
+                    match kind {
+                        0 => {
+                            model.entry(tag).or_insert(members);
+                        }
+                        1 if !keys.is_empty() => {
+                            model.remove(&keys[tag as usize % keys.len()]);
+                        }
+                        2 if !keys.is_empty() => {
+                            model.insert(keys[tag as usize % keys.len()], members);
+                        }
+                        _ => {}
+                    }
+                }
+                let next = model_space(&model);
+                let delta = diff(&space, &next);
+                let reference = GroupIndex::build(&next, &cfg);
+                let mut chained = None;
+                for threads in [1usize, 2, 4, 8] {
+                    let patch = idx.apply_delta(
+                        &space, &next, &delta, &patch_config(fraction, threads));
+                    for g in 0..next.len() {
+                        let g = GroupId::new(g as u32);
+                        prop_assert_eq!(
+                            patch.index.materialized(g),
+                            reference.materialized(g),
+                            "epoch={} threads={} group={}", e, threads, g
+                        );
+                        prop_assert_eq!(
+                            patch.index.full_neighbor_count(g),
+                            reference.full_neighbor_count(g)
+                        );
+                    }
+                    prop_assert_eq!(
+                        patch.index.member_groups.offsets(),
+                        reference.member_groups.offsets()
+                    );
+                    prop_assert_eq!(
+                        patch.index.member_groups.ids(),
+                        reference.member_groups.ids()
+                    );
+                    if threads == 1 {
+                        chained = Some(patch.index);
+                    }
+                }
+                idx = chained.expect("threads=1 ran");
+                space = next;
             }
         }
     }

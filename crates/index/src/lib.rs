@@ -27,4 +27,4 @@ pub mod snapshot;
 
 pub use cache::{CacheStats, NeighborCache};
 pub use graph::OverlapGraph;
-pub use inverted::{GroupIndex, IndexConfig, IndexStats, MemberGroupsCsr};
+pub use inverted::{GroupIndex, IndexConfig, IndexPatch, IndexStats, MemberGroupsCsr};

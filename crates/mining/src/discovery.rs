@@ -85,6 +85,17 @@ pub struct DiscoveryStats {
     /// Per-candidate shard scans the exchange's candidate→shard routing
     /// skipped (shards with no carrier of any candidate token).
     pub exchange_shards_skipped: usize,
+    /// Stream-miner transactions observed over the miner's lifetime
+    /// (zero for non-stream backends). For live refreshes this is
+    /// cumulative across epochs, so batch and incremental runs report the
+    /// same telemetry surface.
+    pub stream_n_seen: u64,
+    /// Itemset entries the stream miner held in-core when the group space
+    /// was materialized (zero for non-stream backends).
+    pub stream_table_size: usize,
+    /// Itemset entries evicted by the stream miner's bucket-boundary
+    /// pruning over its lifetime (zero for non-stream backends).
+    pub stream_evictions: u64,
 }
 
 /// The result of one discovery run.
@@ -303,6 +314,9 @@ impl GroupDiscovery for StreamFimDiscovery {
             elapsed: t0.elapsed(),
             groups_discovered: groups.len(),
             candidates_considered,
+            stream_n_seen: miner.n_seen(),
+            stream_table_size: miner.table_size(),
+            stream_evictions: miner.evictions(),
             ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
@@ -654,6 +668,18 @@ mod tests {
         .discover(&data, &vocab);
         assert!(!out.groups.is_empty());
         assert!(out.groups.iter().all(|(_, g)| !g.description.is_empty()));
+        // Stream telemetry surfaces in the stats.
+        assert_eq!(out.stats.stream_n_seen, data.n_users() as u64);
+        assert_eq!(out.stats.stream_table_size, out.stats.candidates_considered);
+    }
+
+    #[test]
+    fn non_stream_backends_report_zero_stream_telemetry() {
+        let (data, vocab) = fixture();
+        let out = LcmDiscovery::default().discover(&data, &vocab);
+        assert_eq!(out.stats.stream_n_seen, 0);
+        assert_eq!(out.stats.stream_table_size, 0);
+        assert_eq!(out.stats.stream_evictions, 0);
     }
 
     #[test]

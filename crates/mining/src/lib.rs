@@ -27,6 +27,13 @@
 //! [`MergeStrategy`]; [`EnsembleDiscovery`] unions several backends
 //! (e.g. LCM ∪ BIRCH) through the same merge layer.
 //!
+//! For live deployments, [`delta`] gives the stream miner identity across
+//! time: [`DeltaDiscovery`] observes users as they arrive on an action
+//! stream and cuts canonical, description-sorted epoch group spaces whose
+//! pairwise differences are typed [`GroupDelta`]s (added / retired /
+//! resized) — the contract the incremental index patch in `vexus-index`
+//! consumes.
+//!
 //! Shared substrate:
 //!
 //! * [`bitmap`] — sorted-set member bitmaps with fast intersection /
@@ -40,6 +47,7 @@
 
 pub mod birch;
 pub mod bitmap;
+pub mod delta;
 pub mod discovery;
 pub mod features;
 pub mod group;
@@ -51,6 +59,7 @@ pub mod stream_fim;
 pub mod transactions;
 
 pub use bitmap::MemberSet;
+pub use delta::{DeltaDiscovery, GroupDelta};
 pub use discovery::{
     BirchDiscovery, DiscoveryOutcome, DiscoverySelection, DiscoveryStats, GroupDiscovery,
     LcmDiscovery, MergeSelection, MomriDiscovery, MomriMaterialize, ShardStats, StreamFimDiscovery,

@@ -1311,6 +1311,7 @@ impl<B: GroupDiscovery + ShardScaled + Sync> GroupDiscovery for ShardedDiscovery
             exchange_elapsed: exchange.exchange_elapsed,
             exchange_deduped: exchange.exchange_deduped,
             exchange_shards_skipped: exchange.exchange_shards_skipped,
+            ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
     }
@@ -1446,6 +1447,7 @@ impl GroupDiscovery for EnsembleDiscovery {
             exchange_elapsed: exchange.exchange_elapsed,
             exchange_deduped: exchange.exchange_deduped,
             exchange_shards_skipped: exchange.exchange_shards_skipped,
+            ..Default::default()
         };
         DiscoveryOutcome { groups, stats }
     }

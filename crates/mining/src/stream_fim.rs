@@ -63,6 +63,7 @@ pub struct StreamMiner {
     table: HashMap<Vec<TokenId>, Entry>,
     bucket_width: u64,
     n_seen: u64,
+    evictions: u64,
 }
 
 impl StreamMiner {
@@ -79,6 +80,7 @@ impl StreamMiner {
             table: HashMap::new(),
             bucket_width,
             n_seen: 0,
+            evictions: 0,
         }
     }
 
@@ -90,6 +92,12 @@ impl StreamMiner {
     /// Entries currently held in-core.
     pub fn table_size(&self) -> usize {
         self.table.len()
+    }
+
+    /// Itemset entries evicted by bucket-boundary pruning over the miner's
+    /// lifetime — the telemetry counterpart of the memory bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Process one transaction. `tokens` must be sorted ascending.
@@ -132,7 +140,9 @@ impl StreamMiner {
     }
 
     fn prune(&mut self, bucket: u64) {
+        let before = self.table.len();
         self.table.retain(|_, e| e.count + e.delta > bucket);
+        self.evictions += (before - self.table.len()) as u64;
     }
 
     fn enumerate(
@@ -307,6 +317,25 @@ mod tests {
             "peak table {peak} should undercut exact table {exact_table}"
         );
         assert_eq!(miner.n_seen(), 20_000);
+        // The bound is enforced by eviction, and the counter sees it.
+        assert!(miner.evictions() > 0, "pruning must have evicted entries");
+        assert!(miner.evictions() as usize >= exact_table - miner.table_size());
+    }
+
+    #[test]
+    fn evictions_start_at_zero_and_count_pruned_entries() {
+        let mut miner = StreamMiner::new(StreamFimConfig {
+            support: 0.5,
+            epsilon: 0.5, // bucket width 2: prune every other transaction
+            max_len: 1,
+        });
+        assert_eq!(miner.evictions(), 0);
+        // Two distinct singletons, each seen once: at the first bucket
+        // boundary both have count + Δ = 1 ≤ 1 → evicted.
+        miner.observe(0, &toks(&[0]));
+        miner.observe(1, &toks(&[1]));
+        assert_eq!(miner.evictions(), 2);
+        assert_eq!(miner.table_size(), 0);
     }
 
     #[test]

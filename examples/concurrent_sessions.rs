@@ -76,7 +76,8 @@ fn main() {
         "served {total} steps across {n_sessions} sessions in {:?}",
         t0.elapsed()
     );
-    if let Some(cache) = service.engine().neighbor_cache() {
+    let engine = service.engine();
+    if let Some(cache) = engine.neighbor_cache() {
         let s = cache.stats();
         println!(
             "shared neighbor cache: {} hits / {} misses ({:.0}% hit rate)",

@@ -1,16 +1,18 @@
-//! Stream intake: the second path of Fig. 1. Actions arrive as a stream;
-//! groups are discovered online with the lossy-counting stream miner and
-//! with BIRCH, then plugged into the exploration engine.
+//! Live stream intake: the second path of Fig. 1, end to end. Actions
+//! arrive on a channel from a producer thread; the engine bootstraps from
+//! a warmup prefix, then ingests the live stream and republishes itself
+//! epoch by epoch — patching the similarity index incrementally instead
+//! of rebuilding, while open sessions keep exploring the epoch they
+//! started on.
 //!
 //! Run with: `cargo run --release --example stream_exploration`
 
-use vexus::core::engine::VexusBuilder;
-use vexus::core::EngineConfig;
-use vexus::data::stream::{ActionStream, ReplayStream};
+use std::sync::Arc;
+use vexus::core::{EngineConfig, ExplorationService, LiveEngine, Request, Response};
+use vexus::data::stream::ChannelStream;
 use vexus::data::synthetic::{bookcrossing, BookCrossingConfig};
-use vexus::data::Vocabulary;
-use vexus::mining::stream_fim::{StreamFimConfig, StreamMiner};
-use vexus::mining::BirchDiscovery;
+use vexus::data::ActionStream;
+use vexus::mining::DiscoverySelection;
 
 fn main() {
     let dataset = bookcrossing(&BookCrossingConfig {
@@ -20,87 +22,100 @@ fn main() {
         n_communities: 8,
         seed: 42,
     });
-    let data = dataset.data;
-    let vocab = Vocabulary::build(&data);
 
-    // --- Path A: lossy-counting frequent-itemset mining over the stream ---
-    // Users "arrive" as their first action shows up; each arrival feeds the
-    // user's demographic transaction to the miner.
-    let mut miner = StreamMiner::new(StreamFimConfig {
+    // Split the action tape: the first chunk warms the engine up, the rest
+    // arrives "live" from a producer thread.
+    let (mut base, tape) = dataset.data.split_actions();
+    let warmup = tape.len() / 4;
+    base.append_actions(&tape[..warmup]);
+
+    let config = EngineConfig {
+        min_group_size: 10,
+        ..EngineConfig::paper()
+    }
+    .with_discovery(DiscoverySelection::StreamFim {
         support: 0.02,
         epsilon: 0.004,
         max_len: 3,
     });
-    let mut seen = vec![false; data.n_users()];
-    let mut stream = ReplayStream::new(&data);
-    let mut batch = Vec::new();
-    let mut batches = 0usize;
-    loop {
-        batch.clear();
-        if stream.next_batch(1_000, &mut batch) == 0 {
-            break;
-        }
-        batches += 1;
-        for action in &batch {
-            let u = action.user;
-            if !seen[u.index()] {
-                seen[u.index()] = true;
-                miner.observe(u.raw(), &vocab.user_tokens(&data, u));
+    let live = Arc::new(LiveEngine::bootstrap(base, config).expect("warmup mines groups"));
+    let svc = ExplorationService::live(Arc::clone(&live));
+    println!(
+        "bootstrapped epoch 0 from {warmup} warmup actions: {} groups",
+        svc.engine().groups().len()
+    );
+
+    // A session opened now is pinned to epoch 0 — refreshes below never
+    // perturb it.
+    let (pinned, display0) = svc.open().expect("session opens");
+
+    // Producer: feeds the remaining tape in bursts over a bounded channel.
+    let (tx, mut rx) = ChannelStream::with_capacity(4_096);
+    let rest = tape[warmup..].to_vec();
+    let producer = std::thread::spawn(move || {
+        for chunk in rest.chunks(1_000) {
+            for &a in chunk {
+                if !tx.send(a) {
+                    return;
+                }
             }
         }
-        if batches.is_multiple_of(10) {
+    });
+
+    // Consumer: drain the stream and refresh every few batches. Each
+    // refresh cuts one epoch-stamped delta, folds it into the dataset,
+    // advances the stream miner, patches the index for just the touched
+    // groups, and publishes the new engine with one Arc swap.
+    let mut drained = 0usize;
+    while rx.is_live() || drained > 0 {
+        drained = svc.ingest(&mut rx, 5_000).expect("live service ingests");
+        let outcome = svc.refresh().expect("refresh applies");
+        if outcome.advanced {
             println!(
-                "after {} batches: {} transactions seen, {} itemsets in-core",
-                batches,
-                miner.n_seen(),
-                miner.table_size()
+                "epoch {}: +{} actions, {} arrivals, Δgroups +{}/-{}/~{}, \
+                 {} lists rescored in {:?}",
+                outcome.epoch,
+                outcome.actions_applied,
+                outcome.arrivals,
+                outcome.groups_added,
+                outcome.groups_retired,
+                outcome.groups_resized,
+                outcome.rescored,
+                outcome.refresh_time,
             );
         }
     }
-    let stream_groups = miner.groups();
+    producer.join().expect("producer finishes");
+
+    let stats = svc.stats();
     println!(
-        "stream FIM discovered {} frequent groups ({} arrivals, bounded table)",
-        stream_groups.len(),
-        miner.n_seen()
+        "\nserved {} refreshes; final epoch {} has {} groups over {} actions",
+        stats.refreshes,
+        stats.epoch,
+        svc.engine().groups().len(),
+        svc.engine().data().actions().len()
     );
 
-    // --- Path B: BIRCH clustering as a one-line discovery backend ---
-    // The backend owns featurization (one-hot demographics + activity) and
-    // the CF-tree pass; the builder runs it as the discovery stage.
-    let birch = VexusBuilder::new(data.clone())
-        .config(EngineConfig::paper())
-        .discovery(BirchDiscovery {
-            branching: 12,
-            threshold: 1.1,
-            min_cluster_size: 10,
-        })
-        .build()
-        .expect("BIRCH cluster space non-empty");
-    println!(
-        "BIRCH discovered {} clusters with >= 10 members in {:?}",
-        birch.build_stats().n_groups,
-        birch.build_stats().discovery.elapsed
-    );
+    // The pinned session still explores epoch 0's group space…
+    println!("\nsession pinned at epoch 0 replays unchanged:");
+    let shown = match svc
+        .handle(Request::Display { session: pinned })
+        .expect("pinned session serves")
+    {
+        Response::Display(d) => d,
+        other => panic!("expected Display, got {other:?}"),
+    };
+    assert_eq!(shown, display0);
+    svc.click(pinned, display0[0]).expect("pinned click");
 
-    // --- Plug the incrementally mined group space into the engine ---
-    // (size filtering is the builder's job: min_group_size prunes to 10).
-    let vexus = VexusBuilder::new(data)
-        .config(EngineConfig {
-            min_group_size: 10,
-            ..EngineConfig::paper()
-        })
-        .groups(vocab, stream_groups)
-        .build()
-        .expect("stream group space non-empty");
-    let mut session = vexus.session().expect("session opens");
-    println!("\nexploring the stream-discovered group space:");
-    for &g in session.display() {
+    // …while a fresh session opens on the latest epoch.
+    let (fresh, display_new) = svc.open().expect("fresh session opens");
+    let engine = svc.engine();
+    let session = engine.session().expect("describe helper");
+    println!("fresh session at epoch {}:", stats.epoch);
+    for &g in &display_new {
         println!("  {}", session.describe(g));
     }
-    let g = session.display()[0];
-    session.click(g).expect("click");
-    println!("after clicking {}:", g);
-    for &h in session.display() {
-        println!("  {}", session.describe(h));
-    }
+    svc.close(fresh).expect("close");
+    svc.close(pinned).expect("close");
 }

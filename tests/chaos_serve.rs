@@ -239,6 +239,95 @@ fn poisoned_cache_shards_recover_as_misses() {
     assert_eq!(cache.stats().hits - after.hits, sample.len() as u64);
 }
 
+/// The live-refresh containment contract: an `ingest.apply` fault with
+/// the `Error` action is typed and retryable (fires before any state
+/// mutation), while a `Panic` action halts the live ingestion side — and
+/// in both cases the previously published epoch keeps serving, in-flight
+/// sessions and new opens alike.
+#[test]
+fn refresh_faults_leave_the_published_epoch_serving() {
+    use vexus::core::{ExplorationService as Svc, LiveEngine, Request, Response};
+    use vexus::data::stream::ChannelStream;
+    use vexus::mining::DiscoverySelection;
+
+    let ds = bookcrossing(&BookCrossingConfig::tiny());
+    let (mut base, tape) = ds.data.split_actions();
+    base.append_actions(&tape[..300]);
+    let live_config = config().with_discovery(DiscoverySelection::StreamFim {
+        support: 0.05,
+        epsilon: 0.01,
+        max_len: 3,
+    });
+    let live = Arc::new(LiveEngine::bootstrap(base, live_config).expect("bootstrap"));
+    let svc = Svc::live(Arc::clone(&live));
+    let (pinned, display0) = svc.open().expect("session opens");
+
+    let feed = |range: std::ops::Range<usize>| {
+        let (tx, mut rx) = ChannelStream::with_capacity(range.len());
+        for &a in &tape[range] {
+            assert!(tx.send(a));
+        }
+        drop(tx);
+        svc.ingest(&mut rx, usize::MAX)
+            .expect("live service ingests")
+    };
+
+    let scenario = fp::FailScenario::setup();
+    feed(300..600);
+    let buffered = live.pending().expect("live state intact");
+
+    // Error action: typed, counted as no refresh, and fully retryable —
+    // the fault fires before the buffer is even cut.
+    fp::configure(fp::INGEST_APPLY, fp::Trigger::Always, fp::FailAction::Error);
+    assert_eq!(
+        svc.refresh().unwrap_err(),
+        ServeError::Core(CoreError::Injected(fp::INGEST_APPLY))
+    );
+    assert_eq!(svc.stats().epoch, 0);
+    assert_eq!(svc.stats().refreshes, 0);
+    assert_eq!(
+        live.pending().expect("still live"),
+        buffered,
+        "nothing consumed"
+    );
+    fp::clear(fp::INGEST_APPLY);
+    let outcome = svc.refresh().expect("retry succeeds after clearing");
+    assert!(outcome.advanced);
+    assert_eq!(svc.stats().epoch, 1);
+    let epoch1 = svc.engine();
+
+    // Panic action: the refresh is caught mid-apply, the live side halts,
+    // and epoch 1 stays published and serving.
+    feed(600..tape.len());
+    fp::configure(fp::INGEST_APPLY, fp::Trigger::Always, fp::FailAction::Panic);
+    let err = quiet_panics(|| svc.refresh()).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Core(CoreError::NotLive(_))),
+        "got {err}"
+    );
+    drop(scenario);
+    assert!(!live.is_live(), "live ingestion halted");
+    assert_eq!(svc.stats().epoch, 1, "published epoch untouched");
+    assert!(Arc::ptr_eq(&svc.engine(), &epoch1));
+    // Subsequent refreshes stay typed…
+    assert!(matches!(
+        svc.handle(Request::Refresh).unwrap_err(),
+        ServeError::Core(CoreError::NotLive(_))
+    ));
+    // …while serving is unaffected: the pre-fault session replays its
+    // pinned epoch and new opens land on epoch 1.
+    assert_eq!(
+        svc.display(pinned).expect("pinned session serves"),
+        display0
+    );
+    svc.click(pinned, display0[0])
+        .expect("pinned session steps");
+    match svc.handle(Request::Open).expect("new opens still served") {
+        Response::Opened { display, .. } => assert!(!display.is_empty()),
+        other => panic!("expected Opened, got {other:?}"),
+    }
+}
+
 #[test]
 fn injected_snapshot_faults_fail_typed_then_load_cleanly() {
     let engine = engine();
