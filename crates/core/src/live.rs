@@ -243,9 +243,13 @@ impl LiveEngine {
     /// serving untouched.
     pub fn refresh(&self) -> Result<RefreshOutcome, CoreError> {
         let t0 = Instant::now();
-        let current = self.engine();
         let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let state = guard.as_mut().ok_or(NOT_LIVE)?;
+        // Snapshot the published engine only while holding the state mutex:
+        // refresh is the sole publisher, so a snapshot taken outside it
+        // could lag a concurrent refresh's swap and diff a stale index
+        // against an already-advanced discovery baseline.
+        let current = self.engine();
         let epoch_now = self.epoch.load(Ordering::Acquire);
         let body = catch_unwind(AssertUnwindSafe(|| {
             if failpoint::inject(failpoint::INGEST_APPLY, epoch_now) {

@@ -120,9 +120,10 @@ impl ActionStream for ChannelStream {
 
 /// One epoch's worth of ingested actions, cut from an [`IngestBuffer`].
 ///
-/// The epoch stamp is the buffer's cut counter: the engine layer publishes
-/// one engine version per applied non-empty delta, so the stamp identifies
-/// which published engine first reflects these actions.
+/// The epoch stamp is the buffer's cut counter, starting at 0. The engine
+/// layer publishes one engine version per applied non-empty delta on top
+/// of the bootstrap engine (epoch 0), so the first published engine
+/// reflecting a delta stamped `n` is engine epoch `n + 1`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ActionDelta {
     /// The cut ordinal this delta was stamped with.
