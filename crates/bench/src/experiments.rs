@@ -27,8 +27,8 @@ use vexus_viz::pca::{silhouette, Pca};
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "c1", "c2", "c3", "c4", "c5", "c6",
-    "c7", "c8", "c9", "c10", "c11", "c12",
+    "f1", "f2", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "c1", "c2", "c3", "c4", "c5",
+    "c6", "c7", "c8", "c9", "c10", "c11", "c12",
 ];
 
 /// One experiment's output: the human-readable table plus structured
@@ -64,6 +64,7 @@ pub fn run(id: &str) -> Option<Report> {
         "d6" => d6_snapshot(),
         "d7" => d7_chaos_serving(),
         "d8" => d8_live_engine(),
+        "d9" => d9_durability(),
         "c1" => c1_budget_sweep().into(),
         "c2" => c2_interaction_latency().into(),
         "c3" => c3_materialization().into(),
@@ -1898,6 +1899,308 @@ pub fn d8_live_engine() -> Report {
         "(equivalence = fraction of groups whose patched neighbor list is byte-identical to a \
          from-scratch rebuild of the same epoch — gated at exactly 1.0 in CI; staleness is the \
          ingest-buffer depth the moment a refresh lands)\n",
+    );
+    Report { text: out, metrics }
+}
+
+// ---------------------------------------------------------------------------
+// D9: durable live engine — WAL overhead, checkpoint cadence, crash recovery
+// ---------------------------------------------------------------------------
+
+/// A fresh scratch directory for one d9 durable run.
+fn d9_dir(case: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vexus-bench-d9-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Feed one batch straight into a live engine's ingest buffer.
+fn d9_feed(live: &vexus_core::LiveEngine, actions: &[vexus_data::Action]) {
+    let (tx, mut rx) = vexus_data::stream::ChannelStream::with_capacity(actions.len().max(1));
+    for &a in actions {
+        assert!(tx.send(a), "d9 channel closed early");
+    }
+    drop(tx);
+    let drained = live.ingest(&mut rx, usize::MAX).expect("live ingests");
+    assert_eq!(drained, actions.len());
+}
+
+/// Bytes currently on disk in a durable directory.
+fn d9_disk_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok()?.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The durability subsystem end to end: WAL overhead next to a WAL-off
+/// baseline (per-frame vs batched sync), a checkpoint-cadence sweep,
+/// recovery time against surviving log length, and the crash matrix —
+/// every case's recovered engine must be byte-identical to the
+/// uninterrupted run at the epoch it reports (`recovery_equivalence`,
+/// gated at exactly 1.0 in CI).
+pub fn d9_durability() -> Report {
+    use vexus_core::{DurabilityConfig, LiveEngine, WalSync};
+    use vexus_data::wal as walio;
+    use vexus_mining::DiscoverySelection;
+
+    let mut out = header(
+        "d9",
+        "durable live engine: write-ahead log, checkpoints, crash recovery",
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let ds = workloads::bookcrossing_at(workloads::scale());
+    let (mut base, tape) = ds.data.split_actions();
+    let warmup = tape.len() / 4;
+    base.append_actions(&tape[..warmup]);
+    let live_tape = &tape[warmup..];
+    let config = EngineConfig::paper().with_discovery(DiscoverySelection::StreamFim {
+        support: 0.02,
+        epsilon: 0.004,
+        max_len: 3,
+    });
+    let batches: Vec<&[vexus_data::Action]> = live_tape.chunks(D8_BATCH).collect();
+    let _ = writeln!(
+        out,
+        "workload: {} users, {} warmup actions, {} streamed in {} batches of {}",
+        base.n_users(),
+        warmup,
+        live_tape.len(),
+        batches.len(),
+        D8_BATCH,
+    );
+
+    // --- The WAL-off baseline, doubling as the byte-identity oracle:
+    // snapshot bytes of the published engine at every epoch.
+    let reference =
+        LiveEngine::bootstrap(base.clone(), config.clone()).expect("warmup mines groups");
+    let mut snapshots = vec![reference.engine().write_snapshot()];
+    let mut off_ms: Vec<f64> = Vec::new();
+    for chunk in &batches {
+        d9_feed(&reference, chunk);
+        let t0 = Instant::now();
+        let outcome = reference.refresh().expect("baseline refresh");
+        off_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(outcome.advanced);
+        snapshots.push(reference.engine().write_snapshot());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let off_mean = mean(&off_ms);
+
+    // --- WAL overhead: same stream, logging every delta before it is
+    // applied, with no checkpoints in the way (`checkpoint_every: 0`).
+    let mut mode_dirs: Vec<(&str, std::path::PathBuf, usize)> = Vec::new();
+    for (label, sync) in [
+        ("per-frame", WalSync::PerFrame),
+        ("batched", WalSync::Batched),
+    ] {
+        let dir = d9_dir(label);
+        let durability = DurabilityConfig {
+            checkpoint_every: 0,
+            sync,
+            ..DurabilityConfig::new(&dir)
+        };
+        let live = LiveEngine::bootstrap_durable(base.clone(), config.clone(), durability)
+            .expect("durable bootstrap");
+        let mut ms: Vec<f64> = Vec::new();
+        let mut wal_bytes = 0u64;
+        for chunk in &batches {
+            d9_feed(&live, chunk);
+            let t0 = Instant::now();
+            let outcome = live.refresh().expect("durable refresh");
+            ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(outcome.wal_appended);
+            wal_bytes += outcome.wal_bytes;
+        }
+        assert!(live.engine().write_snapshot() == snapshots[batches.len()]);
+        let m = mean(&ms);
+        let _ = writeln!(
+            out,
+            "wal {label:>9}: refresh {m:>7.2} ms mean vs {off_mean:.2} ms wal-off \
+             ({:+.1}% overhead) | {wal_bytes} WAL bytes over {} frames",
+            (m / off_mean.max(1e-9) - 1.0) * 100.0,
+            batches.len(),
+        );
+        metrics.push((format!("wal_{}_refresh_ms", label.replace('-', "_")), m));
+        if sync == WalSync::PerFrame {
+            metrics.push(("wal_bytes".into(), wal_bytes as f64));
+            metrics.push(("wal_overhead_ratio".into(), m / off_mean.max(1e-9)));
+        }
+        mode_dirs.push((label, dir, batches.len()));
+    }
+    metrics.push(("wal_off_refresh_ms".into(), off_mean));
+
+    // --- Checkpoint cadence sweep: how often a full snapshot lands
+    // trades recovery work (frames left to replay) against refresh-path
+    // cost and disk footprint.
+    let mut cadence_dirs: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for &every in &[1u64, 4, 16] {
+        let dir = d9_dir(&format!("k{every}"));
+        let durability = DurabilityConfig {
+            checkpoint_every: every,
+            ..DurabilityConfig::new(&dir)
+        };
+        let live = LiveEngine::bootstrap_durable(base.clone(), config.clone(), durability)
+            .expect("durable bootstrap");
+        let mut ms: Vec<f64> = Vec::new();
+        let mut written = 0usize;
+        for chunk in &batches {
+            d9_feed(&live, chunk);
+            let t0 = Instant::now();
+            let outcome = live.refresh().expect("durable refresh");
+            ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            written += (outcome.checkpoint == vexus_core::CheckpointOutcome::Written) as usize;
+        }
+        let disk = d9_disk_bytes(&dir);
+        let _ = writeln!(
+            out,
+            "cadence K={every:>2}: {written} checkpoints over {} refreshes | refresh \
+             {:>7.2} ms mean (incl. checkpoint phase) | {} KiB on disk",
+            batches.len(),
+            mean(&ms),
+            disk / 1024,
+        );
+        if every == 4 {
+            metrics.push(("cadence4_refresh_ms".into(), mean(&ms)));
+            metrics.push(("cadence4_checkpoints".into(), written as f64));
+        }
+        cadence_dirs.push((every, dir));
+    }
+
+    // --- Recovery time vs surviving log length, and the crash matrix.
+    // Every directory above is a crash image (the engines were dropped
+    // with no shutdown hook); add bootstrap-only and mid-stream crashes,
+    // then a torn tail and a corrupt newest checkpoint. Every recovery
+    // must be byte-identical to the reference at the epoch it reports.
+    let mut cases_total = 0usize;
+    let mut cases_ok = 0usize;
+    let mut recover =
+        |dir: &std::path::Path, label: &str, out: &mut String| -> Option<(usize, f64)> {
+            let durability = DurabilityConfig::new(dir);
+            let t0 = Instant::now();
+            match LiveEngine::recover(base.clone(), config.clone(), durability) {
+                Ok((rec, report)) => {
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    cases_total += 1;
+                    let identical =
+                        rec.engine().write_snapshot() == snapshots[report.final_epoch as usize];
+                    cases_ok += identical as usize;
+                    let _ = writeln!(
+                        out,
+                        "recover {label:>22}: watermark {} + {} frames replayed -> epoch {} in \
+                     {ms:>7.2} ms | byte-identical: {}",
+                        report.checkpoint_watermark,
+                        report.frames_replayed,
+                        report.final_epoch,
+                        if identical { "yes" } else { "NO" },
+                    );
+                    Some((report.frames_replayed, ms))
+                }
+                Err(e) => {
+                    cases_total += 1;
+                    let _ = writeln!(out, "recover {label:>22}: FAILED ({e})");
+                    None
+                }
+            }
+        };
+
+    // Full-log replays (K=0) and the cadence images: log length falls as
+    // the cadence tightens, and recovery time falls with it.
+    let mut recovery_points: Vec<(usize, f64)> = Vec::new();
+    for (label, dir, _) in &mode_dirs {
+        if let Some(p) = recover(dir, &format!("full log ({label})"), &mut out) {
+            recovery_points.push(p);
+        }
+    }
+    for (every, dir) in &cadence_dirs {
+        if let Some(p) = recover(dir, &format!("cadence K={every}"), &mut out) {
+            recovery_points.push(p);
+        }
+    }
+    if let Some(&(frames, ms)) = recovery_points.first() {
+        metrics.push(("recovery_full_frames".into(), frames as f64));
+        metrics.push(("recovery_full_ms".into(), ms));
+    }
+
+    // Mid-stream crash points for both cadences in the matrix.
+    for &every in &[1u64, 4] {
+        for crash_after in [1usize, batches.len().div_ceil(2)] {
+            let dir = d9_dir(&format!("crash-k{every}-b{crash_after}"));
+            let durability = DurabilityConfig {
+                checkpoint_every: every,
+                ..DurabilityConfig::new(&dir)
+            };
+            let live = LiveEngine::bootstrap_durable(base.clone(), config.clone(), durability)
+                .expect("durable bootstrap");
+            for chunk in &batches[..crash_after] {
+                d9_feed(&live, chunk);
+                live.refresh().expect("durable refresh");
+            }
+            drop(live);
+            recover(&dir, &format!("K={every} after {crash_after}"), &mut out);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // Bootstrap-only crash: nothing but ckpt-0 and an empty segment.
+    let dir = d9_dir("crash-bootstrap");
+    drop(
+        LiveEngine::bootstrap_durable(base.clone(), config.clone(), DurabilityConfig::new(&dir))
+            .expect("durable bootstrap"),
+    );
+    recover(&dir, "bootstrap only", &mut out);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Damage cases on the K=4 image: tear the newest WAL segment
+    // mid-frame, then flip a byte in the newest checkpoint (recovery
+    // falls back to the previous one). Clean truncated recovery both
+    // times — still byte-identical at the epoch reported.
+    let k4 = &cadence_dirs[1].1;
+    let mut segments: Vec<std::path::PathBuf> = std::fs::read_dir(k4)
+        .expect("k4 dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "vxwl"))
+        .collect();
+    segments.sort();
+    if let Some(seg) = segments.last() {
+        let len = std::fs::metadata(seg).expect("segment").len();
+        walio::truncate_at(seg, len.saturating_sub(3)).expect("tear");
+        recover(k4, "torn tail (K=4)", &mut out);
+    }
+    let mut ckpts: Vec<std::path::PathBuf> = std::fs::read_dir(k4)
+        .expect("k4 dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "vxck"))
+        .collect();
+    ckpts.sort();
+    if ckpts.len() > 1 {
+        walio::corrupt_byte_at(ckpts.last().expect("newest"), 64, 0xff).expect("corrupt");
+        recover(k4, "corrupt newest ckpt", &mut out);
+    }
+
+    for (_, dir, _) in &mode_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    for (_, dir) in &cadence_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let equivalence = cases_ok as f64 / cases_total.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "crash matrix: {cases_ok}/{cases_total} recoveries byte-identical to the uninterrupted \
+         run at their reported epoch",
+    );
+    metrics.push(("recovery_cases".into(), cases_total as f64));
+    metrics.push(("recovery_equivalence".into(), equivalence));
+    out.push_str(
+        "(recovery_equivalence = fraction of crash-matrix recoveries whose engine snapshot is \
+         byte-identical to the uninterrupted run at the recovered epoch — gated at exactly 1.0 \
+         in CI, with and without failpoints)\n",
     );
     Report { text: out, metrics }
 }

@@ -1,7 +1,7 @@
 //! Error types for the exploration engine.
 
 use std::fmt;
-use vexus_data::SnapshotError;
+use vexus_data::{SnapshotError, WalError};
 
 /// Errors raised by the exploration engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +26,16 @@ pub enum CoreError {
     /// A fault-injection site fired (only reachable with the `failpoints`
     /// feature and an active scenario).
     Injected(&'static str),
+    /// The live engine halted after a mid-refresh panic or an empty epoch
+    /// group space; the payload is the cause. The published engine keeps
+    /// serving the last good epoch, but ingestion and refresh refuse until
+    /// [`crate::LiveEngine::recover`] rebuilds from durable state.
+    Halted(&'static str),
+    /// A write-ahead-log operation failed (durable live engines only).
+    Wal(WalError),
+    /// Crash recovery could not reconstruct a consistent engine from the
+    /// durable directory; the payload says what was inconsistent.
+    Recovery(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +51,14 @@ impl fmt::Display for CoreError {
             CoreError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
             CoreError::NotLive(why) => write!(f, "engine is not live: {why}"),
             CoreError::Injected(site) => write!(f, "injected fault ({site})"),
+            CoreError::Halted(cause) => {
+                write!(
+                    f,
+                    "live engine is halted ({cause}); recover from durable state"
+                )
+            }
+            CoreError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
+            CoreError::Recovery(what) => write!(f, "crash recovery failed: {what}"),
         }
     }
 }
@@ -49,6 +67,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Snapshot(e) => Some(e),
+            CoreError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -57,6 +76,12 @@ impl std::error::Error for CoreError {
 impl From<SnapshotError> for CoreError {
     fn from(e: SnapshotError) -> Self {
         CoreError::Snapshot(e)
+    }
+}
+
+impl From<WalError> for CoreError {
+    fn from(e: WalError) -> Self {
+        CoreError::Wal(e)
     }
 }
 

@@ -21,6 +21,19 @@
 //! | `ingest.apply`  | epoch        | refresh fails with `CoreError::Injected` before
 //!   any state mutation; a `Panic` action halts the live state while the old
 //!   epoch stays published and serving                                          |
+//! | `wal.append`    | epoch        | refresh fails with `CoreError::Injected` before
+//!   the frame is staged; nothing reaches the log, the pending delta stays
+//!   buffered, and a plain retry succeeds                                       |
+//! | `wal.sync`      | epoch        | the staged frame is rolled back to the last
+//!   committed byte and the refresh fails with `CoreError::Injected`; a retry
+//!   appends the frame once (no duplicates)                                     |
+//! | `checkpoint.write` | watermark | the checkpoint phase reports
+//!   `CheckpointOutcome::Failed` while the refresh itself still succeeds (the
+//!   epoch already published); the WAL is retained and the next refresh
+//!   retries the checkpoint                                                     |
+//! | `recover.replay` | frame epoch | `LiveEngine::recover` fails with
+//!   `CoreError::Injected` mid-replay; the durable directory is untouched and
+//!   a retry without the scenario recovers fully                                |
 
 /// Injected fault at session open.
 pub const SERVE_OPEN: &str = "serve.open";
@@ -30,6 +43,16 @@ pub const SERVE_STEP: &str = "serve.step";
 pub const SNAPSHOT_LOAD: &str = "snapshot.load";
 /// Injected fault at the head of a live refresh (before any mutation).
 pub const INGEST_APPLY: &str = "ingest.apply";
+/// Injected fault before a WAL frame is staged (keyed by delta epoch).
+pub const WAL_APPEND: &str = "wal.append";
+/// Injected fault at WAL commit time: the staged frame is rolled back
+/// (keyed by delta epoch).
+pub const WAL_SYNC: &str = "wal.sync";
+/// Injected fault inside the checkpoint phase (keyed by watermark).
+pub const CHECKPOINT_WRITE: &str = "checkpoint.write";
+/// Injected fault while replaying a WAL frame during recovery (keyed by
+/// the frame's epoch).
+pub const RECOVER_REPLAY: &str = "recover.replay";
 
 #[cfg(feature = "failpoints")]
 pub use vexus_failpoint::{

@@ -33,8 +33,17 @@
 //! action streams, patches the index incrementally, and publishes
 //! immutable engine epochs with one `Arc` swap — in-flight sessions pin
 //! the epoch they opened against while new opens see the latest.
+//!
+//! [`durable`] makes the live engine crash-safe: every refresh appends
+//! its delta to a write-ahead log *before* applying it, a checkpoint
+//! policy snapshots the published engine every
+//! [`durable::DurabilityConfig::checkpoint_every`] refreshes, and
+//! [`live::LiveEngine::recover`] replays the surviving log over the
+//! newest valid checkpoint into an engine byte-identical to an
+//! uninterrupted run.
 
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod failpoint;
@@ -49,10 +58,11 @@ pub mod simulate;
 pub mod snapshot;
 
 pub use config::EngineConfig;
+pub use durable::{CheckpointOutcome, DurabilityConfig, RecoveryReport};
 pub use engine::{OwnedSession, Vexus};
 pub use error::{CoreError, ServeError};
 pub use feedback::FeedbackVector;
 pub use live::{LiveEngine, RefreshOutcome};
 pub use serve::{ExplorationService, Request, Response, ServiceConfig, ServiceStats, SessionId};
 pub use session::{BorrowedEngine, EngineRef, ExplorationSession, Session};
-pub use vexus_data::SnapshotError;
+pub use vexus_data::{SnapshotError, WalError, WalSync};

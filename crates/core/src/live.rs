@@ -32,6 +32,7 @@
 //! serving.
 
 use crate::config::EngineConfig;
+use crate::durable::{self, CheckpointOutcome, DurabilityConfig, DurableSink, RecoveryReport};
 use crate::engine::{BuildStats, Vexus};
 use crate::error::CoreError;
 use crate::failpoint;
@@ -39,7 +40,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
-use vexus_data::{ActionStream, IngestBuffer, UserData, Vocabulary};
+use vexus_data::stream::ReplayStream;
+use vexus_data::{ActionStream, IngestBuffer, UserData, Vocabulary, WalError, WalTail, WalWriter};
 use vexus_index::{GroupIndex, IndexConfig, NeighborCache};
 use vexus_mining::{DeltaDiscovery, DiscoverySelection, GroupSet, StreamFimConfig};
 
@@ -53,6 +55,21 @@ struct LiveState {
     discovery: DeltaDiscovery,
     groups: GroupSet,
     config: EngineConfig,
+    /// `Some` when the engine logs and checkpoints to a durable directory.
+    durable: Option<DurableSink>,
+}
+
+/// The ingestion side of the engine: live, never-live, or halted.
+enum LiveSlot {
+    /// A [`LiveEngine::fixed`] wrapper — no ingestion state by design.
+    Fixed,
+    /// Live ingestion state.
+    Live(Box<LiveState>),
+    /// The live state was dropped after a mid-refresh panic or an empty
+    /// epoch group space. The published engine keeps serving; ingestion
+    /// verbs report [`CoreError::Halted`] with this cause, and
+    /// [`LiveEngine::recover`] is the way back for durable engines.
+    Halted(&'static str),
 }
 
 /// What one [`LiveEngine::refresh`] call did.
@@ -78,6 +95,14 @@ pub struct RefreshOutcome {
     /// Neighbor lists rescored by the index patch (everything else was
     /// copied with a pure id rewrite).
     pub rescored: usize,
+    /// Whether the delta was committed to the write-ahead log before it
+    /// was applied (always `false` for non-durable engines and no-ops).
+    pub wal_appended: bool,
+    /// Bytes the committed WAL frame occupies (length prefix included).
+    pub wal_bytes: u64,
+    /// What the checkpoint phase did after publication (see
+    /// [`CheckpointOutcome`]; always `NotDue` for non-durable engines).
+    pub checkpoint: CheckpointOutcome,
     /// Wall-clock of the whole refresh, including publication.
     pub refresh_time: Duration,
 }
@@ -90,7 +115,18 @@ pub struct LiveEngine {
     /// Epochs published so far (bumped *after* the swap; readers seeing
     /// epoch `n` are guaranteed `engine()` is at least epoch `n`).
     epoch: AtomicU64,
-    state: Mutex<Option<LiveState>>,
+    state: Mutex<LiveSlot>,
+}
+
+impl LiveSlot {
+    /// The live state, or the typed error for the other two shapes.
+    fn live(&mut self) -> Result<&mut LiveState, CoreError> {
+        match self {
+            LiveSlot::Live(state) => Ok(state),
+            LiveSlot::Fixed => Err(NOT_LIVE),
+            LiveSlot::Halted(cause) => Err(CoreError::Halted(cause)),
+        }
+    }
 }
 
 impl LiveEngine {
@@ -164,15 +200,64 @@ impl LiveEngine {
         Ok(LiveEngine {
             published: RwLock::new(Arc::new(engine)),
             epoch: AtomicU64::new(0),
-            state: Mutex::new(Some(LiveState {
+            state: Mutex::new(LiveSlot::Live(Box::new(LiveState {
                 data,
                 vocab,
                 buffer: IngestBuffer::new(),
                 discovery,
                 groups,
                 config,
-            })),
+                durable: None,
+            }))),
         })
+    }
+
+    /// Bootstrap a live engine that logs every delta to a write-ahead log
+    /// and checkpoints on the configured cadence, so a crash at any point
+    /// recovers byte-identically via [`LiveEngine::recover`].
+    ///
+    /// The directory is created if missing and must not already hold
+    /// durable engine state (that is what `recover` is for). Epoch 0 is
+    /// made durable immediately: the bootstrap checkpoint
+    /// (`ckpt-…0.vxck`) and an empty first WAL segment land before this
+    /// returns.
+    pub fn bootstrap_durable(
+        data: UserData,
+        config: EngineConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, CoreError> {
+        std::fs::create_dir_all(&durability.dir).map_err(|e| {
+            CoreError::Wal(WalError::Io {
+                op: "create durable dir",
+                kind: e.kind(),
+            })
+        })?;
+        if !durable::list_checkpoints(&durability.dir)?.is_empty()
+            || !durable::list_segments(&durability.dir)?.is_empty()
+        {
+            return Err(CoreError::Recovery(
+                "durable directory already holds engine state; use LiveEngine::recover",
+            ));
+        }
+        let n_base_actions = data.actions().len();
+        let live = Self::bootstrap(data, config)?;
+        {
+            let mut guard = live.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let state = guard.live().expect("bootstrap produced a live slot");
+            let bytes =
+                durable::encode_checkpoint(&live.engine(), &state.discovery, 0, n_base_actions)?;
+            durable::write_atomic(&durable::ckpt_path(&durability.dir, 0), &bytes)?;
+            let wal = WalWriter::create(&durable::wal_path(&durability.dir, 0), durability.sync)?;
+            state.durable = Some(DurableSink {
+                config: durability,
+                wal,
+                n_base_actions,
+                since_checkpoint: 0,
+                wal_frames: 0,
+                checkpoints: 1,
+            });
+        }
+        Ok(live)
     }
 
     /// Wrap an already-built engine with no ingestion state — the
@@ -184,7 +269,7 @@ impl LiveEngine {
         LiveEngine {
             published: RwLock::new(engine),
             epoch: AtomicU64::new(0),
-            state: Mutex::new(None),
+            state: Mutex::new(LiveSlot::Fixed),
         }
     }
 
@@ -209,24 +294,36 @@ impl LiveEngine {
     /// [`LiveEngine::fixed`] wrappers and after a refresh panic halted the
     /// live side).
     pub fn is_live(&self) -> bool {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .is_some()
+        matches!(
+            *self.state.lock().unwrap_or_else(PoisonError::into_inner),
+            LiveSlot::Live(_)
+        )
+    }
+
+    /// Why the live side halted, when it did: the cause a mid-refresh
+    /// panic or an empty epoch group space left behind. `None` for live
+    /// and fixed engines. A halted engine keeps serving its last
+    /// published epoch; [`LiveEngine::recover`] is the way back for
+    /// durable engines.
+    pub fn halt_cause(&self) -> Option<&'static str> {
+        match *self.state.lock().unwrap_or_else(PoisonError::into_inner) {
+            LiveSlot::Halted(cause) => Some(cause),
+            _ => None,
+        }
     }
 
     /// Drain up to `max` actions from `stream` into the ingest buffer
     /// without applying anything. Returns the number drained.
     pub fn ingest(&self, stream: &mut dyn ActionStream, max: usize) -> Result<usize, CoreError> {
         let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        let state = guard.as_mut().ok_or(NOT_LIVE)?;
+        let state = guard.live()?;
         Ok(state.buffer.pull(stream, max))
     }
 
     /// Actions buffered but not yet folded in by a refresh.
     pub fn pending(&self) -> Result<usize, CoreError> {
-        let guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        Ok(guard.as_ref().ok_or(NOT_LIVE)?.buffer.pending())
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(guard.live()?.buffer.pending())
     }
 
     /// Cut the ingest buffer and publish a new epoch reflecting it: append
@@ -244,7 +341,7 @@ impl LiveEngine {
     pub fn refresh(&self) -> Result<RefreshOutcome, CoreError> {
         let t0 = Instant::now();
         let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        let state = guard.as_mut().ok_or(NOT_LIVE)?;
+        let state = guard.live()?;
         // Snapshot the published engine only while holding the state mutex:
         // refresh is the sole publisher, so a snapshot taken outside it
         // could lag a concurrent refresh's swap and diff a stale index
@@ -255,23 +352,29 @@ impl LiveEngine {
             if failpoint::inject(failpoint::INGEST_APPLY, epoch_now) {
                 return Err(CoreError::Injected(failpoint::INGEST_APPLY));
             }
-            Self::apply(state, &current)
+            let (wal_appended, wal_bytes) = Self::log_delta(state)?;
+            Self::apply(state, &current).map(|r| (r, wal_appended, wal_bytes))
         }));
         match body {
-            Ok(Ok(None)) => Ok(RefreshOutcome {
+            Ok(Ok((None, _, _))) => Ok(RefreshOutcome {
                 epoch: epoch_now,
                 refresh_time: t0.elapsed(),
                 ..RefreshOutcome::default()
             }),
-            Ok(Ok(Some((engine, outcome)))) => {
+            Ok(Ok((Some((engine, outcome)), wal_appended, wal_bytes))) => {
+                let engine = Arc::new(engine);
                 *self
                     .published
                     .write()
-                    .unwrap_or_else(PoisonError::into_inner) = Arc::new(engine);
+                    .unwrap_or_else(PoisonError::into_inner) = Arc::clone(&engine);
                 let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                let checkpoint = Self::maybe_checkpoint(&mut guard, &engine, epoch);
                 Ok(RefreshOutcome {
                     epoch,
                     advanced: true,
+                    wal_appended,
+                    wal_bytes,
+                    checkpoint,
                     refresh_time: t0.elapsed(),
                     ..outcome
                 })
@@ -282,17 +385,279 @@ impl LiveEngine {
                     // published space; a later refresh would diff against
                     // the wrong epoch. Halt rather than serve corrupt
                     // deltas.
-                    *guard = None;
+                    *guard = LiveSlot::Halted(HALT_EMPTY_EPOCH);
                 }
                 Err(e)
             }
             Err(_) => {
-                *guard = None;
-                Err(CoreError::NotLive(
-                    "refresh panicked mid-apply; live ingestion halted (old epoch still serving)",
-                ))
+                *guard = LiveSlot::Halted(HALT_PANIC);
+                Err(CoreError::Halted(HALT_PANIC))
             }
         }
+    }
+
+    /// Append the pending delta to the write-ahead log, if the engine is
+    /// durable and there is anything to log. Runs *before* any state
+    /// mutation (log-then-apply): an error here leaves the buffer intact
+    /// and the log rolled back to its last committed frame, so a plain
+    /// retry appends the frame exactly once. Returns `(appended, bytes)`.
+    fn log_delta(state: &mut LiveState) -> Result<(bool, u64), CoreError> {
+        if state.buffer.pending() == 0 {
+            return Ok((false, 0));
+        }
+        let Some(sink) = state.durable.as_mut() else {
+            return Ok((false, 0));
+        };
+        let delta_epoch = state.buffer.next_epoch();
+        if failpoint::inject(failpoint::WAL_APPEND, delta_epoch) {
+            return Err(CoreError::Injected(failpoint::WAL_APPEND));
+        }
+        sink.wal
+            .append(delta_epoch, state.buffer.pending_actions())?;
+        if failpoint::inject(failpoint::WAL_SYNC, delta_epoch) {
+            sink.wal.rollback();
+            return Err(CoreError::Injected(failpoint::WAL_SYNC));
+        }
+        let bytes = sink.wal.commit()?;
+        sink.wal_frames += 1;
+        Ok((true, bytes))
+    }
+
+    /// Run the checkpoint policy after publication. A failure — injected
+    /// fault, I/O error, or a panic inside the checkpoint phase — never
+    /// fails the refresh (the epoch already published) and never loses
+    /// data (the WAL keeps every frame): it reports
+    /// [`CheckpointOutcome::Failed`] and leaves the cadence counter at or
+    /// past the threshold, so the next advancing refresh retries.
+    fn maybe_checkpoint(
+        guard: &mut LiveSlot,
+        engine: &Arc<Vexus>,
+        watermark: u64,
+    ) -> CheckpointOutcome {
+        let Ok(state) = guard.live() else {
+            return CheckpointOutcome::NotDue;
+        };
+        let Some(sink) = state.durable.as_mut() else {
+            return CheckpointOutcome::NotDue;
+        };
+        sink.since_checkpoint += 1;
+        if sink.config.checkpoint_every == 0 || sink.since_checkpoint < sink.config.checkpoint_every
+        {
+            return CheckpointOutcome::NotDue;
+        }
+        let discovery = &state.discovery;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if failpoint::inject(failpoint::CHECKPOINT_WRITE, watermark) {
+                return Err(CoreError::Injected(failpoint::CHECKPOINT_WRITE));
+            }
+            let bytes =
+                durable::encode_checkpoint(engine, discovery, watermark, sink.n_base_actions)?;
+            durable::write_atomic(&durable::ckpt_path(&sink.config.dir, watermark), &bytes)?;
+            // Rotate to a fresh segment named by the new watermark, then
+            // let retention drop whole segments the remaining checkpoints
+            // no longer need. Order matters for crash safety: the
+            // checkpoint is durable before any WAL byte becomes
+            // unreachable.
+            let wal = WalWriter::create(
+                &durable::wal_path(&sink.config.dir, watermark),
+                sink.config.sync,
+            )?;
+            durable::prune(&sink.config.dir, sink.config.retain)?;
+            Ok(wal)
+        }));
+        match result {
+            Ok(Ok(wal)) => {
+                sink.wal = wal;
+                sink.checkpoints += 1;
+                sink.since_checkpoint = 0;
+                CheckpointOutcome::Written
+            }
+            Ok(Err(_)) | Err(_) => CheckpointOutcome::Failed,
+        }
+    }
+
+    /// [`LiveEngine::refresh`], retrying transient failures — injected
+    /// faults and WAL I/O errors, both of which fire before any state
+    /// mutation — up to `attempts` times in total. Hard errors (halt
+    /// causes, an empty epoch group space, corrupt log state) pass
+    /// through immediately.
+    pub fn refresh_with_retry(&self, attempts: usize) -> Result<RefreshOutcome, CoreError> {
+        IngestBuffer::drain_with_retry(
+            attempts,
+            |e| {
+                matches!(
+                    e,
+                    CoreError::Injected(_) | CoreError::Wal(WalError::Io { .. })
+                )
+            },
+            || self.refresh(),
+        )
+    }
+
+    /// Recover a durable live engine from its directory.
+    ///
+    /// Loads the newest checkpoint that decodes cleanly (a corrupt newer
+    /// file is deleted and recovery falls back to the previous one — it
+    /// must not resurrect through retention), then replays every
+    /// surviving WAL frame above the watermark through the normal
+    /// ingest/refresh path, producing an engine byte-identical to the
+    /// uninterrupted run at the same epoch. Torn segment tails (a crash
+    /// mid-append) are detected by the per-frame checksums, reported in
+    /// the [`RecoveryReport`], and truncated when the log reopens for
+    /// appending. `base` and `config` must match what the engine was
+    /// bootstrapped with — both are cross-checked against the
+    /// checkpoint's fingerprint ([`CoreError::Recovery`] on mismatch,
+    /// since falling back to an older checkpoint cannot fix a wrong
+    /// dataset).
+    ///
+    /// If replay re-hits the condition that halted the original run (an
+    /// empty epoch group space), the recovered engine is halted the same
+    /// way — serving the last good epoch — and the report says so.
+    pub fn recover(
+        base: UserData,
+        config: EngineConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), CoreError> {
+        let n_base_actions = base.actions().len();
+        let ckpts = durable::list_checkpoints(&durability.dir)?;
+        if ckpts.is_empty() {
+            return Err(CoreError::Recovery(
+                "no checkpoint in the durable directory",
+            ));
+        }
+        let mut checkpoints_skipped = 0usize;
+        let mut loaded = None;
+        for (stamp, path) in ckpts.iter().rev() {
+            let bytes = std::fs::read(path).map_err(|e| {
+                CoreError::Wal(WalError::Io {
+                    op: "checkpoint read",
+                    kind: e.kind(),
+                })
+            })?;
+            match durable::decode_checkpoint(&base, &bytes, &config) {
+                Ok(d) if d.watermark == *stamp => {
+                    loaded = Some(d);
+                    break;
+                }
+                // A decoded watermark disagreeing with the file name is
+                // corruption too (a renamed or cross-copied file).
+                Ok(_) | Err(CoreError::Snapshot(_)) => {
+                    checkpoints_skipped += 1;
+                    std::fs::remove_file(path).map_err(|e| {
+                        CoreError::Wal(WalError::Io {
+                            op: "corrupt checkpoint remove",
+                            kind: e.kind(),
+                        })
+                    })?;
+                }
+                // Fingerprint/base mismatches: an older checkpoint cannot
+                // help, and the file is not corrupt — keep it and fail.
+                Err(e) => return Err(e),
+            }
+        }
+        let Some(ckpt) = loaded else {
+            return Err(CoreError::Recovery(
+                "no checkpoint in the durable directory decodes cleanly",
+            ));
+        };
+        let watermark = ckpt.watermark;
+        let segments = durable::list_segments(&durability.dir)?;
+        let mut frames = Vec::new();
+        let mut torn_tail = false;
+        for (_, path) in &segments {
+            let scan = vexus_data::wal::read_wal(path)?;
+            torn_tail |= scan.tail != WalTail::Clean;
+            frames.extend(scan.frames);
+        }
+        let data = ckpt.engine.data().clone();
+        let vocab = ckpt.engine.vocab().clone();
+        let groups = ckpt.engine.groups().clone();
+        let live = LiveEngine {
+            published: RwLock::new(Arc::new(ckpt.engine)),
+            epoch: AtomicU64::new(watermark),
+            state: Mutex::new(LiveSlot::Live(Box::new(LiveState {
+                data,
+                vocab,
+                buffer: IngestBuffer::resume(watermark),
+                discovery: ckpt.discovery,
+                groups,
+                config,
+                // Attached only after replay: replayed frames must not be
+                // re-logged.
+                durable: None,
+            }))),
+        };
+        let mut frames_replayed = 0usize;
+        let mut frames_skipped = 0usize;
+        let mut halted = None;
+        let mut expected = watermark;
+        for frame in &frames {
+            if frame.epoch < expected {
+                frames_skipped += 1;
+                continue;
+            }
+            if frame.epoch > expected {
+                return Err(CoreError::Recovery(
+                    "gap in the write-ahead log: a frame needed for replay is missing",
+                ));
+            }
+            if frame.actions.is_empty() {
+                return Err(CoreError::Recovery("empty frame in the write-ahead log"));
+            }
+            if failpoint::inject(failpoint::RECOVER_REPLAY, frame.epoch) {
+                return Err(CoreError::Injected(failpoint::RECOVER_REPLAY));
+            }
+            let mut stream = ReplayStream::from_actions(&frame.actions);
+            live.ingest(&mut stream, usize::MAX)?;
+            match live.refresh() {
+                Ok(_) => {
+                    frames_replayed += 1;
+                    expected += 1;
+                }
+                Err(e) => {
+                    // Replay re-hit the deterministic halt the original
+                    // run died on; every later frame postdates the crash
+                    // and cannot exist. Anything else is a real error.
+                    if let Some(cause) = live.halt_cause() {
+                        halted = Some(cause);
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        {
+            let mut guard = live.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Ok(state) = guard.live() {
+                let seg_path = match segments.last() {
+                    Some(&(first, _)) => durable::wal_path(&durability.dir, first),
+                    None => durable::wal_path(&durability.dir, watermark),
+                };
+                let wal = if seg_path.exists() {
+                    WalWriter::open(&seg_path, durability.sync)?.0
+                } else {
+                    WalWriter::create(&seg_path, durability.sync)?
+                };
+                state.durable = Some(DurableSink {
+                    config: durability,
+                    wal,
+                    n_base_actions,
+                    since_checkpoint: frames_replayed as u64,
+                    wal_frames: 0,
+                    checkpoints: 0,
+                });
+            }
+        }
+        let report = RecoveryReport {
+            checkpoint_watermark: watermark,
+            checkpoints_skipped,
+            frames_replayed,
+            frames_skipped,
+            torn_tail,
+            final_epoch: live.epoch(),
+            halted,
+        };
+        Ok((live, report))
     }
 
     /// The refresh body, separated so the `catch_unwind` wrapper stays
@@ -385,8 +750,10 @@ impl std::fmt::Debug for LiveEngine {
     }
 }
 
-const NOT_LIVE: CoreError =
-    CoreError::NotLive("no ingestion state (fixed engine, or halted after a refresh panic)");
+const NOT_LIVE: CoreError = CoreError::NotLive("no ingestion state (fixed engine)");
+
+const HALT_EMPTY_EPOCH: &str = "epoch cut produced an empty group space (old epoch still serving)";
+const HALT_PANIC: &str = "refresh panicked mid-apply (old epoch still serving)";
 
 #[cfg(test)]
 mod tests {
@@ -520,6 +887,208 @@ mod tests {
                 reference.full_neighbor_count(g)
             );
         }
+    }
+
+    fn tempdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vexus-live-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durability(dir: &std::path::Path, every: u64) -> DurabilityConfig {
+        DurabilityConfig {
+            checkpoint_every: every,
+            ..DurabilityConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn durable_bootstrap_lays_out_checkpoint_and_wal() {
+        let dir = tempdir("bootstrap");
+        let (base, tape) = warmed(300);
+        let live =
+            LiveEngine::bootstrap_durable(base.clone(), stream_config(), durability(&dir, 2))
+                .unwrap();
+        assert!(durable::ckpt_path(&dir, 0).exists());
+        assert!(durable::wal_path(&dir, 0).exists());
+        // A second bootstrap into a non-empty directory refuses.
+        assert!(matches!(
+            LiveEngine::bootstrap_durable(base, stream_config(), durability(&dir, 2)),
+            Err(CoreError::Recovery(_))
+        ));
+        // Refreshes log one frame each; the second one checkpoints.
+        for (i, chunk) in tape.chunks(tape.len().div_ceil(2)).enumerate() {
+            feed(&live, chunk);
+            let out = live.refresh().unwrap();
+            assert!(out.advanced);
+            assert!(out.wal_appended);
+            assert!(out.wal_bytes > 0);
+            let expected = if i == 1 {
+                CheckpointOutcome::Written
+            } else {
+                CheckpointOutcome::NotDue
+            };
+            assert_eq!(out.checkpoint, expected, "refresh {i}");
+        }
+        assert!(durable::ckpt_path(&dir, 2).exists());
+        assert!(durable::wal_path(&dir, 2).exists());
+        // Retention kept both checkpoints (retain = 2) and every segment
+        // the older one still needs.
+        assert_eq!(durable::list_checkpoints(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The tentpole oracle at unit scale: kill the engine (drop it) at
+    /// every refresh boundary and recover; the recovered engine must be
+    /// byte-identical to the uninterrupted run at the same epoch, and
+    /// finishing the stream on it must stay byte-identical.
+    #[test]
+    fn recovery_is_byte_identical_at_every_refresh_boundary() {
+        let (base, tape) = warmed(300);
+        let chunk = tape.len().div_ceil(4);
+        // Uninterrupted reference: snapshot bytes per epoch.
+        let reference = LiveEngine::bootstrap(base.clone(), stream_config()).unwrap();
+        let mut ref_snapshots = vec![reference.engine().write_snapshot()];
+        for c in tape.chunks(chunk) {
+            feed(&reference, c);
+            reference.refresh().unwrap();
+            ref_snapshots.push(reference.engine().write_snapshot());
+        }
+        for crash_after in 0..=tape.chunks(chunk).count() {
+            let dir = tempdir(&format!("oracle-{crash_after}"));
+            let live =
+                LiveEngine::bootstrap_durable(base.clone(), stream_config(), durability(&dir, 2))
+                    .unwrap();
+            for c in tape.chunks(chunk).take(crash_after) {
+                feed(&live, c);
+                live.refresh().unwrap();
+            }
+            drop(live); // the crash: no shutdown hook, no final checkpoint
+            let (recovered, report) =
+                LiveEngine::recover(base.clone(), stream_config(), durability(&dir, 2)).unwrap();
+            assert_eq!(report.final_epoch, crash_after as u64);
+            assert_eq!(report.halted, None);
+            assert_eq!(
+                recovered.engine().write_snapshot(),
+                ref_snapshots[crash_after],
+                "crash after {crash_after} refreshes"
+            );
+            let expected_tape: Vec<Action> = base
+                .actions()
+                .iter()
+                .copied()
+                .chain(tape.chunks(chunk).take(crash_after).flatten().copied())
+                .collect();
+            assert_eq!(recovered.engine().data().actions(), expected_tape);
+            // The recovered engine keeps going: finish the stream and land
+            // on the reference's final epoch, byte for byte.
+            for c in tape.chunks(chunk).skip(crash_after) {
+                feed(&recovered, c);
+                recovered.refresh().unwrap();
+            }
+            assert_eq!(
+                recovered.engine().write_snapshot(),
+                *ref_snapshots.last().unwrap(),
+                "post-recovery stream diverged (crash after {crash_after})"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn recovery_survives_a_torn_tail_and_a_corrupt_newest_checkpoint() {
+        use vexus_data::wal;
+        let (base, tape) = warmed(300);
+        let chunk = tape.len().div_ceil(4);
+        let dir = tempdir("torn");
+        let live =
+            LiveEngine::bootstrap_durable(base.clone(), stream_config(), durability(&dir, 3))
+                .unwrap();
+        for c in tape.chunks(chunk) {
+            feed(&live, c);
+            live.refresh().unwrap();
+        }
+        let expect = live.engine().write_snapshot();
+        let final_epoch = live.epoch();
+        assert_eq!(final_epoch, 4);
+        drop(live);
+        // Tear the newest segment mid-frame: the cadence-3 checkpoint
+        // rotated the log at watermark 3, so `wal-3` holds exactly the
+        // frame for epoch 4. Tearing its last bytes loses that frame —
+        // detected, reported, and truncated, never a panic.
+        let (first, seg) = durable::list_segments(&dir).unwrap().pop().unwrap();
+        assert_eq!(first, 3, "cadence-3 checkpoint rotated the log");
+        let len = std::fs::metadata(&seg).unwrap().len();
+        wal::truncate_at(&seg, len - 3).unwrap();
+        let (recovered, report) =
+            LiveEngine::recover(base.clone(), stream_config(), durability(&dir, 3)).unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.checkpoint_watermark, 3);
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(report.final_epoch, 3);
+        drop(recovered);
+        // Now corrupt the newest checkpoint: recovery falls back to the
+        // previous one, deletes the corrupt file, and replays further back.
+        let (wm, newest) = durable::list_checkpoints(&dir).unwrap().pop().unwrap();
+        assert_eq!(wm, 3);
+        wal::corrupt_byte_at(&newest, 64, 0xff).unwrap();
+        let (recovered, report) =
+            LiveEngine::recover(base.clone(), stream_config(), durability(&dir, 3)).unwrap();
+        assert_eq!(report.checkpoints_skipped, 1);
+        assert!(report.checkpoint_watermark < wm);
+        assert!(!newest.exists(), "corrupt checkpoint deleted");
+        // Re-feeding the torn-off chunk from the source tape lands on the
+        // uninterrupted run's final snapshot, byte for byte.
+        for c in tape.chunks(chunk).skip(recovered.epoch() as usize) {
+            feed(&recovered, c);
+            recovered.refresh().unwrap();
+        }
+        assert_eq!(recovered.engine().write_snapshot(), expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_wrong_base_and_wrong_config() {
+        let dir = tempdir("mismatch");
+        let (base, tape) = warmed(300);
+        let live =
+            LiveEngine::bootstrap_durable(base.clone(), stream_config(), durability(&dir, 8))
+                .unwrap();
+        feed(&live, &tape);
+        live.refresh().unwrap();
+        drop(live);
+        // Wrong base dataset: a hard Recovery error, nothing deleted.
+        let (other_base, _) = warmed(100);
+        assert!(matches!(
+            LiveEngine::recover(other_base, stream_config(), durability(&dir, 8)),
+            Err(CoreError::Recovery(_))
+        ));
+        // Wrong discovery fingerprint: same.
+        let other_cfg = EngineConfig::default().with_discovery(DiscoverySelection::StreamFim {
+            support: 0.25,
+            epsilon: 0.01,
+            max_len: 3,
+        });
+        assert!(matches!(
+            LiveEngine::recover(base.clone(), other_cfg, durability(&dir, 8)),
+            Err(CoreError::Recovery(_))
+        ));
+        assert_eq!(durable::list_checkpoints(&dir).unwrap().len(), 1);
+        // The right inputs still recover.
+        let (recovered, report) =
+            LiveEngine::recover(base, stream_config(), durability(&dir, 8)).unwrap();
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(recovered.epoch(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refresh_with_retry_passes_hard_errors_through() {
+        let (base, _tape) = warmed(400);
+        let live = LiveEngine::bootstrap(base, stream_config()).unwrap();
+        // No pending actions: refresh succeeds as a no-op on attempt one.
+        let out = live.refresh_with_retry(3).unwrap();
+        assert!(!out.advanced);
     }
 
     #[test]

@@ -142,6 +142,19 @@ pub struct ServiceStats {
     /// Refresh verbs that published a new epoch (empty-cut no-ops and
     /// failed refreshes excluded).
     pub refreshes: u64,
+    /// Deltas committed to the write-ahead log before applying (durable
+    /// engines only; see [`crate::DurabilityConfig`]).
+    pub wal_frames: u64,
+    /// Checkpoints written by the cadence policy.
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed (the refresh itself succeeded; the
+    /// WAL keeps every frame and the next refresh retries).
+    pub checkpoint_failures: u64,
+    /// Whether the live side is halted (panic mid-refresh or an empty
+    /// epoch group space). The service keeps serving the last published
+    /// epoch; [`LiveEngine::recover`] over the durable directory is the
+    /// way back (see [`LiveEngine::halt_cause`] for the cause).
+    pub halted: bool,
     /// The engine epoch currently published for new opens (0 for fixed
     /// engines; see [`LiveEngine::epoch`]).
     pub epoch: u64,
@@ -155,10 +168,13 @@ struct Counters {
     quarantines: AtomicU64,
     recoveries: AtomicU64,
     refreshes: AtomicU64,
+    wal_frames: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
 }
 
 impl Counters {
-    fn snapshot(&self, epoch: u64) -> ServiceStats {
+    fn snapshot(&self, epoch: u64, halted: bool) -> ServiceStats {
         ServiceStats {
             opens: self.opens.load(Ordering::SeqCst),
             rejections: self.rejections.load(Ordering::SeqCst),
@@ -166,6 +182,10 @@ impl Counters {
             quarantines: self.quarantines.load(Ordering::SeqCst),
             recoveries: self.recoveries.load(Ordering::SeqCst),
             refreshes: self.refreshes.load(Ordering::SeqCst),
+            wal_frames: self.wal_frames.load(Ordering::SeqCst),
+            checkpoints: self.checkpoints.load(Ordering::SeqCst),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::SeqCst),
+            halted,
             epoch,
         }
     }
@@ -342,7 +362,8 @@ impl ExplorationService {
 
     /// Cumulative service counters.
     pub fn stats(&self) -> ServiceStats {
-        self.counters.snapshot(self.live.epoch())
+        self.counters
+            .snapshot(self.live.epoch(), self.live.halt_cause().is_some())
     }
 
     /// The logical clock: verbs served so far (each verb ticks it once).
@@ -633,14 +654,46 @@ impl ExplorationService {
 
     /// Cut the live engine's ingest buffer and publish a new epoch for
     /// subsequent opens (delegates to [`LiveEngine::refresh`]). Counts
-    /// one logical tick and, when the epoch advanced, one refresh.
+    /// one logical tick and, when the epoch advanced, one refresh plus
+    /// the durability counters the outcome reports.
     pub fn refresh(&self) -> Result<RefreshOutcome, ServeError> {
         self.tick();
         let outcome = self.live.refresh().map_err(ServeError::from)?;
+        self.note_refresh(&outcome);
+        Ok(outcome)
+    }
+
+    /// [`Self::refresh`] with bounded retry of transient failures —
+    /// injected faults and WAL I/O errors, which fire before any state
+    /// mutation (delegates to [`LiveEngine::refresh_with_retry`]).
+    pub fn refresh_with_retry(&self, attempts: usize) -> Result<RefreshOutcome, ServeError> {
+        self.tick();
+        let outcome = self
+            .live
+            .refresh_with_retry(attempts)
+            .map_err(ServeError::from)?;
+        self.note_refresh(&outcome);
+        Ok(outcome)
+    }
+
+    fn note_refresh(&self, outcome: &RefreshOutcome) {
         if outcome.advanced {
             self.counters.refreshes.fetch_add(1, Ordering::SeqCst);
         }
-        Ok(outcome)
+        if outcome.wal_appended {
+            self.counters.wal_frames.fetch_add(1, Ordering::SeqCst);
+        }
+        match outcome.checkpoint {
+            crate::durable::CheckpointOutcome::Written => {
+                self.counters.checkpoints.fetch_add(1, Ordering::SeqCst);
+            }
+            crate::durable::CheckpointOutcome::Failed => {
+                self.counters
+                    .checkpoint_failures
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+            crate::durable::CheckpointOutcome::NotDue => {}
+        }
     }
 
     /// Drain up to `max` actions from `stream` into the live engine's

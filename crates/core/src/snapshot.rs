@@ -52,11 +52,13 @@ pub(crate) struct DecodedEngine {
     pub buffer_bytes: usize,
 }
 
-/// Encode the full engine. Section order is fixed, every sub-codec is
-/// deterministic, and nothing derived (timings, heap accounting) is
-/// stored — so encode∘decode∘encode is byte-identical.
-pub(crate) fn encode_engine(vexus: &Vexus) -> Vec<u8> {
-    let mut w = SnapshotWriter::new();
+/// Write the engine's sections — META plus every layer codec — into an
+/// open writer. Section order is fixed, every sub-codec is deterministic,
+/// and nothing derived (timings, heap accounting) is stored — so
+/// encode∘decode∘encode is byte-identical. Factored out of
+/// [`encode_engine`] so a live-engine checkpoint can embed the same
+/// sections (unchanged bytes, same tags) alongside its own.
+pub(crate) fn encode_engine_sections(vexus: &Vexus, w: &mut SnapshotWriter) {
     w.section_words(
         TAG_ENGINE_META,
         &[
@@ -66,16 +68,32 @@ pub(crate) fn encode_engine(vexus: &Vexus) -> Vec<u8> {
             member_universe(vexus.groups()) as u32,
         ],
     );
-    encode_vocabulary(vexus.vocab(), &mut w);
-    encode_item_catalog(vexus.data().item_catalog(), &mut w);
-    encode_group_set(vexus.groups(), &mut w);
-    encode_group_index(vexus.index(), &mut w);
+    encode_vocabulary(vexus.vocab(), w);
+    encode_item_catalog(vexus.data().item_catalog(), w);
+    encode_group_set(vexus.groups(), w);
+    encode_group_index(vexus.index(), w);
+}
+
+/// Encode the full engine as a standalone snapshot buffer.
+pub(crate) fn encode_engine(vexus: &Vexus) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    encode_engine_sections(vexus, &mut w);
     w.finish()
 }
 
 /// Decode a snapshot written by [`encode_engine`] against `data`.
 pub(crate) fn decode_engine(data: UserData, bytes: &[u8]) -> Result<DecodedEngine, SnapshotError> {
     let r = SnapshotReader::load(bytes)?;
+    decode_engine_sections(data, &r)
+}
+
+/// Decode the engine sections out of an already-loaded reader — the
+/// counterpart of [`encode_engine_sections`], shared by standalone
+/// snapshots and live-engine checkpoints.
+pub(crate) fn decode_engine_sections(
+    data: UserData,
+    r: &SnapshotReader,
+) -> Result<DecodedEngine, SnapshotError> {
     let meta = r.section_words(TAG_ENGINE_META)?;
     if meta.len() != META_WORDS {
         return Err(SnapshotError::Malformed {
@@ -99,15 +117,15 @@ pub(crate) fn decode_engine(data: UserData, bytes: &[u8]) -> Result<DecodedEngin
     // decode independently — none waits on another's output, and a
     // parallel loader could run them concurrently without a format
     // change. The cross-checks below tie them back together.
-    let vocab = decode_vocabulary(&r)?;
+    let vocab = decode_vocabulary(r)?;
     if vocab.len() != n_tokens {
         return Err(SnapshotError::Malformed {
             tag: TAG_ENGINE_META,
             what: "snapshot token count does not match its vocabulary section",
         });
     }
-    let catalog = decode_item_catalog(&r)?;
-    let groups = decode_group_set(&r, n_users, n_tokens)?;
+    let catalog = decode_item_catalog(r)?;
+    let groups = decode_group_set(r, n_users, n_tokens)?;
     if groups.len() != n_groups {
         return Err(SnapshotError::Malformed {
             tag: TAG_ENGINE_META,
@@ -120,7 +138,7 @@ pub(crate) fn decode_engine(data: UserData, bytes: &[u8]) -> Result<DecodedEngin
             what: "snapshot member universe does not match its group space",
         });
     }
-    let index = decode_group_index(&r, n_groups, n_members)?;
+    let index = decode_group_index(r, n_groups, n_members)?;
     Ok(DecodedEngine {
         data: data.with_item_catalog(std::sync::Arc::new(catalog)),
         vocab,

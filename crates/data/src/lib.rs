@@ -26,6 +26,9 @@
 //! * [`stream`] — bounded action streams for the stream-mining path, plus
 //!   the [`stream::IngestBuffer`] that cuts them into epoch-stamped
 //!   deltas for the live engine,
+//! * [`wal`] — the write-ahead log for those deltas: independently
+//!   checksummed frames over the snapshot codec, torn-tail detection, and
+//!   the torn-write simulator the crash-recovery tests drive,
 //! * [`zipf`] — seeded Zipf/power-law samplers used by the generators,
 //! * [`synthetic`] — seeded generators standing in for the paper's
 //!   BOOKCROSSING and DB-AUTHORS datasets (see DESIGN.md §1 for the
@@ -41,6 +44,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod stream;
 pub mod synthetic;
+pub mod wal;
 pub mod zipf;
 
 pub use dataset::{Action, ItemCatalog, UserData, UserDataBuilder, Vocabulary};
@@ -50,3 +54,4 @@ pub use schema::{AttributeDef, AttributeKind, Schema};
 pub use shard::{ShardPlan, ShardStrategy};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, U32Store, WordSlice};
 pub use stream::{ActionDelta, ActionStream, IngestBuffer};
+pub use wal::{WalError, WalFrame, WalScan, WalSync, WalTail, WalWriter};

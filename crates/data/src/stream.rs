@@ -49,6 +49,12 @@ impl<'a> ReplayStream<'a> {
         }
     }
 
+    /// Stream over an arbitrary action slice — e.g. one recovered WAL
+    /// frame's delta, replayed through the normal ingest path.
+    pub fn from_actions(actions: &'a [Action]) -> Self {
+        Self { actions, pos: 0 }
+    }
+
     /// Remaining undelivered actions.
     pub fn remaining(&self) -> usize {
         self.actions.len() - self.pos
@@ -165,6 +171,16 @@ impl IngestBuffer {
         Self::default()
     }
 
+    /// Empty buffer whose next cut is stamped `next_epoch` — how recovery
+    /// resumes the epoch sequence after replaying a checkpoint and its
+    /// surviving WAL frames.
+    pub fn resume(next_epoch: u64) -> Self {
+        Self {
+            next_epoch,
+            ..Self::default()
+        }
+    }
+
     /// Drain up to `max` actions from `stream` into the pending buffer,
     /// looping over batches until the stream runs dry (or `max` is hit).
     /// Returns the number drained by this call.
@@ -186,6 +202,14 @@ impl IngestBuffer {
         self.pending.len()
     }
 
+    /// The buffered actions themselves, in arrival order — what the next
+    /// cut will carry. The durable engine logs exactly this slice (stamped
+    /// [`IngestBuffer::next_epoch`]) to the WAL *before* cutting, so a
+    /// crash between the append and the apply replays the same delta.
+    pub fn pending_actions(&self) -> &[Action] {
+        &self.pending
+    }
+
     /// Total actions drained over the buffer's lifetime.
     pub fn drained(&self) -> u64 {
         self.drained
@@ -205,6 +229,37 @@ impl IngestBuffer {
             self.next_epoch += 1;
         }
         ActionDelta { epoch, actions }
+    }
+
+    /// Drive a fallible drain step (typically a live-engine refresh that
+    /// applies this buffer) with a capped retry budget: `step` runs until
+    /// it succeeds, fails non-transiently, or has failed `attempts` times.
+    ///
+    /// The live engine's fail-point contract makes injected ingest faults
+    /// *pre-mutation* — an error leaves the buffer and the engine state
+    /// untouched — which is exactly what makes blind re-invocation safe.
+    /// `transient` classifies errors: `true` retries, `false` returns the
+    /// error immediately (a halted engine, say, never heals by retrying).
+    /// The last transient error is returned once attempts are exhausted.
+    ///
+    /// # Panics
+    /// Panics if `attempts` is zero (a drain that may never run is a
+    /// caller bug, not an error condition).
+    pub fn drain_with_retry<T, E>(
+        attempts: usize,
+        transient: impl Fn(&E) -> bool,
+        mut step: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        assert!(attempts > 0, "drain_with_retry needs at least one attempt");
+        let mut last = None;
+        for _ in 0..attempts {
+            match step() {
+                Ok(v) => return Ok(v),
+                Err(e) if transient(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("attempts > 0 so at least one step ran"))
     }
 }
 
@@ -417,6 +472,62 @@ mod tests {
             .map(|a| a.value)
             .collect();
         assert_eq!(all, (0..10).map(|k| k as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resume_continues_the_epoch_sequence() {
+        let d = sample_data(4);
+        let mut stream = ReplayStream::from_actions(&d.actions()[1..]);
+        assert_eq!(stream.remaining(), 3);
+        let mut buf = IngestBuffer::resume(7);
+        assert_eq!(buf.next_epoch(), 7);
+        buf.pull(&mut stream, usize::MAX);
+        assert_eq!(buf.pending_actions().len(), 3);
+        assert_eq!(buf.pending_actions()[0].value, 1.0);
+        let delta = buf.cut();
+        assert_eq!((delta.epoch, delta.len()), (7, 3));
+        assert_eq!(buf.next_epoch(), 8);
+    }
+
+    #[test]
+    fn drain_with_retry_caps_attempts_and_passes_hard_errors() {
+        // Transient failures are retried up to the cap…
+        let mut calls = 0;
+        let out: Result<u32, &str> = IngestBuffer::drain_with_retry(
+            3,
+            |e| *e == "transient",
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err("transient")
+                } else {
+                    Ok(99)
+                }
+            },
+        );
+        assert_eq!((out, calls), (Ok(99), 3));
+        // …exhaustion returns the last transient error…
+        let mut calls = 0;
+        let out: Result<u32, &str> = IngestBuffer::drain_with_retry(
+            2,
+            |e| *e == "transient",
+            || {
+                calls += 1;
+                Err("transient")
+            },
+        );
+        assert_eq!((out, calls), (Err("transient"), 2));
+        // …and a non-transient error short-circuits on the first hit.
+        let mut calls = 0;
+        let out: Result<u32, &str> = IngestBuffer::drain_with_retry(
+            5,
+            |e| *e == "transient",
+            || {
+                calls += 1;
+                Err("halted")
+            },
+        );
+        assert_eq!((out, calls), (Err("halted"), 1));
     }
 
     use proptest::prelude::*;

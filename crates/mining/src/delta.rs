@@ -199,6 +199,43 @@ impl DeltaDiscovery {
         self.arrivals
     }
 
+    /// Per-user arrival bits (index = user id). Checkpoints persist this
+    /// verbatim: it is *not* derivable from the applied action tape,
+    /// because the data layer drops unknown-item actions that the miner
+    /// still observed arrivals from.
+    pub fn seen(&self) -> &[bool] {
+        &self.seen
+    }
+
+    /// Epochs cut so far (one per [`DeltaDiscovery::epoch`] call).
+    pub fn epochs_cut(&self) -> u64 {
+        self.epochs_cut
+    }
+
+    /// Reassemble a driver from checkpointed parts: the rebuilt miner
+    /// ([`StreamMiner::from_state`]), the arrival bits, and the previous
+    /// epoch's canonical space (`prev` — the group space of the engine
+    /// published at checkpoint time, which is exactly what the next
+    /// [`DeltaDiscovery::epoch`] must diff against). Resumes
+    /// observation-equivalent to the uninterrupted driver.
+    pub fn from_parts(
+        miner: StreamMiner,
+        seen: Vec<bool>,
+        arrivals: u64,
+        min_group_size: usize,
+        prev: GroupSet,
+        epochs_cut: u64,
+    ) -> Self {
+        Self {
+            miner,
+            seen,
+            arrivals,
+            min_group_size,
+            prev,
+            epochs_cut,
+        }
+    }
+
     /// The underlying miner (telemetry: `n_seen`, `table_size`,
     /// `evictions`).
     pub fn miner(&self) -> &StreamMiner {

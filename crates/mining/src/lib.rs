@@ -72,4 +72,4 @@ pub use sharded::{
     EnsembleDiscovery, ExchangeRouter, MergeContext, MergeStrategy, MergeTelemetry, ShardScaled,
     ShardedDiscovery,
 };
-pub use stream_fim::StreamFimConfig;
+pub use stream_fim::{MinerEntry, MinerState, StreamFimConfig, StreamMiner};

@@ -1,4 +1,5 @@
-//! Snapshot codec for the group space (`0x1x` section tags).
+//! Snapshot codec for the group space (`0x1x` section tags) and the live
+//! stream-miner state (`0x7x` tags).
 //!
 //! A [`GroupSet`] flattens into four `u32` arrays — description offsets +
 //! tokens, member offsets + member ids — the same offsets-plus-payload
@@ -8,9 +9,17 @@
 //! allocations. Descriptions are short (a handful of tokens) and live in
 //! `HashMap` keys and move-heavy merge paths, so they are rebuilt as owned
 //! `Vec<TokenId>`s.
+//!
+//! The stream-state codec persists a [`DeltaDiscovery`] driver — the
+//! lossy-counting table in canonical order, the stream clock, and the
+//! per-user arrival bits — so a live-engine checkpoint can resume
+//! discovery observation-equivalent to an uninterrupted run (the crash
+//! -recovery byte-identity oracle rests on this).
 
 use crate::bitmap::MemberSet;
+use crate::delta::DeltaDiscovery;
 use crate::group::{Group, GroupSet};
+use crate::stream_fim::{MinerEntry, MinerState, StreamFimConfig, StreamMiner};
 use vexus_data::snapshot::{all_bounded, runs_sorted, validate_offsets};
 use vexus_data::{SnapshotError, SnapshotReader, SnapshotWriter, TokenId};
 
@@ -112,6 +121,250 @@ pub fn decode_group_set(
     Ok(GroupSet::from_groups(out))
 }
 
+/// Stream-state META: `[n_seen_lo, n_seen_hi, evictions_lo, evictions_hi,
+/// arrivals_lo, arrivals_hi, n_entries, n_users]`.
+pub const TAG_STREAM_META: u32 = 0x70;
+/// Miner-table itemset offsets: `n_entries + 1` token offsets.
+pub const TAG_STREAM_KEY_OFFSETS: u32 = 0x71;
+/// Concatenated itemset tokens, entry-major (entries in canonical —
+/// itemset-ascending — order).
+pub const TAG_STREAM_KEY_TOKENS: u32 = 0x72;
+/// Per-entry counts, two words each (`lo, hi`).
+pub const TAG_STREAM_COUNTS: u32 = 0x73;
+/// Per-entry lossy-counting insertion deltas, two words each.
+pub const TAG_STREAM_DELTAS: u32 = 0x74;
+/// Miner-table member offsets: `n_entries + 1` member offsets.
+pub const TAG_STREAM_MEMBER_OFFSETS: u32 = 0x75;
+/// Concatenated sorted member ids, entry-major.
+pub const TAG_STREAM_MEMBERS: u32 = 0x76;
+/// Per-user arrival bits, packed 32 per word (bit `u % 32` of word
+/// `u / 32`); trailing bits past `n_users` are zero.
+pub const TAG_STREAM_SEEN: u32 = 0x77;
+
+fn split(v: u64) -> [u32; 2] {
+    [v as u32, (v >> 32) as u32]
+}
+
+fn join(lo: u32, hi: u32) -> u64 {
+    lo as u64 | ((hi as u64) << 32)
+}
+
+/// Encode a [`DeltaDiscovery`] driver's mutable state into its `0x7x`
+/// sections. The encoding is canonical — a pure function of the logical
+/// state (see [`StreamMiner::export_state`]) — so two drivers in the same
+/// state encode byte-identically regardless of history.
+pub fn encode_stream_state(dd: &DeltaDiscovery, w: &mut SnapshotWriter) {
+    let state = dd.miner().export_state();
+    let seen = dd.seen();
+    let mut meta = Vec::with_capacity(8);
+    meta.extend(split(state.n_seen));
+    meta.extend(split(state.evictions));
+    meta.extend(split(dd.arrivals()));
+    meta.push(state.entries.len() as u32);
+    meta.push(seen.len() as u32);
+    w.section_words(TAG_STREAM_META, &meta);
+
+    let mut key_offsets = Vec::with_capacity(state.entries.len() + 1);
+    let mut member_offsets = Vec::with_capacity(state.entries.len() + 1);
+    let mut keys = Vec::new();
+    let mut members = Vec::new();
+    let mut counts = Vec::with_capacity(state.entries.len() * 2);
+    let mut deltas = Vec::with_capacity(state.entries.len() * 2);
+    key_offsets.push(0u32);
+    member_offsets.push(0u32);
+    for e in &state.entries {
+        keys.extend(e.itemset.iter().map(|t| t.raw()));
+        key_offsets.push(keys.len() as u32);
+        members.extend_from_slice(&e.members);
+        member_offsets.push(members.len() as u32);
+        counts.extend(split(e.count));
+        deltas.extend(split(e.delta));
+    }
+    w.section_words(TAG_STREAM_KEY_OFFSETS, &key_offsets);
+    w.section_words(TAG_STREAM_KEY_TOKENS, &keys);
+    w.section_words(TAG_STREAM_COUNTS, &counts);
+    w.section_words(TAG_STREAM_DELTAS, &deltas);
+    w.section_words(TAG_STREAM_MEMBER_OFFSETS, &member_offsets);
+    w.section_words(TAG_STREAM_MEMBERS, &members);
+
+    let mut packed = vec![0u32; seen.len().div_ceil(32)];
+    for (u, &s) in seen.iter().enumerate() {
+        if s {
+            packed[u / 32] |= 1 << (u % 32);
+        }
+    }
+    w.section_words(TAG_STREAM_SEEN, &packed);
+}
+
+/// Decode the stream state written by [`encode_stream_state`] and
+/// reassemble the driver. `cfg` and `min_group_size` come from the
+/// caller's engine configuration (a checkpoint loader cross-checks them
+/// against its own META before calling); `prev` is the group space the
+/// next epoch cut must diff against (the checkpoint's engine space);
+/// `epochs_cut` restores the cut counter. Every structural invariant the
+/// miner relies on is validated — offsets, canonical entry order, sorted
+/// itemsets and member lists, bit padding — so restamped corruption
+/// surfaces as a typed error, never a panic or silent wrong state.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_stream_state(
+    r: &SnapshotReader,
+    cfg: StreamFimConfig,
+    min_group_size: usize,
+    n_users: usize,
+    n_tokens: usize,
+    prev: GroupSet,
+    epochs_cut: u64,
+) -> Result<DeltaDiscovery, SnapshotError> {
+    let meta = r.section_words(TAG_STREAM_META)?;
+    let meta = meta.as_slice();
+    if meta.len() != 8 {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_META,
+            what: "stream META is not eight words",
+        });
+    }
+    let n_seen = join(meta[0], meta[1]);
+    let evictions = join(meta[2], meta[3]);
+    let arrivals = join(meta[4], meta[5]);
+    let n_entries = meta[6] as usize;
+    if meta[7] as usize != n_users {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_META,
+            what: "stream user universe does not match the dataset",
+        });
+    }
+
+    let key_offsets = r.section_words(TAG_STREAM_KEY_OFFSETS)?;
+    let keys = r.section_words(TAG_STREAM_KEY_TOKENS)?;
+    let counts = r.section_words(TAG_STREAM_COUNTS)?;
+    let deltas = r.section_words(TAG_STREAM_DELTAS)?;
+    let member_offsets = r.section_words(TAG_STREAM_MEMBER_OFFSETS)?;
+    let members = r.section_words(TAG_STREAM_MEMBERS)?;
+    if key_offsets.len() != n_entries + 1 || member_offsets.len() != n_entries + 1 {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_KEY_OFFSETS,
+            what: "offset tables disagree with the META entry count",
+        });
+    }
+    if counts.len() != n_entries * 2 || deltas.len() != n_entries * 2 {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_COUNTS,
+            what: "count/delta tables disagree with the META entry count",
+        });
+    }
+    validate_offsets(
+        TAG_STREAM_KEY_OFFSETS,
+        &key_offsets,
+        keys.len(),
+        "bad itemset offsets",
+    )?;
+    validate_offsets(
+        TAG_STREAM_MEMBER_OFFSETS,
+        &member_offsets,
+        members.len(),
+        "bad member offsets",
+    )?;
+    if !all_bounded(keys.as_slice(), n_tokens)
+        || !runs_sorted(keys.as_slice(), key_offsets.as_slice(), |a, b| a >= b)
+    {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_KEY_TOKENS,
+            what: "itemset tokens not strictly ascending in vocabulary",
+        });
+    }
+    if !all_bounded(members.as_slice(), n_users)
+        || !runs_sorted(members.as_slice(), member_offsets.as_slice(), |a, b| a >= b)
+    {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_MEMBERS,
+            what: "member ids not strictly ascending below the user count",
+        });
+    }
+
+    let packed = r.section_words(TAG_STREAM_SEEN)?;
+    if packed.len() != n_users.div_ceil(32) {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_SEEN,
+            what: "arrival bitmap length disagrees with the user count",
+        });
+    }
+    let packed = packed.as_slice();
+    let mut seen = vec![false; n_users];
+    let mut popcount = 0u64;
+    for (u, s) in seen.iter_mut().enumerate() {
+        *s = packed[u / 32] & (1 << (u % 32)) != 0;
+        popcount += *s as u64;
+    }
+    if !n_users.is_multiple_of(32)
+        && !packed.is_empty()
+        && packed[packed.len() - 1] >> (n_users % 32) != 0
+    {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_SEEN,
+            what: "arrival bitmap has bits past the user universe",
+        });
+    }
+    if popcount != arrivals {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_SEEN,
+            what: "arrival count disagrees with the arrival bitmap",
+        });
+    }
+
+    let mut entries = Vec::with_capacity(n_entries);
+    let counts = counts.as_slice();
+    let deltas = deltas.as_slice();
+    for i in 0..n_entries {
+        let (klo, khi) = (key_offsets[i] as usize, key_offsets[i + 1] as usize);
+        let itemset: Vec<TokenId> = keys.as_slice()[klo..khi]
+            .iter()
+            .map(|&t| TokenId::new(t))
+            .collect();
+        if itemset.is_empty() {
+            return Err(SnapshotError::Malformed {
+                tag: TAG_STREAM_KEY_TOKENS,
+                what: "empty itemset in the miner table",
+            });
+        }
+        let count = join(counts[2 * i], counts[2 * i + 1]);
+        if count == 0 {
+            return Err(SnapshotError::Malformed {
+                tag: TAG_STREAM_COUNTS,
+                what: "zero-count entry in the miner table",
+            });
+        }
+        let (mlo, mhi) = (member_offsets[i] as usize, member_offsets[i + 1] as usize);
+        entries.push(MinerEntry {
+            itemset,
+            count,
+            delta: join(deltas[2 * i], deltas[2 * i + 1]),
+            members: members.as_slice()[mlo..mhi].to_vec(),
+        });
+    }
+    if !entries.windows(2).all(|w| w[0].itemset < w[1].itemset) {
+        return Err(SnapshotError::Malformed {
+            tag: TAG_STREAM_KEY_TOKENS,
+            what: "miner entries not in canonical itemset order",
+        });
+    }
+    let miner = StreamMiner::from_state(
+        cfg,
+        MinerState {
+            entries,
+            n_seen,
+            evictions,
+        },
+    );
+    Ok(DeltaDiscovery::from_parts(
+        miner,
+        seen,
+        arrivals,
+        min_group_size,
+        prev,
+        epochs_cut,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +462,168 @@ mod tests {
             decode_group_set(&r, 9, 9).unwrap_err(),
             SnapshotError::Malformed {
                 tag: TAG_GROUP_MEMBER_OFFSETS,
+                ..
+            }
+        ));
+    }
+
+    fn sample_discovery() -> DeltaDiscovery {
+        let entries = vec![
+            MinerEntry {
+                itemset: vec![TokenId::new(0)],
+                count: u64::from(u32::MAX) + 7,
+                delta: 3,
+                members: vec![0, 2, 40],
+            },
+            MinerEntry {
+                itemset: vec![TokenId::new(0), TokenId::new(4)],
+                count: 2,
+                delta: u64::from(u32::MAX) + 1,
+                members: vec![2],
+            },
+            MinerEntry {
+                itemset: vec![TokenId::new(3)],
+                count: 1,
+                delta: 0,
+                members: vec![40],
+            },
+        ];
+        let miner = StreamMiner::from_state(
+            StreamFimConfig::default(),
+            MinerState {
+                entries,
+                n_seen: u64::from(u32::MAX) + 11,
+                evictions: 5,
+            },
+        );
+        let mut seen = vec![false; 41];
+        for u in [0usize, 2, 7, 40] {
+            seen[u] = true;
+        }
+        DeltaDiscovery::from_parts(miner, seen, 4, 2, sample(), 9)
+    }
+
+    fn encode_to_buf(dd: &DeltaDiscovery) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        encode_stream_state(dd, &mut w);
+        w.finish()
+    }
+
+    fn decode_from_buf(buf: &[u8], n_users: usize) -> Result<DeltaDiscovery, SnapshotError> {
+        let r = SnapshotReader::load(buf)?;
+        decode_stream_state(&r, StreamFimConfig::default(), 2, n_users, 9, sample(), 9)
+    }
+
+    #[test]
+    fn stream_state_round_trips() {
+        let dd = sample_discovery();
+        let buf = encode_to_buf(&dd);
+        let back = decode_from_buf(&buf, 41).unwrap();
+        assert_eq!(back.miner().export_state(), dd.miner().export_state());
+        assert_eq!(back.seen(), dd.seen());
+        assert_eq!(back.arrivals(), dd.arrivals());
+        assert_eq!(back.epochs_cut(), dd.epochs_cut());
+        assert_eq!(back.groups(), dd.groups());
+        // The encoding is canonical: re-encoding the decoded driver is
+        // byte-identical.
+        assert_eq!(encode_to_buf(&back), buf);
+    }
+
+    #[test]
+    fn stream_state_empty_round_trips() {
+        let dd = DeltaDiscovery::new(StreamFimConfig::default(), 2, 0);
+        let buf = encode_to_buf(&dd);
+        let back = decode_from_buf(&buf, 0).unwrap();
+        assert_eq!(back.miner().export_state(), MinerState::default());
+        assert!(back.seen().is_empty());
+    }
+
+    #[test]
+    fn stream_decode_rejects_wrong_universe() {
+        let buf = encode_to_buf(&sample_discovery());
+        assert!(matches!(
+            decode_from_buf(&buf, 40).unwrap_err(),
+            SnapshotError::Malformed {
+                tag: TAG_STREAM_META,
+                ..
+            }
+        ));
+    }
+
+    fn tampered(mutate: impl FnOnce(&mut SnapshotWriter)) -> Result<DeltaDiscovery, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        mutate(&mut w);
+        decode_from_buf(&w.finish(), 64)
+    }
+
+    fn base_sections(w: &mut SnapshotWriter, meta: &[u32], seen_words: &[u32]) {
+        w.section_words(TAG_STREAM_META, meta);
+        w.section_words(TAG_STREAM_KEY_OFFSETS, &[0, 1]);
+        w.section_words(TAG_STREAM_KEY_TOKENS, &[0]);
+        w.section_words(TAG_STREAM_COUNTS, &[1, 0]);
+        w.section_words(TAG_STREAM_DELTAS, &[0, 0]);
+        w.section_words(TAG_STREAM_MEMBER_OFFSETS, &[0, 1]);
+        w.section_words(TAG_STREAM_MEMBERS, &[0]);
+        w.section_words(TAG_STREAM_SEEN, seen_words);
+    }
+
+    #[test]
+    fn stream_decode_rejects_structural_damage() {
+        // Arrival count disagrees with the bitmap popcount.
+        let err = tampered(|w| base_sections(w, &[1, 0, 0, 0, 2, 0, 1, 64], &[1, 0])).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Malformed {
+                tag: TAG_STREAM_SEEN,
+                ..
+            }
+        ));
+        // Zero-count miner entry.
+        let err = tampered(|w| {
+            w.section_words(TAG_STREAM_META, &[1, 0, 0, 0, 1, 0, 1, 64]);
+            w.section_words(TAG_STREAM_KEY_OFFSETS, &[0, 1]);
+            w.section_words(TAG_STREAM_KEY_TOKENS, &[0]);
+            w.section_words(TAG_STREAM_COUNTS, &[0, 0]);
+            w.section_words(TAG_STREAM_DELTAS, &[0, 0]);
+            w.section_words(TAG_STREAM_MEMBER_OFFSETS, &[0, 1]);
+            w.section_words(TAG_STREAM_MEMBERS, &[0]);
+            w.section_words(TAG_STREAM_SEEN, &[1, 0]);
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Malformed {
+                tag: TAG_STREAM_COUNTS,
+                ..
+            }
+        ));
+        // Entries out of canonical (itemset-ascending) order.
+        let err = tampered(|w| {
+            w.section_words(TAG_STREAM_META, &[2, 0, 0, 0, 1, 0, 2, 64]);
+            w.section_words(TAG_STREAM_KEY_OFFSETS, &[0, 1, 2]);
+            w.section_words(TAG_STREAM_KEY_TOKENS, &[3, 1]);
+            w.section_words(TAG_STREAM_COUNTS, &[1, 0, 1, 0]);
+            w.section_words(TAG_STREAM_DELTAS, &[0, 0, 0, 0]);
+            w.section_words(TAG_STREAM_MEMBER_OFFSETS, &[0, 1, 2]);
+            w.section_words(TAG_STREAM_MEMBERS, &[0, 1]);
+            w.section_words(TAG_STREAM_SEEN, &[1, 0]);
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Malformed {
+                tag: TAG_STREAM_KEY_TOKENS,
+                ..
+            }
+        ));
+        // Arrival bits past the user universe (bit 33 in a 33-user world).
+        let mut w = SnapshotWriter::new();
+        base_sections(&mut w, &[1, 0, 0, 0, 1, 0, 1, 33], &[1, 2]);
+        let err = decode_from_buf(&w.finish(), 33).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Malformed {
+                tag: TAG_STREAM_SEEN,
                 ..
             }
         ));

@@ -55,6 +55,31 @@ struct Entry {
     members: Vec<u32>,
 }
 
+/// One tracked itemset in a [`MinerState`] export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinerEntry {
+    /// The itemset (sorted ascending, as observed).
+    pub itemset: Vec<TokenId>,
+    /// Occurrences since the entry was (last) inserted.
+    pub count: u64,
+    /// Lossy-counting insertion delta (maximum undercount).
+    pub delta: u64,
+    /// Users observed carrying the itemset since insertion, sorted.
+    pub members: Vec<u32>,
+}
+
+/// The miner's complete mutable state in canonical order — what a live
+/// checkpoint embeds (see [`StreamMiner::export_state`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MinerState {
+    /// Tracked entries, sorted by itemset.
+    pub entries: Vec<MinerEntry>,
+    /// Transactions processed so far.
+    pub n_seen: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+}
+
 /// One-pass lossy-counting miner over a stream of `(user, tokens)`
 /// transactions.
 #[derive(Debug)]
@@ -159,6 +184,67 @@ impl StreamMiner {
             }
             current.pop();
         }
+    }
+
+    /// Export the miner's complete mutable state in canonical order, for
+    /// checkpointing. Entries are sorted by itemset (ascending) and each
+    /// entry's members are sorted — safe because member order never
+    /// reaches any output: every user is observed at most once per entry,
+    /// and [`StreamMiner::groups`] sorts members into a [`MemberSet`]
+    /// anyway. Canonical ordering makes the export (and hence a checkpoint
+    /// embedding it) a pure function of the logical miner state.
+    pub fn export_state(&self) -> MinerState {
+        let mut entries: Vec<MinerEntry> = self
+            .table
+            .iter()
+            .map(|(itemset, e)| {
+                let mut members = e.members.clone();
+                members.sort_unstable();
+                MinerEntry {
+                    itemset: itemset.clone(),
+                    count: e.count,
+                    delta: e.delta,
+                    members,
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+        MinerState {
+            entries,
+            n_seen: self.n_seen,
+            evictions: self.evictions,
+        }
+    }
+
+    /// Rebuild a miner from exported state. The reconstruction is
+    /// observation-equivalent to the original: counts, insertion deltas,
+    /// bucket position (`n_seen`) and eviction telemetry all resume
+    /// exactly, so feeding both miners the same subsequent transactions
+    /// yields identical [`StreamMiner::groups`] output.
+    ///
+    /// # Panics
+    /// Panics on an invalid `cfg`, exactly like [`StreamMiner::new`] —
+    /// state decoding validates file contents, but the configuration comes
+    /// from the caller.
+    pub fn from_state(cfg: StreamFimConfig, state: MinerState) -> Self {
+        let mut miner = Self::new(cfg);
+        miner.n_seen = state.n_seen;
+        miner.evictions = state.evictions;
+        miner.table = state
+            .entries
+            .into_iter()
+            .map(|e| {
+                (
+                    e.itemset,
+                    Entry {
+                        count: e.count,
+                        delta: e.delta,
+                        members: e.members,
+                    },
+                )
+            })
+            .collect();
+        miner
     }
 
     /// Itemsets whose *guaranteed* frequency clears `(σ − ε)·N`, with their
@@ -360,6 +446,58 @@ mod tests {
             gs.iter().any(|(_, g)| g.description == toks(&[0, 1])),
             "pair group missing"
         );
+    }
+
+    /// The checkpoint contract: export → import resumes the stream
+    /// exactly — after observing the same suffix, the rebuilt miner's
+    /// groups, telemetry, and re-export all match the uninterrupted run.
+    #[test]
+    fn exported_state_resumes_byte_equivalently() {
+        let stream = synthetic_stream(2_000);
+        let cfg = StreamFimConfig {
+            support: 0.2,
+            epsilon: 0.02,
+            max_len: 2,
+        };
+        let split = 1_234;
+        let mut uninterrupted = StreamMiner::new(cfg.clone());
+        let mut prefix = StreamMiner::new(cfg.clone());
+        for (u, tx) in stream[..split].iter().enumerate() {
+            uninterrupted.observe(u as u32, tx);
+            prefix.observe(u as u32, tx);
+        }
+        let state = prefix.export_state();
+        // Export is canonical: entries strictly ascending by itemset.
+        assert!(state
+            .entries
+            .windows(2)
+            .all(|w| w[0].itemset < w[1].itemset));
+        let mut resumed = StreamMiner::from_state(cfg, state.clone());
+        for (u, tx) in stream.iter().enumerate().skip(split) {
+            uninterrupted.observe(u as u32, tx);
+            resumed.observe(u as u32, tx);
+        }
+        assert_eq!(resumed.n_seen(), uninterrupted.n_seen());
+        assert_eq!(resumed.evictions(), uninterrupted.evictions());
+        assert_eq!(resumed.table_size(), uninterrupted.table_size());
+        assert_eq!(resumed.groups(), uninterrupted.groups());
+        assert_eq!(
+            resumed.frequent_itemsets(),
+            uninterrupted.frequent_itemsets()
+        );
+        // And the next export is canonical-equal, so a checkpoint of a
+        // recovered run is byte-identical to one of an uninterrupted run.
+        assert_eq!(resumed.export_state(), uninterrupted.export_state());
+        // Idempotence without further observations.
+        let again = StreamMiner::from_state(
+            StreamFimConfig {
+                support: 0.2,
+                epsilon: 0.02,
+                max_len: 2,
+            },
+            state.clone(),
+        );
+        assert_eq!(again.export_state(), state);
     }
 
     #[test]

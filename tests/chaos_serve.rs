@@ -302,17 +302,19 @@ fn refresh_faults_leave_the_published_epoch_serving() {
     fp::configure(fp::INGEST_APPLY, fp::Trigger::Always, fp::FailAction::Panic);
     let err = quiet_panics(|| svc.refresh()).unwrap_err();
     assert!(
-        matches!(err, ServeError::Core(CoreError::NotLive(_))),
+        matches!(err, ServeError::Core(CoreError::Halted(_))),
         "got {err}"
     );
     drop(scenario);
     assert!(!live.is_live(), "live ingestion halted");
+    assert!(live.halt_cause().is_some(), "halt cause surfaced");
+    assert!(svc.stats().halted, "halt surfaced in service stats");
     assert_eq!(svc.stats().epoch, 1, "published epoch untouched");
     assert!(Arc::ptr_eq(&svc.engine(), &epoch1));
     // Subsequent refreshes stay typed…
     assert!(matches!(
         svc.handle(Request::Refresh).unwrap_err(),
-        ServeError::Core(CoreError::NotLive(_))
+        ServeError::Core(CoreError::Halted(_))
     ));
     // …while serving is unaffected: the pre-fault session replays its
     // pinned epoch and new opens land on epoch 1.
@@ -326,6 +328,283 @@ fn refresh_faults_leave_the_published_epoch_serving() {
         Response::Opened { display, .. } => assert!(!display.is_empty()),
         other => panic!("expected Opened, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable-path chaos: faults injected into the WAL, checkpoint, and
+// recovery phases of the durable live engine.
+// ---------------------------------------------------------------------------
+
+use std::path::{Path, PathBuf};
+use vexus::core::{CheckpointOutcome, DurabilityConfig, LiveEngine};
+use vexus::data::{wal as walio, Action, UserData};
+
+fn stream_config() -> EngineConfig {
+    use vexus::mining::DiscoverySelection;
+    config().with_discovery(DiscoverySelection::StreamFim {
+        support: 0.05,
+        epsilon: 0.01,
+        max_len: 3,
+    })
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vexus-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn feed_live(live: &LiveEngine, actions: &[Action]) {
+    use vexus::data::stream::ChannelStream;
+    let (tx, mut rx) = ChannelStream::with_capacity(actions.len().max(1));
+    for &a in actions {
+        assert!(tx.send(a));
+    }
+    drop(tx);
+    live.ingest(&mut rx, usize::MAX).expect("live ingests");
+}
+
+/// Durable files in `dir` with the given extension, sorted by name
+/// (zero-padded stamps, so name order is stamp order).
+fn durable_files(dir: &Path, ext: &str) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("durable dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == ext))
+        .collect();
+    v.sort();
+    v
+}
+
+/// The durable chaos workload: a warmed base, the remaining tape split
+/// into four chunks, and the uninterrupted run's snapshot bytes at every
+/// epoch (durability does not change engine bytes, so one reference
+/// serves every fault matrix below).
+struct DurableFixture {
+    base: UserData,
+    tape: Vec<Action>,
+    chunk: usize,
+    snapshots: Vec<Vec<u8>>,
+}
+
+fn fixture() -> &'static DurableFixture {
+    static F: OnceLock<DurableFixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let ds = bookcrossing(&BookCrossingConfig::tiny());
+        let (mut base, tape) = ds.data.split_actions();
+        base.append_actions(&tape[..300]);
+        let tape = tape[300..].to_vec();
+        let chunk = tape.len().div_ceil(4);
+        let live = LiveEngine::bootstrap(base.clone(), stream_config()).expect("reference");
+        let mut snapshots = vec![live.engine().write_snapshot()];
+        for c in tape.chunks(chunk) {
+            feed_live(&live, c);
+            live.refresh().expect("reference refresh");
+            snapshots.push(live.engine().write_snapshot());
+        }
+        DurableFixture {
+            base,
+            tape,
+            chunk,
+            snapshots,
+        }
+    })
+}
+
+/// The WAL/checkpoint fault matrix with the `Error` action: `wal.append`
+/// and `wal.sync` faults are typed and retryable with no duplicate or
+/// partial frames (rollback restores the committed length), a
+/// `checkpoint.write` fault degrades the refresh to
+/// [`CheckpointOutcome::Failed`] without failing it — the cadence counter
+/// keeps the checkpoint due, so the next refresh retries — and recovery
+/// from the surviving files is byte-identical.
+#[test]
+fn durable_refresh_faults_are_typed_retryable_and_lose_nothing() {
+    let f = fixture();
+    let dir = tempdir("wal-faults");
+    let durability = DurabilityConfig {
+        checkpoint_every: 2,
+        ..DurabilityConfig::new(&dir)
+    };
+    let live = LiveEngine::bootstrap_durable(f.base.clone(), stream_config(), durability.clone())
+        .expect("durable bootstrap");
+    let chunks: Vec<&[Action]> = f.tape.chunks(f.chunk).collect();
+    let scenario = fp::FailScenario::setup();
+
+    // wal.append, Error action: fires before any byte is staged. Typed,
+    // nothing consumed, the segment is untouched.
+    feed_live(&live, chunks[0]);
+    let buffered = live.pending().expect("live");
+    fp::configure(fp::WAL_APPEND, fp::Trigger::Always, fp::FailAction::Error);
+    assert_eq!(
+        live.refresh().unwrap_err(),
+        CoreError::Injected(fp::WAL_APPEND)
+    );
+    assert_eq!(live.pending().expect("live"), buffered);
+    let seg0 = durable_files(&dir, "vxwl").remove(0);
+    assert_eq!(walio::read_wal(&seg0).expect("scan").frames.len(), 0);
+    fp::clear(fp::WAL_APPEND);
+
+    // wal.sync, Error action under bounded retry: every attempt stages
+    // and rolls back; the attempt budget is a hard cap; the committed
+    // prefix of the segment never grows.
+    fp::configure(fp::WAL_SYNC, fp::Trigger::Always, fp::FailAction::Error);
+    assert_eq!(
+        live.refresh_with_retry(3).unwrap_err(),
+        CoreError::Injected(fp::WAL_SYNC)
+    );
+    assert_eq!(live.pending().expect("live"), buffered, "nothing consumed");
+    let scan = walio::read_wal(&seg0).expect("scan");
+    assert_eq!(scan.frames.len(), 0, "rolled-back frames never commit");
+    assert_eq!(scan.tail, vexus::data::WalTail::Clean);
+    fp::clear(fp::WAL_SYNC);
+
+    // Cleared: the retry lands exactly one frame — no duplicates from
+    // the three failed attempts — and the engine matches the reference.
+    let out = live.refresh_with_retry(3).expect("retry succeeds");
+    assert!(out.advanced && out.wal_appended && out.wal_bytes > 0);
+    assert_eq!(walio::read_wal(&seg0).expect("scan").frames.len(), 1);
+    assert!(live.engine().write_snapshot() == f.snapshots[1]);
+
+    // checkpoint.write, Error action: the refresh itself succeeds (the
+    // epoch is already published), the checkpoint reports Failed, and no
+    // checkpoint file lands.
+    feed_live(&live, chunks[1]);
+    fp::configure(
+        fp::CHECKPOINT_WRITE,
+        fp::Trigger::Always,
+        fp::FailAction::Error,
+    );
+    let out = live.refresh().expect("refresh survives checkpoint fault");
+    assert!(out.advanced);
+    assert_eq!(out.checkpoint, CheckpointOutcome::Failed);
+    assert!(live.is_live());
+    assert_eq!(durable_files(&dir, "vxck").len(), 1, "only ckpt-0");
+
+    // checkpoint.write, Panic action: contained by the checkpoint phase's
+    // own isolation — Failed, not a halt.
+    feed_live(&live, chunks[2]);
+    fp::configure(
+        fp::CHECKPOINT_WRITE,
+        fp::Trigger::Always,
+        fp::FailAction::Panic,
+    );
+    let out = quiet_panics(|| live.refresh()).expect("refresh survives checkpoint panic");
+    assert_eq!(out.checkpoint, CheckpointOutcome::Failed);
+    assert!(live.is_live(), "a checkpoint panic must not halt ingestion");
+    fp::clear(fp::CHECKPOINT_WRITE);
+
+    // Cleared: the still-due checkpoint lands at the next refresh, the
+    // WAL rotates, and crash recovery from this directory is
+    // byte-identical to the uninterrupted run.
+    feed_live(&live, chunks[3]);
+    let out = live.refresh().expect("refresh");
+    assert_eq!(out.checkpoint, CheckpointOutcome::Written);
+    assert_eq!(durable_files(&dir, "vxck").len(), 2, "ckpt-0 and ckpt-4");
+    assert!(live.engine().write_snapshot() == f.snapshots[4]);
+    drop(scenario);
+    drop(live);
+    let (recovered, report) =
+        LiveEngine::recover(f.base.clone(), stream_config(), durability).expect("recover");
+    assert_eq!(report.final_epoch, 4);
+    assert_eq!(report.checkpoint_watermark, 4);
+    assert!(recovered.engine().write_snapshot() == f.snapshots[4]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The kill-during-WAL matrix: a panic injected at `wal.append` or
+/// `wal.sync` halts live ingestion with a typed cause while the old epoch
+/// keeps serving — and [`LiveEngine::recover`] is the documented path
+/// back, restoring byte-identity and resuming the stream.
+#[test]
+fn kill_during_the_wal_phase_halts_then_recovery_restores_equivalence() {
+    let f = fixture();
+    let chunks: Vec<&[Action]> = f.tape.chunks(f.chunk).collect();
+    for site in [fp::WAL_APPEND, fp::WAL_SYNC] {
+        let dir = tempdir(&format!("kill-{}", site.replace('.', "-")));
+        let durability = DurabilityConfig {
+            checkpoint_every: 2,
+            ..DurabilityConfig::new(&dir)
+        };
+        let live =
+            LiveEngine::bootstrap_durable(f.base.clone(), stream_config(), durability.clone())
+                .expect("durable bootstrap");
+        feed_live(&live, chunks[0]);
+        live.refresh().expect("clean first refresh");
+
+        let scenario = fp::FailScenario::setup();
+        feed_live(&live, chunks[1]);
+        fp::configure(site, fp::Trigger::Always, fp::FailAction::Panic);
+        let err = quiet_panics(|| live.refresh()).unwrap_err();
+        assert!(matches!(err, CoreError::Halted(_)), "{site}: got {err}");
+        drop(scenario);
+        assert!(!live.is_live(), "{site}: ingestion halted");
+        assert!(live.halt_cause().is_some(), "{site}: cause surfaced");
+        assert_eq!(live.epoch(), 1, "{site}: old epoch still published");
+        assert!(live.engine().write_snapshot() == f.snapshots[1]);
+        drop(live);
+
+        let (recovered, report) =
+            LiveEngine::recover(f.base.clone(), stream_config(), durability).expect("recover");
+        let e = report.final_epoch as usize;
+        if site == fp::WAL_APPEND {
+            // The panic fired before any byte was staged: the frame is gone.
+            assert_eq!(e, 1, "{site}");
+        } else {
+            // The panic fired between staging and fsync: the frame either
+            // survived whole (recovery replays it) or tore (truncated).
+            // Both are valid crash outcomes — never anything in between.
+            assert!(e == 1 || e == 2, "{site}: epoch {e}");
+        }
+        assert_eq!(report.halted, None, "{site}");
+        assert!(recovered.engine().write_snapshot() == f.snapshots[e]);
+        // Chunks lost with the in-memory buffer replay from the source
+        // tape; the stream finishes byte-identical.
+        for c in &chunks[e..] {
+            feed_live(&recovered, c);
+            recovered.refresh().expect("post-recovery refresh");
+        }
+        assert!(recovered.engine().write_snapshot() == *f.snapshots.last().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A fault injected at `recover.replay` fails recovery with a typed
+/// error; the directory is untouched, so retrying without the fault
+/// succeeds and replays every frame.
+#[test]
+fn injected_replay_faults_fail_recovery_typed_then_retry_cleanly() {
+    let f = fixture();
+    let chunks: Vec<&[Action]> = f.tape.chunks(f.chunk).collect();
+    let dir = tempdir("replay-fault");
+    let durability = DurabilityConfig {
+        checkpoint_every: 64, // never: recovery must replay from the WAL
+        ..DurabilityConfig::new(&dir)
+    };
+    let live = LiveEngine::bootstrap_durable(f.base.clone(), stream_config(), durability.clone())
+        .expect("durable bootstrap");
+    for c in &chunks[..2] {
+        feed_live(&live, c);
+        live.refresh().expect("durable refresh");
+    }
+    drop(live);
+    let scenario = fp::FailScenario::setup();
+    fp::configure(
+        fp::RECOVER_REPLAY,
+        fp::Trigger::Always,
+        fp::FailAction::Error,
+    );
+    assert_eq!(
+        LiveEngine::recover(f.base.clone(), stream_config(), durability.clone()).unwrap_err(),
+        CoreError::Injected(fp::RECOVER_REPLAY)
+    );
+    drop(scenario);
+    let (recovered, report) =
+        LiveEngine::recover(f.base.clone(), stream_config(), durability).expect("retry recovers");
+    assert_eq!(report.frames_replayed, 2);
+    assert_eq!(report.final_epoch, 2);
+    assert!(recovered.engine().write_snapshot() == f.snapshots[2]);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
